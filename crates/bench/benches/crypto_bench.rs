@@ -1,0 +1,40 @@
+//! Criterion timing of the from-scratch ChaCha20 (the Cryptix JCE
+//! stand-in) and of the end-to-end seal/unseal path the encryptor and
+//! decryptor components execute per message.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ps_mail::crypto::chacha20::{self, Key, Nonce};
+use ps_mail::payload::{decode_op, encode_op, MailOp};
+use ps_mail::{Keyring, MailMessage, Sensitivity};
+
+fn bench_chacha20(c: &mut Criterion) {
+    let key = Key([7u8; 32]);
+    let nonce = Nonce([3u8; 12]);
+    let mut group = c.benchmark_group("chacha20");
+    for size in [256usize, 4 * 1024, 64 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("encrypt/{size}B"), |b| {
+            b.iter(|| chacha20::encrypt(&key, &nonce, &data).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_seal_path(c: &mut Criterion) {
+    let keyring = Keyring::new(11);
+    let channel = keyring.channel_key("bench");
+    let msg = MailMessage::new(1, "alice", "bob", "bench", vec![0u8; 2048], Sensitivity(2));
+    let op = MailOp::Send(msg);
+    c.bench_function("seal_unseal/2KB_send", |b| {
+        b.iter(|| {
+            let plain = encode_op(&op);
+            let ct = chacha20::encrypt(&channel, &Keyring::nonce(9), &plain);
+            let back = chacha20::decrypt(&channel, &Keyring::nonce(9), &ct);
+            decode_op(&back).expect("roundtrip")
+        })
+    });
+}
+
+criterion_group!(benches, bench_chacha20, bench_seal_path);
+criterion_main!(benches);

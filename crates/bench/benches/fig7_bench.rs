@@ -1,0 +1,27 @@
+//! Criterion timing of complete Figure 7 scenario runs (small workload),
+//! also serving as a regression guard on the harness itself: each
+//! iteration plans, deploys, and simulates a full client workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{run_scenario, Fig7Config, Scenario};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    let config = Fig7Config {
+        clients: 2,
+        msgs_per_client: 200,
+        ..Default::default()
+    };
+    for scenario in [Scenario::DF, Scenario::DS0, Scenario::DS500, Scenario::SS] {
+        group.bench_with_input(
+            BenchmarkId::new("run", scenario.to_string()),
+            &scenario,
+            |b, &s| b.iter(|| run_scenario(s, &config).send.count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion timing of the discrete-event substrate: raw engine event
+//! throughput and end-to-end message round trips through the world.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ps_net::{Credentials, Network};
+use ps_sim::{Engine, SimDuration, SimTime};
+use ps_smock::{ComponentLogic, Outbox, Payload, RequestHandle, World};
+use ps_spec::{Behavior, ResolvedBindings};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let events = 100_000u64;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("schedule_and_drain", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            for i in 0..events {
+                engine.schedule(SimDuration::from_nanos(i % 1000), i);
+            }
+            let mut sum = 0u64;
+            engine.run(&mut sum, |_, sum, e| *sum = sum.wrapping_add(e));
+            sum
+        })
+    });
+    group.finish();
+}
+
+struct Echo;
+impl ComponentLogic for Echo {
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+        out.reply(req, payload.clone());
+    }
+    fn on_response(&mut self, _o: &mut Outbox, _t: u64, _p: &Payload) {}
+}
+
+struct Pinger {
+    remaining: u32,
+}
+impl ComponentLogic for Pinger {
+    fn on_start(&mut self, out: &mut Outbox) {
+        out.call(0, Payload::new((), 1024), 0);
+    }
+    fn on_request(&mut self, _o: &mut Outbox, _r: RequestHandle, _p: &Payload) {}
+    fn on_response(&mut self, out: &mut Outbox, _t: u64, _p: &Payload) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            out.call(0, Payload::new((), 1024), 0);
+        }
+    }
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world");
+    let round_trips = 10_000u32;
+    group.throughput(Throughput::Elements(round_trips as u64));
+    group.bench_function("request_response_over_link", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let a = net.add_node("a", "s", 1.0, Credentials::new());
+            let z = net.add_node("z", "t", 1.0, Credentials::new());
+            net.add_link(a, z, SimDuration::from_micros(50), 1e9, Credentials::new());
+            let mut world = World::new(net);
+            let server = world.instantiate(
+                "Echo",
+                z,
+                ResolvedBindings::new(),
+                Behavior::new(),
+                Box::new(Echo),
+                SimTime::ZERO,
+            );
+            let client = world.instantiate(
+                "Pinger",
+                a,
+                ResolvedBindings::new(),
+                Behavior::new(),
+                Box::new(Pinger {
+                    remaining: round_trips,
+                }),
+                SimTime::ZERO,
+            );
+            world.wire(client, vec![server]);
+            world.run();
+            world.events_processed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_world);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion timing of specification parsing, printing, and validation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ps_mail::{mail_spec, MAIL_SPEC_DSL};
+use ps_spec::{parse_spec, print_spec};
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec");
+    group.throughput(Throughput::Bytes(MAIL_SPEC_DSL.len() as u64));
+    group.bench_function("parse_dsl", |b| {
+        b.iter(|| parse_spec("mail", MAIL_SPEC_DSL).expect("parses"))
+    });
+    let spec = mail_spec();
+    group.bench_function("print", |b| b.iter(|| print_spec(&spec).len()));
+    group.bench_function("validate", |b| b.iter(|| spec.validate().is_ok()));
+    group.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let text = print_spec(&spec);
+            parse_spec("mail", &text).expect("reparses")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

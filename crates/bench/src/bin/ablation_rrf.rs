@@ -1,0 +1,60 @@
+//! RRF crossover ablation: at what declared Request Reduction Factor
+//! does the planner stop deploying a `ViewMailServer` cache before the
+//! slow link?
+//!
+//! The cache pays two local hops and its own CPU on every request and
+//! saves `(1 − RRF)` of the WAN round trips; past a break-even RRF the
+//! direct (encrypted) connection wins. The same sweep across WAN
+//! latencies shows the crossover moving: the slower the link, the worse
+//! a cache must be before it loses.
+
+use ps_mail::spec::names::*;
+use ps_mail::{mail_spec, mail_translator};
+use ps_net::casestudy::default_case_study;
+use ps_planner::{Planner, PlannerConfig, ServiceRequest};
+use ps_sim::SimDuration;
+
+fn main() {
+    println!("=== RRF crossover: does the planner deploy the cache? ===\n");
+    println!("{:<14}", "WAN latency");
+    print!("{:<14}", "rrf:");
+    let rrfs: Vec<f64> = vec![0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.98, 0.99, 1.0];
+    for rrf in &rrfs {
+        print!(" {rrf:>5.2}");
+    }
+    println!();
+
+    for wan_ms in [1u64, 2, 5, 10, 50, 400] {
+        let mut cs = default_case_study();
+        // Rescale the NY–SD link.
+        let link_id = cs
+            .network
+            .link_between(cs.ny_gateway, cs.sd_gateway)
+            .expect("wan link")
+            .id;
+        cs.network.link_mut(link_id).latency = SimDuration::from_millis(wan_ms);
+
+        print!("{:<14}", format!("{wan_ms} ms"));
+        for rrf in &rrfs {
+            let mut spec = mail_spec();
+            spec.components
+                .get_mut(VIEW_MAIL_SERVER)
+                .expect("vms exists")
+                .behavior
+                .rrf = *rrf;
+            let planner = Planner::with_config(spec, PlannerConfig::default());
+            let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+                .rate(2.0)
+                .pin(MAIL_SERVER, cs.mail_server)
+                .origin(cs.mail_server)
+                .require("TrustLevel", 4i64);
+            let plan = planner
+                .plan(&cs.network, &mail_translator(), &request)
+                .expect("feasible");
+            let cached = plan.placement_of(VIEW_MAIL_SERVER).is_some();
+            print!(" {:>5}", if cached { "cache" } else { "-" });
+        }
+        println!();
+    }
+    println!("\n('cache' = plan includes a ViewMailServer; '-' = direct encrypted connection)");
+}

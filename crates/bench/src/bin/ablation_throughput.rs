@@ -1,0 +1,132 @@
+//! Open-loop throughput ablation: offered rate vs mean send latency for
+//! the cached San Diego deployment and the naive direct one.
+//!
+//! The planner's condition 3 reasons about exactly these rates; this
+//! bench shows the queueing reality behind it — the direct deployment's
+//! 8 Mb/s WAN saturates at a few hundred messages/second while the cache
+//! absorbs an order of magnitude more, and each deployment's latency
+//! stays flat until its own knee.
+
+use ps_core::Framework;
+use ps_mail::spec::names::*;
+use ps_mail::workload::ClusterConfig;
+use ps_mail::{mail_spec, mail_translator, register_mail_components, Keyring, OpenDriver};
+use ps_net::casestudy::default_case_study;
+use ps_planner::ServiceRequest;
+use ps_smock::{CoherencePolicy, ServiceRegistration};
+use ps_spec::Behavior;
+
+/// Runs `msgs` open-loop sends at `rate`; returns (mean ms, p95-ish max).
+fn run(direct: bool, rate: f64, msgs: u32) -> (f64, f64, bool) {
+    let cs = default_case_study();
+    let mut fw = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    register_mail_components(
+        &mut fw.server.registry,
+        Keyring::new(11),
+        CoherencePolicy::None,
+    );
+    fw.register_service(ServiceRegistration::new(mail_spec()));
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+
+    // Dynamic cached deployment, or a hand-built direct one (the SS
+    // shape) for the baseline.
+    let root = if direct {
+        use ps_smock::FactoryArgs;
+        let env = ps_net::PropertyTranslator::node_env(
+            &mail_translator(),
+            fw.world.network().node(cs.sd_client),
+        );
+        let args = FactoryArgs {
+            component: MAIL_CLIENT,
+            node: cs.sd_client,
+            factors: &Default::default(),
+            env: &env,
+        };
+        let logic = fw.server.registry.create(&args).unwrap();
+        let mc = fw.world.instantiate(
+            MAIL_CLIENT,
+            cs.sd_client,
+            Default::default(),
+            mail_spec().behavior_of(MAIL_CLIENT),
+            logic,
+            fw.world.now(),
+        );
+        let primary = fw
+            .world
+            .find_instance(MAIL_SERVER, cs.mail_server, &Default::default())
+            .unwrap();
+        fw.world.wire(mc, vec![primary]);
+        mc
+    } else {
+        let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+            .rate(1.0) // plan for a nominal rate; the sweep exceeds it
+            .pin(MAIL_SERVER, cs.mail_server)
+            .origin(cs.mail_server)
+            .require("TrustLevel", 4i64);
+        fw.connect("mail", &request).unwrap().root
+    };
+
+    let driver = OpenDriver::new(
+        ClusterConfig {
+            sends: msgs,
+            receives: 0,
+            ..ClusterConfig::paper("alice", "bob", 1 << 40)
+        },
+        rate,
+    );
+    let id = fw.world.instantiate(
+        "open-driver",
+        cs.sd_client,
+        Default::default(),
+        Behavior::new(),
+        Box::new(driver),
+        fw.world.now(),
+    );
+    fw.world.wire(id, vec![root]);
+    fw.run();
+
+    let d = fw
+        .world
+        .logic_mut(id)
+        .as_any()
+        .unwrap()
+        .downcast_ref::<OpenDriver>()
+        .unwrap();
+    let done = d.is_done();
+    let n = d.completed.len().max(1) as f64;
+    let mean = d.completed.iter().sum::<f64>() / n;
+    let max = d.completed.iter().cloned().fold(0.0f64, f64::max);
+    (mean, max, done)
+}
+
+fn main() {
+    println!("=== Open-loop saturation: offered rate vs send latency [ms] ===\n");
+    println!(
+        "{:>10} {:>14} {:>12} {:>16} {:>12}",
+        "rate[/s]", "cached mean", "cached max", "direct mean", "direct max"
+    );
+    for rate in [10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 600.0] {
+        let msgs = (rate as u32 * 4).max(200);
+        let (cm, cx, cd) = run(false, rate, msgs);
+        let (dm, dx, dd) = run(true, rate, msgs);
+        println!(
+            "{:>10.0} {:>14.2} {:>12.1} {:>16.1} {:>12.1}{}{}",
+            rate,
+            cm,
+            cx,
+            dm,
+            dx,
+            if cd { "" } else { "  cached-incomplete" },
+            if dd { "" } else { "  direct-incomplete" },
+        );
+    }
+    println!(
+        "\n(the direct deployment's latency explodes once the offered rate\n\
+         exceeds what the 8 Mb/s WAN serializes — ~380 msg/s at ~2.6 KB —\n\
+         while the cache-absorbed deployment stays flat)"
+    );
+}

@@ -1,0 +1,10 @@
+//! # ps-bench — benchmark harness for every table and figure
+//!
+//! One module per experiment; the `src/bin/` binaries print the paper's
+//! rows/series, and `benches/` contains the Criterion timing benches.
+
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+pub use scenarios::{figure7_sweep, render_figure7, run_custom_policy, run_scenario, run_scenario_with_policy, Fig7Config, Scenario, ScenarioResult};

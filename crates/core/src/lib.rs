@@ -1,0 +1,179 @@
+//! # ps-core — the partitionable services framework, assembled
+//!
+//! This crate wires the paper's three pieces together behind one
+//! entry-point type, [`Framework`]: declarative specifications
+//! (`ps-spec`), the planning module (`ps-planner`), and the Smock
+//! run-time (`ps-smock`) over the simulated network substrate
+//! (`ps-net` + `ps-sim`). It owns the timeline of Figure 1:
+//!
+//! 1. a service registers (spec + component factories + credential
+//!    translator), uploading its generic proxy into the lookup service;
+//! 2. a client looks the service up and downloads the proxy;
+//! 3. the proxy forwards the request (plus credentials) to the generic
+//!    server;
+//! 4. the planner computes a deployment;
+//! 5. the run-time installs and wires components, and the proxy swaps
+//!    itself for a service-specific one bound to the root instance.
+//!
+//! ```no_run
+//! use ps_core::Framework;
+//! use ps_net::default_case_study;
+//! use ps_planner::ServiceRequest;
+//!
+//! let cs = default_case_study();
+//! let translator = ps_mail_translator_stand_in();
+//! # fn ps_mail_translator_stand_in() -> ps_net::MappingTranslator {
+//! #     ps_net::MappingTranslator::new()
+//! # }
+//! let mut fw = Framework::new(cs.network.clone(), cs.mail_server, Box::new(translator));
+//! // fw.register_service(...); fw.connect("mail", &request);
+//! ```
+
+#![warn(missing_docs)]
+
+use ps_net::{Network, NodeId, PropertyTranslator};
+use ps_planner::{PlannerConfig, ServiceRequest};
+use ps_smock::{
+    ComponentLogic, ConnectError, Connection, GenericServer, InstanceId, ServiceRegistration,
+    World,
+};
+use ps_spec::{Behavior, ResolvedBindings, ServiceSpec};
+use ps_sim::SimTime;
+
+/// The assembled framework: a simulated world plus the generic server
+/// (lookup service, planner, deployment engine).
+pub struct Framework {
+    /// The simulated run-time world.
+    pub world: World,
+    /// The generic server.
+    pub server: GenericServer,
+}
+
+impl Framework {
+    /// Creates a framework over `network`, homing the generic server and
+    /// lookup service on `home`.
+    pub fn new(network: Network, home: NodeId, translator: Box<dyn PropertyTranslator + Send + Sync>) -> Self {
+        Framework {
+            world: World::new(network),
+            server: GenericServer::new(home, translator),
+        }
+    }
+
+    /// Overrides the planner configuration.
+    pub fn planner_config(&mut self, config: PlannerConfig) -> &mut Self {
+        self.server.planner_config = config;
+        self
+    }
+
+    /// Registers a service: its specification is uploaded to the lookup
+    /// service (Figure 1, step 1).
+    pub fn register_service(&mut self, registration: ServiceRegistration) -> &mut Self {
+        self.server.register_service(registration);
+        self
+    }
+
+    /// Registers a component factory with every node wrapper.
+    pub fn register_component(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&ps_smock::FactoryArgs<'_>) -> Box<dyn ComponentLogic> + 'static,
+    ) -> &mut Self {
+        self.server.registry.register(name, factory);
+        self
+    }
+
+    /// Installs a long-lived primary instance (e.g. the mail service's
+    /// authoritative server) directly, so later requests can pin to it.
+    pub fn install_primary(
+        &mut self,
+        service: &str,
+        component: &str,
+        node: NodeId,
+    ) -> Result<InstanceId, ConnectError> {
+        let spec: ServiceSpec = self
+            .server
+            .lookup
+            .by_name(service)
+            .map(|r| r.spec.clone())
+            .ok_or_else(|| ConnectError::UnknownService(service.to_owned()))?;
+        let behavior: Behavior = spec.behavior_of(component);
+        let env = self
+            .server
+            .translator
+            .node_env(self.world.network().node(node));
+        let args = ps_smock::FactoryArgs {
+            component,
+            node,
+            factors: &ResolvedBindings::new(),
+            env: &env,
+        };
+        let logic = self
+            .server
+            .registry
+            .create(&args)
+            .ok_or_else(|| ConnectError::Deploy(ps_smock::DeployError::UnknownComponent(component.to_owned())))?;
+        Ok(self.world.instantiate(
+            component,
+            node,
+            ResolvedBindings::new(),
+            behavior,
+            logic,
+            SimTime::ZERO,
+        ))
+    }
+
+    /// Serves a client connection end to end (Figure 1, steps 2–5).
+    pub fn connect(
+        &mut self,
+        service: &str,
+        request: &ServiceRequest,
+    ) -> Result<Connection, ConnectError> {
+        self.server.connect(&mut self.world, service, request)
+    }
+
+    /// Re-plans and redeploys an existing connection after network or
+    /// credential changes (Section 6 future work #1): connects under the
+    /// new conditions — reusing every instance that still fits — and
+    /// retires the old deployment's instances that the new plan no
+    /// longer uses. Returns the new connection and the retired
+    /// instances.
+    pub fn reconnect(
+        &mut self,
+        service: &str,
+        request: &ServiceRequest,
+        old: &ps_smock::Connection,
+    ) -> Result<(ps_smock::Connection, Vec<InstanceId>), ConnectError> {
+        let new = self.connect(service, request)?;
+        let mut retired = Vec::new();
+        for &instance in &old.deployment.instances {
+            let still_used = new.deployment.instances.contains(&instance);
+            // Never retire pinned primaries (they serve other sites).
+            let component = self.world.instance(instance).component.clone();
+            let pinned = request.pinned.contains_key(&component);
+            if !still_used && !pinned && !self.world.is_retired(instance) {
+                self.world.retire(instance);
+                retired.push(instance);
+            }
+        }
+        Ok((new, retired))
+    }
+
+    /// Runs the simulated world until its event queue drains.
+    pub fn run(&mut self) {
+        self.world.run();
+    }
+
+    /// Runs the simulated world until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.world.run_until(deadline);
+    }
+}
+
+impl std::fmt::Debug for Framework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Framework")
+            .field("server", &self.server)
+            .field("instances", &self.world.instance_count())
+            .finish()
+    }
+}

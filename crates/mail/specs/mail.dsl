@@ -1,0 +1,187 @@
+<Service>
+Name: mail
+</Service>
+
+<Property>
+Name: Confidentiality
+Type: Boolean
+</Property>
+
+<Property>
+Name: TrustLevel
+Type: Interval
+ValueRange: (1,5)
+Satisfaction: AtLeast
+</Property>
+
+<Property>
+Name: Domain
+Type: String
+</Property>
+
+<Property>
+Name: User
+Type: String
+</Property>
+
+<Interface>
+Name: ClientInterface
+Properties: Confidentiality, TrustLevel
+</Interface>
+
+<Interface>
+Name: ServerInterface
+Properties: Confidentiality, TrustLevel
+</Interface>
+
+<Interface>
+Name: DecryptorInterface
+Properties: Confidentiality
+</Interface>
+
+<Component>
+Name: MailClient
+<Linkages>
+  <Implements>
+  Name: ClientInterface
+  Properties: Confidentiality = F, TrustLevel = 4
+  </Implements>
+  <Requires>
+  Name: ServerInterface
+  Properties: Confidentiality = T, TrustLevel = 1
+  </Requires>
+</Linkages>
+<Conditions>
+Properties: Domain = company
+</Conditions>
+<Behaviors>
+CpuPerRequest: 0.5
+BytesPerRequest: 2048
+BytesPerResponse: 512
+RRF: 1
+CodeSize: 49152
+</Behaviors>
+</Component>
+
+<View>
+Name: ViewMailClient
+Represents: MailClient
+Kind: Object
+<Linkages>
+  <Implements>
+  Name: ClientInterface
+  Properties: Confidentiality = F, TrustLevel = 2
+  </Implements>
+  <Requires>
+  Name: ServerInterface
+  Properties: Confidentiality = T, TrustLevel = 1
+  </Requires>
+</Linkages>
+<Behaviors>
+CpuPerRequest: 0.4
+BytesPerRequest: 2048
+BytesPerResponse: 512
+RRF: 1
+CodeSize: 32768
+</Behaviors>
+</View>
+
+<Component>
+Name: MailServer
+<Linkages>
+  <Implements>
+  Name: ServerInterface
+  Properties: Confidentiality = T, TrustLevel = 5
+  </Implements>
+</Linkages>
+<Conditions>
+Properties: Node.TrustLevel >= 4, Domain = company
+</Conditions>
+<Behaviors>
+Capacity: 1000
+CpuPerRequest: 1
+BytesPerRequest: 2048
+BytesPerResponse: 512
+RRF: 0
+CodeSize: 262144
+</Behaviors>
+</Component>
+
+<View>
+Name: ViewMailServer
+Represents: MailServer
+Kind: Data
+<Factors>
+Properties: TrustLevel = Node.TrustLevel
+</Factors>
+<Linkages>
+  <Implements>
+  Name: ServerInterface
+  Properties: Confidentiality = T, TrustLevel = Node.TrustLevel
+  </Implements>
+  <Requires>
+  Name: ServerInterface
+  Properties: Confidentiality = T, TrustLevel = Node.TrustLevel
+  </Requires>
+</Linkages>
+<Conditions>
+Properties: Node.TrustLevel in (1,3)
+</Conditions>
+<Behaviors>
+CpuPerRequest: 0.8
+BytesPerRequest: 2048
+BytesPerResponse: 512
+RRF: 0.2
+CodeSize: 131072
+</Behaviors>
+</View>
+
+<Component>
+Name: Encryptor
+<Linkages>
+  <Implements>
+  Name: ServerInterface
+  Properties: Confidentiality = T
+  </Implements>
+  <Requires>
+  Name: DecryptorInterface
+  </Requires>
+</Linkages>
+<Behaviors>
+CpuPerRequest: 1.5
+BytesPerRequest: 2112
+BytesPerResponse: 576
+RRF: 1
+CodeSize: 24576
+</Behaviors>
+</Component>
+
+<Component>
+Name: Decryptor
+<Linkages>
+  <Implements>
+  Name: DecryptorInterface
+  </Implements>
+  <Requires>
+  Name: ServerInterface
+  Properties: Confidentiality = T
+  </Requires>
+</Linkages>
+<Conditions>
+Properties: Domain = company
+</Conditions>
+<Behaviors>
+CpuPerRequest: 1.5
+BytesPerRequest: 2048
+BytesPerResponse: 512
+RRF: 1
+CodeSize: 24576
+</Behaviors>
+</Component>
+
+<PropertyModificationRule>
+Name: Confidentiality
+Rule: (In: T) x (Env: T) = (Out: T)
+Rule: (In: F) x (Env: ANY) = (Out: F)
+Rule: (In: ANY) x (Env: F) = (Out: F)
+</PropertyModificationRule>

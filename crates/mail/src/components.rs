@@ -1,0 +1,718 @@
+//! Run-time logic for the mail service's components.
+//!
+//! * [`MailServerLogic`] — the authoritative store plus the coherence
+//!   directory (registers replicas, pushes invalidations on conflicting
+//!   deliveries).
+//! * [`ViewMailServerLogic`] — a data view: caches accounts up to its
+//!   factored trust level, absorbs sends locally, and propagates them
+//!   upstream per its coherence policy; higher-sensitivity traffic
+//!   bypasses the cache synchronously.
+//! * [`MailClientLogic`] — the client-side component: performs the
+//!   per-sensitivity encryption of outgoing bodies and decryption of
+//!   fetched mail. The object view ([`restricted`
+//!   config](MailClientLogic::restricted)) refuses address-book access.
+//! * [`EncryptorLogic`] / [`DecryptorLogic`] — transparent relays that
+//!   genuinely serialize, encrypt (ChaCha20 under a channel key), and
+//!   reverse operations crossing insecure links.
+
+use crate::accounts::AccountStore;
+use crate::crypto::chacha20::{self, Key};
+use crate::crypto::keyring::Keyring;
+use crate::message::MailMessage;
+use crate::payload::{
+    decode_op, decode_reply, encode_op, encode_reply, MailOp, MailPush, MailReply,
+};
+use ps_smock::{
+    CoherencePolicy, ComponentLogic, Directory, FlushDecision, InstanceId, Outbox, Payload,
+    ReplicaCoherence, RequestHandle, ViewScope,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+fn op_payload(op: MailOp) -> Payload {
+    let bytes = op.wire_bytes();
+    Payload::new(op, bytes)
+}
+
+fn reply_payload(reply: MailReply) -> Payload {
+    let bytes = reply.wire_bytes();
+    Payload::new(reply, bytes)
+}
+
+// ---------------------------------------------------------------- server
+
+/// The primary `MailServer`.
+pub struct MailServerLogic {
+    store: AccountStore,
+    directory: Directory<InstanceId>,
+}
+
+impl MailServerLogic {
+    /// Creates the primary with the service keyring.
+    pub fn new(keyring: Keyring) -> Self {
+        MailServerLogic {
+            store: AccountStore::new(keyring),
+            directory: Directory::new(),
+        }
+    }
+
+    /// The authoritative store (inspection for tests/examples).
+    pub fn store(&self) -> &AccountStore {
+        &self.store
+    }
+
+    /// Mutable store access (account setup).
+    pub fn store_mut(&mut self) -> &mut AccountStore {
+        &mut self.store
+    }
+
+    /// Registered replica count.
+    pub fn replica_count(&self) -> usize {
+        self.directory.replicas().len()
+    }
+
+    fn invalidate_conflicting(&self, out: &mut Outbox, user: &str, origin: Option<InstanceId>) {
+        let keys = ViewScope::of([user]);
+        for replica in self.directory.conflicting(&keys, origin) {
+            out.notify_instance(
+                replica,
+                Payload::new(
+                    MailPush::Invalidate {
+                        user: user.to_owned(),
+                    },
+                    64,
+                ),
+            );
+        }
+    }
+
+    fn apply(&mut self, out: &mut Outbox, op: &MailOp) -> MailReply {
+        match op {
+            MailOp::Send(m) => {
+                let recipient = m.to.clone();
+                if self.store.deliver(m.clone()) {
+                    self.invalidate_conflicting(out, &recipient, None);
+                    MailReply::Ack
+                } else {
+                    MailReply::Denied {
+                        reason: "encryption metadata mismatch".into(),
+                    }
+                }
+            }
+            MailOp::Receive { user } => {
+                self.store.create_account(user.clone());
+                let messages = self
+                    .store
+                    .account_mut(user)
+                    .expect("just created")
+                    .fetch_new()
+                    .to_vec();
+                MailReply::NewMail { messages }
+            }
+            MailOp::AddressBook { user } => {
+                let entries = self
+                    .store
+                    .account(user)
+                    .map(|a| {
+                        a.contacts
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                MailReply::Contacts { entries }
+            }
+            MailOp::RegisterReplica { replica, scope } => {
+                self.directory.register(*replica, scope.clone());
+                MailReply::Ack
+            }
+            MailOp::SyncBatch { origin, messages } => {
+                for m in messages {
+                    let recipient = m.to.clone();
+                    if self.store.deliver(m.clone()) {
+                        self.invalidate_conflicting(out, &recipient, Some(*origin));
+                    }
+                }
+                MailReply::SyncAck
+            }
+            MailOp::Secure { .. } => MailReply::Denied {
+                reason: "primary cannot decrypt channel envelopes".into(),
+            },
+        }
+    }
+}
+
+impl ComponentLogic for MailServerLogic {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+        let Some(op) = payload.get::<MailOp>() else {
+            return;
+        };
+        let op = op.clone();
+        let reply = self.apply(out, &op);
+        out.reply(req, reply_payload(reply));
+    }
+
+    fn on_response(&mut self, _out: &mut Outbox, _token: u64, _payload: &Payload) {}
+
+    fn on_notify(&mut self, out: &mut Outbox, payload: &Payload) {
+        if let Some(op) = payload.get::<MailOp>() {
+            let op = op.clone();
+            let _ = self.apply(out, &op);
+        }
+    }
+}
+
+// ----------------------------------------------------------- view server
+
+const FLUSH_TIMER_TAG: u64 = 1;
+
+enum Pending {
+    /// Forwarded client operation: relay the reply.
+    Client(RequestHandle),
+    /// A coherence flush awaiting its SyncAck.
+    Flush,
+    /// A receive pull: cache the result, then relay it.
+    ReceivePull { req: RequestHandle, user: String },
+}
+
+/// A `ViewMailServer` data-view replica.
+pub struct ViewMailServerLogic {
+    trust_level: i64,
+    cached: AccountStore,
+    scope: ViewScope,
+    registered_keys: usize,
+    stale: BTreeSet<String>,
+    coherence: ReplicaCoherence,
+    pending_batch: Vec<MailMessage>,
+    blocked: VecDeque<(RequestHandle, MailMessage)>,
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+    /// Whether a one-shot flush timer is outstanding (time-driven policy).
+    timer_armed: bool,
+}
+
+impl ViewMailServerLogic {
+    /// Creates a replica with the factored trust level and a coherence
+    /// policy.
+    pub fn new(trust_level: i64, keyring: Keyring, policy: CoherencePolicy) -> Self {
+        ViewMailServerLogic {
+            trust_level,
+            cached: AccountStore::new(keyring),
+            scope: ViewScope::new(),
+            registered_keys: 0,
+            stale: BTreeSet::new(),
+            coherence: ReplicaCoherence::new(policy),
+            pending_batch: Vec::new(),
+            blocked: VecDeque::new(),
+            pending: HashMap::new(),
+            next_token: 1,
+            timer_armed: false,
+        }
+    }
+
+    /// The factored trust level.
+    pub fn trust_level(&self) -> i64 {
+        self.trust_level
+    }
+
+    /// Coherence statistics (flush count etc.).
+    pub fn coherence(&self) -> &ReplicaCoherence {
+        &self.coherence
+    }
+
+    /// The cached store (inspection).
+    pub fn cached(&self) -> &AccountStore {
+        &self.cached
+    }
+
+    fn token(&mut self, pending: Pending) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(t, pending);
+        t
+    }
+
+    fn ensure_scope(&mut self, out: &mut Outbox, user: &str) {
+        if self.scope.contains(user) {
+            return;
+        }
+        self.scope.insert(user);
+        if self.scope.len() != self.registered_keys {
+            self.registered_keys = self.scope.len();
+            let op = MailOp::RegisterReplica {
+                replica: out.self_id(),
+                scope: self.scope.clone(),
+            };
+            out.notify(0, op_payload(op));
+        }
+    }
+
+    fn start_flush(&mut self, out: &mut Outbox) {
+        let _ = self.coherence.begin_flush(out.now());
+        let batch = std::mem::take(&mut self.pending_batch);
+        let op = MailOp::SyncBatch {
+            origin: out.self_id(),
+            messages: batch,
+        };
+        let token = self.token(Pending::Flush);
+        out.call(0, op_payload(op), token);
+    }
+
+    /// Under a time-driven policy, arms a one-shot flush timer when none
+    /// is outstanding — the world stays quiescent once traffic stops.
+    fn arm_timer(&mut self, out: &mut Outbox) {
+        if self.timer_armed {
+            return;
+        }
+        if let CoherencePolicy::TimeDriven(period) = self.coherence.policy {
+            out.timer(period, FLUSH_TIMER_TAG);
+            self.timer_armed = true;
+        }
+    }
+
+    /// Absorbs a storable send locally; returns `true` when the caller
+    /// may acknowledge immediately (false = blocked behind a flush).
+    fn absorb(&mut self, out: &mut Outbox, req: RequestHandle, m: MailMessage) -> bool {
+        match self.coherence.record_update(m.wire_bytes()) {
+            FlushDecision::Accumulate => {
+                self.cached.deliver(m.clone());
+                self.pending_batch.push(m);
+                self.arm_timer(out);
+                out.reply(req, reply_payload(MailReply::Ack));
+                true
+            }
+            FlushDecision::Flush => {
+                self.cached.deliver(m.clone());
+                self.pending_batch.push(m);
+                self.start_flush(out);
+                out.reply(req, reply_payload(MailReply::Ack));
+                true
+            }
+            FlushDecision::Block => {
+                // The update that would overflow the window waits for the
+                // in-flight flush — this wait is the client-visible
+                // coherence overhead of Figure 7.
+                self.coherence.unrecord_update(m.wire_bytes());
+                self.blocked.push_back((req, m));
+                false
+            }
+        }
+    }
+
+    fn drain_blocked(&mut self, out: &mut Outbox) {
+        while let Some((req, m)) = self.blocked.pop_front() {
+            if !self.absorb(out, req, m) {
+                break;
+            }
+        }
+    }
+}
+
+impl ComponentLogic for ViewMailServerLogic {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn snapshot(&self) -> Option<Payload> {
+        // Migration ships the cached store: its size is what the state
+        // transfer costs on the wire.
+        let bytes: u64 = self
+            .cached
+            .users()
+            .filter_map(|u| self.cached.account(u))
+            .flat_map(|a| a.inbox.messages())
+            .map(MailMessage::wire_bytes)
+            .sum::<u64>()
+            + 1024;
+        Some(Payload::new((), bytes))
+    }
+
+    fn on_retire(&mut self, out: &mut Outbox) {
+        // Redeployment must preserve state compatibility: whatever this
+        // replica absorbed but never propagated goes upstream now.
+        if !self.pending_batch.is_empty() && !self.coherence.flush_in_flight() {
+            self.start_flush(out);
+        }
+    }
+
+    fn on_timer(&mut self, out: &mut Outbox, tag: u64) {
+        if tag != FLUSH_TIMER_TAG {
+            return;
+        }
+        self.timer_armed = false;
+        if !self.pending_batch.is_empty() {
+            if self.coherence.timer_due(out.now()) && !self.coherence.flush_in_flight() {
+                self.start_flush(out);
+            } else {
+                // A flush is still in flight: check again next period.
+                self.arm_timer(out);
+            }
+        }
+    }
+
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+        let Some(op) = payload.get::<MailOp>() else {
+            return;
+        };
+        match op.clone() {
+            MailOp::Send(m) => {
+                self.ensure_scope(out, &m.from);
+                if m.sensitivity.storable_at(self.trust_level) {
+                    self.absorb(out, req, m);
+                } else {
+                    // Too sensitive for this node: synchronous bypass.
+                    let token = self.token(Pending::Client(req));
+                    out.call(0, op_payload(MailOp::Send(m)), token);
+                }
+            }
+            MailOp::Receive { user } => {
+                self.ensure_scope(out, &user);
+                if !self.stale.contains(&user) && self.cached.has_account(&user) {
+                    let messages = self
+                        .cached
+                        .account_mut(&user)
+                        .expect("checked")
+                        .fetch_new()
+                        .to_vec();
+                    out.reply(req, reply_payload(MailReply::NewMail { messages }));
+                } else {
+                    let token = self.token(Pending::ReceivePull {
+                        req,
+                        user: user.clone(),
+                    });
+                    out.call(0, op_payload(MailOp::Receive { user }), token);
+                }
+            }
+            MailOp::SyncBatch { origin, messages } => {
+                // A downstream replica's flush: cache locally, pass on.
+                for m in &messages {
+                    if m.sensitivity.storable_at(self.trust_level) {
+                        self.cached.deliver(m.clone());
+                    }
+                }
+                let token = self.token(Pending::Client(req));
+                out.call(0, op_payload(MailOp::SyncBatch { origin, messages }), token);
+            }
+            other @ (MailOp::AddressBook { .. } | MailOp::RegisterReplica { .. }) => {
+                let token = self.token(Pending::Client(req));
+                out.call(0, op_payload(other), token);
+            }
+            MailOp::Secure { .. } => {
+                out.reply(
+                    req,
+                    reply_payload(MailReply::Denied {
+                        reason: "view server cannot decrypt channel envelopes".into(),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_response(&mut self, out: &mut Outbox, token: u64, payload: &Payload) {
+        match self.pending.remove(&token) {
+            Some(Pending::Client(req)) => {
+                out.reply(req, payload.clone());
+            }
+            Some(Pending::Flush) => {
+                self.coherence.end_flush();
+                self.drain_blocked(out);
+            }
+            Some(Pending::ReceivePull { req, user }) => {
+                if let Some(MailReply::NewMail { messages }) = payload.get::<MailReply>() {
+                    self.cached.cache_fetched(&user, messages.clone());
+                    self.stale.remove(&user);
+                }
+                out.reply(req, payload.clone());
+            }
+            None => {}
+        }
+    }
+
+    fn on_notify(&mut self, out: &mut Outbox, payload: &Payload) {
+        if let Some(MailPush::Invalidate { user }) = payload.get::<MailPush>() {
+            self.stale.insert(user.clone());
+            return;
+        }
+        // Downstream registrations cascade upstream unchanged.
+        if let Some(op @ MailOp::RegisterReplica { .. }) = payload.get::<MailOp>() {
+            out.notify(0, op_payload(op.clone()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+/// The client-side component (`MailClient`, or its restricted
+/// `ViewMailClient` object view).
+pub struct MailClientLogic {
+    keyring: Keyring,
+    restricted: bool,
+    pending: HashMap<u64, RequestHandle>,
+    next_token: u64,
+    bodies_decrypted: u64,
+}
+
+impl MailClientLogic {
+    /// A full-function client.
+    pub fn full(keyring: Keyring) -> Self {
+        Self::new(keyring, false)
+    }
+
+    /// The restricted object view (no address book).
+    pub fn restricted(keyring: Keyring) -> Self {
+        Self::new(keyring, true)
+    }
+
+    fn new(keyring: Keyring, restricted: bool) -> Self {
+        MailClientLogic {
+            keyring,
+            restricted,
+            pending: HashMap::new(),
+            next_token: 1,
+            bodies_decrypted: 0,
+        }
+    }
+
+    /// Bodies decrypted on behalf of fetches (inspection).
+    pub fn bodies_decrypted(&self) -> u64 {
+        self.bodies_decrypted
+    }
+
+    fn forward(&mut self, out: &mut Outbox, req: RequestHandle, op: MailOp) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, req);
+        out.call(0, op_payload(op), token);
+    }
+}
+
+impl ComponentLogic for MailClientLogic {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+        let Some(op) = payload.get::<MailOp>() else {
+            return;
+        };
+        match op.clone() {
+            MailOp::Send(mut m) => {
+                if m.encrypted_for.is_none() {
+                    // Client-side encryption under the sender's
+                    // per-sensitivity key.
+                    let key = self.keyring.key(&m.from, m.sensitivity);
+                    m.body = chacha20::encrypt(&key, &Keyring::nonce(m.id), &m.body);
+                    m.encrypted_for = Some(m.from.clone());
+                }
+                self.forward(out, req, MailOp::Send(m));
+            }
+            MailOp::AddressBook { user } => {
+                if self.restricted {
+                    out.reply(
+                        req,
+                        reply_payload(MailReply::Denied {
+                            reason: "address book unavailable in restricted client".into(),
+                        }),
+                    );
+                } else {
+                    self.forward(out, req, MailOp::AddressBook { user });
+                }
+            }
+            other => self.forward(out, req, other),
+        }
+    }
+
+    fn on_response(&mut self, out: &mut Outbox, token: u64, payload: &Payload) {
+        let Some(req) = self.pending.remove(&token) else {
+            return;
+        };
+        if let Some(MailReply::NewMail { messages }) = payload.get::<MailReply>() {
+            // Decrypt fetched bodies for the recipient — real cipher work
+            // the user's mail reader would perform.
+            for m in messages {
+                if let Some(user) = &m.encrypted_for {
+                    let key = self.keyring.key(user, m.sensitivity);
+                    let _plain = chacha20::decrypt(&key, &Keyring::nonce(m.id), &m.body);
+                    self.bodies_decrypted += 1;
+                }
+            }
+        }
+        out.reply(req, payload.clone());
+    }
+}
+
+// ------------------------------------------------------------ enc / dec
+
+/// The encrypting end of a confidential channel.
+pub struct EncryptorLogic {
+    channel: Key,
+    pending: HashMap<u64, RequestHandle>,
+    next_token: u64,
+    next_envelope: u64,
+}
+
+impl EncryptorLogic {
+    /// Creates the encryptor with the shared channel key.
+    pub fn new(channel: Key) -> Self {
+        EncryptorLogic {
+            channel,
+            pending: HashMap::new(),
+            next_token: 1,
+            next_envelope: 0, // even ids; the decryptor uses odd
+        }
+    }
+
+    fn seal_op(&mut self, op: &MailOp) -> MailOp {
+        let envelope_id = self.next_envelope;
+        self.next_envelope += 2;
+        let plain = encode_op(op);
+        let ciphertext = chacha20::encrypt(&self.channel, &Keyring::nonce(envelope_id), &plain);
+        MailOp::Secure {
+            envelope_id,
+            ciphertext,
+        }
+    }
+}
+
+impl ComponentLogic for EncryptorLogic {
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+        let Some(op) = payload.get::<MailOp>() else {
+            return;
+        };
+        let sealed = self.seal_op(&op.clone());
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, req);
+        out.call(0, op_payload(sealed), token);
+    }
+
+    fn on_response(&mut self, out: &mut Outbox, token: u64, payload: &Payload) {
+        let Some(req) = self.pending.remove(&token) else {
+            return;
+        };
+        // Unseal the reply envelope from the decryptor side.
+        let reply = match payload.get::<MailReply>() {
+            Some(MailReply::Secure {
+                envelope_id,
+                ciphertext,
+            }) => {
+                let plain =
+                    chacha20::decrypt(&self.channel, &Keyring::nonce(*envelope_id), ciphertext);
+                match decode_reply(&plain) {
+                    Ok(r) => r,
+                    Err(_) => MailReply::Denied {
+                        reason: "channel integrity failure".into(),
+                    },
+                }
+            }
+            Some(other) => other.clone(),
+            None => return,
+        };
+        out.reply(req, reply_payload(reply));
+    }
+
+    fn on_notify(&mut self, out: &mut Outbox, payload: &Payload) {
+        if let Some(op) = payload.get::<MailOp>() {
+            let sealed = self.seal_op(&op.clone());
+            out.notify(0, op_payload(sealed));
+        }
+    }
+}
+
+/// The decrypting end of a confidential channel.
+pub struct DecryptorLogic {
+    channel: Key,
+    pending: HashMap<u64, RequestHandle>,
+    next_token: u64,
+    next_envelope: u64,
+}
+
+impl DecryptorLogic {
+    /// Creates the decryptor with the shared channel key.
+    pub fn new(channel: Key) -> Self {
+        DecryptorLogic {
+            channel,
+            pending: HashMap::new(),
+            next_token: 1,
+            next_envelope: 1, // odd ids; the encryptor uses even
+        }
+    }
+
+    fn unseal_op(&self, op: &MailOp) -> Option<MailOp> {
+        match op {
+            MailOp::Secure {
+                envelope_id,
+                ciphertext,
+            } => {
+                let plain =
+                    chacha20::decrypt(&self.channel, &Keyring::nonce(*envelope_id), ciphertext);
+                decode_op(&plain).ok()
+            }
+            _ => None,
+        }
+    }
+}
+
+impl ComponentLogic for DecryptorLogic {
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+        let Some(op) = payload.get::<MailOp>() else {
+            return;
+        };
+        match self.unseal_op(op) {
+            Some(inner) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, req);
+                out.call(0, op_payload(inner), token);
+            }
+            None => {
+                out.reply(
+                    req,
+                    reply_payload(MailReply::Denied {
+                        reason: "expected a channel envelope".into(),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_response(&mut self, out: &mut Outbox, token: u64, payload: &Payload) {
+        let Some(req) = self.pending.remove(&token) else {
+            return;
+        };
+        let Some(reply) = payload.get::<MailReply>() else {
+            return;
+        };
+        let envelope_id = self.next_envelope;
+        self.next_envelope += 2;
+        let plain = encode_reply(reply);
+        let ciphertext = chacha20::encrypt(&self.channel, &Keyring::nonce(envelope_id), &plain);
+        out.reply(
+            req,
+            reply_payload(MailReply::Secure {
+                envelope_id,
+                ciphertext,
+            }),
+        );
+    }
+
+    fn on_notify(&mut self, out: &mut Outbox, payload: &Payload) {
+        if let Some(op) = payload.get::<MailOp>() {
+            if let Some(inner) = self.unseal_op(op) {
+                out.notify(0, op_payload(inner));
+            }
+        }
+    }
+}

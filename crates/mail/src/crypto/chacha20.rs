@@ -1,0 +1,169 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! The paper's mail service used the Cryptix JCE provider for its
+//! per-sensitivity-level encryption. This is the offline stand-in: a
+//! real, test-vector-verified stream cipher, so the Encryptor/Decryptor
+//! components do genuine transformation work on genuine bytes.
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// A 256-bit ChaCha20 key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key(pub [u8; KEY_LEN]);
+
+/// A 96-bit nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nonce(pub [u8; NONCE_LEN]);
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha20 block function: 64 bytes of keystream for one counter.
+pub fn block(key: &Key, counter: u32, nonce: &Nonce) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes(nonce.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts (or, identically, decrypts) `data` in place with the
+/// keystream starting at block `initial_counter`.
+pub fn apply_keystream(key: &Key, nonce: &Nonce, initial_counter: u32, data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(block_idx as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience: encrypt a copy of `data`.
+pub fn encrypt(key: &Key, nonce: &Nonce, data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    apply_keystream(key, nonce, 1, &mut out);
+    out
+}
+
+/// Convenience: decrypt a copy of `data` (XOR symmetry).
+pub fn decrypt(key: &Key, nonce: &Nonce, data: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfc_key() -> Key {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        Key(k)
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 section 2.3.2.
+        let key = rfc_key();
+        let nonce = Nonce([0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0]);
+        let out = block(&key, 1, &nonce);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // RFC 8439 section 2.4.2.
+        let key = rfc_key();
+        let nonce = Nonce([0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0]);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ciphertext = encrypt(&key, &nonce, plaintext);
+        let expected_prefix: [u8; 16] = [
+            0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+            0x69, 0x81,
+        ];
+        assert_eq!(&ciphertext[..16], &expected_prefix);
+        assert_eq!(ciphertext.len(), plaintext.len());
+    }
+
+    #[test]
+    fn roundtrip_restores_plaintext() {
+        let key = rfc_key();
+        let nonce = Nonce([7; 12]);
+        let msg: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let ct = encrypt(&key, &nonce, &msg);
+        assert_ne!(ct, msg);
+        assert_eq!(decrypt(&key, &nonce, &ct), msg);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let nonce = Nonce([0; 12]);
+        let msg = [0u8; 64];
+        let a = encrypt(&rfc_key(), &nonce, &msg);
+        let b = encrypt(&Key([9u8; 32]), &nonce, &msg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // 130 bytes spans three blocks; decrypting the tail alone with the
+        // right starting counter must match.
+        let key = rfc_key();
+        let nonce = Nonce([3; 12]);
+        let msg = [0xAAu8; 130];
+        let ct = encrypt(&key, &nonce, &msg);
+        let mut tail = ct[128..].to_vec();
+        apply_keystream(&key, &nonce, 3, &mut tail); // blocks 1,2 then 3
+        assert_eq!(tail, vec![0xAA; 2]);
+    }
+}

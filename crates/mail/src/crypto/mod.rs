@@ -1,0 +1,8 @@
+//! Cryptography for the mail case study: a from-scratch ChaCha20 stream
+//! cipher and the per-(user, sensitivity) keyring.
+
+pub mod chacha20;
+pub mod keyring;
+
+pub use chacha20::{Key, Nonce};
+pub use keyring::Keyring;

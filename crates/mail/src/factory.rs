@@ -1,0 +1,75 @@
+//! Component-factory registration for the mail service.
+
+use crate::components::{
+    DecryptorLogic, EncryptorLogic, MailClientLogic, MailServerLogic, ViewMailServerLogic,
+};
+use crate::crypto::keyring::Keyring;
+use crate::spec::names;
+use ps_smock::{CoherencePolicy, ComponentRegistry};
+
+/// Registers factories for all six mail components.
+///
+/// * `keyring` — the service master keyring (shared by every component,
+///   as account-setup key distribution would arrange);
+/// * `policy` — the coherence policy new `ViewMailServer` replicas use.
+pub fn register_mail_components(
+    registry: &mut ComponentRegistry,
+    keyring: Keyring,
+    policy: CoherencePolicy,
+) {
+    let kr = keyring.clone();
+    registry.register(names::MAIL_SERVER, move |_args| {
+        Box::new(MailServerLogic::new(kr.clone()))
+    });
+
+    let kr = keyring.clone();
+    registry.register(names::VIEW_MAIL_SERVER, move |args| {
+        let trust = args
+            .factors
+            .get("TrustLevel")
+            .and_then(|v| v.as_int())
+            .unwrap_or(1);
+        Box::new(ViewMailServerLogic::new(trust, kr.clone(), policy))
+    });
+
+    let kr = keyring.clone();
+    registry.register(names::MAIL_CLIENT, move |_args| {
+        Box::new(MailClientLogic::full(kr.clone()))
+    });
+
+    let kr = keyring.clone();
+    registry.register(names::VIEW_MAIL_CLIENT, move |_args| {
+        Box::new(MailClientLogic::restricted(kr.clone()))
+    });
+
+    let kr = keyring.clone();
+    registry.register(names::ENCRYPTOR, move |_args| {
+        Box::new(EncryptorLogic::new(kr.channel_key("mail-channel")))
+    });
+
+    let kr = keyring;
+    registry.register(names::DECRYPTOR, move |_args| {
+        Box::new(DecryptorLogic::new(kr.channel_key("mail-channel")))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_components_registered() {
+        let mut registry = ComponentRegistry::new();
+        register_mail_components(&mut registry, Keyring::new(1), CoherencePolicy::None);
+        for name in [
+            names::MAIL_SERVER,
+            names::VIEW_MAIL_SERVER,
+            names::MAIL_CLIENT,
+            names::VIEW_MAIL_CLIENT,
+            names::ENCRYPTOR,
+            names::DECRYPTOR,
+        ] {
+            assert!(registry.knows(name), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Mail messages and sensitivity levels.
+
+use std::fmt;
+
+/// A message sensitivity level (1 = least sensitive, 5 = most).
+///
+/// Each level maps to a per-user key (see
+/// [`crate::crypto::keyring::Keyring`]); a `ViewMailServer` configured
+/// with `TrustLevel = t` may store only messages with sensitivity ≤ `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sensitivity(pub u8);
+
+impl Sensitivity {
+    /// Lowest sensitivity.
+    pub const MIN: Sensitivity = Sensitivity(1);
+    /// Highest sensitivity.
+    pub const MAX: Sensitivity = Sensitivity(5);
+
+    /// Clamps into the valid 1..=5 range.
+    pub fn clamped(level: u8) -> Self {
+        Sensitivity(level.clamp(1, 5))
+    }
+
+    /// Whether a node of the given trust level may store this message.
+    pub fn storable_at(&self, trust_level: i64) -> bool {
+        i64::from(self.0) <= trust_level
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A mail message as it travels and is stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MailMessage {
+    /// Globally unique id (assigned by the sending client).
+    pub id: u64,
+    /// Sender account name.
+    pub from: String,
+    /// Recipient account name.
+    pub to: String,
+    /// Subject line (plaintext metadata).
+    pub subject: String,
+    /// Body bytes. Encrypted in transit/storage; whether the current
+    /// representation is ciphertext is tracked by `encrypted_for`.
+    pub body: Vec<u8>,
+    /// Sensitivity level governing key choice and cacheability.
+    pub sensitivity: Sensitivity,
+    /// Whose key currently encrypts `body`: `None` = plaintext,
+    /// `Some(user)` = encrypted under `(user, sensitivity)`.
+    pub encrypted_for: Option<String>,
+}
+
+impl MailMessage {
+    /// Creates a plaintext message.
+    pub fn new(
+        id: u64,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        subject: impl Into<String>,
+        body: Vec<u8>,
+        sensitivity: Sensitivity,
+    ) -> Self {
+        MailMessage {
+            id,
+            from: from.into(),
+            to: to.into(),
+            subject: subject.into(),
+            body,
+            sensitivity,
+            encrypted_for: None,
+        }
+    }
+
+    /// Approximate wire size in bytes (headers + body).
+    pub fn wire_bytes(&self) -> u64 {
+        (self.from.len() + self.to.len() + self.subject.len() + self.body.len() + 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_storable_matches_trust() {
+        assert!(Sensitivity(2).storable_at(3));
+        assert!(Sensitivity(3).storable_at(3));
+        assert!(!Sensitivity(4).storable_at(3));
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Sensitivity::clamped(0), Sensitivity(1));
+        assert_eq!(Sensitivity::clamped(9), Sensitivity(5));
+        assert_eq!(Sensitivity::clamped(3), Sensitivity(3));
+    }
+
+    #[test]
+    fn wire_bytes_include_body_and_headers() {
+        let m = MailMessage::new(1, "a", "b", "hi", vec![0; 100], Sensitivity(1));
+        assert_eq!(m.wire_bytes(), 1 + 1 + 2 + 100 + 64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Figure 6 reproduction: the deployments the planner generates for
+//! clients at each of the three case-study sites.
+//!
+//! Expected (paper, Section 4.1):
+//! * **New York**: a `MailClient` connecting directly to the
+//!   `MailServer`.
+//! * **San Diego**: `MailClient → ViewMailServer → Encryptor` in San
+//!   Diego, `Decryptor` in New York, terminating at the `MailServer`.
+//! * **Seattle**: `ViewMailClient → ViewMailServer(low trust) →
+//!   Encryptor` in Seattle, `Decryptor` in San Diego, chaining into San
+//!   Diego's `ViewMailServer` (not directly to New York, because
+//!   100 ms + RRF·400 ms beats the direct 200 ms).
+
+use ps_mail::spec::names::*;
+use ps_mail::{mail_spec, mail_translator};
+use ps_net::casestudy::{self, CaseStudy};
+use ps_planner::{Planner, PlannerConfig, ServiceRequest};
+use ps_spec::PropertyValue;
+
+/// Plans for one site. `required_trust` is what the requesting user asks
+/// of the client interface (company users demand the full client);
+/// `existing` carries the placements of earlier deployments, matching the
+/// paper's timeline where San Diego deploys before Seattle.
+fn plan_for(
+    cs: &CaseStudy,
+    client: ps_net::NodeId,
+    required_trust: i64,
+    existing: &[&ps_planner::Plan],
+) -> ps_planner::Plan {
+    let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
+    let mut request = ServiceRequest::new(CLIENT_INTERFACE, client)
+        .rate(2.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", required_trust);
+    for plan in existing {
+        request = request.with_existing_plan(plan);
+    }
+    planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .expect("plan must exist")
+}
+
+/// The paper's deployment timeline: New York, then San Diego, then
+/// Seattle (each later plan sees the earlier deployments).
+fn timeline(cs: &CaseStudy) -> (ps_planner::Plan, ps_planner::Plan, ps_planner::Plan) {
+    let ny = plan_for(cs, cs.ny_client, 4, &[]);
+    let sd = plan_for(cs, cs.sd_client, 4, &[&ny]);
+    let sea = plan_for(cs, cs.seattle_client, 1, &[&ny, &sd]);
+    (ny, sd, sea)
+}
+
+fn site_of(cs: &CaseStudy, node: ps_net::NodeId) -> String {
+    cs.network.node(node).site.clone()
+}
+
+#[test]
+fn new_york_clients_connect_directly() {
+    let cs = casestudy::default_case_study();
+    let plan = plan_for(&cs, cs.ny_client, 4, &[]);
+    assert_eq!(
+        plan.graph.to_string(),
+        "MailClient -> MailServer",
+        "plan: {plan}"
+    );
+    assert_eq!(plan.placements[0].node, cs.ny_client);
+    assert_eq!(plan.placements[1].node, cs.mail_server);
+}
+
+#[test]
+fn san_diego_gets_cache_and_crypto_pair() {
+    let cs = casestudy::default_case_study();
+    let (ny, plan, _) = {
+        let ny = plan_for(&cs, cs.ny_client, 4, &[]);
+        let sd = plan_for(&cs, cs.sd_client, 4, &[&ny]);
+        (ny, sd, ())
+    };
+    let _ = ny;
+    assert_eq!(
+        plan.graph.to_string(),
+        "MailClient -> ViewMailServer -> Encryptor -> Decryptor -> MailServer",
+        "plan: {plan}"
+    );
+    // MailClient, ViewMailServer, Encryptor in San Diego.
+    for idx in 0..3 {
+        assert_eq!(
+            site_of(&cs, plan.placements[idx].node),
+            casestudy::SAN_DIEGO,
+            "{} should be in San Diego",
+            plan.placements[idx].component
+        );
+    }
+    // Decryptor colocated with the server side in New York.
+    assert_eq!(site_of(&cs, plan.placements[3].node), casestudy::NEW_YORK);
+    assert_eq!(plan.placements[4].node, cs.mail_server);
+    // The view server factored its trust level from its node.
+    let vms = plan.placement_of(VIEW_MAIL_SERVER).unwrap();
+    assert_eq!(
+        vms.factors.get("TrustLevel"),
+        Some(&PropertyValue::Int(casestudy::TRUST_SAN_DIEGO))
+    );
+}
+
+#[test]
+fn seattle_gets_restricted_client_and_chained_views() {
+    let cs = casestudy::default_case_study();
+    let (_, _, plan) = timeline(&cs);
+    assert_eq!(
+        plan.graph.to_string(),
+        "ViewMailClient -> ViewMailServer -> Encryptor -> Decryptor -> \
+         ViewMailServer -> Encryptor -> Decryptor -> MailServer",
+        "plan: {plan}"
+    );
+    // Client side in Seattle, with the low-trust view server.
+    assert_eq!(site_of(&cs, plan.placements[0].node), casestudy::SEATTLE);
+    assert_eq!(site_of(&cs, plan.placements[1].node), casestudy::SEATTLE);
+    assert_eq!(
+        plan.placements[1].factors.get("TrustLevel"),
+        Some(&PropertyValue::Int(casestudy::TRUST_SEATTLE))
+    );
+    // Encryptor in Seattle, decryptor + second view server in San Diego.
+    assert_eq!(site_of(&cs, plan.placements[2].node), casestudy::SEATTLE);
+    assert_eq!(site_of(&cs, plan.placements[3].node), casestudy::SAN_DIEGO);
+    assert_eq!(site_of(&cs, plan.placements[4].node), casestudy::SAN_DIEGO);
+    assert_eq!(
+        plan.placements[4].factors.get("TrustLevel"),
+        Some(&PropertyValue::Int(casestudy::TRUST_SAN_DIEGO))
+    );
+    // Second crypto pair into New York.
+    assert_eq!(site_of(&cs, plan.placements[5].node), casestudy::SAN_DIEGO);
+    assert_eq!(site_of(&cs, plan.placements[6].node), casestudy::NEW_YORK);
+    assert_eq!(plan.placements[7].node, cs.mail_server);
+}
+
+#[test]
+fn direct_insecure_connections_are_rejected() {
+    // With the Encryptor/Decryptor removed from the spec, San Diego has
+    // no feasible deployment at all: every linkage to New York crosses an
+    // insecure link and loses Confidentiality.
+    let cs = casestudy::default_case_study();
+    let mut spec = mail_spec();
+    spec.components.remove(ENCRYPTOR);
+    spec.components.remove(DECRYPTOR);
+    let planner = Planner::new(spec);
+    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .pin(MAIL_SERVER, cs.mail_server);
+    let err = planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .unwrap_err();
+    assert!(matches!(err, ps_planner::PlanError::NoFeasibleMapping { .. }));
+}
+
+#[test]
+fn plans_respect_trust_conditions() {
+    // No ViewMailServer may be placed in New York (trust 5 is outside the
+    // view's (1,3) installation window), and the MailServer can only live
+    // on trusted company nodes.
+    let cs = casestudy::default_case_study();
+    let (ny, sd, sea) = timeline(&cs);
+    for plan in [&ny, &sd, &sea] {
+        for p in &plan.placements {
+            let trust = cs.network.trust_rating(p.node).unwrap();
+            match p.component.as_str() {
+                VIEW_MAIL_SERVER => assert!((1..=3).contains(&trust), "VMS on trust {trust}"),
+                MAIL_SERVER => assert!(trust >= 4, "MS on trust {trust}"),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_latencies_reflect_caching() {
+    let cs = casestudy::default_case_study();
+    let (ny, sd, sea) = timeline(&cs);
+    // NY is essentially local; SD pays ~20% of a WAN round trip; Seattle
+    // pays 0.2·(Sea-SD RTT) + 0.04·(SD-NY RTT) — and must beat the direct
+    // 0.2·(Sea-NY RTT) alternative the planner rejected.
+    assert!(ny.expected_latency_ms < 20.0, "ny {}", ny.expected_latency_ms);
+    assert!(
+        sd.expected_latency_ms > 100.0 && sd.expected_latency_ms < 300.0,
+        "sd {}",
+        sd.expected_latency_ms
+    );
+    assert!(
+        sea.expected_latency_ms < 100.0,
+        "seattle {}",
+        sea.expected_latency_ms
+    );
+}

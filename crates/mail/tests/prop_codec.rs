@@ -1,0 +1,108 @@
+//! Property tests: the mail wire codec round-trips arbitrary messages,
+//! and channel sealing is lossless.
+
+use proptest::prelude::*;
+use ps_mail::crypto::chacha20;
+use ps_mail::crypto::keyring::Keyring;
+use ps_mail::message::{MailMessage, Sensitivity};
+use ps_mail::payload::{
+    decode_op, decode_reply, encode_op, encode_reply, MailOp, MailReply,
+};
+use ps_smock::{InstanceId, ViewScope};
+
+fn message_strategy() -> impl Strategy<Value = MailMessage> {
+    (
+        any::<u64>(),
+        "[a-z]{1,12}",
+        "[a-z]{1,12}",
+        "[ -~]{0,40}",
+        prop::collection::vec(any::<u8>(), 0..2048),
+        1u8..=5,
+        prop::option::of("[a-z]{1,12}"),
+    )
+        .prop_map(|(id, from, to, subject, body, sens, enc)| MailMessage {
+            id,
+            from,
+            to,
+            subject,
+            body,
+            sensitivity: Sensitivity(sens),
+            encrypted_for: enc,
+        })
+}
+
+fn op_strategy() -> impl Strategy<Value = MailOp> {
+    prop_oneof![
+        message_strategy().prop_map(MailOp::Send),
+        "[a-z]{1,12}".prop_map(|user| MailOp::Receive { user }),
+        "[a-z]{1,12}".prop_map(|user| MailOp::AddressBook { user }),
+        (any::<u32>(), prop::collection::btree_set("[a-z]{1,8}", 0..6)).prop_map(
+            |(id, keys)| MailOp::RegisterReplica {
+                replica: InstanceId(id),
+                scope: ViewScope::of(keys),
+            }
+        ),
+        (any::<u32>(), prop::collection::vec(message_strategy(), 0..5)).prop_map(
+            |(origin, messages)| MailOp::SyncBatch {
+                origin: InstanceId(origin),
+                messages,
+            }
+        ),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(
+            |(envelope_id, ciphertext)| MailOp::Secure {
+                envelope_id,
+                ciphertext,
+            }
+        ),
+    ]
+}
+
+fn reply_strategy() -> impl Strategy<Value = MailReply> {
+    prop_oneof![
+        Just(MailReply::Ack),
+        Just(MailReply::SyncAck),
+        prop::collection::vec(message_strategy(), 0..5)
+            .prop_map(|messages| MailReply::NewMail { messages }),
+        prop::collection::vec(("[a-z]{1,8}", "[ -~]{0,20}"), 0..5)
+            .prop_map(|entries| MailReply::Contacts { entries }),
+        "[ -~]{0,60}".prop_map(|reason| MailReply::Denied { reason }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ops_roundtrip(op in op_strategy()) {
+        let bytes = encode_op(&op);
+        prop_assert_eq!(decode_op(&bytes).expect("decodes"), op);
+    }
+
+    #[test]
+    fn replies_roundtrip(reply in reply_strategy()) {
+        let bytes = encode_reply(&reply);
+        prop_assert_eq!(decode_reply(&bytes).expect("decodes"), reply);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(op in op_strategy(), cut in 0usize..64) {
+        let bytes = encode_op(&op);
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut - 1];
+            prop_assert!(decode_op(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn sealing_through_the_channel_is_lossless(op in op_strategy(), channel in any::<u64>(), env_id in any::<u64>()) {
+        let key = Keyring::new(channel).channel_key("prop");
+        let plain = encode_op(&op);
+        let ct = chacha20::encrypt(&key, &Keyring::nonce(env_id), &plain);
+        let back = chacha20::decrypt(&key, &Keyring::nonce(env_id), &ct);
+        prop_assert_eq!(decode_op(&back).expect("decodes"), op);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_op(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+}

@@ -1,0 +1,353 @@
+//! # ps-monitor — network monitoring and adaptive re-planning
+//!
+//! The paper's first limitation (Section 6) is its static-network
+//! assumption; the proposed remedy is integration with a monitoring
+//! system in the style of Remos: obtain node/link state through a
+//! uniform query API, tell the planner when conditions change, and let
+//! it decide whether an incremental or complete redeployment is called
+//! for. This crate implements that loop over the simulated network:
+//!
+//! * [`NetworkMonitor`] — snapshot-diffing change detection plus
+//!   Remos-like *flow* queries (latency/bottleneck between endpoints);
+//! * [`affected_edges`] — which linkages of a deployed plan a set of
+//!   changes touches;
+//! * [`Replanner`] — revalidates the current plan under the new network
+//!   and produces a replacement plan plus the [`PlanDelta`] (components
+//!   to add, keep, and retire) when the old one is invalid or has
+//!   degraded beyond a configurable factor.
+
+#![warn(missing_docs)]
+
+use ps_net::{shortest_route, LinkId, Network, NodeId, PropertyTranslator};
+use ps_planner::{LoadModel, Mapper, Plan, PlanError, Placement, Planner, ServiceRequest};
+use ps_sim::SimDuration;
+use std::fmt;
+
+/// A detected change in the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkChange {
+    /// A link's latency changed.
+    LinkLatency {
+        /// The link.
+        link: LinkId,
+        /// Previous latency.
+        old: SimDuration,
+        /// New latency.
+        new: SimDuration,
+    },
+    /// A link's bandwidth changed.
+    LinkBandwidth {
+        /// The link.
+        link: LinkId,
+        /// Previous bandwidth (bits/s).
+        old: f64,
+        /// New bandwidth (bits/s).
+        new: f64,
+    },
+    /// A link's credentials changed (e.g. `Secure` flipped).
+    LinkCredentials {
+        /// The link.
+        link: LinkId,
+    },
+    /// A node's credentials changed (e.g. its trust rating).
+    NodeCredentials {
+        /// The node.
+        node: NodeId,
+    },
+    /// A node's CPU speed changed.
+    NodeSpeed {
+        /// The node.
+        node: NodeId,
+        /// Previous relative speed.
+        old: f64,
+        /// New relative speed.
+        new: f64,
+    },
+}
+
+impl fmt::Display for NetworkChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkChange::LinkLatency { link, old, new } => {
+                write!(f, "{link}: latency {old} -> {new}")
+            }
+            NetworkChange::LinkBandwidth { link, old, new } => {
+                write!(f, "{link}: bandwidth {old:.0} -> {new:.0} b/s")
+            }
+            NetworkChange::LinkCredentials { link } => write!(f, "{link}: credentials changed"),
+            NetworkChange::NodeCredentials { node } => write!(f, "{node}: credentials changed"),
+            NetworkChange::NodeSpeed { node, old, new } => {
+                write!(f, "{node}: speed {old} -> {new}")
+            }
+        }
+    }
+}
+
+/// A Remos-style flow answer: what the network currently offers between
+/// two endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowInfo {
+    /// One-way latency along the selected route.
+    pub latency: SimDuration,
+    /// Bottleneck bandwidth along it (bits/s).
+    pub bottleneck_bps: f64,
+    /// Hop count.
+    pub hops: usize,
+}
+
+/// Snapshot-diffing network monitor.
+#[derive(Debug, Clone)]
+pub struct NetworkMonitor {
+    baseline: Network,
+}
+
+impl NetworkMonitor {
+    /// Starts monitoring from a baseline snapshot.
+    pub fn new(baseline: Network) -> Self {
+        NetworkMonitor { baseline }
+    }
+
+    /// Remos-like flow query against a current network state.
+    pub fn flow(net: &Network, from: NodeId, to: NodeId) -> Option<FlowInfo> {
+        let route = shortest_route(net, from, to)?;
+        Some(FlowInfo {
+            latency: route.latency,
+            bottleneck_bps: route.bottleneck_bps,
+            hops: route.hops(),
+        })
+    }
+
+    /// Diffs `current` against the stored baseline, returning every
+    /// change and advancing the baseline.
+    pub fn observe(&mut self, current: &Network) -> Vec<NetworkChange> {
+        let mut changes = Vec::new();
+        for (old, new) in self.baseline.links().iter().zip(current.links()) {
+            if old.latency != new.latency {
+                changes.push(NetworkChange::LinkLatency {
+                    link: new.id,
+                    old: old.latency,
+                    new: new.latency,
+                });
+            }
+            if old.bandwidth_bps != new.bandwidth_bps {
+                changes.push(NetworkChange::LinkBandwidth {
+                    link: new.id,
+                    old: old.bandwidth_bps,
+                    new: new.bandwidth_bps,
+                });
+            }
+            if old.credentials != new.credentials {
+                changes.push(NetworkChange::LinkCredentials { link: new.id });
+            }
+        }
+        for (old, new) in self.baseline.nodes().iter().zip(current.nodes()) {
+            if old.credentials != new.credentials {
+                changes.push(NetworkChange::NodeCredentials { node: new.id });
+            }
+            if old.cpu_speed != new.cpu_speed {
+                changes.push(NetworkChange::NodeSpeed {
+                    node: new.id,
+                    old: old.cpu_speed,
+                    new: new.cpu_speed,
+                });
+            }
+        }
+        self.baseline = current.clone();
+        changes
+    }
+}
+
+/// Which plan edges a set of changes touches (by link membership of
+/// their routes, or by endpoint-node changes).
+pub fn affected_edges(plan: &Plan, changes: &[NetworkChange]) -> Vec<usize> {
+    let mut hit = Vec::new();
+    for (i, edge) in plan.edges.iter().enumerate() {
+        let touched = changes.iter().any(|c| match c {
+            NetworkChange::LinkLatency { link, .. }
+            | NetworkChange::LinkBandwidth { link, .. }
+            | NetworkChange::LinkCredentials { link } => edge.route.links.contains(link),
+            NetworkChange::NodeCredentials { node } | NetworkChange::NodeSpeed { node, .. } => {
+                plan.placements[edge.from].node == *node
+                    || plan.placements[edge.to].node == *node
+                    || edge.route.via.contains(node)
+            }
+        });
+        if touched {
+            hit.push(i);
+        }
+    }
+    hit
+}
+
+/// The difference between an old and a new plan, at instance
+/// granularity.
+#[derive(Debug, Clone, Default)]
+pub struct PlanDelta {
+    /// Instances the new plan adds.
+    pub added: Vec<Placement>,
+    /// Instances both plans share (component, node, factors equal).
+    pub kept: Vec<Placement>,
+    /// Instances only the old plan used (candidates for retirement once
+    /// their state is reconciled — the coherence layer's job).
+    pub removed: Vec<Placement>,
+}
+
+/// Computes the delta between two plans.
+pub fn plan_delta(old: &Plan, new: &Plan) -> PlanDelta {
+    let mut delta = PlanDelta::default();
+    let same = |a: &Placement, b: &Placement| {
+        a.component == b.component && a.node == b.node && a.factors == b.factors
+    };
+    for p in &new.placements {
+        if old.placements.iter().any(|q| same(p, q)) {
+            delta.kept.push(p.clone());
+        } else {
+            delta.added.push(p.clone());
+        }
+    }
+    for q in &old.placements {
+        if !new.placements.iter().any(|p| same(p, q)) {
+            delta.removed.push(q.clone());
+        }
+    }
+    delta
+}
+
+/// The outcome of a re-planning evaluation.
+#[derive(Debug)]
+pub enum ReplanDecision {
+    /// The current plan is still valid and close enough to optimal.
+    Keep,
+    /// A better/valid deployment exists.
+    Redeploy {
+        /// The replacement plan.
+        plan: Plan,
+        /// Its difference from the old plan.
+        delta: PlanDelta,
+    },
+    /// The old plan is invalid and no feasible replacement exists.
+    Infeasible(PlanError),
+}
+
+/// Re-planning policy: revalidate, then replace when invalid or degraded.
+pub struct Replanner {
+    /// The planner used for replacement plans.
+    pub planner: Planner,
+    /// Replace the plan when its current objective exceeds the fresh
+    /// optimum by this factor (1.0 = always chase the optimum).
+    pub degradation_factor: f64,
+}
+
+impl Replanner {
+    /// Creates a replanner around a configured planner.
+    pub fn new(planner: Planner) -> Self {
+        Replanner {
+            planner,
+            degradation_factor: 1.25,
+        }
+    }
+
+    /// Evaluates `old` under the (possibly changed) network and decides.
+    pub fn evaluate<T: PropertyTranslator + ?Sized>(
+        &self,
+        net: &Network,
+        translator: &T,
+        request: &ServiceRequest,
+        old: &Plan,
+    ) -> ReplanDecision {
+        // Revalidate the old assignment in place.
+        let mapper = Mapper::new(
+            &self.planner.spec,
+            net,
+            translator,
+            request,
+            LoadModel::Accumulated,
+            self.planner.config.objective,
+        );
+        let assignment: Vec<NodeId> = old.placements.iter().map(|p| p.node).collect();
+        let still_valid = mapper.evaluate(&old.graph, &assignment);
+
+        let fresh = self.planner.plan(net, translator, request);
+        match (still_valid, fresh) {
+            (Some(current), Ok(better)) => {
+                if current.objective_value
+                    <= better.objective_value * self.degradation_factor
+                {
+                    ReplanDecision::Keep
+                } else {
+                    let delta = plan_delta(old, &better);
+                    ReplanDecision::Redeploy {
+                        plan: better,
+                        delta,
+                    }
+                }
+            }
+            (None, Ok(better)) => {
+                let delta = plan_delta(old, &better);
+                ReplanDecision::Redeploy {
+                    plan: better,
+                    delta,
+                }
+            }
+            (Some(_), Err(_)) => ReplanDecision::Keep,
+            (None, Err(e)) => ReplanDecision::Infeasible(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_net::Credentials;
+
+    fn two_site_net(wan_latency_ms: u64) -> Network {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s1", 1.0, Credentials::new().with("TrustRating", 5i64));
+        let b = net.add_node("b", "s2", 1.0, Credentials::new().with("TrustRating", 5i64));
+        net.add_link(
+            a,
+            b,
+            SimDuration::from_millis(wan_latency_ms),
+            1e7,
+            Credentials::new().with("Secure", true),
+        );
+        net
+    }
+
+    #[test]
+    fn observe_detects_latency_and_bandwidth_changes() {
+        let before = two_site_net(100);
+        let mut monitor = NetworkMonitor::new(before);
+        let mut after = two_site_net(100);
+        after.link_mut(LinkId(0)).latency = SimDuration::from_millis(300);
+        after.link_mut(LinkId(0)).bandwidth_bps = 5e6;
+        let changes = monitor.observe(&after);
+        assert_eq!(changes.len(), 2);
+        // Baseline advanced: a second observe is quiet.
+        assert!(monitor.observe(&after).is_empty());
+    }
+
+    #[test]
+    fn observe_detects_credential_changes() {
+        let before = two_site_net(100);
+        let mut monitor = NetworkMonitor::new(before);
+        let mut after = two_site_net(100);
+        after
+            .node_mut(NodeId(1))
+            .credentials
+            .set("TrustRating", 1i64);
+        after.link_mut(LinkId(0)).credentials.set("Secure", false);
+        let changes = monitor.observe(&after);
+        assert!(changes.contains(&NetworkChange::NodeCredentials { node: NodeId(1) }));
+        assert!(changes.contains(&NetworkChange::LinkCredentials { link: LinkId(0) }));
+    }
+
+    #[test]
+    fn flow_queries_report_route_properties() {
+        let net = two_site_net(100);
+        let flow = NetworkMonitor::flow(&net, NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(flow.latency, SimDuration::from_millis(100));
+        assert_eq!(flow.bottleneck_bps, 1e7);
+        assert_eq!(flow.hops, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! BRITE-style topology generation.
+//!
+//! The paper generated its emulated network with Boston University's
+//! BRITE tool [Medina & Matta 2000]. This module reimplements the BRITE
+//! flavours the evaluation and our scaling studies need:
+//!
+//! * **Waxman**: nodes placed uniformly on a plane; each new node connects
+//!   to `m` existing nodes chosen with probability
+//!   `α · exp(−d / (β · L))` where `d` is Euclidean distance and `L` the
+//!   plane diagonal (BRITE's incremental Waxman variant — always yields a
+//!   connected graph).
+//! * **Barabási–Albert**: incremental growth with preferential
+//!   attachment.
+//! * **Hierarchical top-down**: an AS-level Waxman graph, each AS expanded
+//!   into a router-level Waxman graph; intra-AS links are fast and
+//!   low-latency, inter-AS links slow and long — the structure of
+//!   Figure 5.
+
+use crate::graph::{Credentials, Network, NodeId};
+use ps_sim::{Rng, SimDuration};
+
+/// Parameters shared by the flat generators.
+#[derive(Debug, Clone)]
+pub struct FlatParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Links added per new node.
+    pub links_per_node: usize,
+    /// Waxman α (irrelevant for BA).
+    pub alpha: f64,
+    /// Waxman β (irrelevant for BA).
+    pub beta: f64,
+    /// Side length of the placement plane (distance units double as
+    /// microseconds of latency per unit, BRITE-style).
+    pub plane: f64,
+    /// Bandwidth range assigned uniformly to links (bits/second).
+    pub bandwidth_bps: (f64, f64),
+}
+
+impl Default for FlatParams {
+    fn default() -> Self {
+        FlatParams {
+            nodes: 20,
+            links_per_node: 2,
+            alpha: 0.15,
+            beta: 0.2,
+            plane: 1000.0,
+            bandwidth_bps: (10e6, 100e6),
+        }
+    }
+}
+
+/// Node placement on the plane, kept for latency computation.
+fn place(rng: &mut Rng, n: usize, plane: f64) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.range_f64(0.0, plane), rng.range_f64(0.0, plane)))
+        .collect()
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Latency derived from plane distance: 1 distance unit = 10 µs
+/// (speed-of-light-ish over the BRITE default plane).
+fn latency_of(d: f64) -> SimDuration {
+    SimDuration::from_nanos((d * 10_000.0).round().max(1.0) as u64)
+}
+
+/// Generates a connected Waxman topology (BRITE incremental model).
+pub fn waxman(rng: &mut Rng, params: &FlatParams, site: &str) -> Network {
+    let mut net = Network::new();
+    let pos = place(rng, params.nodes, params.plane);
+    let diag = params.plane * std::f64::consts::SQRT_2;
+    for (i, _) in pos.iter().enumerate() {
+        net.add_node(format!("{site}-{i}"), site, 1.0, Credentials::new());
+    }
+    for i in 1..params.nodes {
+        let m = params.links_per_node.min(i);
+        let mut connected = 0;
+        let mut guard = 0;
+        while connected < m {
+            guard += 1;
+            // Candidate selection with the Waxman probability; after many
+            // rejections fall back to the nearest unconnected node so the
+            // generator always terminates connected.
+            let j = if guard < 1000 {
+                rng.next_below(i as u64) as usize
+            } else {
+                (0..i)
+                    .filter(|&j| net.link_between(NodeId(i as u32), NodeId(j as u32)).is_none())
+                    .min_by(|&a, &b| {
+                        dist(pos[i], pos[a])
+                            .partial_cmp(&dist(pos[i], pos[b]))
+                            .expect("finite distances")
+                    })
+                    .expect("some unconnected earlier node exists")
+            };
+            if net
+                .link_between(NodeId(i as u32), NodeId(j as u32))
+                .is_some()
+            {
+                continue;
+            }
+            let d = dist(pos[i], pos[j]);
+            let p = params.alpha * (-d / (params.beta * diag)).exp();
+            if guard >= 1000 || rng.chance(p) {
+                let bw = rng.range_f64(params.bandwidth_bps.0, params.bandwidth_bps.1);
+                net.add_link(
+                    NodeId(i as u32),
+                    NodeId(j as u32),
+                    latency_of(d),
+                    bw,
+                    Credentials::new(),
+                );
+                connected += 1;
+            }
+        }
+    }
+    debug_assert!(net.is_connected());
+    net
+}
+
+/// Generates a Barabási–Albert preferential-attachment topology.
+pub fn barabasi_albert(rng: &mut Rng, params: &FlatParams, site: &str) -> Network {
+    let mut net = Network::new();
+    let pos = place(rng, params.nodes, params.plane);
+    for (i, _) in pos.iter().enumerate() {
+        net.add_node(format!("{site}-{i}"), site, 1.0, Credentials::new());
+    }
+    // Endpoint multiset for preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for i in 1..params.nodes {
+        let m = params.links_per_node.min(i);
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let j = if endpoints.is_empty() {
+                rng.next_below(i as u64) as usize
+            } else if rng.chance(0.9) {
+                *rng.choose(&endpoints) as usize
+            } else {
+                rng.next_below(i as u64) as usize
+            };
+            if j >= i || chosen.contains(&j) {
+                continue;
+            }
+            chosen.push(j);
+        }
+        for j in chosen {
+            let d = dist(pos[i], pos[j]);
+            let bw = rng.range_f64(params.bandwidth_bps.0, params.bandwidth_bps.1);
+            net.add_link(
+                NodeId(i as u32),
+                NodeId(j as u32),
+                latency_of(d),
+                bw,
+                Credentials::new(),
+            );
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+    debug_assert!(net.is_connected());
+    net
+}
+
+/// Parameters for the hierarchical (top-down) generator.
+#[derive(Debug, Clone)]
+pub struct HierParams {
+    /// Number of autonomous systems (sites).
+    pub as_count: usize,
+    /// Router-level parameters within each AS.
+    pub router: FlatParams,
+    /// Inter-AS links per AS beyond the spanning connection.
+    pub extra_as_links: usize,
+    /// Inter-AS bandwidth range (bits/second).
+    pub inter_bandwidth_bps: (f64, f64),
+    /// Inter-AS latency range.
+    pub inter_latency: (SimDuration, SimDuration),
+}
+
+impl Default for HierParams {
+    fn default() -> Self {
+        HierParams {
+            as_count: 3,
+            router: FlatParams {
+                nodes: 5,
+                ..FlatParams::default()
+            },
+            extra_as_links: 1,
+            inter_bandwidth_bps: (8e6, 50e6),
+            inter_latency: (SimDuration::from_millis(100), SimDuration::from_millis(400)),
+        }
+    }
+}
+
+/// Generates a hierarchical topology: Waxman inside each AS, secure
+/// intra-AS links, insecure inter-AS links between random gateway
+/// routers. The AS backbone is a random spanning tree plus
+/// `extra_as_links` shortcuts.
+pub fn hierarchical(rng: &mut Rng, params: &HierParams) -> Network {
+    let mut net = Network::new();
+    let mut as_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(params.as_count);
+
+    for asn in 0..params.as_count {
+        let site = format!("as{asn}");
+        let sub = waxman(rng, &params.router, &site);
+        let mut ids = Vec::with_capacity(sub.node_count());
+        for node in sub.nodes() {
+            let id = net.add_node(
+                node.name.clone(),
+                node.site.clone(),
+                node.cpu_speed,
+                node.credentials.clone().with("Domain", site.as_str()),
+            );
+            ids.push(id);
+        }
+        for link in sub.links() {
+            net.add_link(
+                ids[link.a.0 as usize],
+                ids[link.b.0 as usize],
+                link.latency,
+                link.bandwidth_bps,
+                link.credentials.clone().with("Secure", true),
+            );
+        }
+        as_nodes.push(ids);
+    }
+
+    let inter = |net: &mut Network, rng: &mut Rng, a: usize, b: usize| {
+        let ga = *rng.choose(&as_nodes[a]);
+        let gb = *rng.choose(&as_nodes[b]);
+        let lat_lo = params.inter_latency.0.as_nanos();
+        let lat_hi = params.inter_latency.1.as_nanos().max(lat_lo + 1);
+        let latency = SimDuration::from_nanos(lat_lo + rng.next_below(lat_hi - lat_lo));
+        let bw = rng.range_f64(params.inter_bandwidth_bps.0, params.inter_bandwidth_bps.1);
+        net.add_link(ga, gb, latency, bw, Credentials::new().with("Secure", false));
+    };
+
+    // Spanning backbone, then shortcuts.
+    for asn in 1..params.as_count {
+        let parent = rng.next_below(asn as u64) as usize;
+        inter(&mut net, rng, asn, parent);
+    }
+    for _ in 0..params.extra_as_links {
+        if params.as_count >= 2 {
+            let a = rng.next_below(params.as_count as u64) as usize;
+            let mut b = rng.next_below(params.as_count as u64) as usize;
+            if a == b {
+                b = (b + 1) % params.as_count;
+            }
+            inter(&mut net, rng, a, b);
+        }
+    }
+    debug_assert!(net.is_connected());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waxman_is_connected_and_sized() {
+        let mut rng = Rng::seed_from_u64(1);
+        let net = waxman(&mut rng, &FlatParams::default(), "w");
+        assert_eq!(net.node_count(), 20);
+        assert!(net.is_connected());
+        assert!(net.link_count() >= 19);
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let mut rng = Rng::seed_from_u64(2);
+        let net = barabasi_albert(&mut rng, &FlatParams::default(), "ba");
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn ba_has_preferential_hubs() {
+        let mut rng = Rng::seed_from_u64(3);
+        let params = FlatParams {
+            nodes: 100,
+            links_per_node: 2,
+            ..FlatParams::default()
+        };
+        let net = barabasi_albert(&mut rng, &params, "ba");
+        let max_degree = net
+            .node_ids()
+            .map(|n| net.neighbours(n).len())
+            .max()
+            .unwrap();
+        // A BA graph of 100 nodes/2 links should grow a hub well beyond
+        // the mean degree of ~4.
+        assert!(max_degree >= 8, "max degree {max_degree}");
+    }
+
+    #[test]
+    fn hierarchical_marks_link_security() {
+        let mut rng = Rng::seed_from_u64(4);
+        let net = hierarchical(&mut rng, &HierParams::default());
+        assert!(net.is_connected());
+        let mut secure = 0;
+        let mut insecure = 0;
+        for link in net.links() {
+            if net.link_secure(link.id) {
+                secure += 1;
+            } else {
+                insecure += 1;
+            }
+        }
+        assert!(secure > 0 && insecure > 0);
+        // Inter-AS links connect different sites.
+        for link in net.links() {
+            let same_site = net.node(link.a).site == net.node(link.b).site;
+            assert_eq!(net.link_secure(link.id), same_site);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = waxman(&mut Rng::seed_from_u64(7), &FlatParams::default(), "x");
+        let b = waxman(&mut Rng::seed_from_u64(7), &FlatParams::default(), "x");
+        assert_eq!(a, b);
+    }
+}

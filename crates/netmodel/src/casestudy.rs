@@ -1,0 +1,217 @@
+//! The Figure 5 case-study topology.
+//!
+//! A company provides mail to three sites: the main office (New York),
+//! a branch office (San Diego), and a partner organization (Seattle).
+//! Within each site links are secure 100 Mb/s LAN links with negligible
+//! latency; the three sites are joined by insecure WAN links:
+//!
+//! * New York – San Diego: 400 ms, 8 Mb/s
+//! * New York – Seattle:   200 ms, 20 Mb/s
+//! * Seattle – San Diego:  100 ms, 50 Mb/s
+//!
+//! New York nodes are fully trusted (rating 5), San Diego nodes are
+//! branch-trusted (rating 3), and partner nodes in Seattle are trusted
+//! less (rating 2). New York and San Diego belong to the company's
+//! administrative domain; Seattle belongs to the partner's.
+
+use crate::graph::{Credentials, Network, NodeId};
+use ps_sim::SimDuration;
+
+/// Site name constants used throughout the case study.
+pub const NEW_YORK: &str = "NewYork";
+/// San Diego branch office.
+pub const SAN_DIEGO: &str = "SanDiego";
+/// Seattle partner site.
+pub const SEATTLE: &str = "Seattle";
+
+/// Trust ratings per site (network-namespace credential `TrustRating`).
+pub const TRUST_NEW_YORK: i64 = 5;
+/// San Diego branch trust rating.
+pub const TRUST_SAN_DIEGO: i64 = 3;
+/// Seattle partner trust rating.
+pub const TRUST_SEATTLE: i64 = 2;
+
+/// Handles into the built topology.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// The network graph.
+    pub network: Network,
+    /// Host of the primary `MailServer` (in New York).
+    pub mail_server: NodeId,
+    /// Per-site client-facing nodes.
+    pub ny_client: NodeId,
+    /// San Diego client node.
+    pub sd_client: NodeId,
+    /// Seattle client node.
+    pub seattle_client: NodeId,
+    /// Per-site gateway nodes (endpoints of the WAN links).
+    pub ny_gateway: NodeId,
+    /// San Diego gateway.
+    pub sd_gateway: NodeId,
+    /// Seattle gateway.
+    pub seattle_gateway: NodeId,
+}
+
+fn node_credentials(trust: i64, domain: &str) -> Credentials {
+    Credentials::new()
+        .with("TrustRating", trust)
+        .with("Domain", domain)
+}
+
+/// Builds the Figure 5 topology.
+///
+/// Each site contains `nodes_per_site` nodes (the paper's emulation used a
+/// handful per site; 3 is enough to distinguish gateway, client, and
+/// server placement). Node 0 of each site is the gateway; node 1 hosts
+/// clients; in New York node 2 hosts the primary mail server when
+/// available, otherwise the gateway does.
+pub fn build(nodes_per_site: usize) -> CaseStudy {
+    assert!(nodes_per_site >= 2, "need at least gateway + client per site");
+    let mut net = Network::new();
+    let lan_latency = SimDuration::ZERO;
+    let lan_bw = 100e6;
+
+    let mut sites = Vec::new();
+    for (site, trust, domain) in [
+        (NEW_YORK, TRUST_NEW_YORK, "company"),
+        (SAN_DIEGO, TRUST_SAN_DIEGO, "company"),
+        (SEATTLE, TRUST_SEATTLE, "partner"),
+    ] {
+        let mut ids = Vec::with_capacity(nodes_per_site);
+        for i in 0..nodes_per_site {
+            let id = net.add_node(
+                format!("{site}-{i}"),
+                site,
+                1.0,
+                node_credentials(trust, domain),
+            );
+            ids.push(id);
+        }
+        // Secure LAN: star around the gateway plus a chain, i.e. a small
+        // mesh dense enough that intra-site routing is single-hop from
+        // the gateway.
+        for i in 1..ids.len() {
+            net.add_link(
+                ids[0],
+                ids[i],
+                lan_latency,
+                lan_bw,
+                Credentials::new().with("Secure", true),
+            );
+        }
+        for i in 2..ids.len() {
+            net.add_link(
+                ids[i - 1],
+                ids[i],
+                lan_latency,
+                lan_bw,
+                Credentials::new().with("Secure", true),
+            );
+        }
+        sites.push(ids);
+    }
+
+    let (ny, sd, sea) = (&sites[0], &sites[1], &sites[2]);
+    let wan = |secure: bool| Credentials::new().with("Secure", secure);
+    // New York – San Diego: 400 ms / 8 Mb/s.
+    net.add_link(ny[0], sd[0], SimDuration::from_millis(400), 8e6, wan(false));
+    // New York – Seattle: 200 ms / 20 Mb/s.
+    net.add_link(ny[0], sea[0], SimDuration::from_millis(200), 20e6, wan(false));
+    // Seattle – San Diego: 100 ms / 50 Mb/s.
+    net.add_link(sea[0], sd[0], SimDuration::from_millis(100), 50e6, wan(false));
+
+    let mail_server = if ny.len() > 2 { ny[2] } else { ny[0] };
+    CaseStudy {
+        mail_server,
+        ny_client: ny[1],
+        sd_client: sd[1],
+        seattle_client: sea[1],
+        ny_gateway: ny[0],
+        sd_gateway: sd[0],
+        seattle_gateway: sea[0],
+        network: net,
+    }
+}
+
+/// Builds the default (3-nodes-per-site) case study.
+pub fn default_case_study() -> CaseStudy {
+    build(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::shortest_route;
+
+    #[test]
+    fn topology_shape_matches_figure5() {
+        let cs = default_case_study();
+        let net = &cs.network;
+        assert_eq!(net.node_count(), 9);
+        assert!(net.is_connected());
+        // The three WAN links are insecure, everything else secure.
+        let insecure: Vec<_> = net
+            .links()
+            .iter()
+            .filter(|l| !net.link_secure(l.id))
+            .collect();
+        assert_eq!(insecure.len(), 3);
+    }
+
+    #[test]
+    fn wan_parameters_match_figure5() {
+        let cs = default_case_study();
+        let net = &cs.network;
+        let nysd = net.link_between(cs.ny_gateway, cs.sd_gateway).unwrap();
+        assert_eq!(nysd.latency, SimDuration::from_millis(400));
+        assert_eq!(nysd.bandwidth_bps, 8e6);
+        let nysea = net.link_between(cs.ny_gateway, cs.seattle_gateway).unwrap();
+        assert_eq!(nysea.latency, SimDuration::from_millis(200));
+        assert_eq!(nysea.bandwidth_bps, 20e6);
+        let seasd = net.link_between(cs.seattle_gateway, cs.sd_gateway).unwrap();
+        assert_eq!(seasd.latency, SimDuration::from_millis(100));
+        assert_eq!(seasd.bandwidth_bps, 50e6);
+    }
+
+    #[test]
+    fn trust_ratings_per_site() {
+        let cs = default_case_study();
+        let net = &cs.network;
+        assert_eq!(net.trust_rating(cs.ny_client), Some(5));
+        assert_eq!(net.trust_rating(cs.sd_client), Some(3));
+        assert_eq!(net.trust_rating(cs.seattle_client), Some(2));
+    }
+
+    #[test]
+    fn seattle_prefers_direct_ny_link_by_latency() {
+        // 200ms direct vs 100+400 via San Diego.
+        let cs = default_case_study();
+        let route = shortest_route(&cs.network, cs.seattle_client, cs.mail_server).unwrap();
+        assert_eq!(route.latency, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn sd_to_ny_uses_the_direct_slow_link() {
+        // 400ms direct (one WAN hop) wins over 100+200ms via Seattle (two
+        // WAN hops): the route metric keeps inter-site traffic on its
+        // dedicated link, exactly as Figure 6 draws it.
+        let cs = default_case_study();
+        let route = shortest_route(&cs.network, cs.sd_client, cs.mail_server).unwrap();
+        assert_eq!(route.latency, SimDuration::from_millis(400));
+        assert_eq!(route.bottleneck_bps, 8e6);
+    }
+
+    #[test]
+    fn domains_split_company_and_partner() {
+        let cs = default_case_study();
+        let net = &cs.network;
+        assert_eq!(
+            net.node(cs.sd_client).credentials.get("Domain"),
+            Some(&ps_spec::PropertyValue::text("company"))
+        );
+        assert_eq!(
+            net.node(cs.seattle_client).credentials.get("Domain"),
+            Some(&ps_spec::PropertyValue::text("partner"))
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! The network graph the planner sees (Section 3.3).
+//!
+//! Nodes carry resource characteristics (CPU capacity) and
+//! application-independent *credentials* (administrative domain, trust
+//! ratings, …); links carry bandwidth, latency, and their own credentials
+//! (e.g. whether the link is physically secure). Credentials are opaque
+//! name/value pairs — a service-supplied translator later turns them into
+//! service properties.
+
+use ps_sim::SimDuration;
+use ps_spec::{Environment, PropertyValue};
+use std::fmt;
+
+/// Index of a node in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of a link in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Application-independent credentials attached to a node or link.
+///
+/// The representation reuses [`Environment`]: a sorted name → value map.
+/// The *names* here live in the network's namespace (`Domain`, `Secure`,
+/// `TrustRating`) — translating them into a service's property namespace
+/// is the job of a [`crate::translate::PropertyTranslator`].
+pub type Credentials = Environment;
+
+/// A network node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Stable index.
+    pub id: NodeId,
+    /// Human-readable name, e.g. `ny-2`.
+    pub name: String,
+    /// Site / region label (used by topology generators and the
+    /// case-study scenarios).
+    pub site: String,
+    /// Relative CPU speed (1.0 = the reference Pentium III).
+    pub cpu_speed: f64,
+    /// Application-independent credentials.
+    pub credentials: Credentials,
+}
+
+/// A bidirectional network link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Stable index.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Application-independent credentials (e.g. `Secure = T`).
+    pub credentials: Credentials,
+}
+
+impl Link {
+    /// The endpoint opposite `from`, if `from` is an endpoint.
+    pub fn other(&self, from: NodeId) -> Option<NodeId> {
+        if self.a == from {
+            Some(self.b)
+        } else if self.b == from {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// The network graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node; returns its id.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        cpu_speed: f64,
+        credentials: Credentials,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            site: site.into(),
+            cpu_speed,
+            credentials,
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a bidirectional link; returns its id. Panics on out-of-range
+    /// endpoints or a self-loop.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency: SimDuration,
+        bandwidth_bps: f64,
+        credentials: Credentials,
+    ) -> LinkId {
+        assert!(a != b, "self-loops are not allowed");
+        assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            latency,
+            bandwidth_bps,
+            credentials,
+        });
+        self.adjacency[a.0 as usize].push((b, id));
+        self.adjacency[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node by id.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutable link by id.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Neighbours of `node` as `(neighbour, link)` pairs.
+    pub fn neighbours(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adjacency[node.0 as usize]
+    }
+
+    /// The direct link between two nodes, if one exists (first match).
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        self.adjacency[a.0 as usize]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, l)| self.link(*l))
+    }
+
+    /// Finds a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+
+    /// Ids of nodes belonging to `site`.
+    pub fn site_nodes(&self, site: &str) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.site == site)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Whether every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &(next, _) in self.neighbours(n) {
+                if !seen[next.0 as usize] {
+                    seen[next.0 as usize] = true;
+                    count += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// A convenience credential accessor: `TrustRating` of a node as an
+    /// integer, when present.
+    pub fn trust_rating(&self, id: NodeId) -> Option<i64> {
+        self.node(id).credentials.get("TrustRating")?.as_int()
+    }
+
+    /// Whether a link's `Secure` credential is true.
+    pub fn link_secure(&self, id: LinkId) -> bool {
+        self.link(id)
+            .credentials
+            .get("Secure")
+            .and_then(PropertyValue::as_bool)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Network {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s1", 1.0, Credentials::new());
+        let b = net.add_node("b", "s1", 1.0, Credentials::new());
+        let c = net.add_node("c", "s2", 1.0, Credentials::new());
+        net.add_link(a, b, SimDuration::ZERO, 1e8, Credentials::new().with("Secure", true));
+        net.add_link(b, c, SimDuration::from_millis(100), 1e7, Credentials::new());
+        net
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let net = simple();
+        let a = net.find_node("a").unwrap();
+        let b = net.find_node("b").unwrap();
+        assert!(net.neighbours(a).iter().any(|&(n, _)| n == b));
+        assert!(net.neighbours(b).iter().any(|&(n, _)| n == a));
+    }
+
+    #[test]
+    fn link_between_and_other() {
+        let net = simple();
+        let a = net.find_node("a").unwrap();
+        let b = net.find_node("b").unwrap();
+        let link = net.link_between(a, b).unwrap();
+        assert_eq!(link.other(a), Some(b));
+        assert_eq!(link.other(b), Some(a));
+        assert_eq!(link.other(NodeId(2)), None);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut net = simple();
+        assert!(net.is_connected());
+        net.add_node("lonely", "s3", 1.0, Credentials::new());
+        assert!(!net.is_connected());
+    }
+
+    #[test]
+    fn secure_credential_defaults_to_false() {
+        let net = simple();
+        assert!(net.link_secure(LinkId(0)));
+        assert!(!net.link_secure(LinkId(1)));
+    }
+
+    #[test]
+    fn site_nodes_filter() {
+        let net = simple();
+        assert_eq!(net.site_nodes("s1").len(), 2);
+        assert_eq!(net.site_nodes("s2").len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        net.add_link(a, a, SimDuration::ZERO, 1e8, Credentials::new());
+    }
+}
+
+impl Network {
+    /// Renders the network as a Graphviz `dot` document: nodes grouped
+    /// into site clusters, links labelled with latency/bandwidth, dashed
+    /// when insecure.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph network {\n  layout=neato;\n");
+        // Group nodes by site.
+        let mut sites: std::collections::BTreeMap<&str, Vec<&Node>> =
+            std::collections::BTreeMap::new();
+        for node in &self.nodes {
+            sites.entry(node.site.as_str()).or_default().push(node);
+        }
+        for (i, (site, nodes)) in sites.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{i} {{");
+            let _ = writeln!(out, "    label=\"{site}\";");
+            for node in nodes {
+                let trust = self
+                    .trust_rating(node.id)
+                    .map(|t| format!(" (t{t})"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "    \"{}\" [label=\"{}{}\"];", node.name, node.name, trust);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for link in &self.links {
+            let style = if self.link_secure(link.id) { "solid" } else { "dashed" };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -- \"{}\" [label=\"{:.0}ms/{:.0}Mb\", style={style}];",
+                self.node(link.a).name,
+                self.node(link.b).name,
+                link.latency.as_millis_f64(),
+                link.bandwidth_bps / 1e6
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use ps_sim::SimDuration;
+
+    #[test]
+    fn dot_export_covers_nodes_links_and_security() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s1", 1.0, Credentials::new().with("TrustRating", 5i64));
+        let b = net.add_node("b", "s2", 1.0, Credentials::new());
+        net.add_link(
+            a,
+            b,
+            SimDuration::from_millis(100),
+            8e6,
+            Credentials::new(),
+        );
+        let dot = net.to_dot();
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("\"a\" [label=\"a (t5)\"]"));
+        assert!(dot.contains("\"a\" -- \"b\""));
+        assert!(dot.contains("100ms/8Mb"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.starts_with("graph network {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

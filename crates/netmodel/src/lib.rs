@@ -1,0 +1,40 @@
+//! # ps-net — the network model the planner sees
+//!
+//! Section 3.3 of the paper models the network as a graph of nodes and
+//! links with resource characteristics (CPU capacity, bandwidth, latency)
+//! and application-independent credentials; a service-supplied procedure
+//! translates those credentials into the properties the service cares
+//! about. This crate provides:
+//!
+//! * [`Network`] — the annotated graph, with [`graph::Credentials`] on
+//!   nodes and links;
+//! * [`shortest_route`] — policy-aware routing (insecure hops, then
+//!   latency) used to map component linkages onto multi-hop paths;
+//! * [`PropertyTranslator`] / [`MappingTranslator`] — the credential →
+//!   service-property translation machinery;
+//! * [`brite`] — BRITE-style topology generators (Waxman,
+//!   Barabási–Albert, hierarchical), standing in for the BRITE tool the
+//!   paper used;
+//! * [`casestudy`] — the exact Figure 5 three-site topology.
+
+#![warn(missing_docs)]
+
+pub mod brite;
+pub mod casestudy;
+pub mod graph;
+pub mod path;
+pub mod translate;
+
+pub use casestudy::{default_case_study, CaseStudy};
+pub use graph::{Credentials, Link, LinkId, Network, Node, NodeId};
+pub use path::{routes_from, shortest_route, Route};
+pub use translate::{Mapping, MappingTranslator, PropertyTranslator};
+
+/// Convenience prelude for network-model users.
+pub mod prelude {
+    pub use crate::brite::{barabasi_albert, hierarchical, waxman, FlatParams, HierParams};
+    pub use crate::casestudy::{build as build_case_study, default_case_study, CaseStudy};
+    pub use crate::graph::{Credentials, Link, LinkId, Network, Node, NodeId};
+    pub use crate::path::{routes_from, shortest_route, Route};
+    pub use crate::translate::{Mapping, MappingTranslator, PropertyTranslator};
+}

@@ -1,0 +1,220 @@
+//! Routing: shortest paths through the network graph.
+//!
+//! Component linkages whose endpoints are not directly connected traverse
+//! a multi-hop route; the planner charges every link on the route and
+//! folds every traversed environment into its property-modification pass.
+//! Routes are computed with Dijkstra's algorithm over the lexicographic
+//! metric *(insecure-link count, latency, hop count)*: traffic stays
+//! inside administrative sites when it can (the paper's emulation routes
+//! each inter-site flow over its dedicated WAN link rather than
+//! transiting a third site), and among equally-trusted routes the lowest
+//! latency wins, with hop count as a deterministic tie-break.
+
+use crate::graph::{LinkId, Network, NodeId};
+use ps_sim::SimDuration;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A route between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Links traversed, in order (empty when `from == to`).
+    pub links: Vec<LinkId>,
+    /// Intermediate nodes traversed (excludes the endpoints).
+    pub via: Vec<NodeId>,
+    /// Total one-way propagation latency.
+    pub latency: SimDuration,
+    /// Bottleneck bandwidth along the route (bits/second;
+    /// `f64::INFINITY` for the empty route).
+    pub bottleneck_bps: f64,
+}
+
+impl Route {
+    /// The empty (same-node) route.
+    pub fn local(node: NodeId) -> Self {
+        Route {
+            from: node,
+            to: node,
+            links: Vec::new(),
+            via: Vec::new(),
+            latency: SimDuration::ZERO,
+            bottleneck_bps: f64::INFINITY,
+        }
+    }
+
+    /// Whether both endpoints are the same node.
+    pub fn is_local(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Computes the minimum-latency route from `from` to `to`, or `None` when
+/// unreachable. Ties are broken by hop count, then by node index, so the
+/// result is deterministic.
+pub fn shortest_route(net: &Network, from: NodeId, to: NodeId) -> Option<Route> {
+    if from == to {
+        return Some(Route::local(from));
+    }
+    let n = net.node_count();
+    // Lexicographic cost: (insecure hops, latency ns, hops).
+    let mut dist: Vec<(u32, u64, u32)> = vec![(u32::MAX, u64::MAX, u32::MAX); n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.0 as usize] = (0, 0, 0);
+    heap.push(Reverse(((0u32, 0u64, 0u32), from)));
+
+    while let Some(Reverse((cost, node))) = heap.pop() {
+        if cost > dist[node.0 as usize] {
+            continue;
+        }
+        if node == to {
+            break;
+        }
+        let (wan, d, hops) = cost;
+        for &(next, link_id) in net.neighbours(node) {
+            let link = net.link(link_id);
+            let nw = wan + u32::from(!net.link_secure(link_id));
+            let nd = d.saturating_add(link.latency.as_nanos());
+            let nh = hops + 1;
+            if (nw, nd, nh) < dist[next.0 as usize] {
+                dist[next.0 as usize] = (nw, nd, nh);
+                prev[next.0 as usize] = Some((node, link_id));
+                heap.push(Reverse(((nw, nd, nh), next)));
+            }
+        }
+    }
+
+    if dist[to.0 as usize].1 == u64::MAX {
+        return None;
+    }
+
+    let mut links = Vec::new();
+    let mut via = Vec::new();
+    let mut cursor = to;
+    while cursor != from {
+        let (parent, link) = prev[cursor.0 as usize].expect("reached node must have parent");
+        links.push(link);
+        if parent != from {
+            via.push(parent);
+        }
+        cursor = parent;
+    }
+    links.reverse();
+    via.reverse();
+
+    let bottleneck_bps = links
+        .iter()
+        .map(|&l| net.link(l).bandwidth_bps)
+        .fold(f64::INFINITY, f64::min);
+
+    Some(Route {
+        from,
+        to,
+        links,
+        via,
+        latency: SimDuration::from_nanos(dist[to.0 as usize].1),
+        bottleneck_bps,
+    })
+}
+
+/// All-pairs minimum-latency routes from one source (Dijkstra tree),
+/// returned as a routing table.
+pub fn routes_from(net: &Network, from: NodeId) -> Vec<Option<Route>> {
+    net.node_ids()
+        .map(|to| shortest_route(net, from, to))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Credentials;
+
+    fn secure() -> Credentials {
+        Credentials::new().with("Secure", true)
+    }
+
+    /// a --1ms-- b --1ms-- c, plus a direct a--c at 10ms (all secure, so
+    /// the latency term decides).
+    fn triangle() -> Network {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        let b = net.add_node("b", "s", 1.0, Credentials::new());
+        let c = net.add_node("c", "s", 1.0, Credentials::new());
+        net.add_link(a, b, SimDuration::from_millis(1), 1e8, secure());
+        net.add_link(b, c, SimDuration::from_millis(1), 1e6, secure());
+        net.add_link(a, c, SimDuration::from_millis(10), 1e8, secure());
+        net
+    }
+
+    #[test]
+    fn picks_lower_latency_multi_hop() {
+        let net = triangle();
+        let route = shortest_route(&net, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(route.hops(), 2);
+        assert_eq!(route.latency, SimDuration::from_millis(2));
+        assert_eq!(route.via, vec![NodeId(1)]);
+        assert_eq!(route.bottleneck_bps, 1e6);
+    }
+
+    #[test]
+    fn local_route_is_empty() {
+        let net = triangle();
+        let route = shortest_route(&net, NodeId(1), NodeId(1)).unwrap();
+        assert!(route.is_local());
+        assert_eq!(route.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = triangle();
+        let d = net.add_node("d", "s", 1.0, Credentials::new());
+        assert!(shortest_route(&net, NodeId(0), d).is_none());
+    }
+
+    #[test]
+    fn hop_count_breaks_latency_ties() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        let b = net.add_node("b", "s", 1.0, Credentials::new());
+        let c = net.add_node("c", "s", 1.0, Credentials::new());
+        // Two equal-latency options: direct 2ms vs 1ms+1ms via b.
+        net.add_link(a, b, SimDuration::from_millis(1), 1e8, secure());
+        net.add_link(b, c, SimDuration::from_millis(1), 1e8, secure());
+        net.add_link(a, c, SimDuration::from_millis(2), 1e8, secure());
+        let route = shortest_route(&net, a, c).unwrap();
+        assert_eq!(route.hops(), 1);
+    }
+
+    #[test]
+    fn fewer_insecure_hops_beat_lower_latency() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s1", 1.0, Credentials::new());
+        let b = net.add_node("b", "s2", 1.0, Credentials::new());
+        let c = net.add_node("c", "s3", 1.0, Credentials::new());
+        // Direct insecure 400ms WAN link vs two insecure 100ms+200ms hops.
+        net.add_link(a, c, SimDuration::from_millis(400), 8e6, Credentials::new());
+        net.add_link(a, b, SimDuration::from_millis(100), 5e7, Credentials::new());
+        net.add_link(b, c, SimDuration::from_millis(200), 2e7, Credentials::new());
+        let route = shortest_route(&net, a, c).unwrap();
+        assert_eq!(route.hops(), 1);
+        assert_eq!(route.latency, SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn routing_table_covers_all_nodes() {
+        let net = triangle();
+        let table = routes_from(&net, NodeId(0));
+        assert_eq!(table.len(), 3);
+        assert!(table.iter().all(|r| r.is_some()));
+    }
+}

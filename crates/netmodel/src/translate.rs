@@ -1,0 +1,188 @@
+//! Credential → service-property translation (Section 3.3).
+//!
+//! The planner models the network in application-independent credentials;
+//! each service supplies an external procedure translating those into the
+//! properties *it* cares about (e.g. `TrustRating ≥ 4` on a node becomes
+//! `TrustLevel = 4` for the mail service). The trait below is that
+//! procedure; [`MappingTranslator`] is a declarative implementation
+//! covering the common cases, and services are free to implement the
+//! trait directly.
+
+use crate::graph::{Link, Network, Node};
+use crate::path::Route;
+use ps_spec::{Environment, PropertyValue};
+
+/// Translates network credentials into one service's property namespace.
+pub trait PropertyTranslator {
+    /// Service-property environment a node exhibits.
+    fn node_env(&self, node: &Node) -> Environment;
+
+    /// Service-property environment a link exhibits.
+    fn link_env(&self, link: &Link) -> Environment;
+
+    /// The sequence of environments a linkage routed over `route`
+    /// traverses: each link on the route, and every *intermediate* node
+    /// (endpoints are judged by their own installation conditions, not by
+    /// the route). The planner folds its property-modification rules over
+    /// this sequence in order.
+    fn route_envs(&self, net: &Network, route: &Route) -> Vec<Environment> {
+        let mut envs = Vec::with_capacity(route.links.len() + route.via.len());
+        let mut via = route.via.iter();
+        for &link in &route.links {
+            envs.push(self.link_env(net.link(link)));
+            if let Some(&mid) = via.next() {
+                envs.push(self.node_env(net.node(mid)));
+            }
+        }
+        envs
+    }
+}
+
+/// One declarative credential → property mapping.
+#[derive(Debug, Clone)]
+pub enum Mapping {
+    /// Copies a credential value to a property (missing credential ⇒
+    /// the given default).
+    Copy {
+        /// Credential name in the network namespace.
+        credential: String,
+        /// Property name in the service namespace.
+        property: String,
+        /// Value when the credential is absent.
+        default: PropertyValue,
+    },
+    /// Sets a property to a constant for every node/link.
+    Constant {
+        /// Property name.
+        property: String,
+        /// The constant value.
+        value: PropertyValue,
+    },
+}
+
+/// A table-driven [`PropertyTranslator`].
+#[derive(Debug, Clone, Default)]
+pub struct MappingTranslator {
+    node_mappings: Vec<Mapping>,
+    link_mappings: Vec<Mapping>,
+}
+
+impl MappingTranslator {
+    /// Creates an empty translator (every environment comes back empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node-credential mapping.
+    pub fn node_mapping(mut self, m: Mapping) -> Self {
+        self.node_mappings.push(m);
+        self
+    }
+
+    /// Adds a link-credential mapping.
+    pub fn link_mapping(mut self, m: Mapping) -> Self {
+        self.link_mappings.push(m);
+        self
+    }
+
+    fn apply(mappings: &[Mapping], credentials: &Environment) -> Environment {
+        let mut env = Environment::new();
+        for m in mappings {
+            match m {
+                Mapping::Copy {
+                    credential,
+                    property,
+                    default,
+                } => {
+                    let value = credentials.get(credential).cloned().unwrap_or_else(|| default.clone());
+                    env.set(property, value);
+                }
+                Mapping::Constant { property, value } => {
+                    env.set(property, value.clone());
+                }
+            }
+        }
+        env
+    }
+}
+
+impl PropertyTranslator for MappingTranslator {
+    fn node_env(&self, node: &Node) -> Environment {
+        Self::apply(&self.node_mappings, &node.credentials)
+    }
+
+    fn link_env(&self, link: &Link) -> Environment {
+        Self::apply(&self.link_mappings, &link.credentials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Credentials, Network};
+    use crate::path::shortest_route;
+    use ps_sim::SimDuration;
+
+    fn translator() -> MappingTranslator {
+        MappingTranslator::new()
+            .node_mapping(Mapping::Copy {
+                credential: "TrustRating".into(),
+                property: "TrustLevel".into(),
+                default: PropertyValue::Int(1),
+            })
+            .link_mapping(Mapping::Copy {
+                credential: "Secure".into(),
+                property: "Confidentiality".into(),
+                default: PropertyValue::Bool(false),
+            })
+    }
+
+    #[test]
+    fn copy_mapping_translates_and_defaults() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new().with("TrustRating", 4i64));
+        let b = net.add_node("b", "s", 1.0, Credentials::new());
+        net.add_link(a, b, SimDuration::ZERO, 1e8, Credentials::new().with("Secure", true));
+
+        let t = translator();
+        let env_a = t.node_env(net.node(a));
+        assert_eq!(env_a.get("TrustLevel"), Some(&PropertyValue::Int(4)));
+        let env_b = t.node_env(net.node(b));
+        assert_eq!(env_b.get("TrustLevel"), Some(&PropertyValue::Int(1)));
+        let env_l = t.link_env(net.link(crate::graph::LinkId(0)));
+        assert_eq!(env_l.get("Confidentiality"), Some(&PropertyValue::Bool(true)));
+    }
+
+    #[test]
+    fn route_envs_cover_links_and_intermediates() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new().with("TrustRating", 5i64));
+        let m = net.add_node("m", "s", 1.0, Credentials::new().with("TrustRating", 2i64));
+        let b = net.add_node("b", "s", 1.0, Credentials::new().with("TrustRating", 5i64));
+        net.add_link(a, m, SimDuration::from_millis(1), 1e8, Credentials::new().with("Secure", true));
+        net.add_link(m, b, SimDuration::from_millis(1), 1e8, Credentials::new());
+
+        let t = translator();
+        let route = shortest_route(&net, a, b).unwrap();
+        let envs = t.route_envs(&net, &route);
+        // link a-m, node m, link m-b
+        assert_eq!(envs.len(), 3);
+        assert_eq!(envs[0].get("Confidentiality"), Some(&PropertyValue::Bool(true)));
+        assert_eq!(envs[1].get("TrustLevel"), Some(&PropertyValue::Int(2)));
+        assert_eq!(envs[2].get("Confidentiality"), Some(&PropertyValue::Bool(false)));
+    }
+
+    #[test]
+    fn constant_mapping_applies_everywhere() {
+        let t = MappingTranslator::new().node_mapping(Mapping::Constant {
+            property: "User".into(),
+            value: PropertyValue::text("Alice"),
+        });
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        assert_eq!(
+            t.node_env(net.node(a)).get("User"),
+            Some(&PropertyValue::text("Alice"))
+        );
+    }
+}

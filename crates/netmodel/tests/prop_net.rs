@@ -1,0 +1,118 @@
+//! Property tests over topology generation and routing.
+
+use proptest::prelude::*;
+use ps_net::brite::{barabasi_albert, hierarchical, waxman, FlatParams, HierParams};
+use ps_net::{shortest_route, Credentials, Network, NodeId};
+use ps_sim::{Rng, SimDuration};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn waxman_topologies_are_connected(seed in any::<u64>(), nodes in 2usize..40) {
+        let params = FlatParams { nodes, ..FlatParams::default() };
+        let net = waxman(&mut Rng::seed_from_u64(seed), &params, "w");
+        prop_assert_eq!(net.node_count(), nodes);
+        prop_assert!(net.is_connected());
+        prop_assert!(net.link_count() >= nodes - 1);
+    }
+
+    #[test]
+    fn ba_topologies_are_connected(seed in any::<u64>(), nodes in 2usize..40) {
+        let params = FlatParams { nodes, ..FlatParams::default() };
+        let net = barabasi_albert(&mut Rng::seed_from_u64(seed), &params, "ba");
+        prop_assert!(net.is_connected());
+    }
+
+    #[test]
+    fn hierarchical_marks_exactly_inter_as_links_insecure(
+        seed in any::<u64>(),
+        as_count in 2usize..5,
+        routers in 2usize..6,
+    ) {
+        let params = HierParams {
+            as_count,
+            router: FlatParams { nodes: routers, ..FlatParams::default() },
+            ..HierParams::default()
+        };
+        let net = hierarchical(&mut Rng::seed_from_u64(seed), &params);
+        prop_assert!(net.is_connected());
+        for link in net.links() {
+            let intra = net.node(link.a).site == net.node(link.b).site;
+            prop_assert_eq!(net.link_secure(link.id), intra);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>()) {
+        let p = FlatParams { nodes: 12, ..FlatParams::default() };
+        let a = waxman(&mut Rng::seed_from_u64(seed), &p, "x");
+        let b = waxman(&mut Rng::seed_from_u64(seed), &p, "x");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn routes_are_contiguous_and_endpoint_correct(
+        seed in any::<u64>(),
+        nodes in 2usize..25,
+    ) {
+        let params = FlatParams { nodes, ..FlatParams::default() };
+        let net = waxman(&mut Rng::seed_from_u64(seed), &params, "w");
+        let from = NodeId(0);
+        let to = NodeId((nodes - 1) as u32);
+        let route = shortest_route(&net, from, to).expect("connected");
+        // Walk the links: each must connect to the previous endpoint.
+        let mut at = from;
+        let mut total = SimDuration::ZERO;
+        let mut min_bw = f64::INFINITY;
+        for &l in &route.links {
+            let link = net.link(l);
+            let next = link.other(at).expect("contiguous route");
+            total += link.latency;
+            min_bw = min_bw.min(link.bandwidth_bps);
+            at = next;
+        }
+        prop_assert_eq!(at, to);
+        prop_assert_eq!(total, route.latency);
+        if route.links.is_empty() {
+            prop_assert!(route.bottleneck_bps.is_infinite());
+        } else {
+            prop_assert_eq!(min_bw, route.bottleneck_bps);
+        }
+        // `via` lists exactly the interior nodes.
+        prop_assert_eq!(route.via.len() + 1, route.links.len().max(1));
+    }
+
+    #[test]
+    fn route_is_latency_minimal_among_uniform_security(
+        seed in any::<u64>(),
+        nodes in 3usize..15,
+    ) {
+        // All-secure network: the metric reduces to latency; the chosen
+        // route must never beat a direct link the wrong way.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut net = Network::new();
+        for i in 0..nodes {
+            net.add_node(format!("n{i}"), "s", 1.0, Credentials::new());
+        }
+        for i in 0..nodes {
+            for j in (i + 1)..nodes {
+                if rng.chance(0.5) || j == i + 1 {
+                    net.add_link(
+                        NodeId(i as u32),
+                        NodeId(j as u32),
+                        SimDuration::from_millis(1 + rng.next_below(100)),
+                        1e8,
+                        Credentials::new().with("Secure", true),
+                    );
+                }
+            }
+        }
+        for j in 1..nodes {
+            let route = shortest_route(&net, NodeId(0), NodeId(j as u32)).expect("connected");
+            if let Some(direct) = net.link_between(NodeId(0), NodeId(j as u32)) {
+                prop_assert!(route.latency <= direct.latency);
+            }
+        }
+    }
+}

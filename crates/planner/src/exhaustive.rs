@@ -1,0 +1,90 @@
+//! Exhaustive mapping search — the oracle the other algorithms are
+//! checked against (the paper's current implementation "exhaustively
+//! searches for a deployment that satisfies the constraints").
+//!
+//! Tree nodes are assigned in bottom-up order so that every parent-child
+//! property-flow check (condition 2) can run the moment the parent is
+//! placed, pruning infeasible subtrees early. Feasibility and objective
+//! of complete assignments are computed by [`Mapper::evaluate`].
+
+use crate::linkage::LinkageGraph;
+use crate::mapping::{Evaluation, Mapper};
+use crate::plan::PlanStats;
+use ps_net::NodeId;
+use ps_spec::ResolvedBindings;
+
+/// Searches every feasible mapping of `graph`, returning the best
+/// assignment and its evaluation.
+pub fn search(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    stats: &mut PlanStats,
+) -> Option<(Vec<NodeId>, Evaluation)> {
+    let n = graph.len();
+    let order = graph.bottom_up_order();
+    let candidates: Vec<Vec<NodeId>> = (0..n).map(|i| mapper.candidates(graph, i)).collect();
+    if candidates.iter().any(Vec::is_empty) {
+        return None;
+    }
+
+    let mut state = State {
+        mapper,
+        graph,
+        order,
+        candidates,
+        assignment: vec![None; n],
+        provided: vec![None; n],
+        best: None,
+        stats,
+    };
+    state.recurse(0);
+    state.best
+}
+
+struct State<'a, 'b> {
+    mapper: &'a Mapper<'b>,
+    graph: &'a LinkageGraph,
+    order: Vec<usize>,
+    candidates: Vec<Vec<NodeId>>,
+    assignment: Vec<Option<NodeId>>,
+    provided: Vec<Option<ResolvedBindings>>,
+    best: Option<(Vec<NodeId>, Evaluation)>,
+    stats: &'a mut PlanStats,
+}
+
+impl State<'_, '_> {
+    fn recurse(&mut self, pos: usize) {
+        if pos == self.order.len() {
+            let assignment: Vec<NodeId> =
+                self.assignment.iter().map(|a| a.expect("complete")).collect();
+            self.stats.mappings_evaluated += 1;
+            if let Some(eval) = self.mapper.evaluate(self.graph, &assignment) {
+                let better = self
+                    .best
+                    .as_ref()
+                    .is_none_or(|(_, b)| eval.objective_value < b.objective_value);
+                if better {
+                    self.best = Some((assignment, eval));
+                }
+            }
+            return;
+        }
+        let idx = self.order[pos];
+        let options = self.candidates[idx].clone();
+        for node in options {
+            match self
+                .mapper
+                .flow_at(self.graph, idx, node, &self.assignment, &self.provided)
+            {
+                Some(flow) => {
+                    self.assignment[idx] = Some(node);
+                    self.provided[idx] = Some(flow);
+                    self.recurse(pos + 1);
+                    self.assignment[idx] = None;
+                    self.provided[idx] = None;
+                }
+                None => self.stats.prunes += 1,
+            }
+        }
+    }
+}

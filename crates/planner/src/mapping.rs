@@ -1,0 +1,511 @@
+//! Mapping evaluation: the three validity conditions of Section 3.3 plus
+//! objective computation, shared by the exhaustive, DP, and partial-order
+//! search algorithms.
+//!
+//! A *mapping* assigns each linkage-graph node to a network node. The
+//! [`Mapper`] checks:
+//!
+//! 1. every component's installation conditions hold in its node's
+//!    environment (and its `Factors` resolve there);
+//! 2. each linkage's implemented properties — after property flow and
+//!    route transformation — satisfy the required ones;
+//! 3. the request traffic derived from RRFs fits component capacities,
+//!    node CPUs, and link bandwidths;
+//!
+//! and computes the objective (expected latency, deployment cost, or
+//! sustainable rate).
+
+use crate::compat::{effective_provided, satisfies, transform_along};
+use crate::linkage::LinkageGraph;
+use crate::load::{propagate_rates, LoadModel, RatePlan};
+use crate::plan::{Objective, PlanEdge, ServiceRequest};
+use ps_net::{shortest_route, Network, NodeId, PropertyTranslator, Route};
+use ps_spec::condition::all_hold;
+use ps_spec::{Component, Environment, ResolvedBindings, ServiceSpec};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Fixed per-component startup charge used by the deployment-cost
+/// objective (milliseconds). The paper reports roughly 10 seconds of
+/// one-time costs for a handful of components including planning; the
+/// startup share is on the order of a second per component.
+pub const STARTUP_COST_MS: f64 = 500.0;
+
+/// Cache of computed routes, keyed by (from, to) node indices.
+type RouteCache = RefCell<HashMap<(u32, u32), Option<Rc<RouteInfo>>>>;
+
+/// A route together with the environment sequence its traffic traverses.
+#[derive(Debug, Clone)]
+pub struct RouteInfo {
+    /// The network route.
+    pub route: Route,
+    /// Environments (links + intermediate nodes) along it, in order.
+    pub envs: Vec<Environment>,
+}
+
+/// The evaluation result for a complete, feasible mapping.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Objective value (lower is better).
+    pub objective_value: f64,
+    /// Expected client-perceived latency, ms.
+    pub latency_ms: f64,
+    /// Deployment cost, ms.
+    pub cost_ms: f64,
+    /// Sustainable client rate, req/s.
+    pub sustainable_rate: f64,
+    /// Effective provided properties per graph node.
+    pub provided: Vec<ResolvedBindings>,
+    /// Resolved factors per graph node.
+    pub factors: Vec<ResolvedBindings>,
+    /// Whether each graph node maps onto a pinned/existing instance.
+    pub preexisting: Vec<bool>,
+    /// Plan edges (graph order, one per non-root node).
+    pub edges: Vec<PlanEdge>,
+}
+
+/// The shared mapping evaluator.
+pub struct Mapper<'a> {
+    /// The service specification.
+    pub spec: &'a ServiceSpec,
+    /// The network graph.
+    pub net: &'a Network,
+    /// The client request being planned.
+    pub request: &'a ServiceRequest,
+    /// Capacity enforcement mode.
+    pub load_model: LoadModel,
+    /// Optimization objective.
+    pub objective: Objective,
+    node_envs: Vec<Environment>,
+    link_envs: Vec<Environment>,
+    mid_envs: Vec<Environment>,
+    route_cache: RouteCache,
+}
+
+impl<'a> Mapper<'a> {
+    /// Builds a mapper, translating every node's credentials once.
+    pub fn new<T: PropertyTranslator + ?Sized>(
+        spec: &'a ServiceSpec,
+        net: &'a Network,
+        translator: &T,
+        request: &'a ServiceRequest,
+        load_model: LoadModel,
+        objective: Objective,
+    ) -> Self {
+        let derive = |mut env: Environment| {
+            spec.derived.extend(&mut env);
+            env
+        };
+        let node_envs = net
+            .nodes()
+            .iter()
+            .map(|n| {
+                let mut env = translator.node_env(n);
+                env.merge(&request.request_env);
+                derive(env)
+            })
+            .collect();
+        // Route environments depend on the translator too; capture them
+        // eagerly per link/node pair as routes are materialized.
+        let link_envs: Vec<Environment> = net
+            .links()
+            .iter()
+            .map(|l| derive(translator.link_env(l)))
+            .collect();
+        let mid_envs: Vec<Environment> = net
+            .nodes()
+            .iter()
+            .map(|n| derive(translator.node_env(n)))
+            .collect();
+        Mapper {
+            spec,
+            net,
+            request,
+            load_model,
+            objective,
+            node_envs,
+            link_envs,
+            mid_envs,
+            route_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Deployment environment of a network node (credentials translated,
+    /// request context merged).
+    pub fn node_env(&self, node: NodeId) -> &Environment {
+        &self.node_envs[node.0 as usize]
+    }
+
+    /// Route (with environments) between two nodes; cached.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Rc<RouteInfo>> {
+        if let Some(hit) = self.route_cache.borrow().get(&(from.0, to.0)) {
+            return hit.clone();
+        }
+        let computed = shortest_route(self.net, from, to).map(|route| {
+            Rc::new(RouteInfo {
+                envs: self.envs_along(&route),
+                route,
+            })
+        });
+        self.route_cache
+            .borrow_mut()
+            .insert((from.0, to.0), computed.clone());
+        computed
+    }
+
+    fn envs_along(&self, route: &Route) -> Vec<Environment> {
+        let mut envs = Vec::with_capacity(route.links.len() + route.via.len());
+        let mut via = route.via.iter();
+        for &link in &route.links {
+            envs.push(self.link_envs[link.0 as usize].clone());
+            if let Some(&mid) = via.next() {
+                envs.push(self.mid_envs[mid.0 as usize].clone());
+            }
+        }
+        envs
+    }
+
+    /// Condition 1: nodes where `component` may be instantiated for this
+    /// request. Respects pinning and the root-at-client rule.
+    pub fn candidates(&self, graph: &LinkageGraph, idx: usize) -> Vec<NodeId> {
+        let name = &graph.nodes[idx].component;
+        let Some(decl) = self.spec.get_component(name) else {
+            return Vec::new();
+        };
+        let forced: Option<NodeId> = if let Some(&pin) = self.request.pinned.get(name) {
+            Some(pin)
+        } else if idx == 0 && self.request.colocate_root {
+            Some(self.request.client_node)
+        } else {
+            None
+        };
+        let check = |node: NodeId| -> bool { self.component_fits(decl, node) };
+        match forced {
+            Some(node) => {
+                if check(node) {
+                    vec![node]
+                } else {
+                    Vec::new()
+                }
+            }
+            None => self.net.node_ids().filter(|&n| check(n)).collect(),
+        }
+    }
+
+    /// Whether `decl`'s conditions hold and its factors resolve on `node`.
+    pub fn component_fits(&self, decl: &Component, node: NodeId) -> bool {
+        let env = self.node_env(node);
+        all_hold(&decl.conditions, env) && decl.configure(env).is_ok()
+    }
+
+    /// Computes the effective provided properties of graph node `idx`
+    /// placed on `node`, given each child's effective provided map, and
+    /// checks condition 2 on every child edge. `None` means infeasible.
+    pub fn flow_at(
+        &self,
+        graph: &LinkageGraph,
+        idx: usize,
+        node: NodeId,
+        assignment: &[Option<NodeId>],
+        provided: &[Option<ResolvedBindings>],
+    ) -> Option<ResolvedBindings> {
+        let decl = self.spec.get_component(&graph.nodes[idx].component)?;
+        let env = self.node_env(node);
+        let config = decl.configure(env).ok()?;
+
+        let mut upstream = Vec::with_capacity(graph.nodes[idx].children.len());
+        for (req_idx, &(_, child)) in graph.nodes[idx].children.iter().enumerate() {
+            let child_node = assignment[child]?;
+            let child_provided = provided[child].as_ref()?;
+            let info = self.route(node, child_node)?;
+            let transformed = transform_along(self.spec, child_provided, &info.envs);
+            let required = config.requires.get(req_idx)?;
+            if !satisfies(self.spec, &transformed, &required.values) {
+                return None;
+            }
+            upstream.push(transformed);
+        }
+
+        // Merge all implements clauses' explicit bindings.
+        let mut explicit = ResolvedBindings::new();
+        for clause in &config.implements {
+            for (prop, value) in clause.values.iter() {
+                explicit.insert(prop, value.clone());
+            }
+        }
+        Some(effective_provided(&explicit, &upstream))
+    }
+
+    /// Full evaluation of a complete assignment: all three conditions plus
+    /// the objective. `None` means the mapping is infeasible.
+    pub fn evaluate(&self, graph: &LinkageGraph, assignment: &[NodeId]) -> Option<Evaluation> {
+        let n = graph.len();
+        debug_assert_eq!(assignment.len(), n);
+        let rates = propagate_rates(self.spec, graph, self.request.rate.max(1.0));
+
+        // Condition 1 + factors.
+        let mut factors = Vec::with_capacity(n);
+        for (idx, tree_node) in graph.nodes.iter().enumerate() {
+            let decl = self.spec.get_component(&tree_node.component)?;
+            let node = assignment[idx];
+            if !self.component_fits(decl, node) {
+                return None;
+            }
+            let config = decl.configure(self.node_env(node)).ok()?;
+            factors.push(config.factors);
+        }
+
+        // Instance-identity rules. (a) Two graph nodes mapped onto the
+        // same (component, node) would deploy as a single instance linked
+        // to itself — invalid. (b) A plan may create at most one *new*
+        // instance per (component, factors) configuration: duplicate
+        // same-configured instances hold the same state, so their
+        // declared RRFs must not compound; additional occurrences are
+        // only valid as attachments to pinned/existing instances (which
+        // is exactly how the paper's Seattle deployment chains onto San
+        // Diego's pre-deployed view server).
+        let preexisting: Vec<bool> = (0..n)
+            .map(|idx| {
+                self.request.is_preexisting(
+                    &graph.nodes[idx].component,
+                    assignment[idx],
+                    &factors[idx],
+                )
+            })
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if graph.nodes[i].component != graph.nodes[j].component {
+                    continue;
+                }
+                if assignment[i] == assignment[j] {
+                    return None;
+                }
+                if factors[i] == factors[j] {
+                    // Two fresh same-configured instances never make
+                    // sense (nothing distinguishes them to the planner).
+                    if !preexisting[i] && !preexisting[j] {
+                        return None;
+                    }
+                    // For *data views*, even an existing same-configured
+                    // replica adds nothing: it caches the same state, so
+                    // its declared RRF must not compound. Distinctly
+                    // factored views (Seattle's trust-2 onto San Diego's
+                    // trust-3) remain chainable.
+                    let is_data_view = self
+                        .spec
+                        .get_component(&graph.nodes[i].component)
+                        .is_some_and(|c| c.is_data_view());
+                    if is_data_view {
+                        return None;
+                    }
+                }
+            }
+        }
+
+        // Condition 2 via bottom-up property flow.
+        let opt_assignment: Vec<Option<NodeId>> = assignment.iter().copied().map(Some).collect();
+        let mut provided: Vec<Option<ResolvedBindings>> = vec![None; n];
+        for idx in graph.bottom_up_order() {
+            let flowed = self.flow_at(graph, idx, assignment[idx], &opt_assignment, &provided)?;
+            provided[idx] = Some(flowed);
+        }
+        let provided: Vec<ResolvedBindings> = provided.into_iter().map(Option::unwrap).collect();
+
+        // The client's own requirements on the requested interface are a
+        // linkage like any other: the root's provided properties degrade
+        // over the client -> root route before the check (a remote root
+        // across an insecure link cannot satisfy a confidentiality
+        // requirement).
+        {
+            let info = self.route(self.request.client_node, assignment[0])?;
+            let at_client = transform_along(self.spec, &provided[0], &info.envs);
+            if !satisfies(self.spec, &at_client, &self.request.required) {
+                return None;
+            }
+        }
+
+        // Edges, loads, latency.
+        let parents = graph.parents();
+        let mut edges = Vec::new();
+        let mut latency_ms = 0.0;
+        let mut link_bits: HashMap<u32, f64> = HashMap::new();
+        let mut node_cpu: HashMap<u32, f64> = HashMap::new();
+        let mut sustainable = f64::INFINITY;
+        let root_rate = rates.node_rate[0];
+
+        for idx in 0..n {
+            let comp = self.spec.behavior_of(&graph.nodes[idx].component);
+            let frac = rates.fraction(idx);
+            let node = assignment[idx];
+            let speed = self.net.node(node).cpu_speed;
+            latency_ms += frac * comp.cpu_per_request_ms / speed;
+
+            // Component capacity.
+            if let Some(cap) = comp.capacity {
+                if rates.node_rate[idx] > cap {
+                    return None;
+                }
+                if frac > 0.0 {
+                    sustainable = sustainable.min(cap / frac);
+                }
+            }
+            // Node CPU load.
+            let cpu_load = rates.node_rate[idx] * comp.cpu_per_request_ms / 1000.0;
+            match self.load_model {
+                LoadModel::PerComponent => {
+                    if cpu_load > speed {
+                        return None;
+                    }
+                }
+                LoadModel::Accumulated => {
+                    *node_cpu.entry(node.0).or_insert(0.0) += cpu_load;
+                }
+            }
+            if frac > 0.0 && comp.cpu_per_request_ms > 0.0 {
+                sustainable =
+                    sustainable.min(speed * 1000.0 / (frac * comp.cpu_per_request_ms));
+            }
+
+            // Edge into this node from its parent.
+            if let Some(parent) = parents[idx] {
+                let info = self.route(assignment[parent], node)?;
+                let bits = rates.edge_bits_per_sec(
+                    idx,
+                    comp.bytes_per_request,
+                    comp.bytes_per_response,
+                );
+                match self.load_model {
+                    LoadModel::PerComponent => {
+                        if bits > info.route.bottleneck_bps {
+                            return None;
+                        }
+                    }
+                    LoadModel::Accumulated => {
+                        for &l in &info.route.links {
+                            *link_bits.entry(l.0).or_insert(0.0) += bits;
+                        }
+                    }
+                }
+                if frac > 0.0 && info.route.bottleneck_bps.is_finite() {
+                    let per_req_bits =
+                        (comp.bytes_per_request + comp.bytes_per_response) as f64 * 8.0;
+                    if per_req_bits > 0.0 {
+                        sustainable = sustainable
+                            .min(info.route.bottleneck_bps / (frac * per_req_bits));
+                    }
+                }
+                let rtt_ms = 2.0 * info.route.latency.as_millis_f64()
+                    + if info.route.bottleneck_bps.is_finite() {
+                        (comp.bytes_per_request + comp.bytes_per_response) as f64 * 8.0
+                            / info.route.bottleneck_bps
+                            * 1000.0
+                    } else {
+                        0.0
+                    };
+                latency_ms += frac * rtt_ms;
+                let interface = graph.nodes[parent]
+                    .children
+                    .iter()
+                    .find(|&&(_, c)| c == idx)
+                    .map(|(i, _)| i.clone())
+                    .unwrap_or_default();
+                edges.push(PlanEdge {
+                    from: parent,
+                    to: idx,
+                    interface,
+                    route: info.route.clone(),
+                    rate: rates.edge_rate[idx],
+                });
+            }
+        }
+
+        // The implicit client -> root edge: the client submits its
+        // requests from its own node; when the root is colocated this is
+        // free, otherwise it costs a round trip per request.
+        {
+            let root_behavior = self.spec.behavior_of(&graph.nodes[0].component);
+            let info = self.route(self.request.client_node, assignment[0])?;
+            if !info.route.is_local() {
+                let bytes =
+                    (root_behavior.bytes_per_request + root_behavior.bytes_per_response) as f64;
+                let rtt_ms = 2.0 * info.route.latency.as_millis_f64()
+                    + if info.route.bottleneck_bps.is_finite() {
+                        bytes * 8.0 / info.route.bottleneck_bps * 1000.0
+                    } else {
+                        0.0
+                    };
+                latency_ms += rtt_ms;
+                if bytes > 0.0 && info.route.bottleneck_bps.is_finite() {
+                    sustainable = sustainable.min(info.route.bottleneck_bps / (bytes * 8.0));
+                }
+            }
+        }
+
+        // Accumulated capacity checks.
+        if self.load_model == LoadModel::Accumulated {
+            for (&node, &load) in &node_cpu {
+                let speed = self.net.node(NodeId(node)).cpu_speed;
+                if load > speed {
+                    return None;
+                }
+            }
+            for (&link, &bits) in &link_bits {
+                if bits > self.net.link(ps_net::LinkId(link)).bandwidth_bps {
+                    return None;
+                }
+            }
+        }
+        if sustainable < root_rate && self.request.rate > 0.0 {
+            return None;
+        }
+
+        // Deployment cost.
+        let origin = self.request.effective_origin();
+        let mut cost_ms = 0.0;
+        for (idx, tree_node) in graph.nodes.iter().enumerate() {
+            if preexisting[idx] {
+                continue;
+            }
+            let comp = self.spec.behavior_of(&tree_node.component);
+            let node = assignment[idx];
+            let transfer_ms = match self.route(origin, node) {
+                Some(info) if !info.route.is_local() => {
+                    info.route.latency.as_millis_f64()
+                        + comp.code_size as f64 * 8.0 / info.route.bottleneck_bps * 1000.0
+                }
+                _ => 0.0,
+            };
+            cost_ms += transfer_ms + STARTUP_COST_MS;
+        }
+
+        let objective_value = match self.objective {
+            // The tiny cost term breaks latency ties toward reusing
+            // existing instances / cheaper deployments, deterministically.
+            Objective::MinLatency => latency_ms + 1e-9 * cost_ms,
+            Objective::MinCost => cost_ms,
+            Objective::MaxCapacity => -sustainable,
+            Objective::Weighted {
+                latency_weight,
+                cost_weight,
+            } => latency_weight * latency_ms + cost_weight * cost_ms,
+        };
+
+        Some(Evaluation {
+            objective_value,
+            latency_ms,
+            cost_ms,
+            sustainable_rate: sustainable,
+            provided,
+            factors,
+            preexisting,
+            edges,
+        })
+    }
+
+    /// Rates for a graph under this request.
+    pub fn rates(&self, graph: &LinkageGraph) -> RatePlan {
+        propagate_rates(self.spec, graph, self.request.rate.max(1.0))
+    }
+}

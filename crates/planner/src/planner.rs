@@ -1,0 +1,382 @@
+//! The planning facade: ties enumeration, mapping, and search together
+//! (Figure 1, step 4).
+
+use crate::dp;
+use crate::exhaustive;
+use crate::linkage::enumerate_linkages_multi;
+use crate::linkage::LinkageLimits;
+use crate::load::LoadModel;
+use crate::mapping::Mapper;
+use crate::plan::{Objective, Placement, Plan, PlanError, PlanStats, ServiceRequest};
+use crate::pop;
+use ps_net::{Network, PropertyTranslator};
+use ps_spec::ServiceSpec;
+
+/// Which search algorithm maps linkage graphs onto the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Brute force with property-flow pruning (the oracle).
+    Exhaustive,
+    /// Chain dynamic programming (CANS-style); non-chain graphs and the
+    /// MaxCapacity objective fall back to branch-and-bound.
+    DpChain,
+    /// Branch-and-bound plan-space search (IPP-style solver core).
+    PartialOrder,
+    /// DP for chains, branch-and-bound otherwise.
+    #[default]
+    Auto,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerConfig {
+    /// Linkage enumeration limits.
+    pub limits: LinkageLimits,
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Capacity enforcement mode. Note that [`Algorithm::DpChain`]
+    /// reasons per-component regardless; with `Accumulated` the final
+    /// whole-mapping check still applies to the plan it returns.
+    pub load_model: LoadModel,
+    /// Search algorithm.
+    pub algorithm: Algorithm,
+    /// Worker threads for graph mapping (0 or 1 = serial). Used by
+    /// [`Planner::plan_parallel`]-aware callers such as the generic
+    /// server.
+    pub threads: usize,
+}
+
+/// The planning module.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Service specification being planned for.
+    pub spec: ServiceSpec,
+    /// Configuration.
+    pub config: PlannerConfig,
+}
+
+impl Planner {
+    /// Creates a planner with default configuration.
+    pub fn new(spec: ServiceSpec) -> Self {
+        Planner {
+            spec,
+            config: PlannerConfig::default(),
+        }
+    }
+
+    /// Creates a planner with an explicit configuration.
+    pub fn with_config(spec: ServiceSpec, config: PlannerConfig) -> Self {
+        Planner { spec, config }
+    }
+
+    /// Plans a deployment satisfying `request` on `net` (Section 3.3's
+    /// two logical steps: enumerate valid linkages, then map them onto
+    /// the network discarding mappings that violate any constraint,
+    /// keeping the objective-optimal survivor).
+    pub fn plan<T: PropertyTranslator + ?Sized>(
+        &self,
+        net: &Network,
+        translator: &T,
+        request: &ServiceRequest,
+    ) -> Result<Plan, PlanError> {
+        for pinned in request.pinned.keys() {
+            if self.spec.get_component(pinned).is_none() {
+                return Err(PlanError::UnknownPinned(pinned.clone()));
+            }
+        }
+        let graphs =
+            enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        if graphs.is_empty() {
+            return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
+        }
+
+        let mut stats = PlanStats {
+            graphs_enumerated: graphs.len(),
+            ..PlanStats::default()
+        };
+        let mut best: Option<Plan> = None;
+
+        // One mapper per load model, shared across every candidate graph:
+        // credential translation and the route cache amortize over the
+        // whole search. The DP reasons per-component, so it gets the
+        // matching load model regardless of the configuration.
+        let configured_mapper = Mapper::new(
+            &self.spec,
+            net,
+            translator,
+            request,
+            self.config.load_model,
+            self.config.objective,
+        );
+        let dp_mapper = if self.config.load_model == LoadModel::PerComponent {
+            None
+        } else {
+            Some(Mapper::new(
+                &self.spec,
+                net,
+                translator,
+                request,
+                LoadModel::PerComponent,
+                self.config.objective,
+            ))
+        };
+
+        for graph in &graphs {
+            if !self.graph_possibly_feasible(graph, request) {
+                stats.prunes += 1;
+                continue;
+            }
+            let use_dp = match self.config.algorithm {
+                Algorithm::Exhaustive | Algorithm::PartialOrder => false,
+                Algorithm::DpChain | Algorithm::Auto => {
+                    dp::applicable(graph, self.config.objective)
+                }
+            };
+            let result = if use_dp {
+                let mapper = dp_mapper.as_ref().unwrap_or(&configured_mapper);
+                // The chain DP cannot see path-wide instance-identity
+                // constraints (no two new instances of one configuration);
+                // when its reconstruction fails final validation, fall
+                // back to the branch-and-bound solver for this graph.
+                dp::search(mapper, graph, &mut stats)
+                    .or_else(|| pop::search(&configured_mapper, graph, &mut stats))
+            } else if self.config.algorithm == Algorithm::Exhaustive {
+                exhaustive::search(&configured_mapper, graph, &mut stats)
+            } else {
+                pop::search(&configured_mapper, graph, &mut stats)
+            };
+            let Some((assignment, eval)) = result else {
+                continue;
+            };
+            let better = best
+                .as_ref()
+                .is_none_or(|b| eval.objective_value < b.objective_value);
+            if !better {
+                continue;
+            }
+            let placements = graph
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(idx, tn)| Placement {
+                    graph_index: idx,
+                    component: tn.component.clone(),
+                    node: assignment[idx],
+                    factors: eval.factors[idx].clone(),
+                    provided: eval.provided[idx].clone(),
+                    preexisting: eval.preexisting[idx],
+                })
+                .collect();
+            best = Some(Plan {
+                graph: graph.clone(),
+                placements,
+                edges: eval.edges,
+                objective_value: eval.objective_value,
+                expected_latency_ms: eval.latency_ms,
+                deployment_cost_ms: eval.cost_ms,
+                sustainable_rate: eval.sustainable_rate,
+                stats,
+            });
+        }
+
+        match best {
+            Some(mut plan) => {
+                plan.stats = stats;
+                Ok(plan)
+            }
+            None => Err(PlanError::NoFeasibleMapping {
+                graphs: graphs.len(),
+            }),
+        }
+    }
+
+    /// Like [`plan`](Self::plan), but maps candidate linkage graphs onto
+    /// the network on parallel threads. Each worker owns its own
+    /// [`Mapper`] (route caches are thread-local); results are reduced to
+    /// the same objective-optimal plan the serial path returns, with ties
+    /// broken by graph order so the outcome stays deterministic.
+    pub fn plan_parallel<T: PropertyTranslator + Sync + ?Sized>(
+        &self,
+        net: &Network,
+        translator: &T,
+        request: &ServiceRequest,
+        threads: usize,
+    ) -> Result<Plan, PlanError> {
+        for pinned in request.pinned.keys() {
+            if self.spec.get_component(pinned).is_none() {
+                return Err(PlanError::UnknownPinned(pinned.clone()));
+            }
+        }
+        let graphs =
+            enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        if graphs.is_empty() {
+            return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
+        }
+        let viable: Vec<(usize, &crate::linkage::LinkageGraph)> = graphs
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| self.graph_possibly_feasible(g, request))
+            .collect();
+        let threads = threads.max(1).min(viable.len().max(1));
+
+        struct GraphResult {
+            order: usize,
+            assignment: Vec<ps_net::NodeId>,
+            eval: crate::mapping::Evaluation,
+            stats: PlanStats,
+        }
+
+        let mut per_graph: Vec<Option<GraphResult>> = Vec::new();
+        per_graph.resize_with(viable.len(), || None);
+        std::thread::scope(|scope| {
+            let chunks = viable.chunks(viable.len().div_ceil(threads));
+            let mut handles = Vec::new();
+            let mut offset = 0usize;
+            for chunk in chunks {
+                let start = offset;
+                offset += chunk.len();
+                handles.push((start, scope.spawn(move || {
+                    let mapper = Mapper::new(
+                        &self.spec,
+                        net,
+                        translator,
+                        request,
+                        self.config.load_model,
+                        self.config.objective,
+                    );
+                    let dp_mapper = Mapper::new(
+                        &self.spec,
+                        net,
+                        translator,
+                        request,
+                        LoadModel::PerComponent,
+                        self.config.objective,
+                    );
+                    let mut results = Vec::with_capacity(chunk.len());
+                    for &(order, graph) in chunk {
+                        let mut stats = PlanStats::default();
+                        let use_dp = match self.config.algorithm {
+                            Algorithm::Exhaustive | Algorithm::PartialOrder => false,
+                            Algorithm::DpChain | Algorithm::Auto => {
+                                dp::applicable(graph, self.config.objective)
+                            }
+                        };
+                        let result = if use_dp {
+                            dp::search(&dp_mapper, graph, &mut stats)
+                                .or_else(|| pop::search(&mapper, graph, &mut stats))
+                        } else if self.config.algorithm == Algorithm::Exhaustive {
+                            exhaustive::search(&mapper, graph, &mut stats)
+                        } else {
+                            pop::search(&mapper, graph, &mut stats)
+                        };
+                        results.push(result.map(|(assignment, eval)| GraphResult {
+                            order,
+                            assignment,
+                            eval,
+                            stats,
+                        }));
+                    }
+                    results
+                })));
+            }
+            for (start, handle) in handles {
+                for (i, r) in handle.join().expect("planner worker").into_iter().enumerate() {
+                    per_graph[start + i] = r;
+                }
+            }
+        });
+
+        let mut stats = PlanStats {
+            graphs_enumerated: graphs.len(),
+            prunes: (graphs.len() - viable.len()) as u64,
+            ..PlanStats::default()
+        };
+        let mut best: Option<GraphResult> = None;
+        for result in per_graph.into_iter().flatten() {
+            stats.mappings_evaluated += result.stats.mappings_evaluated;
+            stats.prunes += result.stats.prunes;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    result.eval.objective_value < b.eval.objective_value
+                        || (result.eval.objective_value == b.eval.objective_value
+                            && result.order < b.order)
+                }
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        let Some(winner) = best else {
+            return Err(PlanError::NoFeasibleMapping {
+                graphs: graphs.len(),
+            });
+        };
+        let graph = &graphs[winner.order];
+        let placements = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, tn)| Placement {
+                graph_index: idx,
+                component: tn.component.clone(),
+                node: winner.assignment[idx],
+                factors: winner.eval.factors[idx].clone(),
+                provided: winner.eval.provided[idx].clone(),
+                preexisting: winner.eval.preexisting[idx],
+            })
+            .collect();
+        Ok(Plan {
+            graph: graph.clone(),
+            placements,
+            edges: winner.eval.edges,
+            objective_value: winner.eval.objective_value,
+            expected_latency_ms: winner.eval.latency_ms,
+            deployment_cost_ms: winner.eval.cost_ms,
+            sustainable_rate: winner.eval.sustainable_rate,
+            stats,
+        })
+    }
+
+    /// Cheap structural pre-filter: a graph that uses a component with
+    /// environment-independent configuration `m` times can only be mapped
+    /// when at least `m − 1` pre-existing instances of it are attachable —
+    /// the instance-identity rules forbid creating two new instances of
+    /// one configuration. Graphs that fail are infeasible for every
+    /// mapping, so no search algorithm needs to touch them.
+    fn graph_possibly_feasible(
+        &self,
+        graph: &crate::linkage::LinkageGraph,
+        request: &ServiceRequest,
+    ) -> bool {
+        use std::collections::BTreeMap;
+        let mut multiplicity: BTreeMap<&str, usize> = BTreeMap::new();
+        for node in &graph.nodes {
+            *multiplicity.entry(node.component.as_str()).or_insert(0) += 1;
+        }
+        for (component, &count) in &multiplicity {
+            if count < 2 {
+                continue;
+            }
+            let Some(decl) = self.spec.get_component(component) else {
+                return false;
+            };
+            if decl.is_env_dependent() {
+                // Factored per node: distinct configurations may coexist.
+                continue;
+            }
+            let existing = request
+                .existing
+                .iter()
+                .filter(|e| e.component == *component)
+                .map(|e| e.node)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                + usize::from(request.pinned.contains_key(*component));
+            if count > existing + 1 {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,225 @@
+//! The discrete-event engine.
+//!
+//! The engine is generic over the event type `E`. Users pump it with a
+//! handler closure that receives `(&mut Engine, &mut S, E)`; handlers
+//! schedule follow-on events. Two events at the same instant fire in
+//! scheduling order (a monotone sequence number breaks ties), which keeps
+//! runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry in the event queue.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A discrete-event simulation engine.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error; the event is clamped to `now` so causality is never
+    /// violated, and debug builds assert.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.queue.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Runs until the queue drains, handing each event to `handler`.
+    pub fn run<S>(&mut self, state: &mut S, mut handler: impl FnMut(&mut Self, &mut S, E)) {
+        while let Some((_, event)) = self.step() {
+            handler(self, state, event);
+        }
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`
+    /// (exclusive). Events scheduled after the deadline stay queued.
+    pub fn run_until<S>(
+        &mut self,
+        deadline: SimTime,
+        state: &mut S,
+        mut handler: impl FnMut(&mut Self, &mut S, E),
+    ) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let (_, event) = self.step().expect("peeked entry must pop");
+            handler(self, state, event);
+        }
+        self.now = self.now.max(deadline.min(
+            self.queue
+                .peek()
+                .map(|Reverse(h)| h.at)
+                .unwrap_or(deadline),
+        ));
+    }
+
+    /// Runs at most `max_events` events.
+    pub fn run_steps<S>(
+        &mut self,
+        max_events: u64,
+        state: &mut S,
+        mut handler: impl FnMut(&mut Self, &mut S, E),
+    ) {
+        for _ in 0..max_events {
+            match self.step() {
+                Some((_, event)) => handler(self, state, event),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimDuration::from_millis(30), 3);
+        engine.schedule(SimDuration::from_millis(10), 1);
+        engine.schedule(SimDuration::from_millis(20), 2);
+        let mut order = Vec::new();
+        engine.run(&mut order, |_, order, e| order.push(e));
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_scheduling_order() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            engine.schedule(SimDuration::from_millis(5), i);
+        }
+        let mut order = Vec::new();
+        engine.run(&mut order, |_, order, e| order.push(e));
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ons() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimDuration::from_millis(1), 0);
+        let mut count = 0u32;
+        engine.run(&mut count, |engine, count, e| {
+            *count += 1;
+            if e < 4 {
+                engine.schedule(SimDuration::from_millis(1), e + 1);
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(engine.now().as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut engine: Engine<u32> = Engine::new();
+        for ms in [10u64, 20, 30, 40] {
+            engine.schedule(SimDuration::from_millis(ms), ms as u32);
+        }
+        let mut seen = Vec::new();
+        engine.run_until(SimTime::from_nanos(25_000_000), &mut seen, |_, seen, e| {
+            seen.push(e)
+        });
+        assert_eq!(seen, vec![10, 20]);
+        assert_eq!(engine.pending(), 2);
+    }
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule(SimDuration::from_secs(2), ());
+        let mut t = SimTime::ZERO;
+        engine.run(&mut t, |engine, t, _| *t = engine.now());
+        assert_eq!(t.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn run_steps_limits_work() {
+        let mut engine: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            engine.schedule(SimDuration::from_millis(i as u64), i);
+        }
+        let mut n = 0u32;
+        engine.run_steps(3, &mut n, |_, n, _| *n += 1);
+        assert_eq!(n, 3);
+        assert_eq!(engine.pending(), 7);
+    }
+}

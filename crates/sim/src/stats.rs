@@ -1,0 +1,385 @@
+//! Measurement collection: running summaries, percentile samplers, and
+//! log-scale histograms for latency distributions.
+
+use std::fmt;
+
+/// Numerically stable running summary (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Keeps every observation (bounded workloads) for exact percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) using nearest-rank interpolation;
+    /// `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+/// Power-of-two bucketed histogram for positive values (latencies).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// `buckets[i]` counts values in `[2^(i-1), 2^i)` of the base unit;
+    /// bucket 0 counts values below 1.
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram covering up to 2^63 units.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    /// Records a value (units are caller-defined; negative values clamp
+    /// to bucket 0).
+    pub fn record(&mut self, value: f64) {
+        let idx = if value < 1.0 {
+            0
+        } else {
+            (value.log2().floor() as usize + 1).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterates `(bucket_upper_bound, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (2f64.powi(i as i32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.571428571428571).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_bulk() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut p = Percentiles::new();
+        for x in 1..=100 {
+            p.record(x as f64);
+        }
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        let median = p.median().unwrap();
+        assert!((median - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentiles_are_none() {
+        assert_eq!(Percentiles::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0.5); // bucket 0
+        h.record(1.0); // [1,2)
+        h.record(3.0); // [2,4)
+        h.record(3.9);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(h.count(), 4);
+        assert_eq!(buckets, vec![(1.0, 1), (2.0, 1), (4.0, 2)]);
+    }
+}
+
+/// Fixed-window time series: observations are bucketed by timestamp into
+/// windows of equal width, each summarized online. Useful for
+/// latency-over-time views (e.g. watching coherence flush spikes or an
+/// adaptation event).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window: crate::time::SimDuration,
+    windows: Vec<Summary>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width.
+    pub fn new(window: crate::time::SimDuration) -> Self {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        TimeSeries {
+            window,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records `value` observed at `at`.
+    pub fn record(&mut self, at: crate::time::SimTime, value: f64) {
+        let idx = (at.as_nanos() / self.window.as_nanos()) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize_with(idx + 1, Summary::new);
+        }
+        self.windows[idx].record(value);
+    }
+
+    /// The window width.
+    pub fn window(&self) -> crate::time::SimDuration {
+        self.window
+    }
+
+    /// Number of windows (including empty gaps).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Iterates `(window start, summary)` for non-empty windows.
+    pub fn iter(&self) -> impl Iterator<Item = (crate::time::SimTime, &Summary)> {
+        let width = self.window;
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0)
+            .map(move |(i, s)| {
+                (
+                    crate::time::SimTime::from_nanos(i as u64 * width.as_nanos()),
+                    s,
+                )
+            })
+    }
+
+    /// Mean per window (`None` for empty windows), in window order.
+    pub fn means(&self) -> Vec<Option<f64>> {
+        self.windows
+            .iter()
+            .map(|s| (s.count() > 0).then(|| s.mean()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod timeseries_tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn observations_land_in_their_windows() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        ts.record(SimTime::from_nanos(10_000_000), 1.0); // window 0
+        ts.record(SimTime::from_nanos(150_000_000), 3.0); // window 1
+        ts.record(SimTime::from_nanos(160_000_000), 5.0); // window 1
+        ts.record(SimTime::from_nanos(950_000_000), 7.0); // window 9
+        assert_eq!(ts.len(), 10);
+        let means = ts.means();
+        assert_eq!(means[0], Some(1.0));
+        assert_eq!(means[1], Some(4.0));
+        assert_eq!(means[2], None);
+        assert_eq!(means[9], Some(7.0));
+        let non_empty: Vec<_> = ts.iter().collect();
+        assert_eq!(non_empty.len(), 3);
+        assert_eq!(non_empty[1].0, SimTime::from_nanos(100_000_000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_is_rejected() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,119 @@
+//! The component factory registry — the stand-in for Java dynamic class
+//! loading.
+//!
+//! The paper's run-time downloads component *code* onto nodes and relies
+//! on the JVM to verify and install it. Rust has no dynamic code
+//! loading, so the registry holds a factory per component name; remote
+//! deployment ships a [`Blueprint`] (name + factored configuration) and
+//! the receiving node wrapper instantiates it from the registry, while
+//! the simulated network still charges the declared code size for the
+//! transfer. The observable costs and the per-node `Factors`
+//! configuration — all the evaluation depends on — are preserved.
+
+use crate::component::ComponentLogic;
+use ps_net::NodeId;
+use ps_spec::{Environment, ResolvedBindings};
+use std::collections::BTreeMap;
+
+/// What the deployment engine ships to a node wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blueprint {
+    /// Component (specification) name.
+    pub component: String,
+    /// Resolved view factors for the target node.
+    pub factors: ResolvedBindings,
+    /// Code size charged for the transfer, bytes.
+    pub code_size: u64,
+}
+
+/// Arguments handed to a component factory at instantiation time.
+pub struct FactoryArgs<'a> {
+    /// Component name being instantiated.
+    pub component: &'a str,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Resolved factors (node-specific configuration).
+    pub factors: &'a ResolvedBindings,
+    /// The node's deployment environment.
+    pub env: &'a Environment,
+}
+
+/// A component factory.
+pub type Factory = Box<dyn Fn(&FactoryArgs<'_>) -> Box<dyn ComponentLogic>>;
+
+/// Registry mapping component names to factories.
+#[derive(Default)]
+pub struct ComponentRegistry {
+    factories: BTreeMap<String, Factory>,
+}
+
+impl ComponentRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory for `component`, replacing any previous one.
+    pub fn register(
+        &mut self,
+        component: impl Into<String>,
+        factory: impl Fn(&FactoryArgs<'_>) -> Box<dyn ComponentLogic> + 'static,
+    ) {
+        self.factories.insert(component.into(), Box::new(factory));
+    }
+
+    /// Whether a factory exists for `component`.
+    pub fn knows(&self, component: &str) -> bool {
+        self.factories.contains_key(component)
+    }
+
+    /// Instantiates `component`; `None` when unregistered.
+    pub fn create(&self, args: &FactoryArgs<'_>) -> Option<Box<dyn ComponentLogic>> {
+        self.factories.get(args.component).map(|f| f(args))
+    }
+
+    /// Registered component names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+}
+
+impl std::fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentRegistry")
+            .field("components", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Outbox, Payload, RequestHandle};
+
+    struct Nop;
+    impl ComponentLogic for Nop {
+        fn on_request(&mut self, _o: &mut Outbox, _r: RequestHandle, _p: &Payload) {}
+        fn on_response(&mut self, _o: &mut Outbox, _t: u64, _p: &Payload) {}
+    }
+
+    #[test]
+    fn registry_creates_by_name() {
+        let mut reg = ComponentRegistry::new();
+        reg.register("Nop", |_| Box::new(Nop));
+        assert!(reg.knows("Nop"));
+        assert!(!reg.knows("Other"));
+        let args = FactoryArgs {
+            component: "Nop",
+            node: NodeId(0),
+            factors: &ResolvedBindings::new(),
+            env: &Environment::new(),
+        };
+        assert!(reg.create(&args).is_some());
+        let missing = FactoryArgs {
+            component: "Other",
+            ..args
+        };
+        assert!(reg.create(&missing).is_none());
+    }
+}

@@ -1,0 +1,1050 @@
+//! The simulated Smock world: deployed instances exchanging messages
+//! over the traffic-shaped network.
+//!
+//! Messages travel hop-by-hop (store-and-forward) over the links of
+//! their route, queueing at busy links exactly as the Click-shaped
+//! testbed links did; request handling charges the component's declared
+//! per-request CPU cost on the hosting node's FIFO CPU. The world is
+//! deterministic: equal seeds and workloads replay identically.
+
+use crate::component::{
+    Action, ComponentLogic, InstanceId, InstanceInfo, Outbox, Payload, RequestHandle,
+};
+use ps_net::{shortest_route, Network, NodeId};
+use ps_sim::{CpuModel, Engine, LinkModel, Percentiles, SimDuration, SimTime, Summary};
+use ps_spec::{Behavior, ResolvedBindings};
+use std::collections::{BTreeMap, HashMap};
+
+/// Directed hop sequence memo per (from, to) node pair.
+type RouteMemo = HashMap<(u32, u32), Option<Vec<(ps_net::LinkId, u8)>>>;
+
+/// Events driving the world.
+#[derive(Debug)]
+enum Event {
+    /// A message is ready to enter hop `envelope.hop` of its route.
+    Hop { msg: u64 },
+    /// A message arrived at its destination node (CPU not yet charged).
+    Deliver { msg: u64 },
+    /// CPU service for a delivered message completed; run the handler.
+    Process { msg: u64 },
+    /// A component timer fired.
+    Timer { instance: InstanceId, tag: u64 },
+    /// Instance start callback.
+    Start { instance: InstanceId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Expecting a reply correlated by the request id.
+    Request { req: u64 },
+    /// Reply to request `req`.
+    Response { req: u64 },
+    /// One-way.
+    Notify,
+}
+
+struct Envelope {
+    kind: Kind,
+    #[allow(dead_code)] // kept for debugging / tracing
+    from: InstanceId,
+    to: InstanceId,
+    /// `(link, direction)` per hop; direction 0 = a->b, 1 = b->a.
+    hops: Vec<(ps_net::LinkId, u8)>,
+    hop: usize,
+    payload: Payload,
+}
+
+struct PendingRequest {
+    caller: InstanceId,
+    token: u64,
+}
+
+struct InstanceSlot {
+    info: InstanceInfo,
+    behavior: Behavior,
+    logic: Option<Box<dyn ComponentLogic>>,
+    /// Messages addressed here are re-sent to the forwarding target
+    /// (set after a migration).
+    forward: Option<InstanceId>,
+    /// A retired instance drops everything addressed to it.
+    retired: bool,
+}
+
+/// Mutable world state (separated from the engine so event handlers can
+/// borrow both).
+struct State {
+    net: Network,
+    /// Full-duplex links: one shaping queue per direction.
+    links: Vec<[LinkModel; 2]>,
+    cpus: Vec<CpuModel>,
+    instances: Vec<InstanceSlot>,
+    envelopes: HashMap<u64, Envelope>,
+    pending: HashMap<u64, PendingRequest>,
+    next_msg: u64,
+    next_req: u64,
+    metrics: BTreeMap<String, (Summary, Percentiles)>,
+    messages_sent: u64,
+    /// Memoized directed hop sequences per (from, to) node pair;
+    /// invalidated whenever link conditions change.
+    route_cache: RouteMemo,
+}
+
+/// The simulated runtime.
+pub struct World {
+    engine: Engine<Event>,
+    state: State,
+}
+
+impl World {
+    /// Builds a world over a network: one [`LinkModel`] per link and one
+    /// [`CpuModel`] per node.
+    pub fn new(net: Network) -> Self {
+        let links = net
+            .links()
+            .iter()
+            .map(|l| {
+                [
+                    LinkModel::new(l.latency, l.bandwidth_bps),
+                    LinkModel::new(l.latency, l.bandwidth_bps),
+                ]
+            })
+            .collect();
+        let cpus = net.nodes().iter().map(|n| CpuModel::new(n.cpu_speed)).collect();
+        World {
+            engine: Engine::new(),
+            state: State {
+                net,
+                links,
+                cpus,
+                instances: Vec::new(),
+                envelopes: HashMap::new(),
+                pending: HashMap::new(),
+                next_msg: 0,
+                next_req: 0,
+                metrics: BTreeMap::new(),
+                messages_sent: 0,
+                route_cache: HashMap::new(),
+            },
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Network {
+        &self.state.net
+    }
+
+    /// Total messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.state.messages_sent
+    }
+
+    /// Instantiates a component on a node. Linkages are wired later via
+    /// [`wire`](Self::wire); `on_start` fires at `start_at` (schedule the
+    /// deployment engine computed).
+    pub fn instantiate(
+        &mut self,
+        component: impl Into<String>,
+        node: NodeId,
+        factors: ResolvedBindings,
+        behavior: Behavior,
+        logic: Box<dyn ComponentLogic>,
+        start_at: SimTime,
+    ) -> InstanceId {
+        let id = InstanceId(self.state.instances.len() as u32);
+        self.state.instances.push(InstanceSlot {
+            info: InstanceInfo {
+                id,
+                component: component.into(),
+                node,
+                factors,
+                linkages: Vec::new(),
+            },
+            behavior,
+            logic: Some(logic),
+            forward: None,
+            retired: false,
+        });
+        self.engine.schedule_at(start_at, Event::Start { instance: id });
+        id
+    }
+
+    /// Wires `instance`'s required linkages to provider instances.
+    pub fn wire(&mut self, instance: InstanceId, linkages: Vec<InstanceId>) {
+        self.state.instances[instance.0 as usize].info.linkages = linkages;
+    }
+
+    /// Info for an instance.
+    pub fn instance(&self, id: InstanceId) -> &InstanceInfo {
+        &self.state.instances[id.0 as usize].info
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.state.instances.len()
+    }
+
+    /// Whether any instance of `component` (whatever its configuration)
+    /// runs on `node` — the node wrapper then already holds its code, so
+    /// a further instantiation ships no blueprint.
+    pub fn code_present(&self, component: &str, node: NodeId) -> bool {
+        self.state
+            .instances
+            .iter()
+            .any(|s| s.info.component == component && s.info.node == node)
+    }
+
+    /// Finds the first *live* instance of `component` on `node` with
+    /// matching factors (used by the deployment engine to reuse
+    /// replicas); retired instances never match.
+    pub fn find_instance(
+        &self,
+        component: &str,
+        node: NodeId,
+        factors: &ResolvedBindings,
+    ) -> Option<InstanceId> {
+        self.state
+            .instances
+            .iter()
+            .find(|s| {
+                !s.retired
+                    && s.info.component == component
+                    && s.info.node == node
+                    && &s.info.factors == factors
+            })
+            .map(|s| s.info.id)
+    }
+
+    /// Mutable access to an instance's logic, for test assertions and
+    /// state inspection between runs.
+    pub fn logic_mut(&mut self, id: InstanceId) -> &mut dyn ComponentLogic {
+        self.state.instances[id.0 as usize]
+            .logic
+            .as_mut()
+            .expect("logic present outside dispatch")
+            .as_mut()
+    }
+
+    /// Records a measurement from outside component code (the harness).
+    pub fn record_metric(&mut self, metric: &str, value: f64) {
+        let entry = self
+            .state
+            .metrics
+            .entry(metric.to_owned())
+            .or_insert_with(|| (Summary::new(), Percentiles::new()));
+        entry.0.record(value);
+        entry.1.record(value);
+    }
+
+    /// Summary of a metric (empty summary when never recorded).
+    pub fn metric(&self, name: &str) -> Summary {
+        self.state
+            .metrics
+            .get(name)
+            .map(|(s, _)| s.clone())
+            .unwrap_or_default()
+    }
+
+    /// Percentile sampler for a metric.
+    pub fn metric_percentiles(&mut self, name: &str) -> Option<&mut Percentiles> {
+        self.state.metrics.get_mut(name).map(|(_, p)| p)
+    }
+
+    /// Names of all recorded metrics.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.state.metrics.keys().cloned().collect()
+    }
+
+    /// Changes a link's conditions mid-run (the dynamic environment of
+    /// Section 6): both the routing graph and the traffic-shaping models
+    /// pick up the new latency and bandwidth; transmissions already in
+    /// progress complete under the old parameters.
+    pub fn update_link(
+        &mut self,
+        link: ps_net::LinkId,
+        latency: ps_sim::SimDuration,
+        bandwidth_bps: f64,
+    ) {
+        let l = self.state.net.link_mut(link);
+        l.latency = latency;
+        l.bandwidth_bps = bandwidth_bps;
+        for direction in &mut self.state.links[link.0 as usize] {
+            direction.latency = latency;
+            direction.bandwidth_bps = bandwidth_bps;
+        }
+        self.state.route_cache.clear();
+    }
+
+    /// Changes a link's credentials mid-run (e.g. a secure leased line
+    /// cut over to the public internet).
+    pub fn update_link_credentials(
+        &mut self,
+        link: ps_net::LinkId,
+        credentials: ps_net::Credentials,
+    ) {
+        self.state.net.link_mut(link).credentials = credentials;
+        // Security credentials participate in the routing metric.
+        self.state.route_cache.clear();
+    }
+
+    /// Changes a node's credentials mid-run (e.g. a trust revocation the
+    /// monitoring layer reports).
+    pub fn update_node_credentials(
+        &mut self,
+        node: NodeId,
+        credentials: ps_net::Credentials,
+    ) {
+        self.state.net.node_mut(node).credentials = credentials;
+    }
+
+    /// Migrates an instance's state to a new instance on `to_node`
+    /// (Section 6: redeployment "needs to preserve state compatibility
+    /// ... and carefully consider the internal state of components as
+    /// well as any partially processed requests").
+    ///
+    /// The component's state moves with its logic; the transfer is
+    /// charged over the current route using the snapshot's size (the
+    /// component's [`ComponentLogic::snapshot`] hook, 4 KiB when it does
+    /// not implement one). Until and after the hand-off, traffic that
+    /// still addresses the old instance — in-flight requests included —
+    /// is forwarded to the new one, so partially processed exchanges
+    /// complete. The old instance's linkages carry over; callers should
+    /// [`wire`](Self::wire) differently if the move changes providers.
+    ///
+    /// Returns the new instance id and the time the new instance is
+    /// live.
+    pub fn migrate(&mut self, old: InstanceId, to_node: NodeId) -> (InstanceId, SimTime) {
+        let slot = &mut self.state.instances[old.0 as usize];
+        debug_assert!(!slot.retired, "cannot migrate a retired instance");
+        let logic = slot.logic.take().expect("migrate outside dispatch");
+        let state_bytes = logic.snapshot().map(|p| p.wire_bytes).unwrap_or(4096);
+        let from_node = slot.info.node;
+        let component = slot.info.component.clone();
+        let factors = slot.info.factors.clone();
+        let behavior = slot.behavior.clone();
+        let linkages = slot.info.linkages.clone();
+
+        let transfer = if from_node == to_node {
+            ps_sim::SimDuration::ZERO
+        } else {
+            match shortest_route(&self.state.net, from_node, to_node) {
+                Some(route) if !route.is_local() => {
+                    route.latency
+                        + ps_sim::SimDuration::from_secs_f64(
+                            state_bytes as f64 * 8.0 / route.bottleneck_bps,
+                        )
+                }
+                _ => ps_sim::SimDuration::ZERO,
+            }
+        };
+        let live_at = self.now() + transfer;
+        let new = self.instantiate(component, to_node, factors, behavior, logic, live_at);
+        self.state.instances[new.0 as usize].info.linkages = linkages;
+        let slot = &mut self.state.instances[old.0 as usize];
+        slot.forward = Some(new);
+        slot.retired = true;
+        // Every consumer wired to the old instance now talks to the new
+        // one directly (the forward covers messages already in flight).
+        for s in &mut self.state.instances {
+            for l in &mut s.info.linkages {
+                if *l == old {
+                    *l = new;
+                }
+            }
+        }
+        // Calls the old instance made whose responses are still pending
+        // belong to the moved logic: re-point them so the responses are
+        // dispatched at the new instance.
+        for pending in self.state.pending.values_mut() {
+            if pending.caller == old {
+                pending.caller = new;
+            }
+        }
+        (new, live_at)
+    }
+
+    /// Fails a node abruptly: every instance hosted there is retired
+    /// *without* the graceful [`ComponentLogic::on_retire`] hook (a crash
+    /// ships no state), and traffic addressed to those instances is
+    /// dropped. Returns the retired instances. The node stays in the
+    /// topology (links up, conditions unchanged) — modelling a host
+    /// crash, not a partition; callers wanting the planner to avoid the
+    /// node should also strip its credentials.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<InstanceId> {
+        let mut failed = Vec::new();
+        for slot in &mut self.state.instances {
+            if slot.info.node == node && !slot.retired {
+                slot.retired = true;
+                slot.forward = None;
+                failed.push(slot.info.id);
+            }
+        }
+        failed
+    }
+
+    /// Retires an instance: its [`ComponentLogic::on_retire`] hook runs
+    /// first (so stateful components can flush upstream), then subsequent
+    /// and in-flight messages to it are dropped. Used when a re-plan
+    /// removes a component.
+    pub fn retire(&mut self, instance: InstanceId) {
+        if self.state.instances[instance.0 as usize].retired {
+            return;
+        }
+        dispatch(&mut self.engine, &mut self.state, instance, |logic, out| {
+            logic.on_retire(out)
+        });
+        let slot = &mut self.state.instances[instance.0 as usize];
+        slot.retired = true;
+        slot.forward = None;
+    }
+
+    /// Whether an instance has been retired (or migrated away).
+    pub fn is_retired(&self, instance: InstanceId) -> bool {
+        self.state.instances[instance.0 as usize].retired
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        self.engine.run(&mut self.state, handle);
+    }
+
+    /// Runs until `deadline` (events after it stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.engine.run_until(deadline, &mut self.state, handle);
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+}
+
+/// Event dispatch.
+fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
+    match event {
+        Event::Start { instance } => {
+            dispatch(engine, state, instance, |logic, out| logic.on_start(out));
+        }
+        Event::Timer { instance, tag } => {
+            dispatch(engine, state, instance, |logic, out| logic.on_timer(out, tag));
+        }
+        Event::Hop { msg } => {
+            let now = engine.now();
+            let Some(((link, dir), bytes)) = state
+                .envelopes
+                .get(&msg)
+                .map(|e| (e.hops[e.hop], e.payload.wire_bytes))
+            else {
+                return;
+            };
+            let arrival = state.links[link.0 as usize][dir as usize].transmit(now, bytes);
+            let env = state.envelopes.get_mut(&msg).expect("envelope exists");
+            env.hop += 1;
+            let next = if env.hop == env.hops.len() {
+                Event::Deliver { msg }
+            } else {
+                Event::Hop { msg }
+            };
+            engine.schedule_at(arrival, next);
+        }
+        Event::Deliver { msg } => {
+            let now = engine.now();
+            let Some((to, kind)) = state.envelopes.get(&msg).map(|e| (e.to, e.kind)) else {
+                return;
+            };
+            // Migrated away? Forward the envelope along; retired with no
+            // forwarding address? Drop it.
+            let slot = &state.instances[to.0 as usize];
+            if slot.retired {
+                match slot.forward {
+                    Some(target) => {
+                        // Charge the forwarding hop from the *old*
+                        // instance's node to the new one (`to` still
+                        // names the old instance, whose node is intact).
+                        let env = state.envelopes.remove(&msg).expect("present");
+                        send(engine, state, to, target, env.kind, env.payload);
+                    }
+                    None => {
+                        state.envelopes.remove(&msg);
+                    }
+                }
+                return;
+            }
+            // Requests and notifies charge the component's per-request
+            // CPU; responses are charged to the caller implicitly via its
+            // own follow-on work.
+            let cpu_ms = match kind {
+                Kind::Request { .. } | Kind::Notify => {
+                    state.instances[to.0 as usize].behavior.cpu_per_request_ms
+                }
+                Kind::Response { .. } => 0.0,
+            };
+            let node = state.instances[to.0 as usize].info.node;
+            let done = if cpu_ms > 0.0 {
+                state.cpus[node.0 as usize].execute(now, cpu_ms)
+            } else {
+                now
+            };
+            engine.schedule_at(done, Event::Process { msg });
+        }
+        Event::Process { msg } => {
+            let Some(env) = state.envelopes.remove(&msg) else {
+                return;
+            };
+            let to = env.to;
+            // The target may have migrated (or crashed) between this
+            // message's CPU scheduling and now: forward or drop, exactly
+            // as at delivery time.
+            let slot = &state.instances[to.0 as usize];
+            if slot.retired {
+                if let Some(target) = slot.forward {
+                    send(engine, state, to, target, env.kind, env.payload);
+                }
+                return;
+            }
+            match env.kind {
+                Kind::Request { req } => {
+                    dispatch(engine, state, to, |logic, out| {
+                        logic.on_request(out, RequestHandle(req), &env.payload)
+                    });
+                }
+                Kind::Response { req } => {
+                    if let Some(pending) = state.pending.remove(&req) {
+                        debug_assert_eq!(pending.caller, to);
+                        let token = pending.token;
+                        dispatch(engine, state, to, |logic, out| {
+                            logic.on_response(out, token, &env.payload)
+                        });
+                    }
+                }
+                Kind::Notify => {
+                    dispatch(engine, state, to, |logic, out| {
+                        logic.on_notify(out, &env.payload)
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs a handler on an instance's logic and applies the emitted actions.
+fn dispatch(
+    engine: &mut Engine<Event>,
+    state: &mut State,
+    instance: InstanceId,
+    f: impl FnOnce(&mut dyn ComponentLogic, &mut Outbox),
+) {
+    let mut logic = state.instances[instance.0 as usize]
+        .logic
+        .take()
+        .expect("no reentrant dispatch");
+    let linkage_count = state.instances[instance.0 as usize].info.linkages.len();
+    let mut out = Outbox::new(engine.now(), linkage_count, instance);
+    f(logic.as_mut(), &mut out);
+    state.instances[instance.0 as usize].logic = Some(logic);
+    apply_actions(engine, state, instance, out.actions);
+}
+
+fn apply_actions(
+    engine: &mut Engine<Event>,
+    state: &mut State,
+    instance: InstanceId,
+    actions: Vec<Action>,
+) {
+    for action in actions {
+        match action {
+            Action::Reply { to, payload } => {
+                let req = to.0;
+                let Some(pending) = state.pending.get(&req) else {
+                    continue;
+                };
+                let caller = pending.caller;
+                send(
+                    engine,
+                    state,
+                    instance,
+                    caller,
+                    Kind::Response { req },
+                    payload,
+                );
+            }
+            Action::Call {
+                linkage,
+                payload,
+                token,
+            } => {
+                let provider = state.instances[instance.0 as usize].info.linkages[linkage];
+                let req = state.next_req;
+                state.next_req += 1;
+                state.pending.insert(
+                    req,
+                    PendingRequest {
+                        caller: instance,
+                        token,
+                    },
+                );
+                send(engine, state, instance, provider, Kind::Request { req }, payload);
+            }
+            Action::Notify { linkage, payload } => {
+                let provider = state.instances[instance.0 as usize].info.linkages[linkage];
+                send(engine, state, instance, provider, Kind::Notify, payload);
+            }
+            Action::NotifyInstance { to, payload } => {
+                send(engine, state, instance, to, Kind::Notify, payload);
+            }
+            Action::Timer { delay, tag } => {
+                engine.schedule(delay, Event::Timer { instance, tag });
+            }
+            Action::Measure { metric, value } => {
+                let entry = state
+                    .metrics
+                    .entry(metric.to_owned())
+                    .or_insert_with(|| (Summary::new(), Percentiles::new()));
+                entry.0.record(value);
+                entry.1.record(value);
+            }
+        }
+    }
+}
+
+/// Enqueues a message from one instance to another; local (same node)
+/// deliveries skip the network entirely.
+fn send(
+    engine: &mut Engine<Event>,
+    state: &mut State,
+    from: InstanceId,
+    to: InstanceId,
+    kind: Kind,
+    payload: Payload,
+) {
+    state.messages_sent += 1;
+    let from_node = state.instances[from.0 as usize].info.node;
+    let to_node = state.instances[to.0 as usize].info.node;
+    let hops = if from_node == to_node {
+        Vec::new()
+    } else {
+        let cached = state
+            .route_cache
+            .entry((from_node.0, to_node.0))
+            .or_insert_with(|| {
+                shortest_route(&state.net, from_node, to_node).map(|route| {
+                    // Annotate each link with its traversal direction so
+                    // each direction of a full-duplex link queues
+                    // independently.
+                    let mut hops = Vec::with_capacity(route.links.len());
+                    let mut at = from_node;
+                    for &l in &route.links {
+                        let link = state.net.link(l);
+                        let dir = if link.a == at { 0u8 } else { 1u8 };
+                        at = link.other(at).expect("route links are connected");
+                        hops.push((l, dir));
+                    }
+                    hops
+                })
+            });
+        match cached {
+            Some(hops) => hops.clone(),
+            None => return, // unreachable destination: message dropped
+        }
+    };
+    let msg = state.next_msg;
+    state.next_msg += 1;
+    let first = if hops.is_empty() {
+        Event::Deliver { msg }
+    } else {
+        Event::Hop { msg }
+    };
+    state.envelopes.insert(
+        msg,
+        Envelope {
+            kind,
+            from,
+            to,
+            hops,
+            hop: 0,
+            payload,
+        },
+    );
+    // Local delivery costs a small constant (in-process invocation).
+    let delay = if from_node == to_node {
+        SimDuration::from_micros(20)
+    } else {
+        SimDuration::ZERO
+    };
+    engine.schedule(delay, first);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_net::Credentials;
+
+    /// Echo server: replies with the request payload.
+    struct Echo;
+    impl ComponentLogic for Echo {
+        fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+            out.reply(req, payload.clone());
+        }
+        fn on_response(&mut self, _out: &mut Outbox, _token: u64, _payload: &Payload) {}
+    }
+
+    /// Client: sends one request at start, records the round-trip.
+    struct OneShot {
+        sent_at: SimTime,
+        pub rtt_ms: Option<f64>,
+    }
+    impl ComponentLogic for OneShot {
+        fn on_start(&mut self, out: &mut Outbox) {
+            self.sent_at = out.now();
+            out.call(0, Payload::new((), 1_000_000), 1);
+        }
+        fn on_request(&mut self, _out: &mut Outbox, _req: RequestHandle, _p: &Payload) {}
+        fn on_response(&mut self, out: &mut Outbox, token: u64, _p: &Payload) {
+            assert_eq!(token, 1);
+            let rtt = (out.now() - self.sent_at).as_millis_f64();
+            self.rtt_ms = Some(rtt);
+            out.measure("rtt_ms", rtt);
+        }
+    }
+
+    fn two_node_world(latency_ms: u64, bw: f64) -> (World, InstanceId, InstanceId) {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        let b = net.add_node("b", "t", 1.0, Credentials::new());
+        net.add_link(
+            a,
+            b,
+            SimDuration::from_millis(latency_ms),
+            bw,
+            Credentials::new(),
+        );
+        let mut world = World::new(net);
+        let server = world.instantiate(
+            "Echo",
+            b,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Echo),
+            SimTime::ZERO,
+        );
+        let client = world.instantiate(
+            "Client",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(OneShot {
+                sent_at: SimTime::ZERO,
+                rtt_ms: None,
+            }),
+            SimTime::ZERO,
+        );
+        world.wire(client, vec![server]);
+        (world, client, server)
+    }
+
+    #[test]
+    fn request_response_round_trip_times_are_physical() {
+        // 1 MB over 8 Mb/s + 400 ms each way: 1s + 0.4s, both directions.
+        let (mut world, _, _) = two_node_world(400, 8e6);
+        world.run();
+        let m = world.metric("rtt_ms");
+        assert_eq!(m.count(), 1);
+        assert!((m.mean() - 2800.0).abs() < 1.0, "rtt {}", m.mean());
+    }
+
+    #[test]
+    fn cpu_cost_is_charged_for_requests() {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        let mut world = World::new(net);
+        // Both instances on one node: only local delivery + CPU.
+        let server = world.instantiate(
+            "Echo",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new().cpu_per_request_ms(5.0),
+            Box::new(Echo),
+            SimTime::ZERO,
+        );
+        let client = world.instantiate(
+            "Client",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(OneShot {
+                sent_at: SimTime::ZERO,
+                rtt_ms: None,
+            }),
+            SimTime::ZERO,
+        );
+        world.wire(client, vec![server]);
+        world.run();
+        let m = world.metric("rtt_ms");
+        assert!(m.mean() >= 5.0, "rtt {} must include 5ms CPU", m.mean());
+        assert!(m.mean() < 6.0);
+    }
+
+    #[test]
+    fn concurrent_transfers_queue_on_the_link() {
+        // Two clients sharing one 8 Mb/s link: second transfer queues.
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        let b = net.add_node("b", "t", 1.0, Credentials::new());
+        net.add_link(a, b, SimDuration::ZERO, 8e6, Credentials::new());
+        let mut world = World::new(net);
+        let server = world.instantiate(
+            "Echo",
+            b,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Echo),
+            SimTime::ZERO,
+        );
+        for _ in 0..2 {
+            let c = world.instantiate(
+                "Client",
+                a,
+                ResolvedBindings::new(),
+                Behavior::new(),
+                Box::new(OneShot {
+                    sent_at: SimTime::ZERO,
+                    rtt_ms: None,
+                }),
+                SimTime::ZERO,
+            );
+            world.wire(c, vec![server]);
+        }
+        world.run();
+        let mut p = world.metric_percentiles("rtt_ms").unwrap().clone();
+        // First ~2s (1s each way), second queued behind: ~3s.
+        let fast = p.quantile(0.0).unwrap();
+        let slow = p.quantile(1.0).unwrap();
+        assert!((fast - 2000.0).abs() < 50.0, "fast {fast}");
+        assert!((slow - 3000.0).abs() < 50.0, "slow {slow}");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut world, _, _) = two_node_world(100, 1e7);
+            world.run();
+            (world.metric("rtt_ms").mean(), world.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod migration_tests {
+    use super::*;
+    use crate::component::{ComponentLogic, Outbox, Payload, RequestHandle};
+    use ps_net::Credentials;
+
+    /// A counter server whose state must survive migration.
+    struct Counter {
+        count: u64,
+    }
+    impl ComponentLogic for Counter {
+        fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, _p: &Payload) {
+            self.count += 1;
+            out.reply(req, Payload::new(self.count, 8));
+        }
+        fn on_response(&mut self, _o: &mut Outbox, _t: u64, _p: &Payload) {}
+        fn snapshot(&self) -> Option<Payload> {
+            Some(Payload::new(self.count, 8192))
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    /// Issues `n` requests, waiting for each reply; records the replies.
+    struct Caller {
+        remaining: u32,
+        pub replies: Vec<u64>,
+    }
+    impl ComponentLogic for Caller {
+        fn on_start(&mut self, out: &mut Outbox) {
+            out.call(0, Payload::new((), 64), 0);
+        }
+        fn on_request(&mut self, _o: &mut Outbox, _r: RequestHandle, _p: &Payload) {}
+        fn on_response(&mut self, out: &mut Outbox, _t: u64, p: &Payload) {
+            self.replies.push(*p.get::<u64>().expect("count"));
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                out.call(0, Payload::new((), 64), 0);
+            }
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn three_node_world() -> (World, NodeId, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s1", 1.0, Credentials::new());
+        let b = net.add_node("b", "s2", 1.0, Credentials::new());
+        let c = net.add_node("c", "s3", 1.0, Credentials::new());
+        let secure = || Credentials::new().with("Secure", true);
+        net.add_link(a, b, SimDuration::from_millis(10), 1e8, secure());
+        net.add_link(b, c, SimDuration::from_millis(10), 1e8, secure());
+        net.add_link(a, c, SimDuration::from_millis(50), 1e7, secure());
+        (World::new(net), a, b, c)
+    }
+
+    #[test]
+    fn migration_preserves_state_and_reroutes_traffic() {
+        let (mut world, a, b, c) = three_node_world();
+        let server = world.instantiate(
+            "Counter",
+            c,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Counter { count: 0 }),
+            SimTime::ZERO,
+        );
+        let caller = world.instantiate(
+            "Caller",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Caller {
+                remaining: 3,
+                replies: Vec::new(),
+            }),
+            SimTime::ZERO,
+        );
+        world.wire(caller, vec![server]);
+        world.run();
+
+        // Migrate the counter from c to b; its count must carry over.
+        let (new_server, live_at) = world.migrate(server, b);
+        assert!(world.is_retired(server));
+        assert!(live_at >= world.now());
+        assert_eq!(world.instance(new_server).node, b);
+        assert_eq!(
+            world.instance(caller).linkages,
+            vec![new_server],
+            "consumers rewired"
+        );
+
+        // Three more calls land on the migrated instance.
+        let now = world.now();
+        let caller2 = world.instantiate(
+            "Caller",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Caller {
+                remaining: 3,
+                replies: Vec::new(),
+            }),
+            now,
+        );
+        world.wire(caller2, vec![new_server]);
+        world.run();
+
+        let replies = &world
+            .logic_mut(caller2)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Caller>()
+            .unwrap()
+            .replies;
+        assert_eq!(replies, &vec![4, 5, 6], "state survived the move");
+    }
+
+    #[test]
+    fn in_flight_traffic_is_forwarded_after_migration() {
+        let (mut world, a, b, c) = three_node_world();
+        let server = world.instantiate(
+            "Counter",
+            c,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Counter { count: 0 }),
+            SimTime::ZERO,
+        );
+        let caller = world.instantiate(
+            "Caller",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Caller {
+                remaining: 2,
+                replies: Vec::new(),
+            }),
+            SimTime::ZERO,
+        );
+        world.wire(caller, vec![server]);
+        // Let the first request get into flight (a->c is 50 ms; stop at
+        // 20 ms, mid-flight), then migrate.
+        world.run_until(SimTime::from_nanos(20_000_000));
+        world.migrate(server, b);
+        world.run();
+        let replies = &world
+            .logic_mut(caller)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Caller>()
+            .unwrap()
+            .replies;
+        assert_eq!(replies, &vec![1, 2], "the in-flight request completed via forwarding");
+    }
+
+    #[test]
+    fn retired_instances_drop_traffic() {
+        let (mut world, a, _b, c) = three_node_world();
+        let server = world.instantiate(
+            "Counter",
+            c,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Counter { count: 0 }),
+            SimTime::ZERO,
+        );
+        let caller = world.instantiate(
+            "Caller",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Caller {
+                remaining: 5,
+                replies: Vec::new(),
+            }),
+            SimTime::ZERO,
+        );
+        world.wire(caller, vec![server]);
+        world.retire(server);
+        world.run();
+        let replies = &world
+            .logic_mut(caller)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Caller>()
+            .unwrap()
+            .replies;
+        assert!(replies.is_empty(), "no replies from a retired instance");
+    }
+
+    #[test]
+    fn local_migration_is_instant() {
+        let (mut world, _a, _b, c) = three_node_world();
+        let server = world.instantiate(
+            "Counter",
+            c,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Counter { count: 7 }),
+            SimTime::ZERO,
+        );
+        world.run();
+        let before = world.now();
+        let (_new, live_at) = world.migrate(server, c);
+        assert_eq!(live_at, before, "same-node migration costs nothing");
+    }
+}

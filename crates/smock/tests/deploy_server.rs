@@ -1,0 +1,252 @@
+//! Deployment-engine and generic-server tests over a minimal service.
+
+use ps_net::{Credentials, Mapping, MappingTranslator, Network, NodeId};
+use ps_planner::ServiceRequest;
+use ps_sim::SimDuration;
+use ps_smock::{
+    deploy, ComponentLogic, ConnectError, GenericServer, Outbox, Payload,
+    RequestHandle, ServiceRegistration, World,
+};
+use ps_spec::prelude::*;
+
+struct Nop;
+impl ComponentLogic for Nop {
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, p: &Payload) {
+        out.reply(req, p.clone());
+    }
+    fn on_response(&mut self, _o: &mut Outbox, _t: u64, _p: &Payload) {}
+}
+
+fn spec() -> ServiceSpec {
+    ServiceSpec::new("svc")
+        .property(Property::boolean("Hosting"))
+        .interface(Interface::new("Api", Vec::<String>::new()))
+        .interface(Interface::new("Backend", Vec::<String>::new()))
+        .component(
+            Component::new("Front")
+                .implements(InterfaceRef::plain("Api"))
+                .requires(InterfaceRef::plain("Backend"))
+                .behavior(Behavior::new().code_size(80_000)),
+        )
+        .component(
+            Component::new("Back")
+                .implements(InterfaceRef::plain("Backend"))
+                .condition(Condition::equals("Hosting", true))
+                .behavior(Behavior::new().code_size(200_000)),
+        )
+}
+
+fn network() -> (Network, NodeId, NodeId) {
+    let mut net = Network::new();
+    let edge = net.add_node("edge", "e", 1.0, Credentials::new());
+    let dc = net.add_node("dc", "d", 1.0, Credentials::new().with("Hosting", true));
+    net.add_link(
+        edge,
+        dc,
+        SimDuration::from_millis(20),
+        1e7,
+        Credentials::new().with("Secure", true),
+    );
+    (net, edge, dc)
+}
+
+fn translator() -> MappingTranslator {
+    MappingTranslator::new().node_mapping(Mapping::Copy {
+        credential: "Hosting".into(),
+        property: "Hosting".into(),
+        default: ps_spec::PropertyValue::Bool(false),
+    })
+}
+
+fn server(home: NodeId) -> GenericServer {
+    let mut gs = GenericServer::new(home, Box::new(translator()));
+    gs.registry.register("Front", |_| Box::new(Nop));
+    gs.registry.register("Back", |_| Box::new(Nop));
+    gs.register_service(
+        ServiceRegistration::new(spec())
+            .attribute("type", "demo")
+            .proxy_code_size(10_000),
+    );
+    gs
+}
+
+#[test]
+fn connect_plans_deploys_and_reports_costs() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let request = ServiceRequest::new("Api", edge).rate(1.0);
+    let conn = gs.connect(&mut world, "svc", &request).expect("connects");
+    assert_eq!(conn.plan.graph.to_string(), "Front -> Back");
+    assert_eq!(conn.deployment.created, 2);
+    assert_eq!(conn.deployment.reused, 0);
+    assert_eq!(conn.deployment.bytes_shipped, 280_000);
+    // Proxy download crosses the 20 ms / 10 Mb/s link: 20 + 8 ms.
+    assert!((conn.costs.proxy_download_ms - 28.0).abs() < 0.5);
+    assert!(conn.costs.planning_ms > 0.0);
+    assert!(conn.costs.startup_ms > 0.0);
+    assert!(conn.costs.total_ms() > 500.0);
+}
+
+#[test]
+fn second_connect_reuses_everything() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let request = ServiceRequest::new("Api", edge).rate(1.0);
+    let first = gs.connect(&mut world, "svc", &request).unwrap();
+    let second = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(second.deployment.created, 0);
+    assert_eq!(second.deployment.reused, 2);
+    assert_eq!(second.deployment.bytes_shipped, 0);
+    assert_eq!(first.root, second.root);
+    assert_eq!(second.costs.startup_ms, 0.0);
+}
+
+#[test]
+fn unknown_service_is_an_error() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let err = gs
+        .connect(&mut world, "ghost", &ServiceRequest::new("Api", edge))
+        .unwrap_err();
+    assert!(matches!(err, ConnectError::UnknownService(_)));
+}
+
+#[test]
+fn missing_factory_is_a_deploy_error() {
+    let (net, edge, dc) = network();
+    let mut gs = GenericServer::new(dc, Box::new(translator()));
+    gs.registry.register("Front", |_| Box::new(Nop)); // no Back factory
+    gs.register_service(ServiceRegistration::new(spec()));
+    let mut world = World::new(net);
+    let err = gs
+        .connect(&mut world, "svc", &ServiceRequest::new("Api", edge))
+        .unwrap_err();
+    assert!(matches!(err, ConnectError::Deploy(deploy::DeployError::UnknownComponent(_))));
+}
+
+#[test]
+fn missing_pinned_instance_is_a_deploy_error() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    // Pin Back to the dc node, but never install it.
+    let request = ServiceRequest::new("Api", edge).pin("Back", dc);
+    let err = gs.connect(&mut world, "svc", &request).unwrap_err();
+    assert!(matches!(
+        err,
+        ConnectError::Deploy(deploy::DeployError::MissingPinned { .. })
+    ));
+}
+
+#[test]
+fn infeasible_requests_surface_planning_errors() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    // No component implements this interface.
+    let err = gs
+        .connect(&mut world, "svc", &ServiceRequest::new("Nope", edge))
+        .unwrap_err();
+    assert!(matches!(err, ConnectError::Planning(_)));
+}
+
+#[test]
+fn lookup_finds_services_by_attribute() {
+    let (_, _, dc) = network();
+    let gs = server(dc);
+    assert_eq!(gs.lookup.lookup(&[("type", "demo")]).len(), 1);
+    assert_eq!(gs.lookup.lookup(&[("type", "other")]).len(), 0);
+    assert_eq!(gs.lookup.by_name("svc").unwrap().proxy_code_size, 10_000);
+}
+
+#[test]
+fn blueprint_transfer_time_scales_with_code_size() {
+    let (net, edge, dc) = network();
+    let world = World::new(net);
+    let small = deploy::blueprint_transfer_time(&world, dc, edge, 10_000);
+    let large = deploy::blueprint_transfer_time(&world, dc, edge, 1_000_000);
+    assert!(large > small);
+    assert_eq!(
+        deploy::blueprint_transfer_time(&world, dc, dc, 1_000_000),
+        SimDuration::ZERO
+    );
+}
+
+#[test]
+fn node_wrappers_cache_component_code() {
+    // Two differently-factored instances of one component on one node:
+    // the second ships no blueprint bytes.
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let first = gs
+        .connect(&mut world, "svc", &ServiceRequest::new("Api", edge))
+        .unwrap();
+    assert_eq!(first.deployment.bytes_shipped, 280_000);
+    // Retire the Front instance so a fresh one must be created on the
+    // same node — its code is already there.
+    world.retire(first.root);
+    let second = gs
+        .connect(&mut world, "svc", &ServiceRequest::new("Api", edge))
+        .unwrap();
+    assert_eq!(second.deployment.created, 1, "new Front instance");
+    assert_eq!(
+        second.deployment.bytes_shipped, 0,
+        "the wrapper reused the cached code"
+    );
+}
+
+#[test]
+fn server_pool_spreads_services_deterministically() {
+    use ps_smock::GenericServerPool;
+    let (_, _, dc) = network();
+    let mut pool = GenericServerPool::new();
+    pool.add(server(dc));
+    pool.add(GenericServer::new(dc, Box::new(translator())));
+    pool.add(GenericServer::new(dc, Box::new(translator())));
+    assert_eq!(pool.len(), 3);
+    // Registration routes by name; lookups through the pool find it.
+    let mut extra = spec();
+    extra.name = "another".into();
+    pool.register_service(ServiceRegistration::new(extra));
+    assert!(pool.member_for("another").lookup.by_name("another").is_some());
+    // Stable assignment.
+    let a = pool.member_for("another") as *const GenericServer;
+    let b = pool.member_for("another") as *const GenericServer;
+    assert_eq!(a, b);
+    // Different services may land on different members (hash spread) —
+    // at minimum, the mapping covers the pool deterministically.
+    let mut seen = std::collections::BTreeSet::new();
+    for name in ["another", "svc", "video", "mail", "files", "chat"] {
+        seen.insert(pool.member_for(name) as *const GenericServer as usize);
+    }
+    assert!(seen.len() > 1, "hashing spreads services across members");
+}
+
+#[test]
+fn deployments_record_shipped_blueprints() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let conn = gs
+        .connect(&mut world, "svc", &ServiceRequest::new("Api", edge))
+        .unwrap();
+    let names: Vec<&str> = conn
+        .deployment
+        .blueprints
+        .iter()
+        .map(|b| b.component.as_str())
+        .collect();
+    assert_eq!(names, vec!["Front", "Back"]);
+    assert_eq!(
+        conn.deployment
+            .blueprints
+            .iter()
+            .map(|b| b.code_size)
+            .sum::<u64>(),
+        conn.deployment.bytes_shipped
+    );
+}

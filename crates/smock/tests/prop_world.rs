@@ -1,0 +1,180 @@
+//! Property tests on the runtime's messaging invariants.
+
+use proptest::prelude::*;
+use ps_net::{Credentials, Network, NodeId};
+use ps_sim::{Rng, SimDuration, SimTime};
+use ps_smock::{ComponentLogic, Outbox, Payload, RequestHandle, World};
+use ps_spec::{Behavior, ResolvedBindings};
+
+/// Echo server counting requests served.
+struct Echo {
+    served: u64,
+}
+impl ComponentLogic for Echo {
+    fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, p: &Payload) {
+        self.served += 1;
+        out.reply(req, p.clone());
+    }
+    fn on_response(&mut self, _o: &mut Outbox, _t: u64, _p: &Payload) {}
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Client issuing `total` requests back-to-back, counting responses.
+struct Client {
+    total: u32,
+    sent: u32,
+    received: u32,
+}
+impl ComponentLogic for Client {
+    fn on_start(&mut self, out: &mut Outbox) {
+        if self.sent < self.total {
+            self.sent += 1;
+            out.call(0, Payload::new((), 500), 0);
+        }
+    }
+    fn on_request(&mut self, _o: &mut Outbox, _r: RequestHandle, _p: &Payload) {}
+    fn on_response(&mut self, out: &mut Outbox, _t: u64, _p: &Payload) {
+        self.received += 1;
+        if self.sent < self.total {
+            self.sent += 1;
+            out.call(0, Payload::new((), 500), 0);
+        }
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A random connected network.
+fn random_net(seed: u64, nodes: usize) -> Network {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut net = Network::new();
+    for i in 0..nodes {
+        net.add_node(format!("n{i}"), "s", 1.0, Credentials::new());
+    }
+    for i in 1..nodes {
+        let j = rng.next_below(i as u64) as usize;
+        net.add_link(
+            NodeId(i as u32),
+            NodeId(j as u32),
+            SimDuration::from_micros(100 + rng.next_below(5000)),
+            1e6 + rng.next_f64() * 1e8,
+            Credentials::new().with("Secure", true),
+        );
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every request issued receives exactly one response, whatever the
+    /// topology, client count, and request volume.
+    #[test]
+    fn requests_and_responses_are_conserved(
+        seed in any::<u64>(),
+        nodes in 2usize..10,
+        clients in 1usize..5,
+        per_client in 1u32..30,
+    ) {
+        let net = random_net(seed, nodes);
+        let mut world = World::new(net);
+        let server_node = NodeId((nodes - 1) as u32);
+        let server = world.instantiate(
+            "Echo",
+            server_node,
+            ResolvedBindings::new(),
+            Behavior::new().cpu_per_request_ms(0.1),
+            Box::new(Echo { served: 0 }),
+            SimTime::ZERO,
+        );
+        let mut client_ids = Vec::new();
+        for i in 0..clients {
+            let node = NodeId((i % nodes) as u32);
+            let id = world.instantiate(
+                "Client",
+                node,
+                ResolvedBindings::new(),
+                Behavior::new(),
+                Box::new(Client {
+                    total: per_client,
+                    sent: 0,
+                    received: 0,
+                }),
+                SimTime::ZERO,
+            );
+            world.wire(id, vec![server]);
+            client_ids.push(id);
+        }
+        world.run();
+
+        let mut total_received = 0u64;
+        for id in client_ids {
+            let c = world
+                .logic_mut(id)
+                .as_any()
+                .unwrap()
+                .downcast_ref::<Client>()
+                .unwrap();
+            prop_assert_eq!(c.sent, per_client);
+            prop_assert_eq!(c.received, per_client);
+            total_received += u64::from(c.received);
+        }
+        let served = world
+            .logic_mut(server)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Echo>()
+            .unwrap()
+            .served;
+        prop_assert_eq!(served, total_received);
+        // The world quiesced: no stranded envelopes keep it alive.
+        prop_assert_eq!(world.messages_sent(), 2 * total_received);
+    }
+
+    /// Migration mid-stream preserves conservation.
+    #[test]
+    fn conservation_survives_migration(
+        seed in any::<u64>(),
+        nodes in 3usize..8,
+        per_client in 5u32..25,
+        cut_ms in 1u64..40,
+    ) {
+        let net = random_net(seed, nodes);
+        let mut world = World::new(net);
+        let server = world.instantiate(
+            "Echo",
+            NodeId((nodes - 1) as u32),
+            ResolvedBindings::new(),
+            Behavior::new().cpu_per_request_ms(0.5),
+            Box::new(Echo { served: 0 }),
+            SimTime::ZERO,
+        );
+        let client = world.instantiate(
+            "Client",
+            NodeId(0),
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Client {
+                total: per_client,
+                sent: 0,
+                received: 0,
+            }),
+            SimTime::ZERO,
+        );
+        world.wire(client, vec![server]);
+        world.run_until(SimTime::from_nanos(cut_ms * 1_000_000));
+        let (new_server, _) = world.migrate(server, NodeId((nodes - 2) as u32));
+        world.run();
+        let c = world
+            .logic_mut(client)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Client>()
+            .unwrap();
+        prop_assert_eq!(c.received, per_client, "no request lost across the move");
+        let _ = new_server;
+    }
+}

@@ -1,0 +1,152 @@
+//! Component resource behaviours (`Behaviors` clauses).
+//!
+//! Section 3.1 lists the metrics the planner consumes: per-request CPU
+//! requirement, request rate, bytes per request/response, component
+//! capacity, and the Request Reduction Factor (RRF) — the ratio of requests
+//! a component forwards along its required linkages per request it serves.
+//! We additionally carry a `code_size`, used by the run-time to charge the
+//! cost of shipping a component blueprint to a remote node (the stand-in
+//! for Java class downloading).
+
+use std::fmt;
+
+/// Resource behaviour of a component, as declared in its specification.
+///
+/// All values are *per component instance*; the planner scales them by the
+/// request rate arriving at the instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Behavior {
+    /// Maximum requests/second the component can serve (`Capacity`).
+    /// `None` means unbounded (limited only by its node's CPU).
+    pub capacity: Option<f64>,
+    /// CPU time consumed per request, in milliseconds (`CpuPerRequest`).
+    pub cpu_per_request_ms: f64,
+    /// Requests/second a component *generates* when it is a workload source
+    /// (e.g. a client component); `0` for pure servers.
+    pub request_rate: f64,
+    /// Average request payload, bytes.
+    pub bytes_per_request: u64,
+    /// Average response payload, bytes.
+    pub bytes_per_response: u64,
+    /// Request Reduction Factor: requests forwarded upstream per request
+    /// served. `1.0` forwards everything (a pure relay such as an
+    /// encryptor); `0.2` means 80% of requests are absorbed locally
+    /// (the paper's `ViewMailServer`).
+    pub rrf: f64,
+    /// Size of the component's code/blueprint, bytes — charged when the
+    /// run-time deploys it to a remote node.
+    pub code_size: u64,
+}
+
+impl Default for Behavior {
+    fn default() -> Self {
+        Behavior {
+            capacity: None,
+            cpu_per_request_ms: 0.0,
+            request_rate: 0.0,
+            bytes_per_request: 512,
+            bytes_per_response: 2048,
+            rrf: 1.0,
+            code_size: 64 * 1024,
+        }
+    }
+}
+
+impl Behavior {
+    /// A fresh default behaviour (pure relay, no capacity limit).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `Capacity` (requests/second).
+    pub fn capacity(mut self, requests_per_second: f64) -> Self {
+        self.capacity = Some(requests_per_second);
+        self
+    }
+
+    /// Sets per-request CPU cost (milliseconds).
+    pub fn cpu_per_request_ms(mut self, ms: f64) -> Self {
+        self.cpu_per_request_ms = ms;
+        self
+    }
+
+    /// Sets the generated request rate (requests/second).
+    pub fn request_rate(mut self, requests_per_second: f64) -> Self {
+        self.request_rate = requests_per_second;
+        self
+    }
+
+    /// Sets average request/response payload sizes (bytes).
+    pub fn message_bytes(mut self, request: u64, response: u64) -> Self {
+        self.bytes_per_request = request;
+        self.bytes_per_response = response;
+        self
+    }
+
+    /// Sets the Request Reduction Factor.
+    pub fn rrf(mut self, rrf: f64) -> Self {
+        self.rrf = rrf;
+        self
+    }
+
+    /// Sets the blueprint/code size (bytes).
+    pub fn code_size(mut self, bytes: u64) -> Self {
+        self.code_size = bytes;
+        self
+    }
+
+    /// Expected upstream request rate when `incoming` requests/second
+    /// arrive at this component.
+    pub fn upstream_rate(&self, incoming: f64) -> f64 {
+        incoming * self.rrf
+    }
+
+    /// Expected CPU load (fraction of one unit-speed CPU) when `incoming`
+    /// requests/second arrive.
+    pub fn cpu_load(&self, incoming: f64) -> f64 {
+        incoming * self.cpu_per_request_ms / 1000.0
+    }
+
+    /// Whether `incoming` requests/second exceed the declared capacity.
+    pub fn over_capacity(&self, incoming: f64) -> bool {
+        self.capacity.is_some_and(|cap| incoming > cap)
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(cap) = self.capacity {
+            write!(f, "Capacity: {cap}, ")?;
+        }
+        write!(
+            f,
+            "RRF: {}, CpuPerRequest: {}ms, Bytes: {}/{}",
+            self.rrf, self.cpu_per_request_ms, self.bytes_per_request, self.bytes_per_response
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrf_scales_upstream_rate() {
+        let b = Behavior::new().rrf(0.2);
+        assert!((b.upstream_rate(100.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let b = Behavior::new().capacity(1000.0);
+        assert!(!b.over_capacity(1000.0));
+        assert!(b.over_capacity(1000.1));
+        assert!(!Behavior::new().over_capacity(1e12));
+    }
+
+    #[test]
+    fn cpu_load_is_rate_times_service_time() {
+        let b = Behavior::new().cpu_per_request_ms(5.0);
+        assert!((b.cpu_load(100.0) - 0.5).abs() < 1e-9);
+    }
+}

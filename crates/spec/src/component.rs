@@ -1,0 +1,330 @@
+//! Components, views, and their linkage declarations.
+//!
+//! Components implement interfaces and require interfaces (Section 3.1);
+//! *views* are customized implementations of another component — either an
+//! **object view** (a subset of the original's functionality, like
+//! `ViewMailClient`) or a **data view** (a subset of the original's state,
+//! like `ViewMailServer`). A view `Represents` its original and may declare
+//! `Factors`: property bindings resolved per deployment node, which turn a
+//! single view definition into multiple run-time configurations.
+
+use crate::behavior::Behavior;
+use crate::condition::Condition;
+use crate::interface::{Bindings, ResolvedBindings};
+use crate::value::{Environment, EvalError};
+use std::fmt;
+
+/// An `Implements` or `Requires` clause: an interface name plus property
+/// bindings on that interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceRef {
+    /// Interface name.
+    pub interface: String,
+    /// Property bindings qualifying the reference.
+    pub bindings: Bindings,
+}
+
+impl InterfaceRef {
+    /// References `interface` with no property constraints.
+    pub fn plain(interface: impl Into<String>) -> Self {
+        InterfaceRef {
+            interface: interface.into(),
+            bindings: Bindings::new(),
+        }
+    }
+
+    /// References `interface` with the given bindings.
+    pub fn with_bindings(interface: impl Into<String>, bindings: Bindings) -> Self {
+        InterfaceRef {
+            interface: interface.into(),
+            bindings,
+        }
+    }
+
+    /// Resolves the bindings against a deployment environment.
+    pub fn resolve(&self, env: &Environment) -> Result<ResolvedInterfaceRef, EvalError> {
+        Ok(ResolvedInterfaceRef {
+            interface: self.interface.clone(),
+            values: self.bindings.resolve(env)?,
+        })
+    }
+}
+
+impl fmt::Display for InterfaceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            write!(f, "{}", self.interface)
+        } else {
+            write!(f, "{} [{}]", self.interface, self.bindings)
+        }
+    }
+}
+
+/// An interface reference whose bindings have been resolved to concrete
+/// values for a specific deployment node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedInterfaceRef {
+    /// Interface name.
+    pub interface: String,
+    /// Concrete property values.
+    pub values: ResolvedBindings,
+}
+
+impl fmt::Display for ResolvedInterfaceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            write!(f, "{}", self.interface)
+        } else {
+            write!(f, "{} [{}]", self.interface, self.values)
+        }
+    }
+}
+
+/// The kind of view a component is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Provides part of the original component's *functionality*.
+    Object,
+    /// Contains part of the original component's *state* and must be kept
+    /// coherent with it.
+    Data,
+}
+
+impl fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewKind::Object => write!(f, "Object"),
+            ViewKind::Data => write!(f, "Data"),
+        }
+    }
+}
+
+/// View metadata attached to a component declared with `<View>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewInfo {
+    /// Name of the component this view `Represents`.
+    pub represents: String,
+    /// Object view or data view.
+    pub kind: ViewKind,
+    /// `Factors`: property bindings resolved per deployment node, realizing
+    /// distinct component configurations from one definition.
+    pub factors: Bindings,
+}
+
+/// A component (or view) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name, e.g. `MailServer`.
+    pub name: String,
+    /// Interfaces this component implements (`Linkages > Implements`).
+    pub implements: Vec<InterfaceRef>,
+    /// Interfaces this component requires (`Linkages > Requires`).
+    pub requires: Vec<InterfaceRef>,
+    /// Installation conditions (`Conditions`).
+    pub conditions: Vec<Condition>,
+    /// Resource behaviour (`Behaviors`).
+    pub behavior: Behavior,
+    /// Present when this component is a view of another.
+    pub view: Option<ViewInfo>,
+}
+
+impl Component {
+    /// Starts a plain (non-view) component declaration.
+    pub fn new(name: impl Into<String>) -> Self {
+        Component {
+            name: name.into(),
+            implements: Vec::new(),
+            requires: Vec::new(),
+            conditions: Vec::new(),
+            behavior: Behavior::default(),
+            view: None,
+        }
+    }
+
+    /// Starts a view declaration.
+    pub fn view(name: impl Into<String>, represents: impl Into<String>, kind: ViewKind) -> Self {
+        let mut c = Component::new(name);
+        c.view = Some(ViewInfo {
+            represents: represents.into(),
+            kind,
+            factors: Bindings::new(),
+        });
+        c
+    }
+
+    /// Adds an `Implements` clause.
+    pub fn implements(mut self, r: InterfaceRef) -> Self {
+        self.implements.push(r);
+        self
+    }
+
+    /// Adds a `Requires` clause.
+    pub fn requires(mut self, r: InterfaceRef) -> Self {
+        self.requires.push(r);
+        self
+    }
+
+    /// Adds an installation condition.
+    pub fn condition(mut self, c: Condition) -> Self {
+        self.conditions.push(c);
+        self
+    }
+
+    /// Sets the behaviour block.
+    pub fn behavior(mut self, b: Behavior) -> Self {
+        self.behavior = b;
+        self
+    }
+
+    /// Sets the view `Factors` (panics if this is not a view).
+    pub fn factors(mut self, factors: Bindings) -> Self {
+        self.view
+            .as_mut()
+            .expect("factors may only be set on a view")
+            .factors = factors;
+        self
+    }
+
+    /// Whether this component is a view.
+    pub fn is_view(&self) -> bool {
+        self.view.is_some()
+    }
+
+    /// Whether this is a data view (and therefore needs coherence).
+    pub fn is_data_view(&self) -> bool {
+        self.view.as_ref().is_some_and(|v| v.kind == ViewKind::Data)
+    }
+
+    /// Whether this component implements `interface` (name match only;
+    /// property compatibility is the planner's job).
+    pub fn implements_interface(&self, interface: &str) -> bool {
+        self.implements.iter().any(|r| r.interface == interface)
+    }
+
+    /// Whether any clause (implements/requires/factors) depends on the
+    /// deployment environment, i.e. instantiation is node-specific.
+    pub fn is_env_dependent(&self) -> bool {
+        self.implements.iter().any(|r| r.bindings.is_env_dependent())
+            || self.requires.iter().any(|r| r.bindings.is_env_dependent())
+            || self
+                .view
+                .as_ref()
+                .is_some_and(|v| v.factors.is_env_dependent())
+    }
+
+    /// Instantiates the component's interface clauses for a concrete node
+    /// environment, producing the configuration the planner maps.
+    pub fn configure(&self, env: &Environment) -> Result<ComponentConfig, EvalError> {
+        let implements = self
+            .implements
+            .iter()
+            .map(|r| r.resolve(env))
+            .collect::<Result<Vec<_>, _>>()?;
+        let requires = self
+            .requires
+            .iter()
+            .map(|r| r.resolve(env))
+            .collect::<Result<Vec<_>, _>>()?;
+        let factors = match &self.view {
+            Some(v) => v.factors.resolve(env)?,
+            None => ResolvedBindings::new(),
+        };
+        Ok(ComponentConfig {
+            component: self.name.clone(),
+            implements,
+            requires,
+            factors,
+        })
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.view {
+            Some(v) => write!(f, "View {} (represents {})", self.name, v.represents),
+            None => write!(f, "Component {}", self.name),
+        }
+    }
+}
+
+/// A component configuration: the result of resolving a component's
+/// environment-dependent clauses on a concrete node (the run-time
+/// realization of a `Factors` instantiation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentConfig {
+    /// Name of the source component.
+    pub component: String,
+    /// Resolved `Implements` clauses.
+    pub implements: Vec<ResolvedInterfaceRef>,
+    /// Resolved `Requires` clauses.
+    pub requires: Vec<ResolvedInterfaceRef>,
+    /// Resolved view factors (empty for non-views).
+    pub factors: ResolvedBindings,
+}
+
+impl ComponentConfig {
+    /// The resolved implements clause for `interface`, if any.
+    pub fn implemented(&self, interface: &str) -> Option<&ResolvedInterfaceRef> {
+        self.implements.iter().find(|r| r.interface == interface)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::PropertyValue;
+
+    fn view_mail_server() -> Component {
+        Component::view("ViewMailServer", "MailServer", ViewKind::Data)
+            .factors(Bindings::new().bind_env("TrustLevel", "Node.TrustLevel"))
+            .implements(InterfaceRef::with_bindings(
+                "ServerInterface",
+                Bindings::new()
+                    .bind_lit("Confidentiality", true)
+                    .bind_env("TrustLevel", "Node.TrustLevel"),
+            ))
+            .requires(InterfaceRef::with_bindings(
+                "ServerInterface",
+                Bindings::new()
+                    .bind_lit("Confidentiality", true)
+                    .bind_env("TrustLevel", "Node.TrustLevel"),
+            ))
+            .condition(Condition::in_range("Node.TrustLevel", 1, 3))
+            .behavior(Behavior::new().rrf(0.2))
+    }
+
+    #[test]
+    fn view_is_env_dependent() {
+        assert!(view_mail_server().is_env_dependent());
+        assert!(!Component::new("MailServer").is_env_dependent());
+    }
+
+    #[test]
+    fn configure_resolves_factors_per_node() {
+        let vms = view_mail_server();
+        let sd = Environment::new().with("TrustLevel", 3i64);
+        let seattle = Environment::new().with("TrustLevel", 2i64);
+        let c_sd = vms.configure(&sd).unwrap();
+        let c_sea = vms.configure(&seattle).unwrap();
+        assert_eq!(c_sd.factors.get("TrustLevel"), Some(&PropertyValue::Int(3)));
+        assert_eq!(c_sea.factors.get("TrustLevel"), Some(&PropertyValue::Int(2)));
+        assert_eq!(
+            c_sd.implemented("ServerInterface").unwrap().values.get("TrustLevel"),
+            Some(&PropertyValue::Int(3))
+        );
+    }
+
+    #[test]
+    fn configure_fails_without_environment() {
+        let vms = view_mail_server();
+        assert!(vms.configure(&Environment::new()).is_err());
+    }
+
+    #[test]
+    fn data_view_detection() {
+        assert!(view_mail_server().is_data_view());
+        let vmc = Component::view("ViewMailClient", "MailClient", ViewKind::Object);
+        assert!(!vmc.is_data_view());
+        assert!(vmc.is_view());
+    }
+}

@@ -1,0 +1,195 @@
+//! Installation conditions (`Conditions` clauses).
+//!
+//! A condition constrains *where* a component may be instantiated
+//! (Section 3.1): it predicates over the deployment environment — the
+//! service-property values a node (plus request context) exhibits after
+//! credential translation. Planner condition 1 checks these.
+
+use crate::value::{Environment, PropertyValue};
+use std::fmt;
+
+/// A single predicate over one environment property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum Predicate {
+    /// Property must equal the given value (e.g. `User = Alice`).
+    Equals(PropertyValue),
+    /// Property must be an integer within `lo..=hi`
+    /// (e.g. `Node.TrustLevel ∈ (1,3)`).
+    InRange { lo: i64, hi: i64 },
+    /// Property must be one of the listed values.
+    OneOf(Vec<PropertyValue>),
+    /// Property must be an integer `>=` the bound.
+    AtLeast(i64),
+    /// Property must be an integer `<=` the bound.
+    AtMost(i64),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a concrete value.
+    pub fn holds(&self, value: &PropertyValue) -> bool {
+        match self {
+            Predicate::Equals(v) => v.matches(value),
+            Predicate::InRange { lo, hi } => {
+                value.as_int().is_some_and(|v| *lo <= v && v <= *hi)
+            }
+            Predicate::OneOf(options) => options.iter().any(|o| o.matches(value)),
+            Predicate::AtLeast(bound) => value.as_int().is_some_and(|v| v >= *bound),
+            Predicate::AtMost(bound) => value.as_int().is_some_and(|v| v <= *bound),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Equals(v) => write!(f, "= {v}"),
+            Predicate::InRange { lo, hi } => write!(f, "in ({lo},{hi})"),
+            Predicate::OneOf(options) => {
+                write!(f, "in {{")?;
+                for (i, o) in options.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, "}}")
+            }
+            Predicate::AtLeast(b) => write!(f, ">= {b}"),
+            Predicate::AtMost(b) => write!(f, "<= {b}"),
+        }
+    }
+}
+
+/// One named constraint inside a `Conditions` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// Environment property name (the `Node.` prefix is accepted and
+    /// normalized at lookup time).
+    pub property: String,
+    /// The predicate the property's value must satisfy.
+    pub predicate: Predicate,
+}
+
+impl Condition {
+    /// `property = value`.
+    pub fn equals(property: impl Into<String>, value: impl Into<PropertyValue>) -> Self {
+        Condition {
+            property: property.into(),
+            predicate: Predicate::Equals(value.into()),
+        }
+    }
+
+    /// `property ∈ (lo, hi)` (inclusive).
+    pub fn in_range(property: impl Into<String>, lo: i64, hi: i64) -> Self {
+        Condition {
+            property: property.into(),
+            predicate: Predicate::InRange { lo, hi },
+        }
+    }
+
+    /// `property >= bound`.
+    pub fn at_least(property: impl Into<String>, bound: i64) -> Self {
+        Condition {
+            property: property.into(),
+            predicate: Predicate::AtLeast(bound),
+        }
+    }
+
+    /// `property <= bound`.
+    pub fn at_most(property: impl Into<String>, bound: i64) -> Self {
+        Condition {
+            property: property.into(),
+            predicate: Predicate::AtMost(bound),
+        }
+    }
+
+    /// `property ∈ {v1, v2, ...}`.
+    pub fn one_of<I, V>(property: impl Into<String>, options: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<PropertyValue>,
+    {
+        Condition {
+            property: property.into(),
+            predicate: Predicate::OneOf(options.into_iter().map(Into::into).collect()),
+        }
+    }
+
+    /// Checks the condition against an environment. A property missing from
+    /// the environment fails the condition: absence of evidence is treated
+    /// as non-compliance, which is the safe default for security-flavoured
+    /// conditions like trust levels and access-control lists.
+    pub fn holds(&self, env: &Environment) -> bool {
+        env.get(&self.property).is_some_and(|v| self.predicate.holds(v))
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.property, self.predicate)
+    }
+}
+
+/// Checks a whole `Conditions` clause (conjunction of conditions).
+pub fn all_hold(conditions: &[Condition], env: &Environment) -> bool {
+    conditions.iter().all(|c| c.holds(env))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment::new()
+            .with("TrustLevel", 3i64)
+            .with("User", "Alice")
+            .with("Secure", true)
+    }
+
+    #[test]
+    fn equals_condition() {
+        assert!(Condition::equals("User", "Alice").holds(&env()));
+        assert!(!Condition::equals("User", "Bob").holds(&env()));
+    }
+
+    #[test]
+    fn range_condition_is_inclusive() {
+        assert!(Condition::in_range("Node.TrustLevel", 1, 3).holds(&env()));
+        assert!(Condition::in_range("TrustLevel", 3, 5).holds(&env()));
+        assert!(!Condition::in_range("TrustLevel", 4, 5).holds(&env()));
+    }
+
+    #[test]
+    fn missing_property_fails_safe() {
+        assert!(!Condition::equals("Missing", 1i64).holds(&env()));
+    }
+
+    #[test]
+    fn bound_conditions() {
+        assert!(Condition::at_least("TrustLevel", 3).holds(&env()));
+        assert!(!Condition::at_least("TrustLevel", 4).holds(&env()));
+        assert!(Condition::at_most("TrustLevel", 3).holds(&env()));
+        assert!(!Condition::at_most("TrustLevel", 2).holds(&env()));
+    }
+
+    #[test]
+    fn one_of_condition() {
+        assert!(Condition::one_of("User", ["Alice", "Bob"]).holds(&env()));
+        assert!(!Condition::one_of("User", ["Carol", "Bob"]).holds(&env()));
+    }
+
+    #[test]
+    fn conjunction() {
+        let cs = vec![
+            Condition::equals("User", "Alice"),
+            Condition::in_range("TrustLevel", 1, 5),
+        ];
+        assert!(all_hold(&cs, &env()));
+        let cs = vec![
+            Condition::equals("User", "Alice"),
+            Condition::in_range("TrustLevel", 4, 5),
+        ];
+        assert!(!all_hold(&cs, &env()));
+    }
+}

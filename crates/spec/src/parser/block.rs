@@ -1,0 +1,284 @@
+//! The tagged-block document format used by the paper-style DSL.
+//!
+//! A document is a sequence of elements `<Tag> ... </Tag>`; the body of an
+//! element is a mixture of `Key: value` field lines and nested elements,
+//! exactly like Figure 2 of the paper. Comment lines start with `#` or
+//! `//`. Keys may repeat (used for rule rows).
+
+use std::fmt;
+
+/// A parsed element: tag, field lines, and nested children, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Element tag, e.g. `Component`.
+    pub tag: String,
+    /// `Key: value` lines, in document order; keys may repeat.
+    pub fields: Vec<(String, String)>,
+    /// Nested elements, in document order.
+    pub children: Vec<Block>,
+    /// 1-based line number of the opening tag (for error reporting).
+    pub line: usize,
+}
+
+impl Block {
+    /// First value for `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `key`, in order.
+    pub fn fields_named<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given tag.
+    pub fn child(&self, tag: &str) -> Option<&Block> {
+        self.children
+            .iter()
+            .find(|c| c.tag.eq_ignore_ascii_case(tag))
+    }
+
+    /// All children with the given tag.
+    pub fn children_named<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a Block> + 'a {
+        self.children
+            .iter()
+            .filter(move |c| c.tag.eq_ignore_ascii_case(tag))
+    }
+}
+
+/// A parse error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole document into its top-level elements.
+pub fn parse_document(input: &str) -> Result<Vec<Block>, ParseError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .peekable();
+    let mut blocks = Vec::new();
+    while let Some(&(lineno, raw)) = lines.peek() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            lines.next();
+            continue;
+        }
+        if let Some(tag) = open_tag(line) {
+            lines.next();
+            blocks.push(parse_block(tag.to_owned(), lineno, &mut lines)?);
+        } else {
+            return Err(ParseError::new(
+                lineno,
+                format!("expected an element tag, found `{line}`"),
+            ));
+        }
+    }
+    Ok(blocks)
+}
+
+fn parse_block<'a, I>(
+    tag: String,
+    open_line: usize,
+    lines: &mut std::iter::Peekable<I>,
+) -> Result<Block, ParseError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let mut block = Block {
+        tag,
+        fields: Vec::new(),
+        children: Vec::new(),
+        line: open_line,
+    };
+    while let Some(&(lineno, raw)) = lines.peek() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            lines.next();
+            continue;
+        }
+        if let Some(tag) = close_tag(line) {
+            if !tag.eq_ignore_ascii_case(&block.tag) {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("mismatched closing tag `</{tag}>`, expected `</{}>`", block.tag),
+                ));
+            }
+            lines.next();
+            return Ok(block);
+        }
+        if let Some(tag) = open_tag(line) {
+            lines.next();
+            block.children.push(parse_block(tag.to_owned(), lineno, lines)?);
+            continue;
+        }
+        match line.split_once(':') {
+            Some((key, value)) => {
+                block
+                    .fields
+                    .push((key.trim().to_owned(), value.trim().to_owned()));
+                lines.next();
+            }
+            None => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("expected `Key: value`, a tag, or `</{}>`; found `{line}`", block.tag),
+                ));
+            }
+        }
+    }
+    Err(ParseError::new(
+        open_line,
+        format!("element `<{}>` is never closed", block.tag),
+    ))
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` and `//` start comments, but not inside quoted values.
+    let mut quote: Option<char> = None;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '#' => return &line[..i],
+                '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => return &line[..i],
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    line
+}
+
+fn open_tag(line: &str) -> Option<&str> {
+    let inner = line.strip_prefix('<')?.strip_suffix('>')?;
+    if inner.starts_with('/') || inner.is_empty() {
+        return None;
+    }
+    let name = inner.trim();
+    name.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        .then_some(name)
+}
+
+fn close_tag(line: &str) -> Option<&str> {
+    let inner = line.strip_prefix("</")?.strip_suffix('>')?;
+    let name = inner.trim();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_block() {
+        let doc = "<Property>\nName: Confidentiality\nType: Boolean\nValues: T, F\n</Property>\n";
+        let blocks = parse_document(doc).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].tag, "Property");
+        assert_eq!(blocks[0].field("Name"), Some("Confidentiality"));
+        assert_eq!(blocks[0].field("type"), Some("Boolean"));
+    }
+
+    #[test]
+    fn parses_nested_blocks() {
+        let doc = "\
+<Component>
+Name: MailClient
+<Linkages>
+  <Implements>
+  Name: ClientInterface
+  </Implements>
+  <Requires>
+  Name: ServerInterface
+  </Requires>
+</Linkages>
+</Component>";
+        let blocks = parse_document(doc).unwrap();
+        let c = &blocks[0];
+        let l = c.child("Linkages").unwrap();
+        assert!(l.child("Implements").is_some());
+        assert!(l.child("Requires").is_some());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let doc = "# header\n<X>\n// note\nA: 1\n\n</X>";
+        let blocks = parse_document(doc).unwrap();
+        assert_eq!(blocks[0].field("A"), Some("1"));
+    }
+
+    #[test]
+    fn repeated_fields_are_kept_in_order() {
+        let doc = "<R>\nRule: a\nRule: b\n</R>";
+        let blocks = parse_document(doc).unwrap();
+        let rules: Vec<_> = blocks[0].fields_named("Rule").collect();
+        assert_eq!(rules, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unclosed_block_is_an_error() {
+        let err = parse_document("<X>\nA: 1\n").unwrap_err();
+        assert!(err.message.contains("never closed"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn mismatched_close_is_an_error() {
+        let err = parse_document("<X>\n</Y>\n").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn stray_text_is_an_error() {
+        let err = parse_document("<X>\njunk without colon\n</X>").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn value_may_contain_colon_free_equals() {
+        let doc = "<X>\nProperties: Confidentiality = T, TrustLevel = 4\n</X>";
+        let blocks = parse_document(doc).unwrap();
+        assert_eq!(
+            blocks[0].field("Properties"),
+            Some("Confidentiality = T, TrustLevel = 4")
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Pretty-printer: renders a [`ServiceSpec`] back into the paper-style DSL.
+//!
+//! The printer and the DSL parser are inverses: for any valid spec,
+//! `parse_spec(print_spec(s)) == s` (checked by property tests).
+
+use crate::behavior::Behavior;
+use crate::component::Component;
+use crate::condition::{Condition, Predicate};
+use crate::interface::Bindings;
+use crate::property::{Property, PropertyType};
+use crate::rules::{ModificationRule, RuleKind};
+use crate::spec::ServiceSpec;
+use crate::value::{PropertyValue, ValueExpr};
+use std::fmt::Write as _;
+
+/// Renders the full specification as DSL text.
+pub fn print_spec(spec: &ServiceSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<Service>\nName: {}\n</Service>\n", spec.name);
+    for p in spec.properties.values() {
+        print_property(&mut out, p);
+    }
+    for i in spec.interfaces.values() {
+        let _ = writeln!(
+            out,
+            "<Interface>\nName: {}\nProperties: {}\n</Interface>\n",
+            i.name,
+            i.properties.join(", ")
+        );
+    }
+    for c in spec.components.values() {
+        print_component(&mut out, c);
+    }
+    for r in spec.rules.iter() {
+        print_rule(&mut out, r);
+    }
+    for (name, expr) in spec.derived.iter() {
+        let _ = writeln!(
+            out,
+            "<DerivedProperty>\nName: {name}\nExpr: {expr}\n</DerivedProperty>\n"
+        );
+    }
+    out
+}
+
+fn print_property(out: &mut String, p: &Property) {
+    let _ = writeln!(out, "<Property>");
+    let _ = writeln!(out, "Name: {}", p.name);
+    match &p.ty {
+        PropertyType::Boolean => {
+            let _ = writeln!(out, "Type: Boolean");
+        }
+        PropertyType::Text => {
+            let _ = writeln!(out, "Type: String");
+        }
+        PropertyType::Interval { lo, hi } => {
+            let _ = writeln!(out, "Type: Interval");
+            let _ = writeln!(out, "ValueRange: ({lo},{hi})");
+        }
+        PropertyType::Enumeration(values) => {
+            let _ = writeln!(out, "Type: Enumeration");
+            let _ = writeln!(out, "Values: {}", values.join(", "));
+        }
+    }
+    let _ = writeln!(out, "Satisfaction: {}", p.satisfaction.keyword());
+    let _ = writeln!(out, "</Property>\n");
+}
+
+fn print_component(out: &mut String, c: &Component) {
+    let tag = if c.is_view() { "View" } else { "Component" };
+    let _ = writeln!(out, "<{tag}>");
+    let _ = writeln!(out, "Name: {}", c.name);
+    if let Some(view) = &c.view {
+        let _ = writeln!(out, "Represents: {}", view.represents);
+        let _ = writeln!(out, "Kind: {}", view.kind);
+        if !view.factors.is_empty() {
+            let _ = writeln!(out, "<Factors>");
+            let _ = writeln!(out, "Properties: {}", bindings_text(&view.factors));
+            let _ = writeln!(out, "</Factors>");
+        }
+    }
+    if !c.implements.is_empty() || !c.requires.is_empty() {
+        let _ = writeln!(out, "<Linkages>");
+        for r in &c.implements {
+            let _ = writeln!(out, "  <Implements>");
+            let _ = writeln!(out, "  Name: {}", r.interface);
+            if !r.bindings.is_empty() {
+                let _ = writeln!(out, "  Properties: {}", bindings_text(&r.bindings));
+            }
+            let _ = writeln!(out, "  </Implements>");
+        }
+        for r in &c.requires {
+            let _ = writeln!(out, "  <Requires>");
+            let _ = writeln!(out, "  Name: {}", r.interface);
+            if !r.bindings.is_empty() {
+                let _ = writeln!(out, "  Properties: {}", bindings_text(&r.bindings));
+            }
+            let _ = writeln!(out, "  </Requires>");
+        }
+        let _ = writeln!(out, "</Linkages>");
+    }
+    if !c.conditions.is_empty() {
+        let _ = writeln!(out, "<Conditions>");
+        let list: Vec<String> = c.conditions.iter().map(condition_text).collect();
+        let _ = writeln!(out, "Properties: {}", list.join(", "));
+        let _ = writeln!(out, "</Conditions>");
+    }
+    print_behavior(out, &c.behavior);
+    let _ = writeln!(out, "</{tag}>\n");
+}
+
+fn print_behavior(out: &mut String, b: &Behavior) {
+    let _ = writeln!(out, "<Behaviors>");
+    if let Some(cap) = b.capacity {
+        let _ = writeln!(out, "Capacity: {cap}");
+    }
+    let _ = writeln!(out, "RRF: {}", b.rrf);
+    let _ = writeln!(out, "CpuPerRequest: {}", b.cpu_per_request_ms);
+    let _ = writeln!(out, "RequestRate: {}", b.request_rate);
+    let _ = writeln!(out, "BytesPerRequest: {}", b.bytes_per_request);
+    let _ = writeln!(out, "BytesPerResponse: {}", b.bytes_per_response);
+    let _ = writeln!(out, "CodeSize: {}", b.code_size);
+    let _ = writeln!(out, "</Behaviors>");
+}
+
+fn print_rule(out: &mut String, r: &ModificationRule) {
+    let _ = writeln!(out, "<PropertyModificationRule>");
+    let _ = writeln!(out, "Name: {}", r.property);
+    match r.kind() {
+        RuleKind::Min => {
+            let _ = writeln!(out, "Kind: Min");
+        }
+        RuleKind::Table => {
+            for row in &r.rows {
+                let _ = writeln!(
+                    out,
+                    "Rule: (In: {}) x (Env: {}) = (Out: {})",
+                    value_text(&row.input),
+                    value_text(&row.env),
+                    value_text(&row.output)
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "</PropertyModificationRule>\n");
+}
+
+fn bindings_text(b: &Bindings) -> String {
+    b.iter()
+        .map(|(name, expr)| format!("{name} = {}", expr_text(expr)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn expr_text(e: &ValueExpr) -> String {
+    match e {
+        ValueExpr::Lit(v) => value_text(v),
+        ValueExpr::EnvRef(name) => name.clone(),
+    }
+}
+
+/// Renders a value so the parser reads back the same value: text that
+/// would re-parse as something else (numbers, `T`, `ANY`, `Node.…`) or that
+/// contains list syntax is quoted.
+fn value_text(v: &PropertyValue) -> String {
+    match v {
+        PropertyValue::Bool(true) => "T".into(),
+        PropertyValue::Bool(false) => "F".into(),
+        PropertyValue::Int(i) => i.to_string(),
+        PropertyValue::Any => "ANY".into(),
+        PropertyValue::Text(s) => {
+            if needs_quoting(s) {
+                format!("'{s}'")
+            } else {
+                s.clone()
+            }
+        }
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s.parse::<i64>().is_ok()
+        || matches!(s, "T" | "F" | "true" | "false" | "True" | "False" | "ANY" | "any" | "Any")
+        || s.starts_with("Node.")
+        || s.starts_with("Env.")
+        || s.starts_with('\'')
+        || s.starts_with('"')
+        || s.contains([',', '(', ')', '=', '<', '>', ':', '#', '{', '}'])
+        || s.contains("//")
+        || s.to_ascii_lowercase().contains(" in ")
+        || s != s.trim()
+}
+
+fn condition_text(c: &Condition) -> String {
+    match &c.predicate {
+        Predicate::Equals(v) => format!("{} = {}", c.property, value_text(v)),
+        Predicate::InRange { lo, hi } => format!("{} in ({lo},{hi})", c.property),
+        Predicate::AtLeast(b) => format!("{} >= {b}", c.property),
+        Predicate::AtMost(b) => format!("{} <= {b}", c.property),
+        Predicate::OneOf(options) => {
+            let list: Vec<String> = options.iter().map(value_text).collect();
+            format!("{} in {{{}}}", c.property, list.join("| "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{InterfaceRef, ViewKind};
+    use crate::interface::Interface;
+    use crate::parser::dsl::parse_spec;
+    use crate::rules::ModificationRule;
+
+    fn sample() -> ServiceSpec {
+        ServiceSpec::new("mail")
+            .property(Property::boolean("Confidentiality"))
+            .property(Property::interval("TrustLevel", 1, 5))
+            .property(Property::text("User"))
+            .interface(Interface::new(
+                "ServerInterface",
+                ["Confidentiality", "TrustLevel"],
+            ))
+            .component(
+                Component::new("MailServer")
+                    .implements(InterfaceRef::with_bindings(
+                        "ServerInterface",
+                        Bindings::new()
+                            .bind_lit("Confidentiality", true)
+                            .bind_lit("TrustLevel", 5i64),
+                    ))
+                    .behavior(Behavior::new().capacity(1000.0)),
+            )
+            .component(
+                Component::view("ViewMailServer", "MailServer", ViewKind::Data)
+                    .factors(Bindings::new().bind_env("TrustLevel", "Node.TrustLevel"))
+                    .implements(InterfaceRef::with_bindings(
+                        "ServerInterface",
+                        Bindings::new()
+                            .bind_lit("Confidentiality", true)
+                            .bind_env("TrustLevel", "Node.TrustLevel"),
+                    ))
+                    .requires(InterfaceRef::with_bindings(
+                        "ServerInterface",
+                        Bindings::new().bind_lit("Confidentiality", true),
+                    ))
+                    .condition(Condition::in_range("Node.TrustLevel", 1, 3))
+                    .condition(Condition::equals("User", "Alice"))
+                    .behavior(Behavior::new().rrf(0.2)),
+            )
+            .rule(ModificationRule::boolean_and("Confidentiality"))
+            .rule(ModificationRule::min("TrustLevel"))
+            .derive(
+                "EffectiveTrust",
+                crate::derived::PropExpr::parse("min(TrustLevel, add(1, 2))").expect("parses"),
+            )
+    }
+
+    #[test]
+    fn roundtrip_preserves_spec() {
+        let spec = sample();
+        let text = print_spec(&spec);
+        let reparsed = parse_spec("ignored", &text).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn tricky_text_values_are_quoted() {
+        assert_eq!(value_text(&PropertyValue::text("42")), "'42'");
+        assert_eq!(value_text(&PropertyValue::text("T")), "'T'");
+        assert_eq!(value_text(&PropertyValue::text("Alice")), "Alice");
+        assert_eq!(value_text(&PropertyValue::text("a,b")), "'a,b'");
+    }
+
+    #[test]
+    fn printed_spec_is_valid_dsl() {
+        let text = print_spec(&sample());
+        parse_spec("x", &text).unwrap().validate().unwrap();
+    }
+}

@@ -1,0 +1,356 @@
+//! A minimal XML reader for service specifications.
+//!
+//! The paper states that its service specifications "use an XML format"
+//! while printing them in the readable form of Figure 2. This module
+//! accepts the XML spelling: element children that contain only text map
+//! to `Key: value` fields, element children with element content map to
+//! nested blocks, and attributes map to fields as well. The result is the
+//! same [`Block`] tree the DSL produces, so both front-ends share the
+//! semantic mapping in [`crate::parser::dsl`].
+//!
+//! Supported XML subset: elements, attributes, character data, comments,
+//! CDATA, the XML declaration, self-closing tags, and the five predefined
+//! entities. Doctypes and processing instructions other than the
+//! declaration are rejected.
+
+use crate::parser::block::{Block, ParseError};
+
+/// Parses an XML document into top-level blocks.
+pub fn parse_xml(input: &str) -> Result<Vec<Block>, ParseError> {
+    let mut reader = Reader::new(input);
+    let mut blocks = Vec::new();
+    reader.skip_misc()?;
+    while !reader.at_end() {
+        let element = reader.parse_element()?;
+        blocks.push(element_to_block(element));
+        reader.skip_misc()?;
+    }
+    Ok(blocks)
+}
+
+/// Parses an XML service specification document directly.
+pub fn parse_spec_xml(name: &str, input: &str) -> Result<crate::spec::ServiceSpec, ParseError> {
+    let blocks = parse_xml(input)?;
+    crate::parser::dsl::spec_from_blocks(name, &blocks)
+}
+
+/// A raw parsed XML element.
+struct Element {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Element>,
+    text: String,
+    line: usize,
+}
+
+fn element_to_block(e: Element) -> Block {
+    let mut fields: Vec<(String, String)> = e.attributes;
+    let mut children = Vec::new();
+    for child in e.children {
+        if child.children.is_empty() && child.attributes.is_empty() {
+            // Text-only child element -> field.
+            fields.push((child.name, child.text.trim().to_owned()));
+        } else {
+            children.push(element_to_block(child));
+        }
+    }
+    Block {
+        tag: e.name,
+        fields,
+        children,
+        line: e.line,
+    }
+}
+
+struct Reader<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(input: &'a str) -> Self {
+        Reader {
+            input,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, message)
+    }
+
+    fn advance(&mut self, n: usize) {
+        let taken = &self.input[self.pos..self.pos + n];
+        self.line += taken.bytes().filter(|&b| b == b'\n').count();
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        let n = self
+            .rest()
+            .len()
+            .saturating_sub(self.rest().trim_start().len());
+        self.advance(n);
+    }
+
+    /// Skips whitespace, comments, and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("<?") {
+                match self.rest().find("?>") {
+                    Some(end) => self.advance(end + 2),
+                    None => return Err(self.error("unterminated processing instruction")),
+                }
+            } else if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(end) => self.advance(end + 3),
+                    None => return Err(self.error("unterminated comment")),
+                }
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                return Err(self.error("doctypes are not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        if !self.rest().starts_with('<') {
+            return Err(self.error("expected `<`"));
+        }
+        let line = self.line;
+        self.advance(1);
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("/>") {
+                self.advance(2);
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children: Vec::new(),
+                    text: String::new(),
+                    line,
+                });
+            }
+            if self.rest().starts_with('>') {
+                self.advance(1);
+                break;
+            }
+            let attr = self.parse_name()?;
+            self.skip_whitespace();
+            if !self.rest().starts_with('=') {
+                return Err(self.error(format!("attribute `{attr}` is missing `=`")));
+            }
+            self.advance(1);
+            self.skip_whitespace();
+            let quote = match self.rest().chars().next() {
+                Some(q @ ('"' | '\'')) => q,
+                _ => return Err(self.error("attribute value must be quoted")),
+            };
+            self.advance(1);
+            let end = self
+                .rest()
+                .find(quote)
+                .ok_or_else(|| self.error("unterminated attribute value"))?;
+            let value = decode_entities(&self.rest()[..end]);
+            self.advance(end + 1);
+            attributes.push((attr, value));
+        }
+
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.rest().starts_with("</") {
+                self.advance(2);
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(
+                        self.error(format!("mismatched `</{close}>`, expected `</{name}>`"))
+                    );
+                }
+                self.skip_whitespace();
+                if !self.rest().starts_with('>') {
+                    return Err(self.error("expected `>` after closing tag name"));
+                }
+                self.advance(1);
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                    text,
+                    line,
+                });
+            }
+            if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(end) => self.advance(end + 3),
+                    None => return Err(self.error("unterminated comment")),
+                }
+                continue;
+            }
+            if self.rest().starts_with("<![CDATA[") {
+                self.advance("<![CDATA[".len());
+                let end = self
+                    .rest()
+                    .find("]]>")
+                    .ok_or_else(|| self.error("unterminated CDATA section"))?;
+                text.push_str(&self.rest()[..end]);
+                self.advance(end + 3);
+                continue;
+            }
+            if self.rest().starts_with('<') {
+                children.push(self.parse_element()?);
+                continue;
+            }
+            if self.at_end() {
+                return Err(self.error(format!("element `<{name}>` is never closed")));
+            }
+            let end = self.rest().find('<').unwrap_or(self.rest().len());
+            text.push_str(&decode_entities(&self.rest()[..end]));
+            self.advance(end);
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let rest = self.rest();
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if len == 0 {
+            return Err(self.error("expected a name"));
+        }
+        let name = rest[..len].to_owned();
+        self.advance(len);
+        Ok(name)
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let known = [
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&amp;", '&'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ];
+        match known.iter().find(|(e, _)| rest.starts_with(e)) {
+            Some((entity, ch)) => {
+                out.push(*ch);
+                rest = &rest[entity.len()..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XML: &str = r#"<?xml version="1.0"?>
+<!-- mail service, XML spelling -->
+<Property>
+  <Name>Confidentiality</Name>
+  <Type>Boolean</Type>
+</Property>
+<Property>
+  <Name>TrustLevel</Name>
+  <Type>Interval</Type>
+  <ValueRange>(1,5)</ValueRange>
+</Property>
+<Interface>
+  <Name>ServerInterface</Name>
+  <Properties>Confidentiality, TrustLevel</Properties>
+</Interface>
+<Component>
+  <Name>MailServer</Name>
+  <Linkages>
+    <Implements>
+      <Name>ServerInterface</Name>
+      <Properties>Confidentiality = T, TrustLevel = 5</Properties>
+    </Implements>
+  </Linkages>
+  <Behaviors>
+    <Capacity>1000</Capacity>
+  </Behaviors>
+</Component>
+"#;
+
+    #[test]
+    fn xml_maps_to_blocks() {
+        let blocks = parse_xml(XML).unwrap();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].field("Name"), Some("Confidentiality"));
+        let component = &blocks[3];
+        assert!(component.child("Linkages").is_some());
+    }
+
+    #[test]
+    fn xml_spec_equals_dsl_spec() {
+        let from_xml = parse_spec_xml("mail", XML).unwrap();
+        assert_eq!(from_xml.components.len(), 1);
+        assert_eq!(
+            from_xml.get_component("MailServer").unwrap().behavior.capacity,
+            Some(1000.0)
+        );
+        from_xml.validate().unwrap();
+    }
+
+    #[test]
+    fn attributes_become_fields() {
+        let blocks = parse_xml(r#"<Interface Name="I" Properties="A, B"/>"#).unwrap();
+        assert_eq!(blocks[0].field("Name"), Some("I"));
+        assert_eq!(blocks[0].field("Properties"), Some("A, B"));
+    }
+
+    #[test]
+    fn entities_decode() {
+        let blocks = parse_xml("<X><A>1 &lt; 2 &amp; 3</A></X>").unwrap();
+        assert_eq!(blocks[0].field("A"), Some("1 < 2 & 3"));
+    }
+
+    #[test]
+    fn cdata_is_raw_text() {
+        let blocks = parse_xml("<X><A><![CDATA[a < b]]></A></X>").unwrap();
+        assert_eq!(blocks[0].field("A"), Some("a < b"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<A></B>").is_err());
+    }
+
+    #[test]
+    fn unterminated_element_errors() {
+        assert!(parse_xml("<A><B></B>").is_err());
+    }
+}

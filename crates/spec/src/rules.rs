@@ -1,0 +1,280 @@
+//! Property modification rules (Figure 4).
+//!
+//! When two linked components communicate across a node/link environment,
+//! the environment may *degrade* the properties of the implemented
+//! interface: a `Confidentiality = T` promise does not survive an insecure
+//! link. Rules are written as `(In: x) × (Env: y) = (Out: z)` rows with
+//! `ANY` wildcards; the first matching row wins, and a property with no
+//! matching row passes through unchanged.
+
+use crate::value::PropertyValue;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `(In) × (Env) = (Out)` row of a modification rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleRow {
+    /// Pattern matched against the value carried by the implemented
+    /// interface (`ANY` matches everything).
+    pub input: PropertyValue,
+    /// Pattern matched against the environment's value for the property.
+    pub env: PropertyValue,
+    /// Output value. `Out` may itself be `ANY`, meaning "pass the input
+    /// through unchanged" — used for identity rows.
+    pub output: PropertyValue,
+}
+
+impl RuleRow {
+    /// Constructs a row.
+    pub fn new(
+        input: impl Into<PropertyValue>,
+        env: impl Into<PropertyValue>,
+        output: impl Into<PropertyValue>,
+    ) -> Self {
+        RuleRow {
+            input: input.into(),
+            env: env.into(),
+            output: output.into(),
+        }
+    }
+
+    fn applies(&self, input: &PropertyValue, env: &PropertyValue) -> bool {
+        self.input.matches(input) && self.env.matches(env)
+    }
+
+    fn apply(&self, input: &PropertyValue) -> PropertyValue {
+        if self.output.is_any() {
+            input.clone()
+        } else {
+            self.output.clone()
+        }
+    }
+}
+
+impl fmt::Display for RuleRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(In: {}) x (Env: {}) = (Out: {})",
+            self.input, self.env, self.output
+        )
+    }
+}
+
+/// A named modification rule: an ordered row table for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModificationRule {
+    /// The property this rule governs, e.g. `Confidentiality`.
+    pub property: String,
+    /// Ordered rows; first match wins.
+    pub rows: Vec<RuleRow>,
+    kind: RuleKind,
+}
+
+impl ModificationRule {
+    /// Creates a table rule for `property` with the given rows.
+    pub fn new(property: impl Into<String>, rows: Vec<RuleRow>) -> Self {
+        ModificationRule {
+            property: property.into(),
+            rows,
+            kind: RuleKind::Table,
+        }
+    }
+
+    /// The paper's Figure 4 rule for a Boolean "survives only in a
+    /// compliant environment" property:
+    ///
+    /// ```text
+    /// (In: T)   x (Env: T)   = (Out: T)
+    /// (In: F)   x (Env: ANY) = (Out: F)
+    /// (In: ANY) x (Env: F)   = (Out: F)
+    /// ```
+    pub fn boolean_and(property: impl Into<String>) -> Self {
+        ModificationRule::new(
+            property,
+            vec![
+                RuleRow::new(true, true, true),
+                RuleRow::new(false, PropertyValue::Any, false),
+                RuleRow::new(PropertyValue::Any, false, false),
+            ],
+        )
+    }
+
+    /// A rule for ordered (interval) properties where the environment caps
+    /// the deliverable value — e.g. a link that cannot sustain more than
+    /// `Env` frames/second caps a `FrameRate = In` promise at
+    /// `min(In, Env)`. Expressed with the special [`ModificationRule::min`]
+    /// combinator rather than rows; see [`RuleKind`].
+    pub fn min(property: impl Into<String>) -> Self {
+        ModificationRule {
+            property: property.into(),
+            rows: Vec::new(),
+            kind: RuleKind::Min,
+        }
+    }
+
+    /// Applies the rule: the value the client-side of the linkage actually
+    /// observes for this property.
+    pub fn apply(&self, input: &PropertyValue, env: &PropertyValue) -> PropertyValue {
+        match self.kind {
+            RuleKind::Table => {
+                for row in &self.rows {
+                    if row.applies(input, env) {
+                        return row.apply(input);
+                    }
+                }
+                input.clone()
+            }
+            RuleKind::Min => match (input.as_int(), env.as_int()) {
+                (Some(i), Some(e)) => PropertyValue::Int(i.min(e)),
+                _ => input.clone(),
+            },
+        }
+    }
+}
+
+/// How a rule computes its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuleKind {
+    /// Ordered row table with first-match-wins semantics (Figure 4).
+    #[default]
+    Table,
+    /// `Out = min(In, Env)` for integer-valued properties.
+    Min,
+}
+
+impl ModificationRule {
+    /// Rule kind accessor.
+    pub fn kind(&self) -> RuleKind {
+        self.kind
+    }
+}
+
+/// The set of modification rules declared by a service, indexed by
+/// property name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    rules: BTreeMap<String, ModificationRule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a rule.
+    pub fn add(&mut self, rule: ModificationRule) {
+        self.rules.insert(rule.property.clone(), rule);
+    }
+
+    /// Builder-style [`add`](Self::add).
+    pub fn with(mut self, rule: ModificationRule) -> Self {
+        self.add(rule);
+        self
+    }
+
+    /// Looks a rule up by property name.
+    pub fn get(&self, property: &str) -> Option<&ModificationRule> {
+        self.rules.get(property)
+    }
+
+    /// Applies the rule for `property` if one exists; otherwise the value
+    /// passes through unchanged (the identity environment).
+    pub fn apply(
+        &self,
+        property: &str,
+        input: &PropertyValue,
+        env: &PropertyValue,
+    ) -> PropertyValue {
+        match self.rules.get(property) {
+            Some(rule) => rule.apply(input, env),
+            None => input.clone(),
+        }
+    }
+
+    /// Iterates rules in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &ModificationRule> {
+        self.rules.values()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_confidentiality_rule() {
+        let rule = ModificationRule::boolean_and("Confidentiality");
+        let t = PropertyValue::Bool(true);
+        let f = PropertyValue::Bool(false);
+        // (In: T) x (Env: T) = T
+        assert_eq!(rule.apply(&t, &t), t);
+        // (In: T) x (Env: F) = F  — via the third row
+        assert_eq!(rule.apply(&t, &f), f);
+        // (In: F) x (Env: anything) = F
+        assert_eq!(rule.apply(&f, &t), f);
+        assert_eq!(rule.apply(&f, &f), f);
+    }
+
+    #[test]
+    fn min_rule_caps_integers() {
+        let rule = ModificationRule::min("FrameRate");
+        assert_eq!(
+            rule.apply(&PropertyValue::Int(30), &PropertyValue::Int(15)),
+            PropertyValue::Int(15)
+        );
+        assert_eq!(
+            rule.apply(&PropertyValue::Int(10), &PropertyValue::Int(15)),
+            PropertyValue::Int(10)
+        );
+    }
+
+    #[test]
+    fn unknown_property_passes_through() {
+        let rules = RuleSet::new().with(ModificationRule::boolean_and("Confidentiality"));
+        let v = PropertyValue::Int(7);
+        assert_eq!(rules.apply("TrustLevel", &v, &PropertyValue::Bool(false)), v);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let rule = ModificationRule::new(
+            "P",
+            vec![
+                RuleRow::new(1i64, PropertyValue::Any, 10i64),
+                RuleRow::new(PropertyValue::Any, PropertyValue::Any, 20i64),
+            ],
+        );
+        assert_eq!(
+            rule.apply(&PropertyValue::Int(1), &PropertyValue::Int(0)),
+            PropertyValue::Int(10)
+        );
+        assert_eq!(
+            rule.apply(&PropertyValue::Int(2), &PropertyValue::Int(0)),
+            PropertyValue::Int(20)
+        );
+    }
+
+    #[test]
+    fn any_output_passes_input_through() {
+        let rule = ModificationRule::new(
+            "P",
+            vec![RuleRow::new(PropertyValue::Any, true, PropertyValue::Any)],
+        );
+        assert_eq!(
+            rule.apply(&PropertyValue::Int(9), &PropertyValue::Bool(true)),
+            PropertyValue::Int(9)
+        );
+    }
+}

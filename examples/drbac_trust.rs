@@ -1,0 +1,125 @@
+//! Section 6, future work #2: service-independent property translation
+//! through dRBAC trust management.
+//!
+//! Node trust is no longer a hand-mapped credential: nodes hold *roles*
+//! issued through delegation chains, roles map to service properties via
+//! mapping credentials, and the planner consumes the derived
+//! environments. Revoking one delegation in the middle of a chain
+//! changes where components may be placed on the next plan.
+//!
+//! Run with `cargo run --release --example drbac_trust`.
+
+use partitionable_services::drbac::{DrbacTranslator, Role, Subject, TrustStore};
+use partitionable_services::mail::spec::names::*;
+use partitionable_services::mail::mail_spec;
+use partitionable_services::net::casestudy::default_case_study;
+use partitionable_services::planner::{Planner, PlannerConfig, ServiceRequest};
+use partitionable_services::sim::SimTime;
+
+fn main() {
+    let cs = default_case_study();
+    let now = SimTime::ZERO;
+
+    // Build the trust web. The company owns the role namespace; the
+    // branch office administers its own nodes through a delegated role.
+    let mut store = TrustStore::new();
+    let hq = Role::new("Company", "hq-node");
+    let branch = Role::new("Company", "branch-node");
+    let partner = Role::new("Company", "partner-node");
+    let branch_admin = Role::new("Company", "branch-admin");
+
+    // Role -> property mapping credentials (the translation namespace).
+    store.map_property(hq.clone(), "TrustLevel", 5i64);
+    store.map_property(hq.clone(), "Domain", "company");
+    store.map_property(branch.clone(), "TrustLevel", 3i64);
+    store.map_property(branch.clone(), "Domain", "company");
+    store.map_property(partner.clone(), "TrustLevel", 2i64);
+    store.map_property(partner.clone(), "Domain", "partner");
+
+    // HQ nodes get their role directly from the company.
+    for node in ["NewYork-0", "NewYork-1", "NewYork-2"] {
+        store
+            .delegate("Company", Subject::Entity(node.into()), hq.clone(), None, now)
+            .expect("company owns the namespace");
+    }
+    // The company appoints a branch admin, who then delegates the
+    // branch-node role to San Diego's machines: a two-step chain.
+    store
+        .delegate("Company", Subject::Entity("sd-admin".into()), branch_admin.clone(), None, now)
+        .expect("appoint admin");
+    store
+        .delegate("Company", Subject::Role(branch_admin), branch.clone(), None, now)
+        .expect("role-to-role");
+    let mut sd_delegations = Vec::new();
+    for node in ["SanDiego-0", "SanDiego-1", "SanDiego-2"] {
+        let id = store
+            .delegate("sd-admin", Subject::Entity(node.into()), branch.clone(), None, now)
+            .expect("admin holds branch role transitively");
+        sd_delegations.push(id);
+    }
+    for node in ["Seattle-0", "Seattle-1", "Seattle-2"] {
+        store
+            .delegate("Company", Subject::Entity(node.into()), partner.clone(), None, now)
+            .expect("partner role");
+    }
+
+    let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
+    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(2.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+
+    println!("=== plan under the dRBAC-derived environments ===\n");
+    let translator = DrbacTranslator { store: &store, at: now };
+    let plan = planner
+        .plan(&cs.network, &translator, &request)
+        .expect("feasible under trust web");
+    println!("{plan}\n");
+    assert!(plan.placement_of(VIEW_MAIL_SERVER).is_some());
+
+    // Revoke the branch delegation of the node hosting the cache: the
+    // subscribed planner is notified and replans without it.
+    let vms_node = plan.placement_of(VIEW_MAIL_SERVER).unwrap().node;
+    let vms_name = cs.network.node(vms_node).name.clone();
+    let revoked = sd_delegations[(vms_node.0 as usize) - 3];
+    store.subscribe("planner", revoked);
+    store.revoke(revoked);
+    println!("revoked {vms_name}'s branch-node credential");
+    println!("notifications: {:?}\n", store.take_notifications());
+    assert!(!store.holds(&vms_name, &branch, now));
+
+    // The distrusted machine can no longer host any company component —
+    // including the user's own MailClient. The user logs in from another
+    // branch machine and the planner places everything on still-trusted
+    // nodes.
+    let translator = DrbacTranslator { store: &store, at: now };
+    assert!(
+        planner.plan(&cs.network, &translator, &request).is_err(),
+        "nothing company-trusted may run on the distrusted node"
+    );
+    println!("full-client request from {vms_name}: now infeasible, as it must be");
+
+    let fallback = cs
+        .network
+        .site_nodes("SanDiego")
+        .into_iter()
+        .find(|&n| n != vms_node)
+        .expect("another branch machine");
+    let request = ServiceRequest::new(CLIENT_INTERFACE, fallback)
+        .rate(2.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let replanned = planner
+        .plan(&cs.network, &translator, &request)
+        .expect("feasible from a still-trusted machine");
+    println!("\n=== replanned from {} ===\n{replanned}\n", cs.network.node(fallback).name);
+    let new_vms = replanned.placement_of(VIEW_MAIL_SERVER).unwrap();
+    assert_ne!(new_vms.node, vms_node, "the cache moved off the distrusted node");
+    println!(
+        "the ViewMailServer moved from {} to {} — placement followed the trust web",
+        vms_name,
+        cs.network.node(new_vms.node).name
+    );
+}

@@ -1,0 +1,143 @@
+//! The full Section 4 case study, end to end: the framework plans and
+//! deploys the mail service for the three sites (Figure 6), clients run
+//! the paper's workload, and the measured latencies plus the semantic
+//! behaviour (sensitivity-keyed encryption, restricted partner clients)
+//! are reported.
+//!
+//! Run with `cargo run --release --example mail_case_study`.
+
+use partitionable_services::core::Framework;
+use partitionable_services::mail::spec::names::*;
+use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver, SEND_METRIC};
+use partitionable_services::mail::{
+    mail_spec, mail_translator, register_mail_components, Keyring, MailOp,
+};
+use partitionable_services::net::casestudy::default_case_study;
+use partitionable_services::planner::ServiceRequest;
+use partitionable_services::smock::{
+    CoherencePolicy, ComponentLogic, Outbox, Payload, RequestHandle, ServiceRegistration,
+};
+use partitionable_services::spec::Behavior;
+
+/// Probes the restricted Seattle client's address book (expected denial).
+struct AddressBookProbe {
+    label: &'static str,
+}
+
+impl ComponentLogic for AddressBookProbe {
+    fn on_start(&mut self, out: &mut Outbox) {
+        out.call(
+            0,
+            Payload::new(
+                MailOp::AddressBook {
+                    user: "user-0".into(),
+                },
+                64,
+            ),
+            1,
+        );
+    }
+    fn on_request(&mut self, _o: &mut Outbox, _r: RequestHandle, _p: &Payload) {}
+    fn on_response(&mut self, _out: &mut Outbox, _token: u64, payload: &Payload) {
+        let reply = payload.get::<partitionable_services::mail::MailReply>();
+        println!("  [{}] address-book reply: {:?}", self.label, reply);
+    }
+}
+
+fn main() {
+    let cs = default_case_study();
+    let mut fw = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    register_mail_components(
+        &mut fw.server.registry,
+        Keyring::new(2026),
+        CoherencePolicy::CountLimit(500),
+    );
+    fw.register_service(ServiceRegistration::new(mail_spec()).attribute("type", "mail"));
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .expect("primary server installs in New York");
+
+    println!("=== deployments (Figure 6) ===");
+    let mut roots = Vec::new();
+    for (site, client, trust) in [
+        ("NewYork", cs.ny_client, 4i64),
+        ("SanDiego", cs.sd_client, 4),
+        ("Seattle", cs.seattle_client, 1),
+    ] {
+        let request = ServiceRequest::new(CLIENT_INTERFACE, client)
+            .rate(10.0)
+            .pin(MAIL_SERVER, cs.mail_server)
+            .origin(cs.mail_server)
+            .require("TrustLevel", trust);
+        let connection = fw.connect("mail", &request).expect("feasible");
+        println!("\n--- {site} ---");
+        for p in &connection.plan.placements {
+            println!(
+                "  {:16} @ {:12} {}",
+                p.component,
+                fw.world.network().node(p.node).name,
+                if p.preexisting { "(existing)" } else { "(deployed)" }
+            );
+        }
+        println!("  one-time: {}", connection.costs);
+        roots.push((site, client, connection));
+    }
+
+    println!("\n=== workload: 100 sends + 10 receives per site ===");
+    for (i, (_site, client, connection)) in roots.iter().enumerate() {
+        let driver = ClusterDriver::new(ClusterConfig {
+            sends: 100,
+            receives: 10,
+            ..ClusterConfig::paper(format!("user-{i}"), format!("user-{}", (i + 1) % 3), (i as u64 + 1) << 40)
+        });
+        let id = fw.world.instantiate(
+            format!("driver-{i}"),
+            *client,
+            Default::default(),
+            Behavior::new(),
+            Box::new(driver),
+            connection.ready_at,
+        );
+        fw.world.wire(id, vec![connection.root]);
+    }
+    // Address-book probes: full client (NY) succeeds, restricted client
+    // (Seattle) is denied.
+    for (site, idx) in [("NewYork/full", 0usize), ("Seattle/restricted", 2)] {
+        let (_, client, connection) = &roots[idx];
+        let probe = fw.world.instantiate(
+            "probe",
+            *client,
+            Default::default(),
+            Behavior::new(),
+            Box::new(AddressBookProbe { label: site }),
+            connection.ready_at,
+        );
+        fw.world.wire(probe, vec![connection.root]);
+    }
+
+    fw.run();
+
+    println!("\n=== measured (simulated) latencies ===");
+    let send = fw.world.metric(SEND_METRIC);
+    println!(
+        "  sends:    {} ops, mean {:.3} ms, max {:.3} ms",
+        send.count(),
+        send.mean(),
+        send.max()
+    );
+    let recv = fw.world.metric("receive_ms");
+    println!(
+        "  receives: {} ops, mean {:.3} ms, max {:.3} ms",
+        recv.count(),
+        recv.mean(),
+        recv.max()
+    );
+    println!(
+        "  runtime carried {} messages in {:.2} s of virtual time",
+        fw.world.messages_sent(),
+        fw.world.now().as_secs_f64()
+    );
+}

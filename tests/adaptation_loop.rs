@@ -1,0 +1,173 @@
+//! The full adaptation loop the paper's title promises, end to end and
+//! mid-workload: clients run against a deployment, the environment
+//! changes underneath them, the monitor detects it, the planner computes
+//! a better deployment, the run-time redeploys — and the *same* client
+//! proxy keeps working, faster, without the application noticing.
+
+use partitionable_services::core::Framework;
+use partitionable_services::mail::spec::names::*;
+use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver, OpKind};
+use partitionable_services::mail::{
+    mail_spec, mail_translator, register_mail_components, Keyring,
+};
+use partitionable_services::monitor::NetworkMonitor;
+use partitionable_services::net::casestudy::default_case_study;
+use partitionable_services::planner::ServiceRequest;
+use partitionable_services::sim::SimDuration;
+use partitionable_services::smock::{CoherencePolicy, ServiceRegistration};
+use partitionable_services::spec::Behavior;
+
+#[test]
+fn degraded_link_triggers_redeployment_clients_keep_running() {
+    let cs = default_case_study();
+    let mut fw = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    register_mail_components(
+        &mut fw.server.registry,
+        Keyring::new(21),
+        CoherencePolicy::None,
+    );
+    fw.register_service(ServiceRegistration::new(mail_spec()));
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+
+    // Initial conditions: San Diego is a fully trusted branch (trust 5,
+    // so the (1,3)-windowed view server cannot be installed there) and
+    // the NY-SD WAN is a fast *secure* leased line. The planner deploys
+    // the simplest thing — a direct MailClient -> MailServer connection.
+    let wan = cs
+        .network
+        .link_between(cs.ny_gateway, cs.sd_gateway)
+        .unwrap()
+        .id;
+    let sd_nodes: Vec<_> = cs.network.site_nodes("SanDiego");
+    for &n in &sd_nodes {
+        let mut creds = fw.world.network().node(n).credentials.clone();
+        creds.set("TrustRating", 5i64);
+        fw.world.update_node_credentials(n, creds);
+    }
+    {
+        let l = fw.world.network().link(wan).clone();
+        fw.world.update_link(wan, SimDuration::from_millis(5), l.bandwidth_bps);
+        let mut creds = l.credentials.clone();
+        creds.set("Secure", true);
+        fw.world.update_link_credentials(wan, creds);
+    }
+
+    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let initial = fw.connect("mail", &request).unwrap();
+    assert_eq!(
+        initial.plan.graph.to_string(),
+        "MailClient -> MailServer",
+        "fast secure WAN: no cache needed\n{}",
+        initial.plan
+    );
+
+    // Monitor watches from this baseline.
+    let mut monitor = NetworkMonitor::new(fw.world.network().clone());
+
+    // A long-running client workload.
+    let driver = {
+        let d = ClusterDriver::new(ClusterConfig {
+            sends: 400,
+            receives: 0,
+            ..ClusterConfig::paper("alice", "bob", 1 << 40)
+        });
+        let id = fw.world.instantiate(
+            "driver",
+            cs.sd_client,
+            Default::default(),
+            Behavior::new(),
+            Box::new(d),
+            initial.ready_at,
+        );
+        fw.world.wire(id, vec![initial.root]);
+        id
+    };
+
+    // Phase 1: run a while under good conditions.
+    let phase1_end = initial.ready_at + SimDuration::from_millis(600);
+    fw.run_until(phase1_end);
+
+    // The provider's leased line is cut over to the public internet
+    // (400 ms, 8 Mb/s, insecure), and the branch is simultaneously
+    // demoted to standard branch trust — which *enables* the cache.
+    fw.world
+        .update_link(wan, SimDuration::from_millis(400), 8e6);
+    {
+        let mut creds = fw.world.network().link(wan).credentials.clone();
+        creds.set("Secure", false);
+        fw.world.update_link_credentials(wan, creds);
+    }
+    for &n in &sd_nodes {
+        let mut creds = fw.world.network().node(n).credentials.clone();
+        creds.set("TrustRating", 3i64);
+        fw.world.update_node_credentials(n, creds);
+    }
+
+    // Phase 2: let the client suffer for a bit.
+    fw.run_until(phase1_end + SimDuration::from_millis(3000));
+
+    // The monitor notices; the framework replans and redeploys. The
+    // MailClient instance is reused, so the running driver's wiring is
+    // untouched — the chain behind it changes.
+    let changes = monitor.observe(fw.world.network());
+    assert!(
+        changes.len() >= 2,
+        "latency/bandwidth + credential changes detected: {changes:?}"
+    );
+    let (adapted, _retired) = fw.reconnect("mail", &request, &initial).unwrap();
+    assert_eq!(
+        adapted.plan.graph.to_string(),
+        "MailClient -> ViewMailServer -> Encryptor -> Decryptor -> MailServer",
+        "insecure slow WAN: cache + crypto deployed\n{}",
+        adapted.plan
+    );
+    assert_eq!(
+        adapted.root, initial.root,
+        "the client-facing instance is the same object"
+    );
+
+    // Phase 3: drain the workload under the adapted deployment.
+    fw.run();
+
+    let d = fw
+        .world
+        .logic_mut(driver)
+        .as_any()
+        .unwrap()
+        .downcast_ref::<ClusterDriver>()
+        .unwrap();
+    assert!(d.is_done(), "the client never noticed the redeployment");
+    assert_eq!(d.denied, 0);
+
+    // Latency history tells the adaptation story: fast, then degraded,
+    // then recovered (sends absorbed by the local cache).
+    let sends: Vec<f64> = d
+        .completed
+        .iter()
+        .filter(|(k, _)| *k == OpKind::Send)
+        .map(|(_, ms)| *ms)
+        .collect();
+    assert_eq!(sends.len(), 400);
+    // ~15 ms per op in phase 1: the first ~20 ops complete well inside
+    // the 600 ms window.
+    let early: f64 = sends[2..20].iter().sum::<f64>() / 18.0;
+    let late: f64 = sends[sends.len() - 40..].iter().sum::<f64>() / 40.0;
+    let degraded = sends
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    assert!(early < 40.0, "phase 1 is fast: {early:.2} ms");
+    assert!(degraded > 700.0, "phase 2 suffered the degraded WAN: {degraded:.1} ms");
+    assert!(
+        late < 10.0,
+        "phase 3 recovered via the deployed cache: {late:.2} ms"
+    );
+}

@@ -1,0 +1,115 @@
+//! Fault handling (the paper lists it as a required integration for "a
+//! complete practical system"): a host crash kills the cache replica;
+//! the next connection re-plans around the dead instances and service
+//! resumes on a surviving machine.
+
+use partitionable_services::core::Framework;
+use partitionable_services::mail::spec::names::*;
+use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
+use partitionable_services::mail::{
+    mail_spec, mail_translator, register_mail_components, Keyring,
+};
+use partitionable_services::net::casestudy::default_case_study;
+use partitionable_services::planner::ServiceRequest;
+use partitionable_services::smock::{CoherencePolicy, ServiceRegistration};
+use partitionable_services::spec::Behavior;
+
+#[test]
+fn crashed_cache_host_is_replanned_around() {
+    let cs = default_case_study();
+    let mut fw = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    register_mail_components(
+        &mut fw.server.registry,
+        Keyring::new(31),
+        CoherencePolicy::CountLimit(5),
+    );
+    fw.register_service(ServiceRegistration::new(mail_spec()));
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+
+    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let conn = fw.connect("mail", &request).unwrap();
+    let vms_node = conn.plan.placement_of(VIEW_MAIL_SERVER).unwrap().node;
+    assert_eq!(vms_node, cs.sd_client, "cache colocates with the client");
+
+    // Run a short workload, then the client's machine crashes (taking
+    // the MailClient, cache, and encryptor with it).
+    let d1 = ClusterDriver::new(ClusterConfig {
+        sends: 20,
+        receives: 0,
+        ..ClusterConfig::paper("alice", "bob", 1 << 40)
+    });
+    let id1 = fw.world.instantiate(
+        "driver-1",
+        cs.sd_client,
+        Default::default(),
+        Behavior::new(),
+        Box::new(d1),
+        conn.ready_at,
+    );
+    fw.world.wire(id1, vec![conn.root]);
+    fw.run();
+
+    let failed = fw.world.fail_node(vms_node);
+    assert!(failed.len() >= 3, "client, cache, encryptor died: {failed:?}");
+    for id in &failed {
+        assert!(fw.world.is_retired(*id));
+    }
+    // The primary (other node) survived.
+    let primary = fw
+        .world
+        .find_instance(MAIL_SERVER, cs.mail_server, &Default::default())
+        .unwrap();
+    assert!(!fw.world.is_retired(primary));
+
+    // The user reconnects from a surviving branch machine: dead
+    // instances are not attachable, so a fresh chain deploys there.
+    let fallback = cs
+        .network
+        .site_nodes("SanDiego")
+        .into_iter()
+        .find(|&n| n != vms_node)
+        .unwrap();
+    let request2 = ServiceRequest::new(CLIENT_INTERFACE, fallback)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let conn2 = fw.connect("mail", &request2).unwrap();
+    let new_vms = conn2.plan.placement_of(VIEW_MAIL_SERVER).unwrap();
+    assert_ne!(new_vms.node, vms_node, "the dead host is not reused");
+    assert!(conn2.deployment.created >= 3, "fresh chain deployed");
+
+    // Service resumes: the new workload completes.
+    let d2 = ClusterDriver::new(ClusterConfig {
+        sends: 20,
+        receives: 2,
+        ..ClusterConfig::paper("alice", "bob", 1 << 41)
+    });
+    let id2 = fw.world.instantiate(
+        "driver-2",
+        fallback,
+        Default::default(),
+        Behavior::new(),
+        Box::new(d2),
+        conn2.ready_at,
+    );
+    fw.world.wire(id2, vec![conn2.root]);
+    fw.run();
+    let d = fw
+        .world
+        .logic_mut(id2)
+        .as_any()
+        .unwrap()
+        .downcast_ref::<ClusterDriver>()
+        .unwrap();
+    assert!(d.is_done());
+    assert_eq!(d.denied, 0);
+}

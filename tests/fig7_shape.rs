@@ -1,0 +1,90 @@
+//! Shape assertions on the Figure 7 reproduction (small workload so the
+//! test stays fast): the paper's three key observations must hold.
+
+use ps_bench::{run_scenario, Fig7Config, Scenario};
+
+fn mean(scenario: Scenario, clients: usize, msgs: u32) -> f64 {
+    let r = run_scenario(
+        scenario,
+        &Fig7Config {
+            clients,
+            msgs_per_client: msgs,
+            ..Default::default()
+        },
+    );
+    r.send.mean()
+}
+
+#[test]
+fn dynamic_deployments_match_their_static_counterparts() {
+    // Point 1: automatically generated dynamic deployments incur
+    // negligible overhead vs the hand-built static ones.
+    for (dynamic, baseline) in [
+        (Scenario::DF, Scenario::SF),
+        (Scenario::DS0, Scenario::SS0),
+        (Scenario::DS500, Scenario::SS500),
+    ] {
+        let d = mean(dynamic, 2, 600);
+        let s = mean(baseline, 2, 600);
+        let gap = (d - s).abs() / s.max(1e-9);
+        assert!(
+            gap < 0.05,
+            "{dynamic} = {d:.3} ms vs {baseline} = {s:.3} ms (gap {:.1}%)",
+            gap * 100.0
+        );
+    }
+}
+
+#[test]
+fn caching_beats_the_naive_static_deployment_by_orders_of_magnitude() {
+    // Point 2: deploying the cache before the slow link is a massive win
+    // over SS (direct connection, unaware of the slow link).
+    let cached = mean(Scenario::DS0, 1, 300);
+    let naive = mean(Scenario::SS, 1, 300);
+    assert!(
+        naive / cached > 50.0,
+        "SS {naive:.1} ms should dwarf DS0 {cached:.3} ms"
+    );
+}
+
+#[test]
+fn remote_access_approaches_local_to_the_extent_coherence_permits() {
+    // Point 3: DS* approaches DF, degraded only by the coherence policy;
+    // tighter flush windows cost more.
+    let msgs = 1500;
+    let local = mean(Scenario::DF, 1, msgs);
+    let none = mean(Scenario::DS0, 1, msgs);
+    let loose = mean(Scenario::DS1000, 1, msgs);
+    let tight = mean(Scenario::DS500, 1, msgs);
+    let naive = mean(Scenario::SS, 1, 300);
+    // Same order of magnitude as local access...
+    assert!(none < local * 4.0, "DS0 {none:.2} vs DF {local:.2}");
+    // ...ordered by coherence tightness...
+    assert!(
+        none < loose && loose < tight,
+        "ordering violated: DS0 {none:.3} / DS1000 {loose:.3} / DS500 {tight:.3}"
+    );
+    // ...and all far below the naive deployment (the four groups).
+    assert!(tight < naive / 20.0);
+}
+
+#[test]
+fn latency_grows_mildly_with_client_count() {
+    let one = mean(Scenario::DS0, 1, 400);
+    let five = mean(Scenario::DS0, 5, 400);
+    assert!(five > one, "contention must cost something");
+    assert!(
+        five < one * 20.0,
+        "but the local deployment must not collapse: {one:.3} -> {five:.3}"
+    );
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let a = run_scenario(Scenario::DS500, &Fig7Config { clients: 3, msgs_per_client: 600, ..Default::default() });
+    let b = run_scenario(Scenario::DS500, &Fig7Config { clients: 3, msgs_per_client: 600, ..Default::default() });
+    assert_eq!(a.send.count(), b.send.count());
+    assert_eq!(a.send.mean(), b.send.mean());
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.completed_at, b.completed_at);
+}

@@ -1,0 +1,99 @@
+//! Live component migration under a running mail workload: the cache
+//! replica moves to another branch machine mid-stream and the service
+//! keeps answering, with its cached state intact.
+
+use partitionable_services::core::Framework;
+use partitionable_services::mail::components::ViewMailServerLogic;
+use partitionable_services::mail::spec::names::*;
+use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
+use partitionable_services::mail::{
+    mail_spec, mail_translator, register_mail_components, Keyring,
+};
+use partitionable_services::net::casestudy::default_case_study;
+use partitionable_services::planner::ServiceRequest;
+use partitionable_services::sim::SimDuration;
+use partitionable_services::smock::{CoherencePolicy, ServiceRegistration};
+use partitionable_services::spec::Behavior;
+
+#[test]
+fn view_server_migrates_mid_workload_without_losing_state() {
+    let cs = default_case_study();
+    let mut fw = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    register_mail_components(
+        &mut fw.server.registry,
+        Keyring::new(5),
+        CoherencePolicy::None,
+    );
+    fw.register_service(ServiceRegistration::new(mail_spec()));
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+
+    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let conn = fw.connect("mail", &request).unwrap();
+    let vms_placement = conn.plan.placement_of(VIEW_MAIL_SERVER).unwrap();
+    let vms = conn.deployment.instances[vms_placement.graph_index];
+    let vms_node = vms_placement.node;
+
+    let driver = {
+        let d = ClusterDriver::new(ClusterConfig {
+            sends: 60,
+            receives: 6,
+            ..ClusterConfig::paper("alice", "bob", 1 << 40)
+        });
+        let id = fw.world.instantiate(
+            "driver",
+            cs.sd_client,
+            Default::default(),
+            Behavior::new(),
+            Box::new(d),
+            conn.ready_at,
+        );
+        fw.world.wire(id, vec![conn.root]);
+        id
+    };
+
+    // Let roughly half the workload run, then migrate the cache to a
+    // different San Diego machine.
+    let half = conn.ready_at + SimDuration::from_millis(50);
+    fw.run_until(half);
+    let target = cs
+        .network
+        .site_nodes("SanDiego")
+        .into_iter()
+        .find(|&n| n != vms_node)
+        .expect("another branch machine");
+    let (new_vms, live_at) = fw.world.migrate(vms, target);
+    assert!(live_at >= half);
+    fw.run();
+
+    // Workload completed, nothing denied.
+    let d = fw
+        .world
+        .logic_mut(driver)
+        .as_any()
+        .unwrap()
+        .downcast_ref::<ClusterDriver>()
+        .unwrap();
+    assert!(d.is_done(), "workload finished across the migration");
+    assert_eq!(d.denied, 0);
+    assert_eq!(d.completed.len(), 66);
+
+    // The migrated replica holds all 60 absorbed messages.
+    let logic = fw
+        .world
+        .logic_mut(new_vms)
+        .as_any()
+        .unwrap()
+        .downcast_ref::<ViewMailServerLogic>()
+        .unwrap();
+    assert_eq!(logic.cached().delivered(), 60, "cache state moved intact");
+    assert!(fw.world.is_retired(vms));
+    assert_eq!(fw.world.instance(new_vms).node, target);
+}

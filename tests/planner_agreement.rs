@@ -1,0 +1,269 @@
+//! Property tests: the three search algorithms agree.
+//!
+//! The exhaustive mapper is the oracle. The branch-and-bound solver must
+//! match it exactly (same search space, sound pruning). The chain DP must
+//! match on chain specifications without repeat-prone structure (its
+//! labels cannot see path-wide instance-identity constraints — see
+//! `ps_planner::dp`).
+
+use proptest::prelude::*;
+use ps_net::{Credentials, Network};
+use ps_planner::{
+    Algorithm, LinkageLimits, Objective, Planner, PlannerConfig, ServiceRequest,
+};
+use ps_sim::SimDuration;
+use ps_spec::prelude::*;
+
+/// A random linear-ish service spec: client -> relay* -> server, with a
+/// cacheable view in the middle, randomized behaviours.
+fn random_spec(relays: usize, rrf: f64, caps: bool) -> ServiceSpec {
+    let mut spec = ServiceSpec::new("gen")
+        .property(Property::boolean("Secure"))
+        .property(Property::interval("Level", 1, 9))
+        .interface(Interface::new("Api", ["Secure", "Level"]))
+        .rule(ModificationRule::boolean_and("Secure"));
+    // Server.
+    spec = spec.component(
+        Component::new("Server")
+            .implements(InterfaceRef::with_bindings(
+                "Api",
+                Bindings::new().bind_lit("Secure", true).bind_lit("Level", 9i64),
+            ))
+            .behavior({
+                let b = Behavior::new().cpu_per_request_ms(1.0).message_bytes(1024, 1024);
+                if caps {
+                    b.capacity(500.0)
+                } else {
+                    b
+                }
+            }),
+    );
+    // Relays that re-assert security (encryptor-like).
+    for i in 0..relays {
+        spec = spec.component(
+            Component::new(format!("Relay{i}"))
+                .implements(InterfaceRef::with_bindings(
+                    "Api",
+                    Bindings::new().bind_lit("Secure", true),
+                ))
+                .requires(InterfaceRef::with_bindings(
+                    "Api",
+                    Bindings::new().bind_lit("Secure", true).bind_lit("Level", 1i64),
+                ))
+                .behavior(Behavior::new().cpu_per_request_ms(0.5).rrf(rrf).message_bytes(1024, 1024)),
+        );
+    }
+    // Client.
+    spec.component(
+        Component::new("Client")
+            .implements(InterfaceRef::with_bindings(
+                "Api",
+                Bindings::new().bind_lit("Level", 1i64),
+            ))
+            .requires(InterfaceRef::with_bindings(
+                "Api",
+                Bindings::new().bind_lit("Secure", true).bind_lit("Level", 2i64),
+            ))
+            .behavior(Behavior::new().cpu_per_request_ms(0.2).message_bytes(1024, 1024)),
+    )
+}
+
+/// A random two-to-four-site network with mixed link security.
+fn random_net(sites: usize, per_site: usize, seeds: &[u8]) -> Network {
+    let mut net = Network::new();
+    let mut all = Vec::new();
+    for s in 0..sites {
+        let mut site_nodes = Vec::new();
+        for n in 0..per_site {
+            let id = net.add_node(
+                format!("s{s}n{n}"),
+                format!("site{s}"),
+                1.0 + (seeds[(s * per_site + n) % seeds.len()] % 3) as f64,
+                Credentials::new(),
+            );
+            site_nodes.push(id);
+        }
+        for w in site_nodes.windows(2) {
+            net.add_link(
+                w[0],
+                w[1],
+                SimDuration::from_micros(100),
+                1e8,
+                Credentials::new().with("Secure", true),
+            );
+        }
+        all.push(site_nodes);
+    }
+    for s in 1..sites {
+        let secure = seeds[s % seeds.len()].is_multiple_of(2);
+        let latency = 10 + (seeds[(s * 3) % seeds.len()] as u64 % 200);
+        net.add_link(
+            all[s - 1][0],
+            all[s][0],
+            SimDuration::from_millis(latency),
+            8e6 + (seeds[(s * 5) % seeds.len()] as f64) * 1e6,
+            Credentials::new().with("Secure", secure),
+        );
+    }
+    net
+}
+
+fn translator() -> ps_net::MappingTranslator {
+    ps_net::MappingTranslator::new()
+        .link_mapping(ps_net::Mapping::Copy {
+            credential: "Secure".into(),
+            property: "Secure".into(),
+            default: ps_spec::PropertyValue::Bool(false),
+        })
+        .node_mapping(ps_net::Mapping::Constant {
+            property: "Secure".into(),
+            value: ps_spec::PropertyValue::Bool(true),
+        })
+}
+
+fn plan_with(
+    spec: &ServiceSpec,
+    net: &Network,
+    request: &ServiceRequest,
+    algorithm: Algorithm,
+    objective: Objective,
+) -> Option<f64> {
+    let planner = Planner::with_config(
+        spec.clone(),
+        PlannerConfig {
+            algorithm,
+            objective,
+            limits: LinkageLimits {
+                max_repeats: 1,
+                max_depth: 6,
+                max_graphs: 512,
+            },
+            ..Default::default()
+        },
+    );
+    planner
+        .plan(net, &translator(), request)
+        .ok()
+        .map(|p| p.objective_value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exhaustive_and_branch_and_bound_agree(
+        sites in 2usize..4,
+        per_site in 1usize..3,
+        relays in 1usize..3,
+        rrf in prop::sample::select(vec![0.1, 0.5, 1.0]),
+        seeds in prop::collection::vec(any::<u8>(), 8..16),
+    ) {
+        let spec = random_spec(relays, rrf, true);
+        let net = random_net(sites, per_site, &seeds);
+        let server = net.find_node("s0n0").expect("exists");
+        let client = net
+            .node_ids()
+            .last()
+            .expect("nodes");
+        let request = ServiceRequest::new("Api", client)
+            .rate(2.0)
+            .pin("Server", server)
+            .origin(server);
+        let a = plan_with(&spec, &net, &request, Algorithm::Exhaustive, Objective::MinLatency);
+        let b = plan_with(&spec, &net, &request, Algorithm::PartialOrder, Objective::MinLatency);
+        match (a, b) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6, "exhaustive {x} vs pop {y}"),
+            (None, None) => {}
+            other => prop_assert!(false, "feasibility disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_dp_matches_the_oracle(
+        sites in 2usize..4,
+        relays in 1usize..3,
+        rrf in prop::sample::select(vec![0.2, 1.0]),
+        seeds in prop::collection::vec(any::<u8>(), 8..16),
+    ) {
+        // No capacity constraints: the DP reasons per component.
+        let spec = random_spec(relays, rrf, false);
+        let net = random_net(sites, 2, &seeds);
+        let server = net.find_node("s0n0").expect("exists");
+        let client = net.node_ids().last().expect("nodes");
+        let request = ServiceRequest::new("Api", client)
+            .rate(1.0)
+            .pin("Server", server)
+            .origin(server);
+        let a = plan_with(&spec, &net, &request, Algorithm::Exhaustive, Objective::MinLatency);
+        let b = plan_with(&spec, &net, &request, Algorithm::DpChain, Objective::MinLatency);
+        match (a, b) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6, "exhaustive {x} vs dp {y}"),
+            (None, None) => {}
+            other => prop_assert!(false, "feasibility disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_cost_objective_agrees_too(
+        sites in 2usize..3,
+        relays in 1usize..3,
+        seeds in prop::collection::vec(any::<u8>(), 8..16),
+    ) {
+        let spec = random_spec(relays, 0.5, false);
+        let net = random_net(sites, 2, &seeds);
+        let server = net.find_node("s0n0").expect("exists");
+        let client = net.node_ids().last().expect("nodes");
+        let request = ServiceRequest::new("Api", client)
+            .rate(1.0)
+            .pin("Server", server)
+            .origin(server);
+        let a = plan_with(&spec, &net, &request, Algorithm::Exhaustive, Objective::MinCost);
+        let b = plan_with(&spec, &net, &request, Algorithm::PartialOrder, Objective::MinCost);
+        match (a, b) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6, "exhaustive {x} vs pop {y}"),
+            (None, None) => {}
+            other => prop_assert!(false, "feasibility disagreement: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The planner is total: arbitrary (well-formed) specs and requests
+    /// produce `Ok` or a structured error, never a panic — including
+    /// cyclic requirement structures kept finite by the linkage limits.
+    #[test]
+    fn planner_never_panics(
+        sites in 1usize..4,
+        per_site in 1usize..3,
+        relays in 0usize..4,
+        rrf in prop::sample::select(vec![0.0, 0.3, 1.0, 2.0]),
+        rate in prop::sample::select(vec![0.0, 1.0, 1e6]),
+        pin_server in any::<bool>(),
+        seeds in prop::collection::vec(any::<u8>(), 8..16),
+    ) {
+        let mut spec = random_spec(relays, rrf, true);
+        // Make the relay cycle-prone: the last relay requires Api, which
+        // every relay implements — enumeration must stay bounded.
+        if relays > 0 {
+            spec = spec.component(
+                Component::new("Loop")
+                    .implements(InterfaceRef::plain("Api"))
+                    .requires(InterfaceRef::plain("Api")),
+            );
+        }
+        let net = random_net(sites, per_site, &seeds);
+        let client = net.node_ids().last().expect("nodes");
+        let mut request = ServiceRequest::new("Api", client).rate(rate);
+        if pin_server {
+            if let Some(server) = net.find_node("s0n0") {
+                request = request.pin("Server", server);
+            }
+        }
+        for algorithm in [Algorithm::Exhaustive, Algorithm::PartialOrder, Algorithm::Auto] {
+            let _ = plan_with(&spec, &net, &request, algorithm, Objective::MinLatency);
+            let _ = plan_with(&spec, &net, &request, algorithm, Objective::MaxCapacity);
+        }
+    }
+}
