@@ -36,18 +36,14 @@ fn bench_planning(c: &mut Criterion) {
                     ..Default::default()
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new(name, site),
-                &request,
-                |b, request| {
-                    b.iter(|| {
-                        planner
-                            .plan(&cs.network, &translator, request)
-                            .expect("feasible")
-                            .objective_value
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, site), &request, |b, request| {
+                b.iter(|| {
+                    planner
+                        .plan(&cs.network, &translator, request)
+                        .expect("feasible")
+                        .objective_value
+                })
+            });
         }
         let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
         group.bench_with_input(

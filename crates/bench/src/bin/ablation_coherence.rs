@@ -23,7 +23,10 @@ fn main() {
         ("write-through".into(), CoherencePolicy::WriteThrough),
     ];
     for limit in [50u32, 100, 250, 500, 1000, 2000] {
-        policies.push((format!("count-limit({limit})"), CoherencePolicy::CountLimit(limit)));
+        policies.push((
+            format!("count-limit({limit})"),
+            CoherencePolicy::CountLimit(limit),
+        ));
     }
     for ms in [100u64, 500, 1000, 5000] {
         policies.push((

@@ -38,7 +38,8 @@ fn main() {
                 CoherencePolicy::None,
             );
             fw.register_service(ServiceRegistration::new(mail_spec()));
-            fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+            fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+                .unwrap();
             let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
                 .rate(10.0)
                 .pin(MAIL_SERVER, cs.mail_server)
@@ -87,9 +88,7 @@ fn main() {
                 cs.network
                     .site_nodes("SanDiego")
                     .into_iter()
-                    .find(|&n| {
-                        n != fw.world.instance(vms).node
-                    })
+                    .find(|&n| n != fw.world.instance(vms).node)
                     .unwrap()
             };
             let before = fw.world.now();

@@ -16,7 +16,11 @@ use ps_planner::{Algorithm, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::Rng;
 use std::time::Instant;
 
-fn run(net: &Network, request: &ServiceRequest, algorithm: Algorithm) -> Option<(f64, u64, u64, f64)> {
+fn run(
+    net: &Network,
+    request: &ServiceRequest,
+    algorithm: Algorithm,
+) -> Option<(f64, u64, u64, f64)> {
     let planner = Planner::with_config(
         mail_spec(),
         PlannerConfig {
@@ -134,8 +138,13 @@ fn report(label: &str, net: &Network, request: &ServiceRequest) {
         let agree = (max - first).abs() <= 1e-6 * first.abs().max(1.0);
         println!(
             "{:<26} {:<13} {}",
-            "", "",
-            if agree { "objectives agree" } else { "OBJECTIVES DIVERGE" }
+            "",
+            "",
+            if agree {
+                "objectives agree"
+            } else {
+                "OBJECTIVES DIVERGE"
+            }
         );
     }
     println!();

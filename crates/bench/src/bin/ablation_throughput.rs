@@ -30,7 +30,8 @@ fn run(direct: bool, rate: f64, msgs: u32) -> (f64, f64, bool) {
         CoherencePolicy::None,
     );
     fw.register_service(ServiceRegistration::new(mail_spec()));
-    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
 
     // Dynamic cached deployment, or a hand-built direct one (the SS
     // shape) for the baseline.

@@ -27,8 +27,7 @@ fn main() {
         // Expected fraction of sends above trust level 3 under the
         // uniform mix.
         let levels: Vec<u8> = (lo..=hi).collect();
-        let bypass =
-            levels.iter().filter(|&&s| s > 3).count() as f64 / levels.len() as f64;
+        let bypass = levels.iter().filter(|&&s| s > 3).count() as f64 / levels.len() as f64;
         let r = run_scenario_with_policy(Scenario::DS0, CoherencePolicy::None, &config);
         println!(
             "{:<18} {:>14.2} {:>12.3} {:>12.3}",

@@ -1,0 +1,247 @@
+//! Planner hot-path benchmark: seed algorithm vs the optimized path.
+//!
+//! Measures, in one harness, the planning stack as shipped by the seed
+//! (unbounded exhaustive oracle, per-mapper lazy Dijkstra routes,
+//! serial) against the optimized stack (bounded branch-and-bound
+//! exhaustive search, one shared all-pairs [`RouteTable`] per call,
+//! `plan_parallel` workers) on the case-study topology and progressively
+//! larger BRITE hierarchies. Both configurations solve the identical
+//! multi-linkage mail-service request and must report the identical
+//! objective — the speedup is pure search/route engineering, not a
+//! different answer.
+//!
+//! Writes `BENCH_planner.json` (hand-rolled JSON, no serde in the tree)
+//! to the current directory and prints the same numbers as a table.
+//!
+//! [`RouteTable`]: ps_net::RouteTable
+
+use ps_mail::spec::names::*;
+use ps_mail::{mail_spec, mail_translator};
+use ps_net::brite::{hierarchical, FlatParams, HierParams};
+use ps_net::casestudy::default_case_study;
+use ps_net::{Credentials, Network};
+use ps_planner::{Algorithm, PlanStats, Planner, PlannerConfig, ServiceRequest};
+use ps_sim::Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Minimum timed repetitions per configuration (the fastest is
+/// reported). Short scenarios keep repeating until `MIN_TOTAL_MS` of
+/// measurement accumulates, which damps scheduler noise on small runs.
+const REPS: usize = 5;
+/// Repetition budget per configuration, milliseconds.
+const MIN_TOTAL_MS: f64 = 300.0;
+/// Hard repetition cap per configuration.
+const MAX_REPS: usize = 40;
+
+/// Planning threads for the optimized configuration: matched to the
+/// machine (capped at 4) so `plan_parallel` never pays thread overhead
+/// the hardware cannot repay — on a single-core box it runs one worker.
+fn planning_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+struct Measurement {
+    time_ms: f64,
+    objective: f64,
+    stats: PlanStats,
+}
+
+fn planner_for(algorithm: Algorithm, share_route_table: bool) -> Planner {
+    Planner::with_config(
+        mail_spec(),
+        PlannerConfig {
+            algorithm,
+            share_route_table,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs one configuration `REPS` times; keeps the fastest run.
+fn measure(
+    net: &Network,
+    request: &ServiceRequest,
+    algorithm: Algorithm,
+    share_route_table: bool,
+    threads: usize,
+) -> Option<Measurement> {
+    let planner = planner_for(algorithm, share_route_table);
+    let translator = mail_translator();
+    let mut best: Option<Measurement> = None;
+    let mut total_ms = 0.0;
+    let mut reps = 0;
+    while reps < REPS || (total_ms < MIN_TOTAL_MS && reps < MAX_REPS) {
+        let start = Instant::now();
+        let plan = if threads > 1 {
+            planner
+                .plan_parallel(net, &translator, request, threads)
+                .ok()?
+        } else {
+            planner.plan(net, &translator, request).ok()?
+        };
+        let time_ms = start.elapsed().as_secs_f64() * 1000.0;
+        total_ms += time_ms;
+        reps += 1;
+        if best.as_ref().is_none_or(|b| time_ms < b.time_ms) {
+            best = Some(Measurement {
+                time_ms,
+                objective: plan.objective_value,
+                stats: plan.stats,
+            });
+        }
+    }
+    best
+}
+
+/// Decorates a BRITE network with the mail service's credentials (first
+/// AS = trusted HQ, second = branch, rest = partner), mirroring the
+/// planner-ablation bench.
+fn decorate(net: &mut Network) {
+    for id in net.node_ids().collect::<Vec<_>>() {
+        let site = net.node(id).site.clone();
+        let (trust, domain) = match site.as_str() {
+            "as0" => (5i64, "company"),
+            "as1" => (3, "company"),
+            _ => (2, "partner"),
+        };
+        let node = net.node_mut(id);
+        node.credentials = Credentials::new()
+            .with("TrustRating", trust)
+            .with("Domain", domain);
+    }
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!(
+        "{{\"time_ms\": {:.3}, \"objective\": {:.6}, \"mappings_evaluated\": {}, \
+         \"prunes\": {}, \"bound_prunes\": {}, \"route_table_build_us\": {}}}",
+        m.time_ms,
+        m.objective,
+        m.stats.mappings_evaluated,
+        m.stats.prunes,
+        m.stats.bound_prunes,
+        m.stats.route_table_build_us,
+    )
+}
+
+fn main() {
+    let threads = planning_threads();
+    let mut scenarios: Vec<(String, Network, ServiceRequest)> = Vec::new();
+
+    let cs = default_case_study();
+    for (label, client, trust) in [
+        ("case-study/SanDiego", cs.sd_client, 4i64),
+        ("case-study/Seattle", cs.seattle_client, 1),
+    ] {
+        let request = ServiceRequest::new(CLIENT_INTERFACE, client)
+            .rate(2.0)
+            .pin(MAIL_SERVER, cs.mail_server)
+            .origin(cs.mail_server)
+            .require("TrustLevel", trust);
+        scenarios.push((label.to_owned(), cs.network.clone(), request));
+    }
+
+    for (as_count, routers) in [(3usize, 4usize), (4, 6), (5, 8)] {
+        let mut rng = Rng::seed_from_u64(1234 + as_count as u64);
+        let params = HierParams {
+            as_count,
+            router: FlatParams {
+                nodes: routers,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut net = hierarchical(&mut rng, &params);
+        decorate(&mut net);
+        let server_node = net
+            .node_ids()
+            .find(|&n| net.trust_rating(n) == Some(5))
+            .expect("an HQ node");
+        let client_node = net
+            .node_ids()
+            .find(|&n| net.trust_rating(n) == Some(3))
+            .expect("a branch node");
+        let request = ServiceRequest::new(CLIENT_INTERFACE, client_node)
+            .rate(2.0)
+            .pin(MAIL_SERVER, server_node)
+            .origin(server_node)
+            .require("TrustLevel", 4i64);
+        let label = format!("brite/{}as-x{}r ({}n)", as_count, routers, net.node_count());
+        scenarios.push((label, net, request));
+    }
+
+    println!("=== Planner hot path: seed (oracle, lazy routes, serial) vs optimized ===");
+    println!("    (bounded search + shared route table + {threads} plan_parallel threads)\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>11} {:>11} {:>9}",
+        "scenario", "seed[ms]", "new[ms]", "speedup", "seed evals", "new evals", "bound cut"
+    );
+
+    let mut entries = Vec::new();
+    let mut log_speedup_sum = 0.0;
+    let mut compared = 0usize;
+    for (label, net, request) in &scenarios {
+        // The seed stack: unbounded oracle, per-mapper lazy Dijkstra,
+        // serial planning — the algorithm this repo shipped before the
+        // route-table/bounding work, re-run in this very harness.
+        let seed = measure(net, request, Algorithm::Oracle, false, 1);
+        // The optimized stack.
+        let new = measure(net, request, Algorithm::Exhaustive, true, threads);
+        match (seed, new) {
+            (Some(seed), Some(new)) => {
+                assert!(
+                    (seed.objective - new.objective).abs() <= 1e-6 * seed.objective.abs().max(1.0),
+                    "{label}: objectives diverged ({} vs {})",
+                    seed.objective,
+                    new.objective
+                );
+                let speedup = seed.time_ms / new.time_ms;
+                println!(
+                    "{:<24} {:>10.2} {:>10.2} {:>7.1}x {:>11} {:>11} {:>9}",
+                    label,
+                    seed.time_ms,
+                    new.time_ms,
+                    speedup,
+                    seed.stats.mappings_evaluated,
+                    new.stats.mappings_evaluated,
+                    new.stats.bound_prunes,
+                );
+                log_speedup_sum += speedup.ln();
+                compared += 1;
+                let mut entry = String::new();
+                write!(
+                    entry,
+                    "    {{\"scenario\": \"{label}\", \"nodes\": {}, \"speedup\": {speedup:.3},\n      \
+                     \"seed\": {},\n      \"new\": {}}}",
+                    net.node_count(),
+                    json_measurement(&seed),
+                    json_measurement(&new),
+                )
+                .expect("write to string");
+                entries.push(entry);
+            }
+            _ => println!("{label:<24} infeasible"),
+        }
+    }
+
+    let geomean = if compared > 0 {
+        (log_speedup_sum / compared as f64).exp()
+    } else {
+        0.0
+    };
+    println!("\ngeometric-mean speedup: {geomean:.2}x over {compared} scenarios");
+
+    let json = format!(
+        "{{\n  \"bench\": \"planner_hot_path\",\n  \"threads\": {threads},\n  \
+         \"seed_config\": \"oracle + lazy per-mapper routes, serial\",\n  \
+         \"new_config\": \"bounded exhaustive + shared route table, plan_parallel\",\n  \
+         \"geomean_speedup\": {geomean:.3},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
+    println!("wrote BENCH_planner.json");
+}

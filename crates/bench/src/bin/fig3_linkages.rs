@@ -20,19 +20,17 @@ fn main() {
     for g in &graphs {
         println!("  {g}");
     }
-    println!("\n  {} chains; all start at a client component and end at MailServer", graphs.len());
+    println!(
+        "\n  {} chains; all start at a client component and end at MailServer",
+        graphs.len()
+    );
 
     println!("\n=== With component repetition (the Seattle chains) ===\n");
     let limits = LinkageLimits::default(); // max_repeats = 2
     let graphs = enumerate_linkages(&spec, "ClientInterface", &limits);
     let chained: Vec<_> = graphs
         .iter()
-        .filter(|g| {
-            g.to_string()
-                .matches("ViewMailServer")
-                .count()
-                >= 2
-        })
+        .filter(|g| g.to_string().matches("ViewMailServer").count() >= 2)
         .collect();
     println!(
         "  {} total graphs, of which {} chain two view servers, e.g.:",

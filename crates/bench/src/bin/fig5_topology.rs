@@ -36,7 +36,11 @@ fn main() {
             net.node(link.b).name,
             link.latency.as_millis_f64(),
             link.bandwidth_bps / 1e6,
-            if net.link_secure(link.id) { "secure" } else { "INSECURE" }
+            if net.link_secure(link.id) {
+                "secure"
+            } else {
+                "INSECURE"
+            }
         );
     }
 

@@ -41,7 +41,11 @@ fn main() {
                 } else {
                     format!("[{}] ", p.factors)
                 },
-                if p.preexisting { "(existing)" } else { "(deployed)" }
+                if p.preexisting {
+                    "(existing)"
+                } else {
+                    "(deployed)"
+                }
             );
         }
         println!(

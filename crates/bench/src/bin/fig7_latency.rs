@@ -9,10 +9,7 @@ use ps_bench::{Fig7Config, Scenario};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let msgs: u32 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2000);
+    let msgs: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
     let base = Fig7Config {
         msgs_per_client: msgs,
@@ -54,6 +51,18 @@ fn main() {
 
     println!();
     print!("{}", ps_bench::render_figure7(&results, 5));
+
+    // Planning-time claims are backed by recorded counters: the one-time
+    // costs of the planner-driven (dynamic) scenarios at 1 client.
+    println!("\n--- recorded one-time planning costs (dynamic scenarios, 1 client) ---");
+    for r in &results {
+        if r.clients != 1 {
+            continue;
+        }
+        if let Some(costs) = &r.plan_costs {
+            println!("{:<8} {costs}", r.scenario.to_string());
+        }
+    }
 
     // The paper's three observations, checked on the data.
     println!("\n--- shape checks (the paper's three key points) ---");
@@ -113,6 +122,10 @@ fn main() {
         g2,
         g3,
         g4,
-        if ordered { "OK (matches Figure 7)" } else { "MISMATCH" }
+        if ordered {
+            "OK (matches Figure 7)"
+        } else {
+            "MISMATCH"
+        }
     );
 }

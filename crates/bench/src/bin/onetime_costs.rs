@@ -35,8 +35,20 @@ fn main() {
 
     println!("=== One-time connection costs per site (Section 4.2) ===\n");
     println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>7}",
-        "site", "proxy[ms]", "plan[ms]", "deploy[ms]", "startup[ms]", "total[ms]", "created", "reused"
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9} {:>6}",
+        "site",
+        "proxy[ms]",
+        "plan[ms]",
+        "deploy[ms]",
+        "startup[ms]",
+        "total[ms]",
+        "created",
+        "reused",
+        "evals",
+        "prunes",
+        "boundcut",
+        "table[µs]",
+        "hits"
     );
     for (site, client, trust) in [
         ("NewYork", cs.ny_client, 4i64),
@@ -51,7 +63,7 @@ fn main() {
         let connection = framework.connect("mail", &request).expect("connect");
         let c = &connection.costs;
         println!(
-            "{:<10} {:>12.1} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>9} {:>7}",
+            "{:<10} {:>12.1} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9} {:>6}",
             site,
             c.proxy_download_ms,
             c.planning_ms,
@@ -59,7 +71,12 @@ fn main() {
             c.startup_ms,
             c.total_ms(),
             connection.deployment.created,
-            connection.deployment.reused
+            connection.deployment.reused,
+            c.plan_stats.mappings_evaluated,
+            c.plan_stats.prunes,
+            c.plan_stats.bound_prunes,
+            c.plan_stats.route_table_build_us,
+            c.plan_stats.plan_cache_hits,
         );
     }
     println!(

@@ -7,4 +7,7 @@
 
 pub mod scenarios;
 
-pub use scenarios::{figure7_sweep, render_figure7, run_custom_policy, run_scenario, run_scenario_with_policy, Fig7Config, Scenario, ScenarioResult};
+pub use scenarios::{
+    figure7_sweep, render_figure7, run_custom_policy, run_scenario, run_scenario_with_policy,
+    Fig7Config, Scenario, ScenarioResult,
+};

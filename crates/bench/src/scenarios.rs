@@ -26,7 +26,8 @@ use ps_net::casestudy::{self, CaseStudy};
 use ps_planner::ServiceRequest;
 use ps_sim::{SimTime, Summary};
 use ps_smock::{
-    CoherencePolicy, ComponentRegistry, FactoryArgs, InstanceId, ServiceRegistration, World,
+    CoherencePolicy, ComponentRegistry, FactoryArgs, InstanceId, OneTimeCosts, ServiceRegistration,
+    World,
 };
 use ps_spec::{Environment, ResolvedBindings, ServiceSpec};
 use std::fmt;
@@ -159,6 +160,10 @@ pub struct ScenarioResult {
     pub completed_at: SimTime,
     /// Total messages the runtime carried.
     pub messages: u64,
+    /// One-time connection costs, including the recorded planner
+    /// counters ([`PlanStats`](ps_planner::PlanStats)). `None` for the
+    /// hand-built static scenarios, which never invoke the planner.
+    pub plan_costs: Option<OneTimeCosts>,
 }
 
 /// Runs one scenario and collects latencies.
@@ -186,11 +191,7 @@ pub fn run_scenario_with_policy(
         cs.mail_server,
         Box::new(mail_translator()),
     );
-    register_mail_components(
-        &mut framework.server.registry,
-        keyring.clone(),
-        policy,
-    );
+    register_mail_components(&mut framework.server.registry, keyring.clone(), policy);
     framework.register_service(ServiceRegistration::new(mail_spec()).attribute("type", "mail"));
     framework
         .install_primary("mail", MAIL_SERVER, cs.mail_server)
@@ -203,6 +204,7 @@ pub fn run_scenario_with_policy(
     };
 
     // Obtain the client-facing root instance.
+    let mut plan_costs = None;
     let root: InstanceId = if scenario.is_dynamic() {
         let request = ServiceRequest::new(CLIENT_INTERFACE, client_node)
             .rate(config.clients as f64 * 5.0)
@@ -210,6 +212,7 @@ pub fn run_scenario_with_policy(
             .origin(cs.mail_server)
             .require("TrustLevel", 4i64);
         let connection = framework.connect("mail", &request).expect("plan + deploy");
+        plan_costs = Some(connection.costs);
         connection.root
     } else {
         build_static(
@@ -266,6 +269,7 @@ pub fn run_scenario_with_policy(
         send_p95: p.quantile(0.95).unwrap_or(0.0),
         completed_at: framework.world.now(),
         messages: framework.world.messages_sent(),
+        plan_costs,
     }
 }
 
@@ -284,27 +288,26 @@ fn build_static(
         .find_instance(MAIL_SERVER, cs.mail_server, &ResolvedBindings::new())
         .expect("primary installed");
 
-    let make = |world: &mut World, component: &str, node: ps_net::NodeId, factors: ResolvedBindings| {
-        let env: Environment = ps_net::PropertyTranslator::node_env(
-            &translator,
-            world.network().node(node),
-        );
-        let args = FactoryArgs {
-            component,
-            node,
-            factors: &factors,
-            env: &env,
+    let make =
+        |world: &mut World, component: &str, node: ps_net::NodeId, factors: ResolvedBindings| {
+            let env: Environment =
+                ps_net::PropertyTranslator::node_env(&translator, world.network().node(node));
+            let args = FactoryArgs {
+                component,
+                node,
+                factors: &factors,
+                env: &env,
+            };
+            let logic = registry.create(&args).expect("factory registered");
+            world.instantiate(
+                component,
+                node,
+                factors,
+                spec.behavior_of(component),
+                logic,
+                world.now(),
+            )
         };
-        let logic = registry.create(&args).expect("factory registered");
-        world.instantiate(
-            component,
-            node,
-            factors,
-            spec.behavior_of(component),
-            logic,
-            world.now(),
-        )
-    };
 
     match scenario {
         Scenario::SF => {
@@ -380,7 +383,11 @@ pub fn render_figure7(results: &[ScenarioResult], max_clients: usize) -> String 
     };
     // Log-scale scatter, 1 ms .. 1000 ms over 60 columns (the paper's
     // y-axis, drawn horizontally).
-    let _ = writeln!(out, "log scale, {} clients   1ms        10ms       100ms      1000ms", max_clients);
+    let _ = writeln!(
+        out,
+        "log scale, {} clients   1ms        10ms       100ms      1000ms",
+        max_clients
+    );
     for s in Scenario::ALL {
         let v = mean_of(s, max_clients).max(1.0);
         let pos = ((v.log10() / 3.0) * 60.0).round().clamp(0.0, 60.0) as usize;
@@ -409,10 +416,7 @@ mod tests {
         assert!(Scenario::DS500.is_dynamic() && !Scenario::DS500.is_fast());
         assert!(!Scenario::SS.is_dynamic() && !Scenario::SS.is_fast());
         assert_eq!(Scenario::ALL.len(), 9);
-        assert_eq!(
-            Scenario::DS500.policy(),
-            CoherencePolicy::CountLimit(500)
-        );
+        assert_eq!(Scenario::DS500.policy(), CoherencePolicy::CountLimit(500));
         assert_eq!(Scenario::SS1000.policy(), CoherencePolicy::CountLimit(1000));
         assert_eq!(Scenario::DF.policy(), CoherencePolicy::None);
         // The four groups partition the nine scenarios.

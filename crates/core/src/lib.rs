@@ -33,12 +33,11 @@
 
 use ps_net::{Network, NodeId, PropertyTranslator};
 use ps_planner::{PlannerConfig, ServiceRequest};
+use ps_sim::SimTime;
 use ps_smock::{
-    ComponentLogic, ConnectError, Connection, GenericServer, InstanceId, ServiceRegistration,
-    World,
+    ComponentLogic, ConnectError, Connection, GenericServer, InstanceId, ServiceRegistration, World,
 };
 use ps_spec::{Behavior, ResolvedBindings, ServiceSpec};
-use ps_sim::SimTime;
 
 /// The assembled framework: a simulated world plus the generic server
 /// (lookup service, planner, deployment engine).
@@ -52,7 +51,11 @@ pub struct Framework {
 impl Framework {
     /// Creates a framework over `network`, homing the generic server and
     /// lookup service on `home`.
-    pub fn new(network: Network, home: NodeId, translator: Box<dyn PropertyTranslator + Send + Sync>) -> Self {
+    pub fn new(
+        network: Network,
+        home: NodeId,
+        translator: Box<dyn PropertyTranslator + Send + Sync>,
+    ) -> Self {
         Framework {
             world: World::new(network),
             server: GenericServer::new(home, translator),
@@ -107,11 +110,11 @@ impl Framework {
             factors: &ResolvedBindings::new(),
             env: &env,
         };
-        let logic = self
-            .server
-            .registry
-            .create(&args)
-            .ok_or_else(|| ConnectError::Deploy(ps_smock::DeployError::UnknownComponent(component.to_owned())))?;
+        let logic = self.server.registry.create(&args).ok_or_else(|| {
+            ConnectError::Deploy(ps_smock::DeployError::UnknownComponent(
+                component.to_owned(),
+            ))
+        })?;
         Ok(self.world.instantiate(
             component,
             node,

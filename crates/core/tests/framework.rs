@@ -62,12 +62,7 @@ fn connect_deploys_through_the_facade() {
         .expect("connects");
     assert_eq!(conn.plan.graph.to_string(), "Proxy -> Service");
     assert_eq!(fw.world.instance(conn.root).node, client);
-    assert_eq!(
-        fw.world
-            .instance(conn.deployment.instances[1])
-            .node,
-        host
-    );
+    assert_eq!(fw.world.instance(conn.deployment.instances[1]).node, host);
 }
 
 #[test]
@@ -86,8 +81,18 @@ fn parallel_planner_config_produces_the_same_plan() {
         .unwrap();
     assert_eq!(serial.plan.graph, parallel.plan.graph);
     assert_eq!(
-        serial.plan.placements.iter().map(|p| p.node).collect::<Vec<_>>(),
-        parallel.plan.placements.iter().map(|p| p.node).collect::<Vec<_>>()
+        serial
+            .plan
+            .placements
+            .iter()
+            .map(|p| p.node)
+            .collect::<Vec<_>>(),
+        parallel
+            .plan
+            .placements
+            .iter()
+            .map(|p| p.node)
+            .collect::<Vec<_>>()
     );
 }
 

@@ -361,7 +361,13 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         store
-            .delegate("Company", Subject::Entity("alice".into()), member.clone(), None, T0)
+            .delegate(
+                "Company",
+                Subject::Entity("alice".into()),
+                member.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         assert!(store.holds("alice", &member, T0));
         assert!(!store.holds("bob", &member, T0));
@@ -372,7 +378,13 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         let err = store
-            .delegate("mallory", Subject::Entity("mallory2".into()), member, None, T0)
+            .delegate(
+                "mallory",
+                Subject::Entity("mallory2".into()),
+                member,
+                None,
+                T0,
+            )
             .unwrap_err();
         assert!(matches!(err, DelegationError::Unauthorized { .. }));
     }
@@ -382,11 +394,23 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         store
-            .delegate("Company", Subject::Entity("alice".into()), member.clone(), None, T0)
+            .delegate(
+                "Company",
+                Subject::Entity("alice".into()),
+                member.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         // Alice (a holder) extends membership to bob.
         store
-            .delegate("alice", Subject::Entity("bob".into()), member.clone(), None, T0)
+            .delegate(
+                "alice",
+                Subject::Entity("bob".into()),
+                member.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         assert!(store.holds("bob", &member, T0));
     }
@@ -397,7 +421,13 @@ mod tests {
         let partner = Role::new("Partner", "staff");
         let guest = Role::new("Company", "guest");
         store
-            .delegate("Partner", Subject::Entity("carol".into()), partner.clone(), None, T0)
+            .delegate(
+                "Partner",
+                Subject::Entity("carol".into()),
+                partner.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         // Company grants its guest role to all Partner.staff holders.
         store
@@ -412,7 +442,13 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         store
-            .delegate("Company", Subject::Entity("alice".into()), member.clone(), Some(t(10)), T0)
+            .delegate(
+                "Company",
+                Subject::Entity("alice".into()),
+                member.clone(),
+                Some(t(10)),
+                T0,
+            )
             .unwrap();
         assert!(store.holds("alice", &member, t(9)));
         assert!(!store.holds("alice", &member, t(10)));
@@ -423,7 +459,13 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         let id = store
-            .delegate("Company", Subject::Entity("alice".into()), member.clone(), None, T0)
+            .delegate(
+                "Company",
+                Subject::Entity("alice".into()),
+                member.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         store.subscribe("planner", id);
         assert!(store.revoke(id));
@@ -438,10 +480,22 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         let alice_id = store
-            .delegate("Company", Subject::Entity("alice".into()), member.clone(), None, T0)
+            .delegate(
+                "Company",
+                Subject::Entity("alice".into()),
+                member.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         store
-            .delegate("alice", Subject::Entity("bob".into()), member.clone(), None, T0)
+            .delegate(
+                "alice",
+                Subject::Entity("bob".into()),
+                member.clone(),
+                None,
+                T0,
+            )
             .unwrap();
         assert!(store.holds("bob", &member, T0));
         // Alice loses membership: her issuance of bob no longer proves.
@@ -454,8 +508,12 @@ mod tests {
         let mut store = TrustStore::new();
         let a = Role::new("A", "r");
         let b = Role::new("B", "r");
-        store.delegate("A", Subject::Role(b.clone()), a.clone(), None, T0).unwrap();
-        store.delegate("B", Subject::Role(a.clone()), b.clone(), None, T0).unwrap();
+        store
+            .delegate("A", Subject::Role(b.clone()), a.clone(), None, T0)
+            .unwrap();
+        store
+            .delegate("B", Subject::Role(a.clone()), b.clone(), None, T0)
+            .unwrap();
         assert!(!store.holds("nobody", &a, T0));
     }
 
@@ -464,8 +522,24 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         let officer = Role::new("Company", "officer");
-        store.delegate("Company", Subject::Entity("ny-0".into()), member.clone(), None, T0).unwrap();
-        store.delegate("Company", Subject::Entity("ny-0".into()), officer.clone(), None, T0).unwrap();
+        store
+            .delegate(
+                "Company",
+                Subject::Entity("ny-0".into()),
+                member.clone(),
+                None,
+                T0,
+            )
+            .unwrap();
+        store
+            .delegate(
+                "Company",
+                Subject::Entity("ny-0".into()),
+                officer.clone(),
+                None,
+                T0,
+            )
+            .unwrap();
         store.map_property(member, "TrustLevel", 3i64);
         store.map_property(officer, "TrustLevel", 5i64);
         let env = store.derive_env("ny-0", T0);
@@ -477,14 +551,27 @@ mod tests {
         let mut store = TrustStore::new();
         let member = Role::new("Company", "member");
         let guest = Role::new("Company", "guest");
-        store.delegate("Company", Subject::Entity("alice".into()), member.clone(), None, T0).unwrap();
-        store.delegate("Company", Subject::Entity("bob".into()), guest, None, T0).unwrap();
+        store
+            .delegate(
+                "Company",
+                Subject::Entity("alice".into()),
+                member.clone(),
+                None,
+                T0,
+            )
+            .unwrap();
+        store
+            .delegate("Company", Subject::Entity("bob".into()), guest, None, T0)
+            .unwrap();
         assert_eq!(store.roles_of("alice", T0), vec![member]);
     }
 
     #[test]
     fn role_parsing() {
-        assert_eq!(Role::parse("Company.member"), Some(Role::new("Company", "member")));
+        assert_eq!(
+            Role::parse("Company.member"),
+            Some(Role::new("Company", "member"))
+        );
         assert_eq!(Role::parse("nodot"), None);
         assert_eq!(Role::new("A", "b").to_string(), "A.b");
     }
@@ -527,7 +614,13 @@ mod expiry_tests {
         let t5 = SimTime::from_nanos(5_000_000_000);
         let t9 = SimTime::from_nanos(9_000_000_000);
         let id = store
-            .delegate("Org", Subject::Entity("n".into()), role.clone(), Some(t5), SimTime::ZERO)
+            .delegate(
+                "Org",
+                Subject::Entity("n".into()),
+                role.clone(),
+                Some(t5),
+                SimTime::ZERO,
+            )
             .unwrap();
         store.subscribe("planner", id);
         assert!(store.expire_sweep(SimTime::from_nanos(1)).is_empty());

@@ -1,8 +1,8 @@
 //! User accounts, folders, and contact lists — the "traditional mail
 //! functionality" of the paper's example service.
 
-use crate::crypto::keyring::Keyring;
 use crate::crypto::chacha20;
+use crate::crypto::keyring::Keyring;
 use crate::message::MailMessage;
 #[cfg(test)]
 use crate::message::Sensitivity;
@@ -165,7 +165,11 @@ impl AccountStore {
     pub fn open_body(&self, message: &MailMessage) -> Option<Vec<u8>> {
         let user = message.encrypted_for.as_ref()?;
         let key = self.keyring.key(user, message.sensitivity);
-        Some(chacha20::decrypt(&key, &Keyring::nonce(message.id), &message.body))
+        Some(chacha20::decrypt(
+            &key,
+            &Keyring::nonce(message.id),
+            &message.body,
+        ))
     }
 
     /// The service keyring.
@@ -252,7 +256,10 @@ mod tests {
         let alice = s.account_mut("alice").unwrap();
         alice.contacts.insert("bob".into(), "bob@example".into());
         alice.folders.entry("archive".into()).or_default();
-        assert_eq!(alice.contacts.get("bob").map(String::as_str), Some("bob@example"));
+        assert_eq!(
+            alice.contacts.get("bob").map(String::as_str),
+            Some("bob@example")
+        );
         assert!(alice.folders.contains_key("archive"));
     }
 }

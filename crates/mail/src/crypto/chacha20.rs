@@ -43,8 +43,7 @@ pub fn block(key: &Key, counter: u32, nonce: &Nonce) -> [u8; 64] {
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes(nonce.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        state[13 + i] = u32::from_le_bytes(nonce.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
     }
 
     let mut working = state;

@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn keys_are_deterministic() {
         let kr = Keyring::new(7);
-        assert_eq!(kr.key("alice", Sensitivity(3)), kr.key("alice", Sensitivity(3)));
+        assert_eq!(
+            kr.key("alice", Sensitivity(3)),
+            kr.key("alice", Sensitivity(3))
+        );
     }
 
     #[test]

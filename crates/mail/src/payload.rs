@@ -119,7 +119,10 @@ impl MailReply {
                 16 + messages.iter().map(MailMessage::wire_bytes).sum::<u64>()
             }
             MailReply::Contacts { entries } => {
-                16 + entries.iter().map(|(a, b)| (a.len() + b.len() + 8) as u64).sum::<u64>()
+                16 + entries
+                    .iter()
+                    .map(|(a, b)| (a.len() + b.len() + 8) as u64)
+                    .sum::<u64>()
             }
             MailReply::Denied { reason } => 16 + reason.len() as u64,
             MailReply::Secure { ciphertext, .. } => 16 + ciphertext.len() as u64,
@@ -373,7 +376,9 @@ pub fn decode_reply(bytes: &[u8]) -> Result<MailReply, CodecError> {
             MailReply::Contacts { entries }
         }
         3 => MailReply::SyncAck,
-        4 => MailReply::Denied { reason: r.string()? },
+        4 => MailReply::Denied {
+            reason: r.string()?,
+        },
         5 => MailReply::Secure {
             envelope_id: r.u64()?,
             ciphertext: r.bytes()?,
@@ -405,7 +410,9 @@ mod tests {
         let ops = vec![
             MailOp::Send(sample_message()),
             MailOp::Receive { user: "bob".into() },
-            MailOp::AddressBook { user: "alice".into() },
+            MailOp::AddressBook {
+                user: "alice".into(),
+            },
             MailOp::RegisterReplica {
                 replica: InstanceId(7),
                 scope: ViewScope::of(["alice", "bob"]),

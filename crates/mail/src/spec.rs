@@ -197,7 +197,6 @@ pub fn mail_spec() -> ServiceSpec {
 /// a spec equal to [`mail_spec`] (asserted by tests).
 pub const MAIL_SPEC_DSL: &str = include_str!("../specs/mail.dsl");
 
-
 /// The mail service's credential → property translation (Section 3.3):
 /// node `TrustRating` becomes `TrustLevel`, node `Domain` passes through,
 /// link `Secure` becomes `Confidentiality`.

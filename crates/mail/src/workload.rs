@@ -158,9 +158,11 @@ impl ClusterDriver {
                     *b = self.rng.next_u64() as u8;
                 }
                 let (slo, shi) = self.config.sensitivity;
-                let sens = Sensitivity::clamped(self.rng.range_inclusive(slo as i64, shi as i64) as u8);
+                let sens =
+                    Sensitivity::clamped(self.rng.range_inclusive(slo as i64, shi as i64) as u8);
                 self.issued_sends += 1;
-                let m = MailMessage::new(id, self.config.user.clone(), peer, "workload", body, sens);
+                let m =
+                    MailMessage::new(id, self.config.user.clone(), peer, "workload", body, sens);
                 let op = MailOp::Send(m);
                 let bytes = op.wire_bytes();
                 Payload::new(op, bytes)
@@ -279,8 +281,7 @@ impl ComponentLogic for OpenDriver {
         let (lo, hi) = self.config.body_bytes;
         let len = lo + self.rng.next_below((hi - lo + 1) as u64) as usize;
         let (slo, shi) = self.config.sensitivity;
-        let sens =
-            Sensitivity::clamped(self.rng.range_inclusive(slo as i64, shi as i64) as u8);
+        let sens = Sensitivity::clamped(self.rng.range_inclusive(slo as i64, shi as i64) as u8);
         let m = MailMessage::new(
             id,
             self.config.user.clone(),

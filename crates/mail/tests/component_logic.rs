@@ -9,10 +9,10 @@ use ps_mail::crypto::keyring::Keyring;
 use ps_mail::message::{MailMessage, Sensitivity};
 use ps_mail::payload::{MailOp, MailReply};
 use ps_net::{Credentials, Network, NodeId};
+use ps_sim::{SimDuration, SimTime};
 use ps_smock::{
     CoherencePolicy, ComponentLogic, InstanceId, Outbox, Payload, RequestHandle, World,
 };
-use ps_sim::{SimDuration, SimTime};
 use ps_spec::{Behavior, ResolvedBindings};
 
 /// Sends a scripted sequence of ops (waiting for each reply) and records
@@ -209,7 +209,11 @@ fn view_server_bypasses_cache_for_sensitive_mail() {
     let server = rig.add(rig.far, Box::new(MailServerLogic::new(kr.clone())));
     let vms = rig.add(
         rig.near,
-        Box::new(ViewMailServerLogic::new(3, kr.clone(), CoherencePolicy::None)),
+        Box::new(ViewMailServerLogic::new(
+            3,
+            kr.clone(),
+            CoherencePolicy::None,
+        )),
     );
     let probe = rig.add(
         rig.near,
@@ -222,7 +226,10 @@ fn view_server_bypasses_cache_for_sensitive_mail() {
     rig.world.wire(vms, vec![server]);
     rig.world.run();
 
-    assert_eq!(rig.probe_replies(probe), vec![MailReply::Ack, MailReply::Ack]);
+    assert_eq!(
+        rig.probe_replies(probe),
+        vec![MailReply::Ack, MailReply::Ack]
+    );
     // The sensitive message reached the primary; the cacheable one did
     // not (policy None never flushes).
     let server_logic = rig
@@ -253,7 +260,11 @@ fn view_server_caches_pulled_receives() {
     let server = rig.add(rig.far, Box::new(MailServerLogic::new(kr.clone())));
     let vms = rig.add(
         rig.near,
-        Box::new(ViewMailServerLogic::new(3, kr.clone(), CoherencePolicy::None)),
+        Box::new(ViewMailServerLogic::new(
+            3,
+            kr.clone(),
+            CoherencePolicy::None,
+        )),
     );
     // Seed the primary with mail for carol.
     {
@@ -270,8 +281,12 @@ fn view_server_caches_pulled_receives() {
     let probe = rig.add(
         rig.near,
         Box::new(Probe::new(vec![
-            MailOp::Receive { user: "carol".into() }, // pull (2 messages)
-            MailOp::Receive { user: "carol".into() }, // local (empty)
+            MailOp::Receive {
+                user: "carol".into(),
+            }, // pull (2 messages)
+            MailOp::Receive {
+                user: "carol".into(),
+            }, // local (empty)
         ])),
     );
     rig.world.wire(probe, vec![vms]);
@@ -310,7 +325,12 @@ fn client_component_encrypts_outgoing_bodies() {
         .unwrap()
         .downcast_ref::<MailServerLogic>()
         .unwrap();
-    let stored = &server_logic.store().account("bob").unwrap().inbox.messages()[0];
+    let stored = &server_logic
+        .store()
+        .account("bob")
+        .unwrap()
+        .inbox
+        .messages()[0];
     assert_eq!(stored.encrypted_for.as_deref(), Some("bob"));
     assert_ne!(stored.body, plain_body, "never stored in the clear");
     assert_eq!(
@@ -338,7 +358,9 @@ fn address_book_served_by_primary() {
     }
     let probe = rig.add(
         rig.near,
-        Box::new(Probe::new(vec![MailOp::AddressBook { user: "alice".into() }])),
+        Box::new(Probe::new(vec![MailOp::AddressBook {
+            user: "alice".into(),
+        }])),
     );
     rig.world.wire(probe, vec![server]);
     rig.world.run();
@@ -366,7 +388,9 @@ fn write_through_policy_propagates_every_send() {
     let probe = rig.add(
         rig.near,
         Box::new(Probe::new(
-            (0..4).map(|i| MailOp::Send(msg(i, "alice", "bob", 1))).collect(),
+            (0..4)
+                .map(|i| MailOp::Send(msg(i, "alice", "bob", 1)))
+                .collect(),
         )),
     );
     rig.world.wire(probe, vec![vms]);

@@ -142,12 +142,15 @@ fn direct_insecure_connections_are_rejected() {
     spec.components.remove(ENCRYPTOR);
     spec.components.remove(DECRYPTOR);
     let planner = Planner::new(spec);
-    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
-        .pin(MAIL_SERVER, cs.mail_server);
+    let request =
+        ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client).pin(MAIL_SERVER, cs.mail_server);
     let err = planner
         .plan(&cs.network, &mail_translator(), &request)
         .unwrap_err();
-    assert!(matches!(err, ps_planner::PlanError::NoFeasibleMapping { .. }));
+    assert!(matches!(
+        err,
+        ps_planner::PlanError::NoFeasibleMapping { .. }
+    ));
 }
 
 #[test]
@@ -176,7 +179,11 @@ fn expected_latencies_reflect_caching() {
     // NY is essentially local; SD pays ~20% of a WAN round trip; Seattle
     // pays 0.2·(Sea-SD RTT) + 0.04·(SD-NY RTT) — and must beat the direct
     // 0.2·(Sea-NY RTT) alternative the planner rejected.
-    assert!(ny.expected_latency_ms < 20.0, "ny {}", ny.expected_latency_ms);
+    assert!(
+        ny.expected_latency_ms < 20.0,
+        "ny {}",
+        ny.expected_latency_ms
+    );
     assert!(
         sd.expected_latency_ms > 100.0 && sd.expected_latency_ms < 300.0,
         "sd {}",

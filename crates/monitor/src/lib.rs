@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 
 use ps_net::{shortest_route, LinkId, Network, NodeId, PropertyTranslator};
-use ps_planner::{LoadModel, Mapper, Plan, PlanError, Placement, Planner, ServiceRequest};
+use ps_planner::{LoadModel, Mapper, Placement, Plan, PlanError, Planner, ServiceRequest};
 use ps_sim::SimDuration;
 use std::fmt;
 
@@ -220,8 +220,9 @@ pub enum ReplanDecision {
     Keep,
     /// A better/valid deployment exists.
     Redeploy {
-        /// The replacement plan.
-        plan: Plan,
+        /// The replacement plan (boxed: a `Plan` is large relative to
+        /// the other variants).
+        plan: Box<Plan>,
         /// Its difference from the old plan.
         delta: PlanDelta,
     },
@@ -270,14 +271,12 @@ impl Replanner {
         let fresh = self.planner.plan(net, translator, request);
         match (still_valid, fresh) {
             (Some(current), Ok(better)) => {
-                if current.objective_value
-                    <= better.objective_value * self.degradation_factor
-                {
+                if current.objective_value <= better.objective_value * self.degradation_factor {
                     ReplanDecision::Keep
                 } else {
                     let delta = plan_delta(old, &better);
                     ReplanDecision::Redeploy {
-                        plan: better,
+                        plan: Box::new(better),
                         delta,
                     }
                 }
@@ -285,7 +284,7 @@ impl Replanner {
             (None, Ok(better)) => {
                 let delta = plan_delta(old, &better);
                 ReplanDecision::Redeploy {
-                    plan: better,
+                    plan: Box::new(better),
                     delta,
                 }
             }

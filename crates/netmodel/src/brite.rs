@@ -88,7 +88,10 @@ pub fn waxman(rng: &mut Rng, params: &FlatParams, site: &str) -> Network {
                 rng.next_below(i as u64) as usize
             } else {
                 (0..i)
-                    .filter(|&j| net.link_between(NodeId(i as u32), NodeId(j as u32)).is_none())
+                    .filter(|&j| {
+                        net.link_between(NodeId(i as u32), NodeId(j as u32))
+                            .is_none()
+                    })
                     .min_by(|&a, &b| {
                         dist(pos[i], pos[a])
                             .partial_cmp(&dist(pos[i], pos[b]))
@@ -234,7 +237,13 @@ pub fn hierarchical(rng: &mut Rng, params: &HierParams) -> Network {
         let lat_hi = params.inter_latency.1.as_nanos().max(lat_lo + 1);
         let latency = SimDuration::from_nanos(lat_lo + rng.next_below(lat_hi - lat_lo));
         let bw = rng.range_f64(params.inter_bandwidth_bps.0, params.inter_bandwidth_bps.1);
-        net.add_link(ga, gb, latency, bw, Credentials::new().with("Secure", false));
+        net.add_link(
+            ga,
+            gb,
+            latency,
+            bw,
+            Credentials::new().with("Secure", false),
+        );
     };
 
     // Spanning backbone, then shortcuts.

@@ -66,7 +66,10 @@ fn node_credentials(trust: i64, domain: &str) -> Credentials {
 /// clients; in New York node 2 hosts the primary mail server when
 /// available, otherwise the gateway does.
 pub fn build(nodes_per_site: usize) -> CaseStudy {
-    assert!(nodes_per_site >= 2, "need at least gateway + client per site");
+    assert!(
+        nodes_per_site >= 2,
+        "need at least gateway + client per site"
+    );
     let mut net = Network::new();
     let lan_latency = SimDuration::ZERO;
     let lan_bw = 100e6;
@@ -116,9 +119,21 @@ pub fn build(nodes_per_site: usize) -> CaseStudy {
     // New York – San Diego: 400 ms / 8 Mb/s.
     net.add_link(ny[0], sd[0], SimDuration::from_millis(400), 8e6, wan(false));
     // New York – Seattle: 200 ms / 20 Mb/s.
-    net.add_link(ny[0], sea[0], SimDuration::from_millis(200), 20e6, wan(false));
+    net.add_link(
+        ny[0],
+        sea[0],
+        SimDuration::from_millis(200),
+        20e6,
+        wan(false),
+    );
     // Seattle – San Diego: 100 ms / 50 Mb/s.
-    net.add_link(sea[0], sd[0], SimDuration::from_millis(100), 50e6, wan(false));
+    net.add_link(
+        sea[0],
+        sd[0],
+        SimDuration::from_millis(100),
+        50e6,
+        wan(false),
+    );
 
     let mail_server = if ny.len() > 2 { ny[2] } else { ny[0] };
     CaseStudy {

@@ -86,11 +86,27 @@ impl Link {
 }
 
 /// The network graph.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The graph carries a monotonically increasing *epoch* counter, bumped
+/// by every mutating accessor (`add_node`, `add_link`, `node_mut`,
+/// `link_mut`). Derived artifacts such as [`crate::RouteTable`] record
+/// the epoch they were built at and compare it against the live graph
+/// to detect staleness without diffing the topology.
+#[derive(Debug, Clone, Default)]
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
     adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    epoch: u64,
+}
+
+impl PartialEq for Network {
+    /// Structural equality: two networks are equal when their nodes and
+    /// links match, regardless of how many mutations produced them (the
+    /// epoch counter is deliberately excluded).
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.links == other.links
+    }
 }
 
 impl Network {
@@ -116,6 +132,7 @@ impl Network {
             credentials,
         });
         self.adjacency.push(Vec::new());
+        self.epoch += 1;
         id
     }
 
@@ -142,7 +159,14 @@ impl Network {
         });
         self.adjacency[a.0 as usize].push((b, id));
         self.adjacency[b.0 as usize].push((a, id));
+        self.epoch += 1;
         id
+    }
+
+    /// The mutation epoch: bumped by every mutating accessor, so derived
+    /// artifacts (route tables, plan caches) can detect staleness.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of nodes.
@@ -160,8 +184,11 @@ impl Network {
         &self.nodes[id.0 as usize]
     }
 
-    /// Mutable node by id.
+    /// Mutable node by id. Conservatively bumps the epoch: callers hold
+    /// a mutable borrow, so any credential or speed edit invalidates
+    /// derived route tables and plan caches.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.epoch += 1;
         &mut self.nodes[id.0 as usize]
     }
 
@@ -170,8 +197,10 @@ impl Network {
         &self.links[id.0 as usize]
     }
 
-    /// Mutable link by id.
+    /// Mutable link by id. Conservatively bumps the epoch (see
+    /// [`Network::node_mut`]).
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        self.epoch += 1;
         &mut self.links[id.0 as usize]
     }
 
@@ -263,7 +292,13 @@ mod tests {
         let a = net.add_node("a", "s1", 1.0, Credentials::new());
         let b = net.add_node("b", "s1", 1.0, Credentials::new());
         let c = net.add_node("c", "s2", 1.0, Credentials::new());
-        net.add_link(a, b, SimDuration::ZERO, 1e8, Credentials::new().with("Secure", true));
+        net.add_link(
+            a,
+            b,
+            SimDuration::ZERO,
+            1e8,
+            Credentials::new().with("Secure", true),
+        );
         net.add_link(b, c, SimDuration::from_millis(100), 1e7, Credentials::new());
         net
     }
@@ -340,12 +375,20 @@ impl Network {
                     .trust_rating(node.id)
                     .map(|t| format!(" (t{t})"))
                     .unwrap_or_default();
-                let _ = writeln!(out, "    \"{}\" [label=\"{}{}\"];", node.name, node.name, trust);
+                let _ = writeln!(
+                    out,
+                    "    \"{}\" [label=\"{}{}\"];",
+                    node.name, node.name, trust
+                );
             }
             let _ = writeln!(out, "  }}");
         }
         for link in &self.links {
-            let style = if self.link_secure(link.id) { "solid" } else { "dashed" };
+            let style = if self.link_secure(link.id) {
+                "solid"
+            } else {
+                "dashed"
+            };
             let _ = writeln!(
                 out,
                 "  \"{}\" -- \"{}\" [label=\"{:.0}ms/{:.0}Mb\", style={style}];",
@@ -370,13 +413,7 @@ mod dot_tests {
         let mut net = Network::new();
         let a = net.add_node("a", "s1", 1.0, Credentials::new().with("TrustRating", 5i64));
         let b = net.add_node("b", "s2", 1.0, Credentials::new());
-        net.add_link(
-            a,
-            b,
-            SimDuration::from_millis(100),
-            8e6,
-            Credentials::new(),
-        );
+        net.add_link(a, b, SimDuration::from_millis(100), 8e6, Credentials::new());
         let dot = net.to_dot();
         assert!(dot.contains("cluster_0"));
         assert!(dot.contains("\"a\" [label=\"a (t5)\"]"));

@@ -10,6 +10,8 @@
 //!   nodes and links;
 //! * [`shortest_route`] — policy-aware routing (insecure hops, then
 //!   latency) used to map component linkages onto multi-hop paths;
+//! * [`RouteTable`] — an immutable all-pairs route table built once per
+//!   [`Network`] epoch and shared read-only across planner workers;
 //! * [`PropertyTranslator`] / [`MappingTranslator`] — the credential →
 //!   service-property translation machinery;
 //! * [`brite`] — BRITE-style topology generators (Waxman,
@@ -23,11 +25,13 @@ pub mod brite;
 pub mod casestudy;
 pub mod graph;
 pub mod path;
+pub mod route_table;
 pub mod translate;
 
 pub use casestudy::{default_case_study, CaseStudy};
 pub use graph::{Credentials, Link, LinkId, Network, Node, NodeId};
 pub use path::{routes_from, shortest_route, Route};
+pub use route_table::RouteTable;
 pub use translate::{Mapping, MappingTranslator, PropertyTranslator};
 
 /// Convenience prelude for network-model users.
@@ -36,5 +40,6 @@ pub mod prelude {
     pub use crate::casestudy::{build as build_case_study, default_case_study, CaseStudy};
     pub use crate::graph::{Credentials, Link, LinkId, Network, Node, NodeId};
     pub use crate::path::{routes_from, shortest_route, Route};
+    pub use crate::route_table::RouteTable;
     pub use crate::translate::{Mapping, MappingTranslator, PropertyTranslator};
 }

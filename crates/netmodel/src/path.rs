@@ -57,17 +57,27 @@ impl Route {
     }
 }
 
-/// Computes the minimum-latency route from `from` to `to`, or `None` when
-/// unreachable. Ties are broken by hop count, then by node index, so the
-/// result is deterministic.
-pub fn shortest_route(net: &Network, from: NodeId, to: NodeId) -> Option<Route> {
-    if from == to {
-        return Some(Route::local(from));
-    }
-    let n = net.node_count();
-    // Lexicographic cost: (insecure hops, latency ns, hops).
-    let mut dist: Vec<(u32, u64, u32)> = vec![(u32::MAX, u64::MAX, u32::MAX); n];
-    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+/// Lexicographic route cost: *(insecure hops, latency ns, hops)*.
+pub(crate) type RouteCost = (u32, u64, u32);
+
+/// Sentinel cost for unreachable nodes.
+pub(crate) const UNREACHED: RouteCost = (u32::MAX, u64::MAX, u32::MAX);
+
+/// Runs Dijkstra from `from` over the lexicographic metric, filling
+/// `dist` and `prev` (both sized `net.node_count()`). When `stop_at` is
+/// set, the search exits early once that destination is finalized —
+/// every entry already finalized at that point (including `stop_at`
+/// itself) is identical to what the full run would produce, because a
+/// popped node's cost can never improve afterwards.
+pub(crate) fn dijkstra_tree(
+    net: &Network,
+    from: NodeId,
+    stop_at: Option<NodeId>,
+    dist: &mut [RouteCost],
+    prev: &mut [Option<(NodeId, LinkId)>],
+) {
+    dist.fill(UNREACHED);
+    prev.fill(None);
     let mut heap = BinaryHeap::new();
     dist[from.0 as usize] = (0, 0, 0);
     heap.push(Reverse(((0u32, 0u64, 0u32), from)));
@@ -76,7 +86,7 @@ pub fn shortest_route(net: &Network, from: NodeId, to: NodeId) -> Option<Route> 
         if cost > dist[node.0 as usize] {
             continue;
         }
-        if node == to {
+        if stop_at == Some(node) {
             break;
         }
         let (wan, d, hops) = cost;
@@ -92,11 +102,22 @@ pub fn shortest_route(net: &Network, from: NodeId, to: NodeId) -> Option<Route> 
             }
         }
     }
+}
 
+/// Reconstructs the route to `to` from a Dijkstra tree rooted at `from`.
+pub(crate) fn reconstruct(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    dist: &[RouteCost],
+    prev: &[Option<(NodeId, LinkId)>],
+) -> Option<Route> {
+    if from == to {
+        return Some(Route::local(from));
+    }
     if dist[to.0 as usize].1 == u64::MAX {
         return None;
     }
-
     let mut links = Vec::new();
     let mut via = Vec::new();
     let mut cursor = to;
@@ -126,11 +147,31 @@ pub fn shortest_route(net: &Network, from: NodeId, to: NodeId) -> Option<Route> 
     })
 }
 
-/// All-pairs minimum-latency routes from one source (Dijkstra tree),
-/// returned as a routing table.
+/// Computes the minimum-latency route from `from` to `to`, or `None` when
+/// unreachable. Ties are broken by hop count, then by node index, so the
+/// result is deterministic.
+pub fn shortest_route(net: &Network, from: NodeId, to: NodeId) -> Option<Route> {
+    if from == to {
+        return Some(Route::local(from));
+    }
+    let n = net.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut prev = vec![None; n];
+    dijkstra_tree(net, from, Some(to), &mut dist, &mut prev);
+    reconstruct(net, from, to, &dist, &prev)
+}
+
+/// All-pairs minimum-latency routes from one source, returned as a
+/// routing table. Runs a single full Dijkstra and reconstructs each
+/// destination from the tree (identical results to per-destination
+/// [`shortest_route`] calls, one heap pass instead of `n`).
 pub fn routes_from(net: &Network, from: NodeId) -> Vec<Option<Route>> {
+    let n = net.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut prev = vec![None; n];
+    dijkstra_tree(net, from, None, &mut dist, &mut prev);
     net.node_ids()
-        .map(|to| shortest_route(net, from, to))
+        .map(|to| reconstruct(net, from, to, &dist, &prev))
         .collect()
 }
 

@@ -1,0 +1,188 @@
+//! A shared all-pairs route table (one Dijkstra tree per source).
+//!
+//! The planner's hot path asks for routes between many node pairs, for
+//! many candidate mappings, across many worker threads. Re-running
+//! Dijkstra per query (or keeping a per-worker memo) repeats the same
+//! work once per worker; instead, [`RouteTable::build`] computes every
+//! source's shortest-path tree once and stores the predecessor links in
+//! flat arrays. The table is immutable afterwards — share it across
+//! threads behind an [`std::sync::Arc`] and answer route queries by
+//! walking the predecessor chain (allocation happens only for the
+//! returned [`Route`], not during lookup bookkeeping).
+//!
+//! Staleness is detected through the [`Network`] epoch counter: the
+//! table records `net.epoch()` at build time and [`RouteTable::is_current`]
+//! compares it against the live graph, so callers rebuild exactly when
+//! the topology or a credential changed.
+
+use crate::graph::{LinkId, Network, NodeId};
+use crate::path::{dijkstra_tree, reconstruct, Route, RouteCost, UNREACHED};
+use ps_sim::SimDuration;
+
+/// Immutable all-pairs routing table for one network epoch.
+///
+/// Built once per epoch via per-source Dijkstra; `route(from, to)`
+/// reconstructs the stored tree path on demand. Results are identical to
+/// [`crate::shortest_route`] for every pair (same metric, same
+/// deterministic tie-breaks).
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// Epoch of the network this table was built from.
+    epoch: u64,
+    /// Number of nodes at build time.
+    n: usize,
+    /// Predecessor matrix: `prev[src * n + dst]` is the last tree edge
+    /// into `dst` on the shortest path from `src`.
+    prev: Vec<Option<(NodeId, LinkId)>>,
+    /// Cost matrix, same indexing (`UNREACHED` when disconnected).
+    dist: Vec<RouteCost>,
+    /// Wall-clock time spent building, in microseconds.
+    build_micros: u64,
+}
+
+impl RouteTable {
+    /// Builds the table from the network's current state: one full
+    /// Dijkstra per source node.
+    pub fn build(net: &Network) -> Self {
+        let started = std::time::Instant::now();
+        let n = net.node_count();
+        let mut prev = vec![None; n * n];
+        let mut dist = vec![UNREACHED; n * n];
+        for src in 0..n {
+            let (d, p) = (
+                &mut dist[src * n..(src + 1) * n],
+                &mut prev[src * n..(src + 1) * n],
+            );
+            dijkstra_tree(net, NodeId(src as u32), None, d, p);
+        }
+        RouteTable {
+            epoch: net.epoch(),
+            n,
+            prev,
+            dist,
+            build_micros: started.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// The network epoch this table was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the table still reflects `net` (same epoch).
+    pub fn is_current(&self, net: &Network) -> bool {
+        self.epoch == net.epoch() && self.n == net.node_count()
+    }
+
+    /// Wall-clock build time in microseconds.
+    pub fn build_micros(&self) -> u64 {
+        self.build_micros
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The route from `from` to `to`, or `None` when unreachable.
+    /// Identical to [`crate::shortest_route`] on the network the table
+    /// was built from. `net` is only consulted for link bandwidths
+    /// during reconstruction; it must be the same (unchanged) network.
+    pub fn route(&self, net: &Network, from: NodeId, to: NodeId) -> Option<Route> {
+        debug_assert!(
+            self.is_current(net),
+            "route table is stale: built at epoch {}, network at {}",
+            self.epoch,
+            net.epoch()
+        );
+        let src = from.0 as usize;
+        let slice = src * self.n..(src + 1) * self.n;
+        reconstruct(net, from, to, &self.dist[slice.clone()], &self.prev[slice])
+    }
+
+    /// Whether `to` is reachable from `from`.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        from == to || self.dist[from.0 as usize * self.n + to.0 as usize].1 != u64::MAX
+    }
+
+    /// One-way propagation latency from `from` to `to`, without
+    /// materializing the route. `None` when unreachable.
+    pub fn latency(&self, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        if from == to {
+            return Some(SimDuration::ZERO);
+        }
+        let ns = self.dist[from.0 as usize * self.n + to.0 as usize].1;
+        (ns != u64::MAX).then(|| SimDuration::from_nanos(ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Credentials;
+    use crate::shortest_route;
+
+    fn secure() -> Credentials {
+        Credentials::new().with("Secure", true)
+    }
+
+    fn diamond() -> Network {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s1", 1.0, Credentials::new());
+        let b = net.add_node("b", "s1", 1.0, Credentials::new());
+        let c = net.add_node("c", "s2", 1.0, Credentials::new());
+        let d = net.add_node("d", "s2", 1.0, Credentials::new());
+        net.add_link(a, b, SimDuration::from_millis(1), 1e8, secure());
+        net.add_link(b, d, SimDuration::from_millis(5), 1e7, Credentials::new());
+        net.add_link(a, c, SimDuration::from_millis(2), 1e8, secure());
+        net.add_link(c, d, SimDuration::from_millis(2), 1e8, secure());
+        net
+    }
+
+    #[test]
+    fn agrees_with_shortest_route_on_every_pair() {
+        let net = diamond();
+        let table = RouteTable::build(&net);
+        for from in net.node_ids() {
+            for to in net.node_ids() {
+                assert_eq!(table.route(&net, from, to), shortest_route(&net, from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matches_route_latency() {
+        let net = diamond();
+        let table = RouteTable::build(&net);
+        for from in net.node_ids() {
+            for to in net.node_ids() {
+                let route = table.route(&net, from, to).unwrap();
+                assert_eq!(table.latency(from, to), Some(route.latency));
+                assert!(table.reachable(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_tracks_mutations() {
+        let mut net = diamond();
+        let table = RouteTable::build(&net);
+        assert!(table.is_current(&net));
+        net.link_mut(LinkId(0)).latency = SimDuration::from_millis(99);
+        assert!(!table.is_current(&net));
+        let rebuilt = RouteTable::build(&net);
+        assert!(rebuilt.is_current(&net));
+        assert!(rebuilt.epoch() > table.epoch());
+    }
+
+    #[test]
+    fn unreachable_pairs_are_none() {
+        let mut net = diamond();
+        let lonely = net.add_node("lonely", "s3", 1.0, Credentials::new());
+        let table = RouteTable::build(&net);
+        assert_eq!(table.route(&net, NodeId(0), lonely), None);
+        assert!(!table.reachable(NodeId(0), lonely));
+        assert_eq!(table.latency(NodeId(0), lonely), None);
+        assert!(table.reachable(lonely, lonely));
+    }
+}

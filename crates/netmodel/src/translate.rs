@@ -94,7 +94,10 @@ impl MappingTranslator {
                     property,
                     default,
                 } => {
-                    let value = credentials.get(credential).cloned().unwrap_or_else(|| default.clone());
+                    let value = credentials
+                        .get(credential)
+                        .cloned()
+                        .unwrap_or_else(|| default.clone());
                     env.set(property, value);
                 }
                 Mapping::Constant { property, value } => {
@@ -142,7 +145,13 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_node("a", "s", 1.0, Credentials::new().with("TrustRating", 4i64));
         let b = net.add_node("b", "s", 1.0, Credentials::new());
-        net.add_link(a, b, SimDuration::ZERO, 1e8, Credentials::new().with("Secure", true));
+        net.add_link(
+            a,
+            b,
+            SimDuration::ZERO,
+            1e8,
+            Credentials::new().with("Secure", true),
+        );
 
         let t = translator();
         let env_a = t.node_env(net.node(a));
@@ -150,7 +159,10 @@ mod tests {
         let env_b = t.node_env(net.node(b));
         assert_eq!(env_b.get("TrustLevel"), Some(&PropertyValue::Int(1)));
         let env_l = t.link_env(net.link(crate::graph::LinkId(0)));
-        assert_eq!(env_l.get("Confidentiality"), Some(&PropertyValue::Bool(true)));
+        assert_eq!(
+            env_l.get("Confidentiality"),
+            Some(&PropertyValue::Bool(true))
+        );
     }
 
     #[test]
@@ -159,7 +171,13 @@ mod tests {
         let a = net.add_node("a", "s", 1.0, Credentials::new().with("TrustRating", 5i64));
         let m = net.add_node("m", "s", 1.0, Credentials::new().with("TrustRating", 2i64));
         let b = net.add_node("b", "s", 1.0, Credentials::new().with("TrustRating", 5i64));
-        net.add_link(a, m, SimDuration::from_millis(1), 1e8, Credentials::new().with("Secure", true));
+        net.add_link(
+            a,
+            m,
+            SimDuration::from_millis(1),
+            1e8,
+            Credentials::new().with("Secure", true),
+        );
         net.add_link(m, b, SimDuration::from_millis(1), 1e8, Credentials::new());
 
         let t = translator();
@@ -167,9 +185,15 @@ mod tests {
         let envs = t.route_envs(&net, &route);
         // link a-m, node m, link m-b
         assert_eq!(envs.len(), 3);
-        assert_eq!(envs[0].get("Confidentiality"), Some(&PropertyValue::Bool(true)));
+        assert_eq!(
+            envs[0].get("Confidentiality"),
+            Some(&PropertyValue::Bool(true))
+        );
         assert_eq!(envs[1].get("TrustLevel"), Some(&PropertyValue::Int(2)));
-        assert_eq!(envs[2].get("Confidentiality"), Some(&PropertyValue::Bool(false)));
+        assert_eq!(
+            envs[2].get("Confidentiality"),
+            Some(&PropertyValue::Bool(false))
+        );
     }
 
     #[test]

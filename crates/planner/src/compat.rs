@@ -123,7 +123,10 @@ mod tests {
         let spec = spec();
         let insecure = Environment::new().with("Confidentiality", false);
         let out = transform_along(&spec, &provided(true, 5), &[insecure]);
-        assert_eq!(out.get("Confidentiality"), Some(&PropertyValue::Bool(false)));
+        assert_eq!(
+            out.get("Confidentiality"),
+            Some(&PropertyValue::Bool(false))
+        );
         // No rule for TrustLevel: unchanged.
         assert_eq!(out.get("TrustLevel"), Some(&PropertyValue::Int(5)));
     }
@@ -141,8 +144,15 @@ mod tests {
         let spec = spec();
         let secure = Environment::new().with("Confidentiality", true);
         let insecure = Environment::new().with("Confidentiality", false);
-        let out = transform_along(&spec, &provided(true, 5), &[secure.clone(), insecure, secure]);
-        assert_eq!(out.get("Confidentiality"), Some(&PropertyValue::Bool(false)));
+        let out = transform_along(
+            &spec,
+            &provided(true, 5),
+            &[secure.clone(), insecure, secure],
+        );
+        assert_eq!(
+            out.get("Confidentiality"),
+            Some(&PropertyValue::Bool(false))
+        );
     }
 
     #[test]
@@ -180,7 +190,11 @@ mod tests {
     #[test]
     fn empty_requirement_is_always_satisfied() {
         let spec = spec();
-        assert!(satisfies(&spec, &ResolvedBindings::new(), &ResolvedBindings::new()));
+        assert!(satisfies(
+            &spec,
+            &ResolvedBindings::new(),
+            &ResolvedBindings::new()
+        ));
     }
 
     #[test]

@@ -127,10 +127,7 @@ pub fn search(
     }
     let k = chain.len();
     let rates = mapper.rates(graph);
-    let candidates: Vec<Vec<NodeId>> = chain
-        .iter()
-        .map(|&i| mapper.candidates(graph, i))
-        .collect();
+    let candidates: Vec<Vec<NodeId>> = chain.iter().map(|&i| mapper.candidates(graph, i)).collect();
     if candidates.iter().any(Vec::is_empty) {
         return None;
     }
@@ -163,9 +160,7 @@ pub fn search(
                 // Leaf: provided = explicit bindings only.
                 let assignment = vec![None; graph.len()];
                 let provided = vec![None; graph.len()];
-                if let Some(flow) =
-                    mapper.flow_at(graph, tree_idx, node, &assignment, &provided)
-                {
+                if let Some(flow) = mapper.flow_at(graph, tree_idx, node, &assignment, &provided) {
                     here.push(Label {
                         provided: flow,
                         suffix_cost: own,
@@ -184,14 +179,9 @@ pub fn search(
                     if component == child_component && node == m {
                         continue;
                     }
-                    let Some(e_cost) = edge_cost(
-                        mapper,
-                        child_component,
-                        child_frac,
-                        child_rate,
-                        node,
-                        m,
-                    ) else {
+                    let Some(e_cost) =
+                        edge_cost(mapper, child_component, child_frac, child_rate, node, m)
+                    else {
                         stats.prunes += 1;
                         continue;
                     };

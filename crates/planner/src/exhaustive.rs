@@ -1,24 +1,128 @@
-//! Exhaustive mapping search — the oracle the other algorithms are
-//! checked against (the paper's current implementation "exhaustively
-//! searches for a deployment that satisfies the constraints").
+//! Exhaustive mapping search with admissible branch-and-bound pruning.
 //!
 //! Tree nodes are assigned in bottom-up order so that every parent-child
 //! property-flow check (condition 2) can run the moment the parent is
-//! placed, pruning infeasible subtrees early. Feasibility and objective
-//! of complete assignments are computed by [`Mapper::evaluate`].
+//! placed, pruning infeasible subtrees early. On top of that, the
+//! default entry point ([`search`]) accumulates the partial objective
+//! incrementally during recursion and cuts any subtree whose admissible
+//! lower bound already exceeds the incumbent's objective:
+//!
+//! * the partial cost of a placement is the same per-node increment the
+//!   final evaluation charges (CPU share + parent-edge round trips +
+//!   the client edge for the root), so at a complete assignment the
+//!   accumulated partial equals the evaluation's latency part exactly;
+//! * the remaining-suffix bound takes, per unplaced tree node, the
+//!   minimum increment over its whole candidate set — an underestimate
+//!   of whatever the search will actually commit to;
+//! * pruning is *strict* (`partial + suffix > incumbent objective`):
+//!   a subtree is cut only when every completion is strictly worse than
+//!   the incumbent, so the surviving optimum — value *and* chosen
+//!   assignment — is identical to the unbounded oracle's. For
+//!   `MinCost` the latency part is zero and the bound never fires; for
+//!   `MaxCapacity` (non-additive, negated) bounding is disabled.
+//!
+//! The pre-bounding oracle remains reachable via [`search_unbounded`]
+//! (exposed as `Algorithm::Oracle`) for equivalence testing — the
+//! agreement suite asserts both return the same optimum.
+//!
+//! Feasibility and objective of complete assignments are computed by
+//! [`Mapper::evaluate`].
 
 use crate::linkage::LinkageGraph;
 use crate::mapping::{Evaluation, Mapper};
-use crate::plan::PlanStats;
+use crate::plan::{Objective, PlanStats};
 use ps_net::NodeId;
 use ps_spec::ResolvedBindings;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Searches every feasible mapping of `graph`, returning the best
-/// assignment and its evaluation.
+/// A monotonically decreasing objective value shared across graph
+/// searches (and across `plan_parallel` workers): the best complete
+/// mapping found so far anywhere in the planning call.
+///
+/// Seeding later graph searches with it is exact: pruning is strict
+/// (`bound > incumbent`), every incumbent is the objective of a real
+/// feasible mapping, and the globally optimal completion's lower bound
+/// never exceeds its own objective — so the winning graph still returns
+/// its exact optimum, and graphs whose optimum ties or loses would have
+/// been discarded by the plan reduction anyway.
+#[derive(Debug)]
+pub struct Incumbent(AtomicU64);
+
+impl Incumbent {
+    /// A fresh incumbent at +∞ (no mapping found yet).
+    pub fn new() -> Self {
+        Incumbent(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current best objective value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the incumbent to `value` if it improves on it.
+    pub fn offer(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        while value < f64::from_bits(current) {
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => current = now,
+            }
+        }
+    }
+}
+
+impl Default for Incumbent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Searches every feasible mapping of `graph` with admissible
+/// branch-and-bound pruning, returning the best assignment and its
+/// evaluation. Exactly equivalent to [`search_unbounded`].
 pub fn search(
     mapper: &Mapper<'_>,
     graph: &LinkageGraph,
     stats: &mut PlanStats,
+) -> Option<(Vec<NodeId>, Evaluation)> {
+    search_inner(mapper, graph, stats, true, None)
+}
+
+/// Like [`search`], but additionally prunes against `incumbent` — the
+/// best objective found across *other* graphs (and worker threads) of
+/// the same planning call — and publishes improvements back into it.
+pub fn search_seeded(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    stats: &mut PlanStats,
+    incumbent: &Incumbent,
+) -> Option<(Vec<NodeId>, Evaluation)> {
+    search_inner(mapper, graph, stats, true, Some(incumbent))
+}
+
+/// The unbounded oracle: explores the full candidate product with only
+/// property-flow pruning (the paper's "exhaustively searches for a
+/// deployment" baseline). Kept for equivalence testing and as the
+/// seed-algorithm baseline in the planner bench.
+pub fn search_unbounded(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    stats: &mut PlanStats,
+) -> Option<(Vec<NodeId>, Evaluation)> {
+    search_inner(mapper, graph, stats, false, None)
+}
+
+fn search_inner(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    stats: &mut PlanStats,
+    bounded: bool,
+    incumbent: Option<&Incumbent>,
 ) -> Option<(Vec<NodeId>, Evaluation)> {
     let n = graph.len();
     let order = graph.bottom_up_order();
@@ -27,18 +131,114 @@ pub fn search(
         return None;
     }
 
+    // `MaxCapacity` negates the sustainable rate: the objective is not an
+    // additive sum of placement increments, so the bound is inadmissible
+    // there and bounding is disabled.
+    let bounding = bounded && !matches!(mapper.objective, Objective::MaxCapacity);
+    let rates = mapper.rates(graph);
+    let lp = latency_part(mapper.objective);
+
+    // Admissible per-tree-node lower bounds over each candidate set,
+    // mirroring the increments charged during recursion.
+    let suffix_bound = if bounding && lp > 0.0 {
+        let lower_bound: Vec<f64> = (0..n)
+            .map(|idx| min_increment(mapper, graph, &rates, &candidates, idx, lp))
+            .collect();
+        let mut suffix = vec![0.0; order.len() + 1];
+        for pos in (0..order.len()).rev() {
+            suffix[pos] = suffix[pos + 1] + lower_bound[order[pos]];
+        }
+        suffix
+    } else {
+        vec![0.0; order.len() + 1]
+    };
+
     let mut state = State {
         mapper,
         graph,
         order,
         candidates,
+        rates,
+        suffix_bound,
+        bounding,
+        lp,
+        incumbent: if bounding { incumbent } else { None },
         assignment: vec![None; n],
         provided: vec![None; n],
+        factors: vec![None; n],
         best: None,
         stats,
     };
-    state.recurse(0);
+    state.recurse(0, 0.0);
     state.best
+}
+
+fn latency_part(objective: Objective) -> f64 {
+    match objective {
+        Objective::MinLatency => 1.0,
+        Objective::MinCost | Objective::MaxCapacity => 0.0,
+        Objective::Weighted { latency_weight, .. } => latency_weight,
+    }
+}
+
+/// Round-trip milliseconds of one request over `route` carrying `bytes`.
+fn rtt_ms(route: &ps_net::Route, bytes: f64) -> f64 {
+    2.0 * route.latency.as_millis_f64()
+        + if route.bottleneck_bps.is_finite() {
+            bytes * 8.0 / route.bottleneck_bps * 1000.0
+        } else {
+            0.0
+        }
+}
+
+/// Lower bound of [`State::increment`] for tree node `idx` over its
+/// whole candidate set (children range over theirs too).
+fn min_increment(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    rates: &crate::load::RatePlan,
+    candidates: &[Vec<NodeId>],
+    idx: usize,
+    lp: f64,
+) -> f64 {
+    let min_rtt = |from_set: &[NodeId], to_set: &[NodeId], bytes: f64| -> f64 {
+        let mut best = f64::INFINITY;
+        for &a in from_set {
+            for &b in to_set {
+                let rtt = match mapper.route(a, b) {
+                    Some(info) if !info.route.is_local() => rtt_ms(&info.route, bytes),
+                    Some(_) => 0.0,
+                    None => continue,
+                };
+                best = best.min(rtt);
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0
+        }
+    };
+    let behavior = mapper.spec.behavior_of(&graph.nodes[idx].component);
+    let frac = rates.fraction(idx);
+    let min_cpu = candidates[idx]
+        .iter()
+        .map(|&node| lp * frac * behavior.cpu_per_request_ms / mapper.net.node(node).cpu_speed)
+        .fold(f64::INFINITY, f64::min);
+    let mut bound = min_cpu;
+    for &(_, child) in &graph.nodes[idx].children {
+        let cb = mapper.spec.behavior_of(&graph.nodes[child].component);
+        let bytes = (cb.bytes_per_request + cb.bytes_per_response) as f64;
+        bound += lp * rates.fraction(child) * min_rtt(&candidates[idx], &candidates[child], bytes);
+    }
+    if idx == 0 {
+        let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
+        bound += lp * min_rtt(&[mapper.request.client_node], &candidates[0], bytes);
+    }
+    bound
 }
 
 struct State<'a, 'b> {
@@ -46,42 +246,158 @@ struct State<'a, 'b> {
     graph: &'a LinkageGraph,
     order: Vec<usize>,
     candidates: Vec<Vec<NodeId>>,
+    rates: crate::load::RatePlan,
+    suffix_bound: Vec<f64>,
+    bounding: bool,
+    lp: f64,
+    incumbent: Option<&'a Incumbent>,
     assignment: Vec<Option<NodeId>>,
     provided: Vec<Option<ResolvedBindings>>,
+    factors: Vec<Option<ResolvedBindings>>,
     best: Option<(Vec<NodeId>, Evaluation)>,
     stats: &'a mut PlanStats,
 }
 
 impl State<'_, '_> {
-    fn recurse(&mut self, pos: usize) {
+    /// Incremental latency-part cost of placing `idx` at `node`: its own
+    /// CPU contribution plus the edges to its (already-placed, thanks to
+    /// bottom-up order) children, plus the client edge for the root —
+    /// the same terms [`Mapper::evaluate`] charges, so the accumulated
+    /// partial at a complete assignment equals the evaluation's latency
+    /// part exactly. Cost terms are *not* tracked, which keeps the
+    /// partial an underestimate of the full objective for
+    /// MinCost/Weighted (admissible).
+    fn increment(&self, idx: usize, node: NodeId) -> f64 {
+        if self.lp == 0.0 {
+            return 0.0;
+        }
+        let behavior = self
+            .mapper
+            .spec
+            .behavior_of(&self.graph.nodes[idx].component);
+        let frac = self.rates.fraction(idx);
+        let mut cost =
+            self.lp * frac * behavior.cpu_per_request_ms / self.mapper.net.node(node).cpu_speed;
+        if idx == 0 {
+            // The implicit client -> root edge.
+            if let Some(info) = self.mapper.route(self.mapper.request.client_node, node) {
+                if !info.route.is_local() {
+                    let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
+                    cost += self.lp * rtt_ms(&info.route, bytes);
+                }
+            }
+        }
+        for &(_, child) in &self.graph.nodes[idx].children {
+            let Some(child_node) = self.assignment[child] else {
+                continue;
+            };
+            if let Some(info) = self.mapper.route(node, child_node) {
+                let cb = self
+                    .mapper
+                    .spec
+                    .behavior_of(&self.graph.nodes[child].component);
+                let bytes = (cb.bytes_per_request + cb.bytes_per_response) as f64;
+                cost += self.lp * self.rates.fraction(child) * rtt_ms(&info.route, bytes);
+            }
+        }
+        cost
+    }
+
+    /// Best objective known anywhere: this graph's own best, improved by
+    /// the cross-graph incumbent when seeded. `INFINITY` disables cuts.
+    fn threshold(&self) -> f64 {
+        let own = self
+            .best
+            .as_ref()
+            .map_or(f64::INFINITY, |(_, b)| b.objective_value);
+        match self.incumbent {
+            Some(shared) => own.min(shared.get()),
+            None => own,
+        }
+    }
+
+    fn recurse(&mut self, pos: usize, partial: f64) {
+        if self.bounding {
+            // Strict comparison: cut only subtrees whose every completion
+            // is strictly worse than a known feasible mapping (whose
+            // objective upper-bounds its own latency part). Equal-bound
+            // subtrees are still explored, so tie-breaks — including
+            // MinLatency's tiny deployment-cost term — resolve exactly
+            // as in the unbounded oracle.
+            if partial + self.suffix_bound[pos] > self.threshold() {
+                self.stats.bound_prunes += 1;
+                return;
+            }
+        }
         if pos == self.order.len() {
-            let assignment: Vec<NodeId> =
-                self.assignment.iter().map(|a| a.expect("complete")).collect();
+            let assignment: Vec<NodeId> = self
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete"))
+                .collect();
             self.stats.mappings_evaluated += 1;
-            if let Some(eval) = self.mapper.evaluate(self.graph, &assignment) {
+            // The bounded search hands its descent's property flow,
+            // resolved factors, and per-graph rate plan to the evaluator
+            // (one flow/configure per node already ran, rates were
+            // computed once up front); the oracle keeps the original
+            // recompute-everything path.
+            let eval = if self.bounding {
+                self.mapper.evaluate_reusing_flow(
+                    self.graph,
+                    &assignment,
+                    &self.provided,
+                    &self.factors,
+                    &self.rates,
+                )
+            } else {
+                self.mapper.evaluate(self.graph, &assignment)
+            };
+            if let Some(eval) = eval {
                 let better = self
                     .best
                     .as_ref()
                     .is_none_or(|(_, b)| eval.objective_value < b.objective_value);
                 if better {
+                    if let Some(shared) = self.incumbent {
+                        shared.offer(eval.objective_value);
+                    }
                     self.best = Some((assignment, eval));
                 }
             }
             return;
         }
         let idx = self.order[pos];
-        let options = self.candidates[idx].clone();
-        for node in options {
-            match self
-                .mapper
-                .flow_at(self.graph, idx, node, &self.assignment, &self.provided)
-            {
-                Some(flow) => {
+        // Iterate candidates by index: cloning the candidate vector at
+        // every visit allocated once per tree node, which the hot path
+        // cannot afford.
+        for ci in 0..self.candidates[idx].len() {
+            let node = self.candidates[idx][ci];
+            let inc = if self.bounding {
+                self.increment(idx, node)
+            } else {
+                0.0
+            };
+            if self.bounding && partial + inc + self.suffix_bound[pos + 1] > self.threshold() {
+                // This placement already costs more than a known complete
+                // mapping — skip it before paying for property flow.
+                self.stats.bound_prunes += 1;
+                continue;
+            }
+            match self.mapper.flow_and_factors_at(
+                self.graph,
+                idx,
+                node,
+                &self.assignment,
+                &self.provided,
+            ) {
+                Some((flow, resolved)) => {
                     self.assignment[idx] = Some(node);
                     self.provided[idx] = Some(flow);
-                    self.recurse(pos + 1);
+                    self.factors[idx] = Some(resolved);
+                    self.recurse(pos + 1, partial + inc);
                     self.assignment[idx] = None;
                     self.provided[idx] = None;
+                    self.factors[idx] = None;
                 }
                 None => self.stats.prunes += 1,
             }

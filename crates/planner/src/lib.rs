@@ -29,7 +29,9 @@ pub mod plan;
 pub mod planner;
 pub mod pop;
 
-pub use linkage::{enumerate_linkages, enumerate_linkages_multi, LinkageGraph, LinkageLimits, LinkageNode};
+pub use linkage::{
+    enumerate_linkages, enumerate_linkages_multi, LinkageGraph, LinkageLimits, LinkageNode,
+};
 pub use load::{propagate_rates, LoadModel, RatePlan};
 pub use mapping::{Evaluation, Mapper};
 pub use plan::{Objective, Placement, Plan, PlanEdge, PlanError, PlanStats, ServiceRequest};

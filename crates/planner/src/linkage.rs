@@ -125,11 +125,7 @@ impl LinkageGraph {
 
 impl fmt::Display for LinkageGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn rec(
-            g: &LinkageGraph,
-            idx: usize,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn rec(g: &LinkageGraph, idx: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let node = &g.nodes[idx];
             write!(f, "{}", node.component)?;
             match node.children.len() {
@@ -312,7 +308,9 @@ mod tests {
                     .implements(InterfaceRef::plain("ClientInterface"))
                     .requires(InterfaceRef::plain("ServerInterface")),
             )
-            .component(Component::new("MailServer").implements(InterfaceRef::plain("ServerInterface")))
+            .component(
+                Component::new("MailServer").implements(InterfaceRef::plain("ServerInterface")),
+            )
             .component(
                 Component::view("ViewMailServer", "MailServer", ViewKind::Data)
                     .implements(InterfaceRef::plain("ServerInterface"))
@@ -350,8 +348,7 @@ mod tests {
         // The canonical Figure 3 paths are present.
         assert!(rendered.contains(&"MailClient -> MailServer".to_owned()));
         assert!(rendered.contains(&"MailClient -> ViewMailServer -> MailServer".to_owned()));
-        assert!(rendered
-            .contains(&"MailClient -> Encryptor -> Decryptor -> MailServer".to_owned()));
+        assert!(rendered.contains(&"MailClient -> Encryptor -> Decryptor -> MailServer".to_owned()));
         assert!(rendered.contains(
             &"MailClient -> ViewMailServer -> Encryptor -> Decryptor -> MailServer".to_owned()
         ));
@@ -390,13 +387,16 @@ mod tests {
     #[test]
     fn leaves_have_no_requirements() {
         let spec = mail_shape();
-        let graphs =
-            enumerate_linkages(&spec, "ClientInterface", &LinkageLimits::default());
+        let graphs = enumerate_linkages(&spec, "ClientInterface", &LinkageLimits::default());
         for g in &graphs {
             for node in &g.nodes {
                 if node.children.is_empty() {
                     let decl = spec.get_component(&node.component).unwrap();
-                    assert!(decl.requires.is_empty(), "{} should be a leaf", node.component);
+                    assert!(
+                        decl.requires.is_empty(),
+                        "{} should be a leaf",
+                        node.component
+                    );
                 }
             }
         }

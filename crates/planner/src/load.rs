@@ -39,7 +39,10 @@ pub fn propagate_rates(spec: &ServiceSpec, graph: &LinkageGraph, root_rate: f64)
             stack.push(child);
         }
     }
-    RatePlan { node_rate, edge_rate }
+    RatePlan {
+        node_rate,
+        edge_rate,
+    }
 }
 
 impl RatePlan {
@@ -55,7 +58,12 @@ impl RatePlan {
 
     /// Bits/second demanded on the edge into `idx`, given the parent's
     /// request size and the provider's response size.
-    pub fn edge_bits_per_sec(&self, idx: usize, bytes_per_request: u64, bytes_per_response: u64) -> f64 {
+    pub fn edge_bits_per_sec(
+        &self,
+        idx: usize,
+        bytes_per_request: u64,
+        bytes_per_response: u64,
+    ) -> f64 {
         self.edge_rate[idx] * (bytes_per_request + bytes_per_response) as f64 * 8.0
     }
 }

@@ -19,12 +19,13 @@ use crate::compat::{effective_provided, satisfies, transform_along};
 use crate::linkage::LinkageGraph;
 use crate::load::{propagate_rates, LoadModel, RatePlan};
 use crate::plan::{Objective, PlanEdge, ServiceRequest};
-use ps_net::{shortest_route, Network, NodeId, PropertyTranslator, Route};
+use ps_net::{shortest_route, Network, NodeId, PropertyTranslator, Route, RouteTable};
 use ps_spec::condition::all_hold;
 use ps_spec::{Component, Environment, ResolvedBindings, ServiceSpec};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Fixed per-component startup charge used by the deployment-cost
 /// objective (milliseconds). The paper reports roughly 10 seconds of
@@ -32,8 +33,15 @@ use std::rc::Rc;
 /// startup share is on the order of a second per component.
 pub const STARTUP_COST_MS: f64 = 500.0;
 
-/// Cache of computed routes, keyed by (from, to) node indices.
+/// Cache of materialized routes (with environments), keyed by
+/// (from, to) node indices.
 type RouteCache = RefCell<HashMap<(u32, u32), Option<Rc<RouteInfo>>>>;
+
+/// Memo of candidate sets, keyed by (component name, forced node):
+/// `enumerate_linkages_multi` emits many graphs sharing components, so
+/// the condition-1 filter over all network nodes runs once per
+/// component instead of once per graph.
+type CandidateCache = RefCell<HashMap<(String, Option<u32>), Vec<NodeId>>>;
 
 /// A route together with the environment sequence its traffic traverses.
 #[derive(Debug, Clone)]
@@ -65,6 +73,16 @@ pub struct Evaluation {
     pub edges: Vec<PlanEdge>,
 }
 
+/// Search-descent artifacts handed back to the evaluator: the per-node
+/// effective provided properties and resolved factors filled in during
+/// the search's bottom-up descent, plus the graph's rate plan the
+/// search computed once up front.
+type DescentArtifacts<'d> = (
+    &'d [Option<ResolvedBindings>],
+    &'d [Option<ResolvedBindings>],
+    &'d RatePlan,
+);
+
 /// The shared mapping evaluator.
 pub struct Mapper<'a> {
     /// The service specification.
@@ -81,6 +99,11 @@ pub struct Mapper<'a> {
     link_envs: Vec<Environment>,
     mid_envs: Vec<Environment>,
     route_cache: RouteCache,
+    candidate_cache: CandidateCache,
+    /// Shared all-pairs route table; when absent, routes fall back to
+    /// on-demand Dijkstra (the pre-table behavior, kept reachable so the
+    /// bench harness can measure the baseline).
+    route_table: Option<Arc<RouteTable>>,
 }
 
 impl<'a> Mapper<'a> {
@@ -128,7 +151,21 @@ impl<'a> Mapper<'a> {
             link_envs,
             mid_envs,
             route_cache: RefCell::new(HashMap::new()),
+            candidate_cache: RefCell::new(HashMap::new()),
+            route_table: None,
         }
+    }
+
+    /// Switches route lookups onto a shared all-pairs [`RouteTable`]
+    /// (built once per network epoch, shared read-only across worker
+    /// threads) instead of per-mapper on-demand Dijkstra.
+    ///
+    /// The table must have been built from `self.net` at its current
+    /// epoch; results are bit-identical to the lazy path.
+    pub fn with_route_table(mut self, table: Arc<RouteTable>) -> Self {
+        debug_assert!(table.is_current(self.net), "route table is stale");
+        self.route_table = Some(table);
+        self
     }
 
     /// Deployment environment of a network node (credentials translated,
@@ -137,12 +174,20 @@ impl<'a> Mapper<'a> {
         &self.node_envs[node.0 as usize]
     }
 
-    /// Route (with environments) between two nodes; cached.
+    /// Route (with environments) between two nodes; the materialized
+    /// `RouteInfo` is cached per mapper. The route itself comes from the
+    /// shared [`RouteTable`] when one was attached (a predecessor-chain
+    /// walk, no Dijkstra), or from an on-demand [`shortest_route`] run
+    /// otherwise.
     pub fn route(&self, from: NodeId, to: NodeId) -> Option<Rc<RouteInfo>> {
         if let Some(hit) = self.route_cache.borrow().get(&(from.0, to.0)) {
             return hit.clone();
         }
-        let computed = shortest_route(self.net, from, to).map(|route| {
+        let raw = match &self.route_table {
+            Some(table) => table.route(self.net, from, to),
+            None => shortest_route(self.net, from, to),
+        };
+        let computed = raw.map(|route| {
             Rc::new(RouteInfo {
                 envs: self.envs_along(&route),
                 route,
@@ -167,18 +212,33 @@ impl<'a> Mapper<'a> {
     }
 
     /// Condition 1: nodes where `component` may be instantiated for this
-    /// request. Respects pinning and the root-at-client rule.
+    /// request. Respects pinning and the root-at-client rule. Results
+    /// are memoized per (component, forced-node) pair within this
+    /// mapper's lifetime — graphs emitted by one enumeration share
+    /// components, so the full-network filter runs once per component.
     pub fn candidates(&self, graph: &LinkageGraph, idx: usize) -> Vec<NodeId> {
         let name = &graph.nodes[idx].component;
-        let Some(decl) = self.spec.get_component(name) else {
-            return Vec::new();
-        };
         let forced: Option<NodeId> = if let Some(&pin) = self.request.pinned.get(name) {
             Some(pin)
         } else if idx == 0 && self.request.colocate_root {
             Some(self.request.client_node)
         } else {
             None
+        };
+        let key = (name.clone(), forced.map(|n| n.0));
+        if let Some(hit) = self.candidate_cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let computed = self.compute_candidates(name, forced);
+        self.candidate_cache
+            .borrow_mut()
+            .insert(key, computed.clone());
+        computed
+    }
+
+    fn compute_candidates(&self, name: &str, forced: Option<NodeId>) -> Vec<NodeId> {
+        let Some(decl) = self.spec.get_component(name) else {
+            return Vec::new();
         };
         let check = |node: NodeId| -> bool { self.component_fits(decl, node) };
         match forced {
@@ -210,6 +270,21 @@ impl<'a> Mapper<'a> {
         assignment: &[Option<NodeId>],
         provided: &[Option<ResolvedBindings>],
     ) -> Option<ResolvedBindings> {
+        self.flow_and_factors_at(graph, idx, node, assignment, provided)
+            .map(|(flowed, _)| flowed)
+    }
+
+    /// [`flow_at`](Self::flow_at), additionally returning the resolved
+    /// factors of the placement — the search stashes them so the final
+    /// evaluation does not have to re-run configuration.
+    pub fn flow_and_factors_at(
+        &self,
+        graph: &LinkageGraph,
+        idx: usize,
+        node: NodeId,
+        assignment: &[Option<NodeId>],
+        provided: &[Option<ResolvedBindings>],
+    ) -> Option<(ResolvedBindings, ResolvedBindings)> {
         let decl = self.spec.get_component(&graph.nodes[idx].component)?;
         let env = self.node_env(node);
         let config = decl.configure(env).ok()?;
@@ -234,27 +309,87 @@ impl<'a> Mapper<'a> {
                 explicit.insert(prop, value.clone());
             }
         }
-        Some(effective_provided(&explicit, &upstream))
+        Some((effective_provided(&explicit, &upstream), config.factors))
     }
 
     /// Full evaluation of a complete assignment: all three conditions plus
     /// the objective. `None` means the mapping is infeasible.
     pub fn evaluate(&self, graph: &LinkageGraph, assignment: &[NodeId]) -> Option<Evaluation> {
+        self.evaluate_inner(graph, assignment, None)
+    }
+
+    /// Like [`evaluate`](Self::evaluate), but reuses what a search
+    /// already computed during its descent: the per-node effective
+    /// provided properties and resolved factors (one
+    /// [`Mapper::flow_and_factors_at`] call per node) and the graph's
+    /// [`RatePlan`] (from [`Mapper::rates`]), instead of re-running
+    /// configuration, the bottom-up property flow, and rate propagation.
+    /// The caller must have produced `provided`/`factors` by exactly
+    /// that flow for exactly this assignment, with every assigned node
+    /// drawn from [`Mapper::candidates`] (which enforces condition 1);
+    /// results are then identical to [`evaluate`](Self::evaluate).
+    pub fn evaluate_reusing_flow(
+        &self,
+        graph: &LinkageGraph,
+        assignment: &[NodeId],
+        provided: &[Option<ResolvedBindings>],
+        factors: &[Option<ResolvedBindings>],
+        rates: &RatePlan,
+    ) -> Option<Evaluation> {
+        self.evaluate_inner(graph, assignment, Some((provided, factors, rates)))
+    }
+
+    fn evaluate_inner(
+        &self,
+        graph: &LinkageGraph,
+        assignment: &[NodeId],
+        precomputed: Option<DescentArtifacts<'_>>,
+    ) -> Option<Evaluation> {
         let n = graph.len();
         debug_assert_eq!(assignment.len(), n);
-        let rates = propagate_rates(self.spec, graph, self.request.rate.max(1.0));
-
-        // Condition 1 + factors.
-        let mut factors = Vec::with_capacity(n);
-        for (idx, tree_node) in graph.nodes.iter().enumerate() {
-            let decl = self.spec.get_component(&tree_node.component)?;
-            let node = assignment[idx];
-            if !self.component_fits(decl, node) {
-                return None;
+        // The rate plan depends only on the graph, not the assignment —
+        // the search computes it once per graph and hands it back here.
+        let computed_rates;
+        let rates: &RatePlan = match precomputed {
+            Some((_, _, shared)) => {
+                debug_assert_eq!(shared.node_rate.len(), n);
+                shared
             }
-            let config = decl.configure(self.node_env(node)).ok()?;
-            factors.push(config.factors);
-        }
+            None => {
+                computed_rates = propagate_rates(self.spec, graph, self.request.rate.max(1.0));
+                &computed_rates
+            }
+        };
+
+        // Condition 1 + factors — reuses the factors the search resolved
+        // per placement during its descent when available (candidate sets
+        // guarantee condition 1 holds for every assigned node).
+        let factors: Vec<ResolvedBindings> = match precomputed {
+            Some((_, stash, _)) => {
+                debug_assert_eq!(stash.len(), n);
+                debug_assert!((0..n).all(|idx| {
+                    let decl = self.spec.get_component(&graph.nodes[idx].component);
+                    decl.is_some_and(|d| self.component_fits(d, assignment[idx]))
+                }));
+                stash
+                    .iter()
+                    .map(|f| f.clone().expect("complete factors"))
+                    .collect()
+            }
+            None => {
+                let mut computed = Vec::with_capacity(n);
+                for (idx, tree_node) in graph.nodes.iter().enumerate() {
+                    let decl = self.spec.get_component(&tree_node.component)?;
+                    let node = assignment[idx];
+                    if !self.component_fits(decl, node) {
+                        return None;
+                    }
+                    let config = decl.configure(self.node_env(node)).ok()?;
+                    computed.push(config.factors);
+                }
+                computed
+            }
+        };
 
         // Instance-identity rules. (a) Two graph nodes mapped onto the
         // same (component, node) would deploy as a single instance linked
@@ -304,14 +439,27 @@ impl<'a> Mapper<'a> {
             }
         }
 
-        // Condition 2 via bottom-up property flow.
-        let opt_assignment: Vec<Option<NodeId>> = assignment.iter().copied().map(Some).collect();
-        let mut provided: Vec<Option<ResolvedBindings>> = vec![None; n];
-        for idx in graph.bottom_up_order() {
-            let flowed = self.flow_at(graph, idx, assignment[idx], &opt_assignment, &provided)?;
-            provided[idx] = Some(flowed);
-        }
-        let provided: Vec<ResolvedBindings> = provided.into_iter().map(Option::unwrap).collect();
+        // Condition 2 via bottom-up property flow — reused from the
+        // search's descent when it already ran the identical flow.
+        let provided: Vec<ResolvedBindings> = match precomputed.map(|(flow, _, _)| flow) {
+            Some(flow) => {
+                debug_assert_eq!(flow.len(), n);
+                flow.iter()
+                    .map(|p| p.clone().expect("complete flow"))
+                    .collect()
+            }
+            None => {
+                let opt_assignment: Vec<Option<NodeId>> =
+                    assignment.iter().copied().map(Some).collect();
+                let mut provided: Vec<Option<ResolvedBindings>> = vec![None; n];
+                for idx in graph.bottom_up_order() {
+                    let flowed =
+                        self.flow_at(graph, idx, assignment[idx], &opt_assignment, &provided)?;
+                    provided[idx] = Some(flowed);
+                }
+                provided.into_iter().map(Option::unwrap).collect()
+            }
+        };
 
         // The client's own requirements on the requested interface are a
         // linkage like any other: the root's provided properties degrade
@@ -364,18 +512,14 @@ impl<'a> Mapper<'a> {
                 }
             }
             if frac > 0.0 && comp.cpu_per_request_ms > 0.0 {
-                sustainable =
-                    sustainable.min(speed * 1000.0 / (frac * comp.cpu_per_request_ms));
+                sustainable = sustainable.min(speed * 1000.0 / (frac * comp.cpu_per_request_ms));
             }
 
             // Edge into this node from its parent.
             if let Some(parent) = parents[idx] {
                 let info = self.route(assignment[parent], node)?;
-                let bits = rates.edge_bits_per_sec(
-                    idx,
-                    comp.bytes_per_request,
-                    comp.bytes_per_response,
-                );
+                let bits =
+                    rates.edge_bits_per_sec(idx, comp.bytes_per_request, comp.bytes_per_response);
                 match self.load_model {
                     LoadModel::PerComponent => {
                         if bits > info.route.bottleneck_bps {
@@ -392,8 +536,8 @@ impl<'a> Mapper<'a> {
                     let per_req_bits =
                         (comp.bytes_per_request + comp.bytes_per_response) as f64 * 8.0;
                     if per_req_bits > 0.0 {
-                        sustainable = sustainable
-                            .min(info.route.bottleneck_bps / (frac * per_req_bits));
+                        sustainable =
+                            sustainable.min(info.route.bottleneck_bps / (frac * per_req_bits));
                     }
                 }
                 let rtt_ms = 2.0 * info.route.latency.as_millis_f64()

@@ -261,6 +261,28 @@ pub struct PlanStats {
     pub mappings_evaluated: u64,
     /// Partial assignments pruned.
     pub prunes: u64,
+    /// Subtrees cut by the admissible objective bound (branch-and-bound
+    /// searches only; the unbounded oracle never sets this).
+    pub bound_prunes: u64,
+    /// Microseconds spent building the shared all-pairs route table
+    /// (zero when the lazy per-mapper path was used).
+    pub route_table_build_us: u64,
+    /// Plan-cache hits recorded by the serving layer (zero inside the
+    /// planner itself; `GenericServer` fills it in on a cache hit).
+    pub plan_cache_hits: u64,
+}
+
+impl PlanStats {
+    /// Folds another run's counters into this one (graph totals are
+    /// kept from `self`; build time takes the maximum since workers
+    /// share one table).
+    pub fn absorb(&mut self, other: &PlanStats) {
+        self.mappings_evaluated += other.mappings_evaluated;
+        self.prunes += other.prunes;
+        self.bound_prunes += other.bound_prunes;
+        self.route_table_build_us = self.route_table_build_us.max(other.route_table_build_us);
+        self.plan_cache_hits += other.plan_cache_hits;
+    }
 }
 
 impl Plan {

@@ -9,13 +9,19 @@ use crate::load::LoadModel;
 use crate::mapping::Mapper;
 use crate::plan::{Objective, Placement, Plan, PlanError, PlanStats, ServiceRequest};
 use crate::pop;
-use ps_net::{Network, PropertyTranslator};
+use ps_net::{Network, PropertyTranslator, RouteTable};
 use ps_spec::ServiceSpec;
+use std::sync::Arc;
 
 /// Which search algorithm maps linkage graphs onto the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Algorithm {
-    /// Brute force with property-flow pruning (the oracle).
+    /// Unbounded brute force with property-flow pruning only — the
+    /// pre-bounding oracle, kept reachable for equivalence testing and
+    /// baseline benchmarking.
+    Oracle,
+    /// Exhaustive search with admissible branch-and-bound pruning;
+    /// returns exactly the oracle's optimum (value and assignment).
     Exhaustive,
     /// Chain dynamic programming (CANS-style); non-chain graphs and the
     /// MaxCapacity objective fall back to branch-and-bound.
@@ -28,7 +34,7 @@ pub enum Algorithm {
 }
 
 /// Planner configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PlannerConfig {
     /// Linkage enumeration limits.
     pub limits: LinkageLimits,
@@ -44,6 +50,25 @@ pub struct PlannerConfig {
     /// [`Planner::plan_parallel`]-aware callers such as the generic
     /// server.
     pub threads: usize,
+    /// Build one all-pairs [`RouteTable`] per planning call and share it
+    /// (read-only) across every mapper — including all
+    /// [`Planner::plan_parallel`] workers — instead of each mapper
+    /// running its own on-demand Dijkstras. On by default; turn off to
+    /// measure the lazy baseline.
+    pub share_route_table: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            limits: LinkageLimits::default(),
+            objective: Objective::default(),
+            load_model: LoadModel::default(),
+            algorithm: Algorithm::default(),
+            threads: 0,
+            share_route_table: true,
+        }
+    }
 }
 
 /// The planning module.
@@ -84,8 +109,7 @@ impl Planner {
                 return Err(PlanError::UnknownPinned(pinned.clone()));
             }
         }
-        let graphs =
-            enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        let graphs = enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
         if graphs.is_empty() {
             return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
         }
@@ -96,30 +120,45 @@ impl Planner {
         };
         let mut best: Option<Plan> = None;
 
+        // All-pairs routes computed once for this network epoch and
+        // shared by every mapper below.
+        let route_table = self
+            .config
+            .share_route_table
+            .then(|| Arc::new(RouteTable::build(net)));
+        if let Some(table) = &route_table {
+            stats.route_table_build_us = table.build_micros();
+        }
+        let with_table = |mapper| attach_table(mapper, &route_table);
+
         // One mapper per load model, shared across every candidate graph:
         // credential translation and the route cache amortize over the
         // whole search. The DP reasons per-component, so it gets the
         // matching load model regardless of the configuration.
-        let configured_mapper = Mapper::new(
+        let configured_mapper = with_table(Mapper::new(
             &self.spec,
             net,
             translator,
             request,
             self.config.load_model,
             self.config.objective,
-        );
+        ));
         let dp_mapper = if self.config.load_model == LoadModel::PerComponent {
             None
         } else {
-            Some(Mapper::new(
+            Some(with_table(Mapper::new(
                 &self.spec,
                 net,
                 translator,
                 request,
                 LoadModel::PerComponent,
                 self.config.objective,
-            ))
+            )))
         };
+
+        // Best objective found across graphs; seeds the bounded search so
+        // later graphs are cut against earlier graphs' optima.
+        let incumbent = exhaustive::Incumbent::new();
 
         for graph in &graphs {
             if !self.graph_possibly_feasible(graph, request) {
@@ -127,7 +166,7 @@ impl Planner {
                 continue;
             }
             let use_dp = match self.config.algorithm {
-                Algorithm::Exhaustive | Algorithm::PartialOrder => false,
+                Algorithm::Oracle | Algorithm::Exhaustive | Algorithm::PartialOrder => false,
                 Algorithm::DpChain | Algorithm::Auto => {
                     dp::applicable(graph, self.config.objective)
                 }
@@ -140,10 +179,16 @@ impl Planner {
                 // back to the branch-and-bound solver for this graph.
                 dp::search(mapper, graph, &mut stats)
                     .or_else(|| pop::search(&configured_mapper, graph, &mut stats))
-            } else if self.config.algorithm == Algorithm::Exhaustive {
-                exhaustive::search(&configured_mapper, graph, &mut stats)
             } else {
-                pop::search(&configured_mapper, graph, &mut stats)
+                match self.config.algorithm {
+                    Algorithm::Oracle => {
+                        exhaustive::search_unbounded(&configured_mapper, graph, &mut stats)
+                    }
+                    Algorithm::Exhaustive => {
+                        exhaustive::search_seeded(&configured_mapper, graph, &mut stats, &incumbent)
+                    }
+                    _ => pop::search(&configured_mapper, graph, &mut stats),
+                }
             };
             let Some((assignment, eval)) = result else {
                 continue;
@@ -207,8 +252,7 @@ impl Planner {
                 return Err(PlanError::UnknownPinned(pinned.clone()));
             }
         }
-        let graphs =
-            enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        let graphs = enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
         if graphs.is_empty() {
             return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
         }
@@ -219,44 +263,67 @@ impl Planner {
             .collect();
         let threads = threads.max(1).min(viable.len().max(1));
 
+        // Built once, before the workers spawn; every worker's mappers
+        // share the same read-only table through the `Arc`.
+        let route_table = self
+            .config
+            .share_route_table
+            .then(|| Arc::new(RouteTable::build(net)));
+        // Shared across workers: a mapping found by any thread bounds
+        // every other thread's remaining search.
+        let incumbent = exhaustive::Incumbent::new();
+
         struct GraphResult {
             order: usize,
             assignment: Vec<ps_net::NodeId>,
             eval: crate::mapping::Evaluation,
-            stats: PlanStats,
         }
 
-        let mut per_graph: Vec<Option<GraphResult>> = Vec::new();
-        per_graph.resize_with(viable.len(), || None);
+        // One slot per viable graph: the search outcome (None when the
+        // graph had no feasible mapping) plus that search's statistics —
+        // kept separately so infeasible graphs still count their work.
+        let mut per_graph: Vec<(Option<GraphResult>, PlanStats)> = Vec::new();
+        per_graph.resize_with(viable.len(), Default::default);
         std::thread::scope(|scope| {
-            let chunks = viable.chunks(viable.len().div_ceil(threads));
             let mut handles = Vec::new();
-            let mut offset = 0usize;
-            for chunk in chunks {
-                let start = offset;
-                offset += chunk.len();
-                handles.push((start, scope.spawn(move || {
-                    let mapper = Mapper::new(
+            let incumbent = &incumbent;
+            // Round-robin distribution: consecutive graphs tend to share
+            // structure (and cost), so striping spreads the expensive
+            // ones instead of handing one worker a whole expensive run.
+            for worker in 0..threads {
+                let chunk: Vec<(usize, (usize, &crate::linkage::LinkageGraph))> = viable
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .skip(worker)
+                    .step_by(threads)
+                    .collect();
+                let worker_table = route_table.clone();
+                handles.push(scope.spawn(move || {
+                    let with_table = |mapper| attach_table(mapper, &worker_table);
+                    let mapper = with_table(Mapper::new(
                         &self.spec,
                         net,
                         translator,
                         request,
                         self.config.load_model,
                         self.config.objective,
-                    );
-                    let dp_mapper = Mapper::new(
+                    ));
+                    let dp_mapper = with_table(Mapper::new(
                         &self.spec,
                         net,
                         translator,
                         request,
                         LoadModel::PerComponent,
                         self.config.objective,
-                    );
+                    ));
                     let mut results = Vec::with_capacity(chunk.len());
-                    for &(order, graph) in chunk {
+                    for &(slot, (order, graph)) in &chunk {
                         let mut stats = PlanStats::default();
                         let use_dp = match self.config.algorithm {
-                            Algorithm::Exhaustive | Algorithm::PartialOrder => false,
+                            Algorithm::Oracle | Algorithm::Exhaustive | Algorithm::PartialOrder => {
+                                false
+                            }
                             Algorithm::DpChain | Algorithm::Auto => {
                                 dp::applicable(graph, self.config.objective)
                             }
@@ -264,24 +331,35 @@ impl Planner {
                         let result = if use_dp {
                             dp::search(&dp_mapper, graph, &mut stats)
                                 .or_else(|| pop::search(&mapper, graph, &mut stats))
-                        } else if self.config.algorithm == Algorithm::Exhaustive {
-                            exhaustive::search(&mapper, graph, &mut stats)
                         } else {
-                            pop::search(&mapper, graph, &mut stats)
+                            match self.config.algorithm {
+                                Algorithm::Oracle => {
+                                    exhaustive::search_unbounded(&mapper, graph, &mut stats)
+                                }
+                                Algorithm::Exhaustive => {
+                                    exhaustive::search_seeded(&mapper, graph, &mut stats, incumbent)
+                                }
+                                _ => pop::search(&mapper, graph, &mut stats),
+                            }
                         };
-                        results.push(result.map(|(assignment, eval)| GraphResult {
-                            order,
-                            assignment,
-                            eval,
-                            stats,
-                        }));
+                        results.push((
+                            slot,
+                            (
+                                result.map(|(assignment, eval)| GraphResult {
+                                    order,
+                                    assignment,
+                                    eval,
+                                }),
+                                stats,
+                            ),
+                        ));
                     }
                     results
-                })));
+                }));
             }
-            for (start, handle) in handles {
-                for (i, r) in handle.join().expect("planner worker").into_iter().enumerate() {
-                    per_graph[start + i] = r;
+            for handle in handles {
+                for (slot, r) in handle.join().expect("planner worker") {
+                    per_graph[slot] = r;
                 }
             }
         });
@@ -291,10 +369,13 @@ impl Planner {
             prunes: (graphs.len() - viable.len()) as u64,
             ..PlanStats::default()
         };
+        if let Some(table) = &route_table {
+            stats.route_table_build_us = table.build_micros();
+        }
         let mut best: Option<GraphResult> = None;
-        for result in per_graph.into_iter().flatten() {
-            stats.mappings_evaluated += result.stats.mappings_evaluated;
-            stats.prunes += result.stats.prunes;
+        for (result, graph_stats) in per_graph {
+            stats.absorb(&graph_stats);
+            let Some(result) = result else { continue };
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -378,5 +459,13 @@ impl Planner {
             }
         }
         true
+    }
+}
+
+/// Attaches the shared route table (when one was built) to a mapper.
+fn attach_table<'a>(mapper: Mapper<'a>, table: &Option<Arc<RouteTable>>) -> Mapper<'a> {
+    match table {
+        Some(table) => mapper.with_route_table(Arc::clone(table)),
+        None => mapper,
     }
 }

@@ -97,12 +97,7 @@ pub fn search(
             }
             if idx == 0 {
                 let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
-                bound += lp
-                    * min_rtt(
-                        &[mapper.request.client_node],
-                        &candidates[0],
-                        bytes,
-                    );
+                bound += lp * min_rtt(&[mapper.request.client_node], &candidates[0], bytes);
             }
             bound
         })
@@ -162,7 +157,10 @@ impl State<'_, '_> {
         if lp == 0.0 {
             return 0.0;
         }
-        let behavior = self.mapper.spec.behavior_of(&self.graph.nodes[idx].component);
+        let behavior = self
+            .mapper
+            .spec
+            .behavior_of(&self.graph.nodes[idx].component);
         let frac = self.rates.fraction(idx);
         let mut cost =
             lp * frac * behavior.cpu_per_request_ms / self.mapper.net.node(node).cpu_speed;
@@ -170,8 +168,7 @@ impl State<'_, '_> {
             // The implicit client -> root edge.
             if let Some(info) = self.mapper.route(self.mapper.request.client_node, node) {
                 if !info.route.is_local() {
-                    let bytes =
-                        (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
+                    let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
                     let rtt = 2.0 * info.route.latency.as_millis_f64()
                         + if info.route.bottleneck_bps.is_finite() {
                             bytes * 8.0 / info.route.bottleneck_bps * 1000.0
@@ -187,7 +184,10 @@ impl State<'_, '_> {
                 continue;
             };
             if let Some(info) = self.mapper.route(node, child_node) {
-                let cb = self.mapper.spec.behavior_of(&self.graph.nodes[child].component);
+                let cb = self
+                    .mapper
+                    .spec
+                    .behavior_of(&self.graph.nodes[child].component);
                 let bytes = (cb.bytes_per_request + cb.bytes_per_response) as f64;
                 let rtt = 2.0 * info.route.latency.as_millis_f64()
                     + if info.route.bottleneck_bps.is_finite() {
@@ -222,8 +222,11 @@ impl State<'_, '_> {
             }
         }
         if pos == self.order.len() {
-            let assignment: Vec<NodeId> =
-                self.assignment.iter().map(|a| a.expect("complete")).collect();
+            let assignment: Vec<NodeId> = self
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete"))
+                .collect();
             self.stats.mappings_evaluated += 1;
             if let Some(eval) = self.mapper.evaluate(self.graph, &assignment) {
                 let better = self

@@ -25,7 +25,11 @@ fn spec() -> ServiceSpec {
                     "Backend",
                     Bindings::new().bind_lit("Secure", true),
                 ))
-                .behavior(Behavior::new().cpu_per_request_ms(1.0).message_bytes(1000, 1000)),
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(1.0)
+                        .message_bytes(1000, 1000),
+                ),
         )
         .component(
             Component::new("Server")
@@ -49,7 +53,11 @@ fn spec() -> ServiceSpec {
                     Bindings::new().bind_lit("Secure", true),
                 ))
                 .requires(InterfaceRef::plain("Proxied"))
-                .behavior(Behavior::new().cpu_per_request_ms(0.5).message_bytes(1100, 1100)),
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(0.5)
+                        .message_bytes(1100, 1100),
+                ),
         )
         .component(
             Component::new("Untunnel")
@@ -58,7 +66,11 @@ fn spec() -> ServiceSpec {
                     "Backend",
                     Bindings::new().bind_lit("Secure", true),
                 ))
-                .behavior(Behavior::new().cpu_per_request_ms(0.5).message_bytes(1000, 1000)),
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(0.5)
+                        .message_bytes(1000, 1000),
+                ),
         )
         .rule(ModificationRule::boolean_and("Secure"))
 }
@@ -68,12 +80,7 @@ fn network(secure_wan: bool) -> (Network, NodeId, NodeId) {
     let mut net = Network::new();
     let client_node = net.add_node("c0", "edge", 1.0, Credentials::new());
     let _extra = net.add_node("c1", "edge", 1.0, Credentials::new());
-    let server_node = net.add_node(
-        "s0",
-        "dc",
-        1.0,
-        Credentials::new().with("Hosting", true),
-    );
+    let server_node = net.add_node("s0", "dc", 1.0, Credentials::new().with("Hosting", true));
     net.add_link(
         client_node,
         NodeId(1),
@@ -154,7 +161,9 @@ fn capacity_condition_rejects_excess_rate() {
     // Server capacity is 50 req/s.
     let (net, c, s) = network(true);
     let p = planner(PlannerConfig::default());
-    assert!(p.plan(&net, &translator(), &request(c, s).rate(49.0)).is_ok());
+    assert!(p
+        .plan(&net, &translator(), &request(c, s).rate(49.0))
+        .is_ok());
     let err = p
         .plan(&net, &translator(), &request(c, s).rate(51.0))
         .unwrap_err();
@@ -186,7 +195,10 @@ fn max_capacity_objective_reports_negated_sustainable_rate() {
     .plan(&net, &translator(), &request(c, s))
     .unwrap();
     assert!((plan.objective_value + plan.sustainable_rate).abs() < 1e-9);
-    assert!((plan.sustainable_rate - 50.0).abs() < 1e-9, "capacity-bound");
+    assert!(
+        (plan.sustainable_rate - 50.0).abs() < 1e-9,
+        "capacity-bound"
+    );
 }
 
 #[test]
@@ -209,16 +221,15 @@ fn required_properties_filter_roots() {
     let (net, c, s) = network(true);
     // The Client's effective provided map includes Secure=T flowing up
     // from the server, so requiring it succeeds...
-    let ok = planner(PlannerConfig::default())
-        .plan(&net, &translator(), &request(c, s).require("Secure", true));
+    let ok = planner(PlannerConfig::default()).plan(
+        &net,
+        &translator(),
+        &request(c, s).require("Secure", true),
+    );
     assert!(ok.is_ok());
     // ...while requiring a property nothing provides fails.
     let err = planner(PlannerConfig::default())
-        .plan(
-            &net,
-            &translator(),
-            &request(c, s).require("Hosting", true),
-        )
+        .plan(&net, &translator(), &request(c, s).require("Hosting", true))
         .unwrap_err();
     assert!(matches!(err, PlanError::NoFeasibleMapping { .. }));
 }
@@ -293,7 +304,9 @@ fn accumulated_load_model_sees_shared_nodes() {
     let only = net.add_node("n", "s", 1.0, Credentials::new());
     let t = MappingTranslator::new();
     // 100 req/s x 6 ms = 0.6 load each; each alone fits, together 1.2 > 1.
-    let request = ServiceRequest::new("Api", only).rate(100.0).pin("Server", only);
+    let request = ServiceRequest::new("Api", only)
+        .rate(100.0)
+        .pin("Server", only);
     let per_component = Planner::with_config(
         heavy.clone(),
         PlannerConfig {
@@ -369,11 +382,24 @@ fn derived_properties_feed_conditions_and_bindings() {
                     .implements(InterfaceRef::plain("Api"))
                     .condition(Condition::at_least("EffectiveTrust", cond_level)),
             )
-            .derive("EffectiveTrust", PropExpr::parse("min(TrustLevel, 3)").unwrap())
+            .derive(
+                "EffectiveTrust",
+                PropExpr::parse("min(TrustLevel, 3)").unwrap(),
+            )
     };
     let mut net = Network::new();
-    let strong = net.add_node("strong", "s", 1.0, Credentials::new().with("TrustRating", 5i64));
-    let _weak = net.add_node("weak", "s", 1.0, Credentials::new().with("TrustRating", 2i64));
+    let strong = net.add_node(
+        "strong",
+        "s",
+        1.0,
+        Credentials::new().with("TrustRating", 5i64),
+    );
+    let _weak = net.add_node(
+        "weak",
+        "s",
+        1.0,
+        Credentials::new().with("TrustRating", 2i64),
+    );
     let t = MappingTranslator::new().node_mapping(Mapping::Copy {
         credential: "TrustRating".into(),
         property: "TrustLevel".into(),
@@ -399,9 +425,7 @@ fn multi_interface_requests_constrain_the_root() {
     let spec = ServiceSpec::new("multi")
         .interface(Interface::new("Send", Vec::<String>::new()))
         .interface(Interface::new("Search", Vec::<String>::new()))
-        .component(
-            Component::new("Basic").implements(InterfaceRef::plain("Send")),
-        )
+        .component(Component::new("Basic").implements(InterfaceRef::plain("Send")))
         .component(
             Component::new("Full")
                 .implements(InterfaceRef::plain("Send"))
@@ -420,17 +444,17 @@ fn multi_interface_requests_constrain_the_root() {
 
     // Send + Search: only Full qualifies.
     let plan = Planner::new(spec.clone())
-        .plan(&net, &t, &ServiceRequest::new("Send", n).also_needs("Search"))
+        .plan(
+            &net,
+            &t,
+            &ServiceRequest::new("Send", n).also_needs("Search"),
+        )
         .unwrap();
     assert_eq!(plan.graph.to_string(), "Full");
 
     // An unimplementable combination errors.
     let err = Planner::new(spec)
-        .plan(
-            &net,
-            &t,
-            &ServiceRequest::new("Send", n).also_needs("Nope"),
-        )
+        .plan(&net, &t, &ServiceRequest::new("Send", n).also_needs("Nope"))
         .unwrap_err();
     assert!(matches!(err, PlanError::NoImplementers(_)));
 }
@@ -452,12 +476,10 @@ fn user_acl_conditions_gate_on_request_context() {
     let n = net.add_node("n", "s", 1.0, Credentials::new());
     let t = MappingTranslator::new();
 
-    let alice = ServiceRequest::new("Api", n)
-        .env(Environment::new().with("User", "Alice"));
+    let alice = ServiceRequest::new("Api", n).env(Environment::new().with("User", "Alice"));
     assert!(Planner::new(spec.clone()).plan(&net, &t, &alice).is_ok());
 
-    let bob = ServiceRequest::new("Api", n)
-        .env(Environment::new().with("User", "Bob"));
+    let bob = ServiceRequest::new("Api", n).env(Environment::new().with("User", "Bob"));
     let err = Planner::new(spec.clone()).plan(&net, &t, &bob).unwrap_err();
     assert!(matches!(err, PlanError::NoFeasibleMapping { .. }));
 

@@ -123,12 +123,9 @@ impl<E> Engine<E> {
             let (_, event) = self.step().expect("peeked entry must pop");
             handler(self, state, event);
         }
-        self.now = self.now.max(deadline.min(
-            self.queue
-                .peek()
-                .map(|Reverse(h)| h.at)
-                .unwrap_or(deadline),
-        ));
+        self.now = self
+            .now
+            .max(deadline.min(self.queue.peek().map(|Reverse(h)| h.at).unwrap_or(deadline)));
     }
 
     /// Runs at most `max_events` events.

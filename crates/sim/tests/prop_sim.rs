@@ -1,13 +1,18 @@
-//! Property tests on the simulation substrate's invariants.
+//! Property tests on the simulation substrate's invariants, driven by
+//! deterministic seeded loops over `ps_sim::Rng` (no external
+//! property-testing dependency; every case is reproducible from the
+//! printed seed).
 
-use proptest::prelude::*;
-use ps_sim::{CpuModel, Engine, LinkModel, SimDuration, SimTime, Summary};
+use ps_sim::{CpuModel, Engine, LinkModel, Rng, SimDuration, SimTime, Summary};
 
-proptest! {
-    #[test]
-    fn engine_delivers_every_event_in_nondecreasing_time_order(
-        delays in prop::collection::vec(0u64..1_000_000, 1..200),
-    ) {
+const CASES: u64 = 32;
+
+#[test]
+fn engine_delivers_every_event_in_nondecreasing_time_order() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed).derive("engine-order");
+        let count = 1 + rng.next_below(200) as usize;
+        let delays: Vec<u64> = (0..count).map(|_| rng.next_below(1_000_000)).collect();
         let mut engine: Engine<usize> = Engine::new();
         for (i, &d) in delays.iter().enumerate() {
             engine.schedule(SimDuration::from_nanos(d), i);
@@ -15,79 +20,103 @@ proptest! {
         let mut seen = Vec::new();
         let mut last = SimTime::ZERO;
         engine.run(&mut seen, |e, seen, ev| {
-            assert!(e.now() >= last);
+            assert!(e.now() >= last, "seed {seed}");
             last = e.now();
             seen.push(ev);
         });
         // Every event delivered exactly once.
         let mut sorted = seen.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..delays.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..delays.len()).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn equal_time_events_fire_in_schedule_order(
-        count in 1usize..100,
-        at in 0u64..1_000_000,
-    ) {
+#[test]
+fn equal_time_events_fire_in_schedule_order() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed).derive("engine-fifo");
+        let count = 1 + rng.next_below(100) as usize;
+        let at = rng.next_below(1_000_000);
         let mut engine: Engine<usize> = Engine::new();
         for i in 0..count {
             engine.schedule(SimDuration::from_nanos(at), i);
         }
         let mut seen = Vec::new();
         engine.run(&mut seen, |_, seen, ev| seen.push(ev));
-        prop_assert_eq!(seen, (0..count).collect::<Vec<_>>());
+        assert_eq!(seen, (0..count).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn link_transmissions_are_fifo_and_conserve_bytes(
-        sizes in prop::collection::vec(1u64..1_000_000, 1..50),
-        latency_ms in 0u64..500,
-        bandwidth in prop::sample::select(vec![1e6, 8e6, 1e8]),
-    ) {
+#[test]
+fn link_transmissions_are_fifo_and_conserve_bytes() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed).derive("link-fifo");
+        let count = 1 + rng.next_below(50) as usize;
+        let sizes: Vec<u64> = (0..count).map(|_| 1 + rng.next_below(999_999)).collect();
+        let latency_ms = rng.next_below(500);
+        let bandwidth = *rng.choose(&[1e6, 8e6, 1e8]);
+
         let mut link = LinkModel::new(SimDuration::from_millis(latency_ms), bandwidth);
         let mut last_arrival = SimTime::ZERO;
         let mut total = 0u64;
         for &bytes in &sizes {
             let arrival = link.transmit(SimTime::ZERO, bytes);
             // FIFO: arrivals are non-decreasing when submitted together.
-            prop_assert!(arrival >= last_arrival);
+            assert!(arrival >= last_arrival, "seed {seed}");
             last_arrival = arrival;
             total += bytes;
         }
-        prop_assert_eq!(link.bytes_carried(), total);
-        prop_assert_eq!(link.transmissions(), sizes.len() as u64);
+        assert_eq!(link.bytes_carried(), total, "seed {seed}");
+        assert_eq!(link.transmissions(), sizes.len() as u64, "seed {seed}");
         // Busy time equals the serialization of all bytes.
         let expected_busy = total as f64 * 8.0 / bandwidth;
-        prop_assert!((link.busy_time().as_secs_f64() - expected_busy).abs() < 1e-3);
+        assert!(
+            (link.busy_time().as_secs_f64() - expected_busy).abs() < 1e-3,
+            "seed {seed}"
+        );
         // The last arrival is exactly busy + latency (no idle gaps when
         // everything was submitted at time zero).
-        let expected_last =
-            expected_busy + SimDuration::from_millis(latency_ms).as_secs_f64();
-        prop_assert!((last_arrival.as_secs_f64() - expected_last).abs() < 1e-3);
+        let expected_last = expected_busy + SimDuration::from_millis(latency_ms).as_secs_f64();
+        assert!(
+            (last_arrival.as_secs_f64() - expected_last).abs() < 1e-3,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn cpu_work_is_conserved(
-        jobs in prop::collection::vec(0.01f64..100.0, 1..50),
-        speed in prop::sample::select(vec![0.5, 1.0, 2.0, 4.0]),
-    ) {
+#[test]
+fn cpu_work_is_conserved() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed).derive("cpu-conserve");
+        let count = 1 + rng.next_below(50) as usize;
+        let jobs: Vec<f64> = (0..count).map(|_| rng.range_f64(0.01, 100.0)).collect();
+        let speed = *rng.choose(&[0.5, 1.0, 2.0, 4.0]);
+
         let mut cpu = CpuModel::new(speed);
         for &ms in &jobs {
             cpu.execute(SimTime::ZERO, ms);
         }
         let expected_ms: f64 = jobs.iter().sum::<f64>() / speed;
-        prop_assert!((cpu.busy_time().as_millis_f64() - expected_ms).abs() < 1e-3);
-        prop_assert_eq!(cpu.jobs(), jobs.len() as u64);
-        prop_assert!((cpu.next_free().as_millis_f64() - expected_ms).abs() < 1e-3);
+        assert!(
+            (cpu.busy_time().as_millis_f64() - expected_ms).abs() < 1e-3,
+            "seed {seed}"
+        );
+        assert_eq!(cpu.jobs(), jobs.len() as u64, "seed {seed}");
+        assert!(
+            (cpu.next_free().as_millis_f64() - expected_ms).abs() < 1e-3,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn summary_merge_is_order_independent(
-        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
-        split in 0usize..100,
-    ) {
-        let split = split % xs.len().max(1);
+#[test]
+fn summary_merge_is_order_independent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed).derive("summary-merge");
+        let count = 1 + rng.next_below(100) as usize;
+        let xs: Vec<f64> = (0..count).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let split = rng.next_below(count as u64) as usize;
+
         let mut bulk = Summary::new();
         for &x in &xs {
             bulk.record(x);
@@ -101,27 +130,39 @@ proptest! {
             b.record(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), bulk.count());
-        prop_assert!((a.mean() - bulk.mean()).abs() < 1e-6_f64.max(bulk.mean().abs() * 1e-9));
-        prop_assert!((a.min() - bulk.min()).abs() < 1e-9);
-        prop_assert!((a.max() - bulk.max()).abs() < 1e-9);
+        assert_eq!(a.count(), bulk.count(), "seed {seed}");
+        assert!(
+            (a.mean() - bulk.mean()).abs() < 1e-6_f64.max(bulk.mean().abs() * 1e-9),
+            "seed {seed}"
+        );
+        assert!((a.min() - bulk.min()).abs() < 1e-9, "seed {seed}");
+        assert!((a.max() - bulk.max()).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn rng_streams_are_reproducible(seed in any::<u64>()) {
-        let mut a = ps_sim::Rng::seed_from_u64(seed);
-        let mut b = ps_sim::Rng::seed_from_u64(seed);
+#[test]
+fn rng_streams_are_reproducible() {
+    for base in 0..CASES {
+        let seed = Rng::seed_from_u64(base).next_u64();
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn rng_range_respects_bounds(seed in any::<u64>(), lo in -1000i64..0, hi in 0i64..1000) {
-        let mut rng = ps_sim::Rng::seed_from_u64(seed);
+#[test]
+fn rng_range_respects_bounds() {
+    for base in 0..CASES {
+        let mut meta = Rng::seed_from_u64(base).derive("rng-range");
+        let seed = meta.next_u64();
+        let lo = meta.range_inclusive(-1000, -1);
+        let hi = meta.range_inclusive(0, 999);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..256 {
             let v = rng.range_inclusive(lo, hi);
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi, "seed {seed} lo {lo} hi {hi}");
         }
     }
 }

@@ -283,8 +283,7 @@ mod tests {
     }
 
     #[test]
-    fn write_through_flushes_every_update()
-    {
+    fn write_through_flushes_every_update() {
         let mut rc = ReplicaCoherence::new(CoherencePolicy::WriteThrough);
         assert_eq!(rc.record_update(10), FlushDecision::Flush);
         rc.begin_flush(SimTime::ZERO);
@@ -304,7 +303,8 @@ mod tests {
 
     #[test]
     fn time_driven_uses_timer() {
-        let mut rc = ReplicaCoherence::new(CoherencePolicy::TimeDriven(SimDuration::from_millis(500)));
+        let mut rc =
+            ReplicaCoherence::new(CoherencePolicy::TimeDriven(SimDuration::from_millis(500)));
         assert_eq!(rc.record_update(1), FlushDecision::Accumulate);
         assert!(!rc.timer_due(SimTime::from_nanos(100_000_000)));
         assert!(rc.timer_due(SimTime::from_nanos(500_000_000)));

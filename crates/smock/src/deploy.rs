@@ -15,8 +15,8 @@ use crate::registry::{Blueprint, ComponentRegistry, FactoryArgs};
 use crate::world::World;
 use ps_net::{shortest_route, NodeId, PropertyTranslator};
 use ps_planner::Plan;
-use ps_spec::ServiceSpec;
 use ps_sim::{SimDuration, SimTime};
+use ps_spec::ServiceSpec;
 use std::fmt;
 
 /// Fixed per-instance startup delay (initialization, verification —

@@ -36,8 +36,10 @@ pub mod server;
 pub mod world;
 
 pub use coherence::{CoherencePolicy, Directory, FlushDecision, ReplicaCoherence, ViewScope};
-pub use component::{Action, ComponentLogic, InstanceId, InstanceInfo, Outbox, Payload, RequestHandle};
-pub use deploy::{Deployment, DeployError};
+pub use component::{
+    Action, ComponentLogic, InstanceId, InstanceInfo, Outbox, Payload, RequestHandle,
+};
+pub use deploy::{DeployError, Deployment};
 pub use lookup::{LookupService, ServiceRegistration};
 pub use registry::{Blueprint, ComponentRegistry, Factory, FactoryArgs};
 pub use server::{ConnectError, Connection, GenericServer, GenericServerPool, OneTimeCosts};
@@ -45,7 +47,9 @@ pub use world::World;
 
 /// Convenience prelude for run-time users.
 pub mod prelude {
-    pub use crate::coherence::{CoherencePolicy, Directory, FlushDecision, ReplicaCoherence, ViewScope};
+    pub use crate::coherence::{
+        CoherencePolicy, Directory, FlushDecision, ReplicaCoherence, ViewScope,
+    };
     pub use crate::component::{ComponentLogic, InstanceId, Outbox, Payload, RequestHandle};
     pub use crate::deploy::Deployment;
     pub use crate::lookup::{LookupService, ServiceRegistration};

@@ -10,14 +10,16 @@
 //! paper quotes (≈10 s end to end in their configuration).
 
 use crate::component::InstanceId;
-use crate::deploy::{self, Deployment, DeployError, STARTUP_DELAY};
+use crate::deploy::{self, DeployError, Deployment, STARTUP_DELAY};
 use crate::lookup::{LookupService, ServiceRegistration};
 use crate::registry::ComponentRegistry;
 use crate::world::World;
 use ps_net::{shortest_route, NodeId, PropertyTranslator};
-use ps_planner::{Plan, PlanError, Planner, PlannerConfig, ServiceRequest};
+use ps_planner::{Plan, PlanError, PlanStats, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// One-time connection costs (Section 4.2's "costs not reflected in
 /// Figure 7": proxy download, planning, component deployment, startup).
@@ -32,6 +34,10 @@ pub struct OneTimeCosts {
     pub deploy_transfer_ms: f64,
     /// Component startup, ms (simulated; includes initialization).
     pub startup_ms: f64,
+    /// Planner search statistics for this connection (mappings
+    /// evaluated, prune counts, route-table build time, plan-cache
+    /// hits).
+    pub plan_stats: PlanStats,
 }
 
 impl OneTimeCosts {
@@ -45,12 +51,18 @@ impl fmt::Display for OneTimeCosts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "proxy {:.1} ms + planning {:.3} ms + deploy {:.1} ms + startup {:.1} ms = {:.1} ms",
+            "proxy {:.1} ms + planning {:.3} ms + deploy {:.1} ms + startup {:.1} ms = {:.1} ms \
+             ({} evals, {} prunes, {} bound cuts, table {} µs, {} cache hits)",
             self.proxy_download_ms,
             self.planning_ms,
             self.deploy_transfer_ms,
             self.startup_ms,
-            self.total_ms()
+            self.total_ms(),
+            self.plan_stats.mappings_evaluated,
+            self.plan_stats.prunes,
+            self.plan_stats.bound_prunes,
+            self.plan_stats.route_table_build_us,
+            self.plan_stats.plan_cache_hits,
         )
     }
 }
@@ -106,6 +118,13 @@ impl From<DeployError> for ConnectError {
     }
 }
 
+/// Cache key for a completed planning run: service name, network epoch,
+/// and the canonical (Debug) rendering of the fully-resolved request —
+/// which embeds the client, rate, pins, requirements, *and* the
+/// live-instance snapshot the planner saw. All request maps are
+/// `BTreeMap`-backed, so the rendering is deterministic.
+type PlanCacheKey = (String, u64, String);
+
 /// The generic server: lookup service + planner + deployment engine.
 pub struct GenericServer {
     /// The attribute-based lookup service.
@@ -120,6 +139,12 @@ pub struct GenericServer {
     /// The node hosting the generic server and lookup service (and the
     /// default code origin).
     pub home: NodeId,
+    /// Memo of completed planning runs. Keyed by [`PlanCacheKey`], so a
+    /// link-condition change (epoch bump) or any instance deployment /
+    /// retirement (live-set change) makes old entries unreachable; they
+    /// are also swept eagerly on insert and by
+    /// [`GenericServer::invalidate_plans`].
+    plan_cache: Mutex<HashMap<PlanCacheKey, Plan>>,
 }
 
 impl GenericServer {
@@ -131,7 +156,21 @@ impl GenericServer {
             translator,
             planner_config: PlannerConfig::default(),
             home,
+            plan_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Drops every cached plan. Staleness is already prevented by the
+    /// cache key (network epoch + live-instance snapshot); this is the
+    /// explicit hammer for callers that mutate state the planner cannot
+    /// see, e.g. swapping component factories in the registry.
+    pub fn invalidate_plans(&self) {
+        self.plan_cache.lock().expect("plan cache").clear();
+    }
+
+    /// Number of cached plans (test/diagnostic aid).
+    pub fn cached_plan_count(&self) -> usize {
+        self.plan_cache.lock().expect("plan cache").len()
     }
 
     /// Registers a service (Figure 1, step 1).
@@ -153,8 +192,12 @@ impl GenericServer {
             .ok_or_else(|| ConnectError::UnknownService(service.to_owned()))?;
 
         // Step 2: the client downloads the generic proxy.
-        let proxy_download =
-            transfer_time(world, self.home, request.client_node, registration.proxy_code_size);
+        let proxy_download = transfer_time(
+            world,
+            self.home,
+            request.client_node,
+            registration.proxy_code_size,
+        );
 
         // Step 4: planning (measured in real wall-clock time; the planner
         // actually runs here, it is not a modelled constant). Instances
@@ -178,15 +221,41 @@ impl GenericServer {
             }
         }
         let started = std::time::Instant::now();
-        let plan = if self.planner_config.threads > 1 {
-            planner.plan_parallel(
-                world.network(),
-                self.translator.as_ref(),
-                &request,
-                self.planner_config.threads,
-            )?
-        } else {
-            planner.plan(world.network(), self.translator.as_ref(), &request)?
+        let epoch = world.network().epoch();
+        let cache_key: PlanCacheKey = (service.to_owned(), epoch, format!("{request:?}"));
+        let cached = self
+            .plan_cache
+            .lock()
+            .expect("plan cache")
+            .get(&cache_key)
+            .cloned();
+        let plan = match cached {
+            Some(mut plan) => {
+                // The cached plan was computed against the identical
+                // network epoch and live-instance set, so deployment
+                // below reuses instances exactly as the original did.
+                plan.stats.plan_cache_hits += 1;
+                plan
+            }
+            None => {
+                let plan = if self.planner_config.threads > 1 {
+                    planner.plan_parallel(
+                        world.network(),
+                        self.translator.as_ref(),
+                        &request,
+                        self.planner_config.threads,
+                    )?
+                } else {
+                    planner.plan(world.network(), self.translator.as_ref(), &request)?
+                };
+                let mut cache = self.plan_cache.lock().expect("plan cache");
+                // Entries from older epochs can never be hit again
+                // (the epoch counter is monotonic); sweep them so the
+                // cache tracks the live topology only.
+                cache.retain(|(_, e, _), _| *e == epoch);
+                cache.insert(cache_key, plan.clone());
+                plan
+            }
         };
         let planning_ms = started.elapsed().as_secs_f64() * 1000.0;
 
@@ -212,6 +281,7 @@ impl GenericServer {
             planning_ms,
             deploy_transfer_ms: deploy_span.as_millis_f64().max(startup_ms) - startup_ms,
             startup_ms,
+            plan_stats: plan.stats,
         };
         Ok(Connection {
             root: deployment.root(),

@@ -109,7 +109,11 @@ impl World {
                 ]
             })
             .collect();
-        let cpus = net.nodes().iter().map(|n| CpuModel::new(n.cpu_speed)).collect();
+        let cpus = net
+            .nodes()
+            .iter()
+            .map(|n| CpuModel::new(n.cpu_speed))
+            .collect();
         World {
             engine: Engine::new(),
             state: State {
@@ -169,7 +173,8 @@ impl World {
             forward: None,
             retired: false,
         });
-        self.engine.schedule_at(start_at, Event::Start { instance: id });
+        self.engine
+            .schedule_at(start_at, Event::Start { instance: id });
         id
     }
 
@@ -293,11 +298,7 @@ impl World {
 
     /// Changes a node's credentials mid-run (e.g. a trust revocation the
     /// monitoring layer reports).
-    pub fn update_node_credentials(
-        &mut self,
-        node: NodeId,
-        credentials: ps_net::Credentials,
-    ) {
+    pub fn update_node_credentials(&mut self, node: NodeId, credentials: ps_net::Credentials) {
         self.state.net.node_mut(node).credentials = credentials;
     }
 
@@ -430,7 +431,9 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
             dispatch(engine, state, instance, |logic, out| logic.on_start(out));
         }
         Event::Timer { instance, tag } => {
-            dispatch(engine, state, instance, |logic, out| logic.on_timer(out, tag));
+            dispatch(engine, state, instance, |logic, out| {
+                logic.on_timer(out, tag)
+            });
         }
         Event::Hop { msg } => {
             let now = engine.now();
@@ -587,7 +590,14 @@ fn apply_actions(
                         token,
                     },
                 );
-                send(engine, state, instance, provider, Kind::Request { req }, payload);
+                send(
+                    engine,
+                    state,
+                    instance,
+                    provider,
+                    Kind::Request { req },
+                    payload,
+                );
             }
             Action::Notify { linkage, payload } => {
                 let provider = state.instances[instance.0 as usize].info.linkages[linkage];
@@ -993,7 +1003,11 @@ mod migration_tests {
             .downcast_ref::<Caller>()
             .unwrap()
             .replies;
-        assert_eq!(replies, &vec![1, 2], "the in-flight request completed via forwarding");
+        assert_eq!(
+            replies,
+            &vec![1, 2],
+            "the in-flight request completed via forwarding"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@ use ps_net::{Credentials, Mapping, MappingTranslator, Network, NodeId};
 use ps_planner::ServiceRequest;
 use ps_sim::SimDuration;
 use ps_smock::{
-    deploy, ComponentLogic, ConnectError, GenericServer, Outbox, Payload,
-    RequestHandle, ServiceRegistration, World,
+    deploy, ComponentLogic, ConnectError, GenericServer, Outbox, Payload, RequestHandle,
+    ServiceRegistration, World,
 };
 use ps_spec::prelude::*;
 
@@ -124,7 +124,10 @@ fn missing_factory_is_a_deploy_error() {
     let err = gs
         .connect(&mut world, "svc", &ServiceRequest::new("Api", edge))
         .unwrap_err();
-    assert!(matches!(err, ConnectError::Deploy(deploy::DeployError::UnknownComponent(_))));
+    assert!(matches!(
+        err,
+        ConnectError::Deploy(deploy::DeployError::UnknownComponent(_))
+    ));
 }
 
 #[test]
@@ -212,7 +215,11 @@ fn server_pool_spreads_services_deterministically() {
     let mut extra = spec();
     extra.name = "another".into();
     pool.register_service(ServiceRegistration::new(extra));
-    assert!(pool.member_for("another").lookup.by_name("another").is_some());
+    assert!(pool
+        .member_for("another")
+        .lookup
+        .by_name("another")
+        .is_some());
     // Stable assignment.
     let a = pool.member_for("another") as *const GenericServer;
     let b = pool.member_for("another") as *const GenericServer;
@@ -249,4 +256,78 @@ fn deployments_record_shipped_blueprints() {
             .sum::<u64>(),
         conn.deployment.bytes_shipped
     );
+}
+
+#[test]
+fn plan_cache_hits_on_identical_reconnect() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let request = ServiceRequest::new("Api", edge).rate(1.0);
+    // First connect: nothing deployed yet, cold cache.
+    let first = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(first.costs.plan_stats.plan_cache_hits, 0);
+    // Second connect: the live-instance set changed (the first connect
+    // deployed), so the key differs — a miss that re-primes the cache.
+    let second = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(second.costs.plan_stats.plan_cache_hits, 0);
+    // Third connect: identical world, identical request — a hit, and
+    // the same plan (hence the same reused deployment) comes back.
+    let third = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(third.costs.plan_stats.plan_cache_hits, 1);
+    assert_eq!(third.root, second.root);
+    assert_eq!(third.deployment.created, 0);
+    assert!(gs.cached_plan_count() > 0);
+}
+
+#[test]
+fn plan_cache_is_invalidated_by_link_changes() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let request = ServiceRequest::new("Api", edge).rate(1.0);
+    gs.connect(&mut world, "svc", &request).unwrap();
+    gs.connect(&mut world, "svc", &request).unwrap();
+    let hit = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(hit.costs.plan_stats.plan_cache_hits, 1);
+    // A link-condition change bumps the network epoch: the old entry
+    // must not be served again.
+    world.update_link(ps_net::LinkId(0), SimDuration::from_millis(40), 5e6);
+    let after = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(after.costs.plan_stats.plan_cache_hits, 0);
+    // The replan saw the slower link in its objective.
+    assert!(after.plan.expected_latency_ms > hit.plan.expected_latency_ms);
+}
+
+#[test]
+fn plan_cache_is_invalidated_by_instance_retirement() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let request = ServiceRequest::new("Api", edge).rate(1.0);
+    gs.connect(&mut world, "svc", &request).unwrap();
+    let primed = gs.connect(&mut world, "svc", &request).unwrap();
+    let hit = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(hit.costs.plan_stats.plan_cache_hits, 1);
+    // Retiring the root shrinks the live-instance snapshot baked into
+    // the cache key; the next connect must replan (and redeploy).
+    world.retire(primed.root);
+    let after = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(after.costs.plan_stats.plan_cache_hits, 0);
+    assert_eq!(after.deployment.created, 1);
+}
+
+#[test]
+fn explicit_invalidation_clears_cached_plans() {
+    let (net, edge, dc) = network();
+    let gs = server(dc);
+    let mut world = World::new(net);
+    let request = ServiceRequest::new("Api", edge).rate(1.0);
+    gs.connect(&mut world, "svc", &request).unwrap();
+    gs.connect(&mut world, "svc", &request).unwrap();
+    assert!(gs.cached_plan_count() > 0);
+    gs.invalidate_plans();
+    assert_eq!(gs.cached_plan_count(), 0);
+    let after = gs.connect(&mut world, "svc", &request).unwrap();
+    assert_eq!(after.costs.plan_stats.plan_cache_hits, 0);
 }

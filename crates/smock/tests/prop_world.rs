@@ -1,10 +1,13 @@
-//! Property tests on the runtime's messaging invariants.
+//! Property tests on the runtime's messaging invariants, driven by
+//! deterministic seeded loops over `ps_sim::Rng` (every failing case is
+//! reproducible from the printed seed).
 
-use proptest::prelude::*;
 use ps_net::{Credentials, Network, NodeId};
 use ps_sim::{Rng, SimDuration, SimTime};
 use ps_smock::{ComponentLogic, Outbox, Payload, RequestHandle, World};
 use ps_spec::{Behavior, ResolvedBindings};
+
+const CASES: u64 = 24;
 
 /// Echo server counting requests served.
 struct Echo {
@@ -67,18 +70,17 @@ fn random_net(seed: u64, nodes: usize) -> Network {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Every request issued receives exactly one response, whatever the
+/// topology, client count, and request volume.
+#[test]
+fn requests_and_responses_are_conserved() {
+    for case in 0..CASES {
+        let mut meta = Rng::seed_from_u64(case).derive("conservation");
+        let seed = meta.next_u64();
+        let nodes = 2 + meta.next_below(8) as usize;
+        let clients = 1 + meta.next_below(4) as usize;
+        let per_client = 1 + meta.next_below(29) as u32;
 
-    /// Every request issued receives exactly one response, whatever the
-    /// topology, client count, and request volume.
-    #[test]
-    fn requests_and_responses_are_conserved(
-        seed in any::<u64>(),
-        nodes in 2usize..10,
-        clients in 1usize..5,
-        per_client in 1u32..30,
-    ) {
         let net = random_net(seed, nodes);
         let mut world = World::new(net);
         let server_node = NodeId((nodes - 1) as u32);
@@ -118,8 +120,8 @@ proptest! {
                 .unwrap()
                 .downcast_ref::<Client>()
                 .unwrap();
-            prop_assert_eq!(c.sent, per_client);
-            prop_assert_eq!(c.received, per_client);
+            assert_eq!(c.sent, per_client, "seed {seed}");
+            assert_eq!(c.received, per_client, "seed {seed}");
             total_received += u64::from(c.received);
         }
         let served = world
@@ -129,19 +131,22 @@ proptest! {
             .downcast_ref::<Echo>()
             .unwrap()
             .served;
-        prop_assert_eq!(served, total_received);
+        assert_eq!(served, total_received, "seed {seed}");
         // The world quiesced: no stranded envelopes keep it alive.
-        prop_assert_eq!(world.messages_sent(), 2 * total_received);
+        assert_eq!(world.messages_sent(), 2 * total_received, "seed {seed}");
     }
+}
 
-    /// Migration mid-stream preserves conservation.
-    #[test]
-    fn conservation_survives_migration(
-        seed in any::<u64>(),
-        nodes in 3usize..8,
-        per_client in 5u32..25,
-        cut_ms in 1u64..40,
-    ) {
+/// Migration mid-stream preserves conservation.
+#[test]
+fn conservation_survives_migration() {
+    for case in 0..CASES {
+        let mut meta = Rng::seed_from_u64(case).derive("migration");
+        let seed = meta.next_u64();
+        let nodes = 3 + meta.next_below(5) as usize;
+        let per_client = 5 + meta.next_below(20) as u32;
+        let cut_ms = 1 + meta.next_below(39);
+
         let net = random_net(seed, nodes);
         let mut world = World::new(net);
         let server = world.instantiate(
@@ -174,7 +179,10 @@ proptest! {
             .unwrap()
             .downcast_ref::<Client>()
             .unwrap();
-        prop_assert_eq!(c.received, per_client, "no request lost across the move");
+        assert_eq!(
+            c.received, per_client,
+            "no request lost across the move (seed {seed})"
+        );
         let _ = new_server;
     }
 }

@@ -204,7 +204,9 @@ impl Component {
     /// Whether any clause (implements/requires/factors) depends on the
     /// deployment environment, i.e. instantiation is node-specific.
     pub fn is_env_dependent(&self) -> bool {
-        self.implements.iter().any(|r| r.bindings.is_env_dependent())
+        self.implements
+            .iter()
+            .any(|r| r.bindings.is_env_dependent())
             || self.requires.iter().any(|r| r.bindings.is_env_dependent())
             || self
                 .view
@@ -307,9 +309,15 @@ mod tests {
         let c_sd = vms.configure(&sd).unwrap();
         let c_sea = vms.configure(&seattle).unwrap();
         assert_eq!(c_sd.factors.get("TrustLevel"), Some(&PropertyValue::Int(3)));
-        assert_eq!(c_sea.factors.get("TrustLevel"), Some(&PropertyValue::Int(2)));
         assert_eq!(
-            c_sd.implemented("ServerInterface").unwrap().values.get("TrustLevel"),
+            c_sea.factors.get("TrustLevel"),
+            Some(&PropertyValue::Int(2))
+        );
+        assert_eq!(
+            c_sd.implemented("ServerInterface")
+                .unwrap()
+                .values
+                .get("TrustLevel"),
             Some(&PropertyValue::Int(3))
         );
     }

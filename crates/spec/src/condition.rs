@@ -30,9 +30,7 @@ impl Predicate {
     pub fn holds(&self, value: &PropertyValue) -> bool {
         match self {
             Predicate::Equals(v) => v.matches(value),
-            Predicate::InRange { lo, hi } => {
-                value.as_int().is_some_and(|v| *lo <= v && v <= *hi)
-            }
+            Predicate::InRange { lo, hi } => value.as_int().is_some_and(|v| *lo <= v && v <= *hi),
             Predicate::OneOf(options) => options.iter().any(|o| o.matches(value)),
             Predicate::AtLeast(bound) => value.as_int().is_some_and(|v| v >= *bound),
             Predicate::AtMost(bound) => value.as_int().is_some_and(|v| v <= *bound),
@@ -121,7 +119,8 @@ impl Condition {
     /// as non-compliance, which is the safe default for security-flavoured
     /// conditions like trust levels and access-control lists.
     pub fn holds(&self, env: &Environment) -> bool {
-        env.get(&self.property).is_some_and(|v| self.predicate.holds(v))
+        env.get(&self.property)
+            .is_some_and(|v| self.predicate.holds(v))
     }
 }
 

@@ -105,8 +105,11 @@ impl PropExpr {
             PropExpr::Ref(name) => {
                 out.insert(name.clone());
             }
-            PropExpr::Min(args) | PropExpr::Max(args) | PropExpr::Add(args)
-            | PropExpr::And(args) | PropExpr::Or(args) => {
+            PropExpr::Min(args)
+            | PropExpr::Max(args)
+            | PropExpr::Add(args)
+            | PropExpr::And(args)
+            | PropExpr::Or(args) => {
                 for a in args {
                     a.collect_refs(out);
                 }
@@ -132,8 +135,7 @@ fn parse_expr(s: &str) -> Result<(PropExpr, &str), String> {
     // function call?
     if let Some(open) = s.find('(') {
         let head = s[..open].trim();
-        if !head.is_empty() && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-        {
+        if !head.is_empty() && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
             let mut rest = &s[open + 1..];
             let mut args = Vec::new();
             loop {
@@ -174,9 +176,7 @@ fn parse_expr(s: &str) -> Result<(PropExpr, &str), String> {
         }
     }
     // atom: up to a delimiter.
-    let end = s
-        .find([',', ')', '('])
-        .unwrap_or(s.len());
+    let end = s.find([',', ')', '(']).unwrap_or(s.len());
     let atom = s[..end].trim();
     if atom.is_empty() {
         return Err(format!("expected an expression near `{s}`"));
@@ -313,7 +313,9 @@ mod tests {
             Ok(PropertyValue::Int(2))
         );
         assert_eq!(
-            PropExpr::parse("max(TrustLevel, Bandwidth)").unwrap().eval(&e),
+            PropExpr::parse("max(TrustLevel, Bandwidth)")
+                .unwrap()
+                .eval(&e),
             Ok(PropertyValue::Int(50))
         );
         assert_eq!(
@@ -341,9 +343,18 @@ mod tests {
     #[test]
     fn type_errors_are_reported() {
         let e = env();
-        assert!(PropExpr::parse("min(Audited, 2)").unwrap().eval(&e).is_err());
-        assert!(PropExpr::parse("and(TrustLevel, T)").unwrap().eval(&e).is_err());
-        assert!(PropExpr::parse("min(Missing, 2)").unwrap().eval(&e).is_err());
+        assert!(PropExpr::parse("min(Audited, 2)")
+            .unwrap()
+            .eval(&e)
+            .is_err());
+        assert!(PropExpr::parse("and(TrustLevel, T)")
+            .unwrap()
+            .eval(&e)
+            .is_err());
+        assert!(PropExpr::parse("min(Missing, 2)")
+            .unwrap()
+            .eval(&e)
+            .is_err());
     }
 
     #[test]

@@ -230,7 +230,9 @@ mod tests {
 
     #[test]
     fn display_is_sorted_and_stable() {
-        let b = Bindings::new().bind_lit("TrustLevel", 4i64).bind_lit("Confidentiality", true);
+        let b = Bindings::new()
+            .bind_lit("TrustLevel", 4i64)
+            .bind_lit("Confidentiality", true);
         assert_eq!(b.to_string(), "Confidentiality = T, TrustLevel = 4");
     }
 

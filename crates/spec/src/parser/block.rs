@@ -129,7 +129,10 @@ where
             if !tag.eq_ignore_ascii_case(&block.tag) {
                 return Err(ParseError::new(
                     lineno,
-                    format!("mismatched closing tag `</{tag}>`, expected `</{}>`", block.tag),
+                    format!(
+                        "mismatched closing tag `</{tag}>`, expected `</{}>`",
+                        block.tag
+                    ),
                 ));
             }
             lines.next();
@@ -137,7 +140,9 @@ where
         }
         if let Some(tag) = open_tag(line) {
             lines.next();
-            block.children.push(parse_block(tag.to_owned(), lineno, lines)?);
+            block
+                .children
+                .push(parse_block(tag.to_owned(), lineno, lines)?);
             continue;
         }
         match line.split_once(':') {
@@ -150,7 +155,10 @@ where
             None => {
                 return Err(ParseError::new(
                     lineno,
-                    format!("expected `Key: value`, a tag, or `</{}>`; found `{line}`", block.tag),
+                    format!(
+                        "expected `Key: value`, a tag, or `</{}>`; found `{line}`",
+                        block.tag
+                    ),
                 ));
             }
         }

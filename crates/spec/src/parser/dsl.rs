@@ -90,7 +90,10 @@ fn required<'a>(block: &'a Block, key: &str) -> Result<&'a str, ParseError> {
     block.field(key).ok_or_else(|| {
         ParseError::new(
             block.line,
-            format!("element `<{}>` is missing required field `{key}`", block.tag),
+            format!(
+                "element `<{}>` is missing required field `{key}`",
+                block.tag
+            ),
         )
     })
 }
@@ -109,9 +112,7 @@ fn parse_property(block: &Block) -> Result<Property, ParseError> {
         }
         "enumeration" | "enum" => {
             let values = required(block, "Values")?;
-            PropertyType::Enumeration(
-                values.split(',').map(|v| v.trim().to_owned()).collect(),
-            )
+            PropertyType::Enumeration(values.split(',').map(|v| v.trim().to_owned()).collect())
         }
         other => {
             return Err(ParseError::new(
@@ -215,8 +216,12 @@ fn parse_interface_ref(block: &Block) -> Result<InterfaceRef, ParseError> {
 fn parse_behavior(block: &Block) -> Result<Behavior, ParseError> {
     let mut b = Behavior::new();
     let num = |key: &str, val: &str| -> Result<f64, ParseError> {
-        val.parse::<f64>()
-            .map_err(|_| ParseError::new(block.line, format!("bad numeric value for `{key}`: `{val}`")))
+        val.parse::<f64>().map_err(|_| {
+            ParseError::new(
+                block.line,
+                format!("bad numeric value for `{key}`: `{val}`"),
+            )
+        })
     };
     for (key, value) in &block.fields {
         match key.to_ascii_lowercase().as_str() {
@@ -247,7 +252,10 @@ fn parse_rule(block: &Block) -> Result<ModificationRule, ParseError> {
         return Ok(ModificationRule::min(name));
     }
     let mut rows = Vec::new();
-    for row in block.fields_named("Rule").chain(block.fields_named("Rules")) {
+    for row in block
+        .fields_named("Rule")
+        .chain(block.fields_named("Rules"))
+    {
         if row.is_empty() {
             continue;
         }
@@ -321,15 +329,17 @@ pub(crate) fn parse_condition(clause: &str, line: usize) -> Result<Condition, Pa
         return Ok(Condition::in_range(prop.trim(), lo, hi));
     }
     if let Some((prop, bound)) = clause.split_once(">=") {
-        let b = bound.trim().parse().map_err(|_| {
-            ParseError::new(line, format!("bad bound in condition `{clause}`"))
-        })?;
+        let b = bound
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("bad bound in condition `{clause}`")))?;
         return Ok(Condition::at_least(prop.trim(), b));
     }
     if let Some((prop, bound)) = clause.split_once("<=") {
-        let b = bound.trim().parse().map_err(|_| {
-            ParseError::new(line, format!("bad bound in condition `{clause}`"))
-        })?;
+        let b = bound
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("bad bound in condition `{clause}`")))?;
         return Ok(Condition::at_most(prop.trim(), b));
     }
     if let Some((prop, value)) = clause.split_once('=') {

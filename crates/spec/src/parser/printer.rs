@@ -181,7 +181,10 @@ fn value_text(v: &PropertyValue) -> String {
 fn needs_quoting(s: &str) -> bool {
     s.is_empty()
         || s.parse::<i64>().is_ok()
-        || matches!(s, "T" | "F" | "true" | "false" | "True" | "False" | "ANY" | "any" | "Any")
+        || matches!(
+            s,
+            "T" | "F" | "true" | "false" | "True" | "False" | "ANY" | "any" | "Any"
+        )
         || s.starts_with("Node.")
         || s.starts_with("Env.")
         || s.starts_with('\'')

@@ -319,7 +319,11 @@ mod tests {
         let from_xml = parse_spec_xml("mail", XML).unwrap();
         assert_eq!(from_xml.components.len(), 1);
         assert_eq!(
-            from_xml.get_component("MailServer").unwrap().behavior.capacity,
+            from_xml
+                .get_component("MailServer")
+                .unwrap()
+                .behavior
+                .capacity,
             Some(1000.0)
         );
         from_xml.validate().unwrap();

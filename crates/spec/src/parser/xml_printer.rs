@@ -90,7 +90,11 @@ fn condition_text(c: &Condition) -> String {
 pub fn print_spec_xml(spec: &ServiceSpec) -> String {
     let mut out = String::from("<?xml version=\"1.0\"?>\n");
     let w = &mut out;
-    let _ = writeln!(w, "<Service>\n  <Name>{}</Name>\n</Service>", escape(&spec.name));
+    let _ = writeln!(
+        w,
+        "<Service>\n  <Name>{}</Name>\n</Service>",
+        escape(&spec.name)
+    );
     for p in spec.properties.values() {
         let _ = writeln!(w, "<Property>");
         let _ = writeln!(w, "  <Name>{}</Name>", escape(&p.name));
@@ -110,13 +114,21 @@ pub fn print_spec_xml(spec: &ServiceSpec) -> String {
                 let _ = writeln!(w, "  <Values>{}</Values>", escape(&values.join(", ")));
             }
         }
-        let _ = writeln!(w, "  <Satisfaction>{}</Satisfaction>", p.satisfaction.keyword());
+        let _ = writeln!(
+            w,
+            "  <Satisfaction>{}</Satisfaction>",
+            p.satisfaction.keyword()
+        );
         let _ = writeln!(w, "</Property>");
     }
     for i in spec.interfaces.values() {
         let _ = writeln!(w, "<Interface>");
         let _ = writeln!(w, "  <Name>{}</Name>", escape(&i.name));
-        let _ = writeln!(w, "  <Properties>{}</Properties>", escape(&i.properties.join(", ")));
+        let _ = writeln!(
+            w,
+            "  <Properties>{}</Properties>",
+            escape(&i.properties.join(", "))
+        );
         let _ = writeln!(w, "</Interface>");
     }
     for c in spec.components.values() {
@@ -193,7 +205,11 @@ fn print_component_xml(w: &mut String, c: &Component) {
     if !c.conditions.is_empty() {
         let list: Vec<String> = c.conditions.iter().map(condition_text).collect();
         let _ = writeln!(w, "  <Conditions>");
-        let _ = writeln!(w, "    <Properties>{}</Properties>", escape(&list.join(", ")));
+        let _ = writeln!(
+            w,
+            "    <Properties>{}</Properties>",
+            escape(&list.join(", "))
+        );
         let _ = writeln!(w, "  </Conditions>");
     }
     let b: &Behavior = &c.behavior;
@@ -202,10 +218,22 @@ fn print_component_xml(w: &mut String, c: &Component) {
         let _ = writeln!(w, "    <Capacity>{cap}</Capacity>");
     }
     let _ = writeln!(w, "    <RRF>{}</RRF>", b.rrf);
-    let _ = writeln!(w, "    <CpuPerRequest>{}</CpuPerRequest>", b.cpu_per_request_ms);
+    let _ = writeln!(
+        w,
+        "    <CpuPerRequest>{}</CpuPerRequest>",
+        b.cpu_per_request_ms
+    );
     let _ = writeln!(w, "    <RequestRate>{}</RequestRate>", b.request_rate);
-    let _ = writeln!(w, "    <BytesPerRequest>{}</BytesPerRequest>", b.bytes_per_request);
-    let _ = writeln!(w, "    <BytesPerResponse>{}</BytesPerResponse>", b.bytes_per_response);
+    let _ = writeln!(
+        w,
+        "    <BytesPerRequest>{}</BytesPerRequest>",
+        b.bytes_per_request
+    );
+    let _ = writeln!(
+        w,
+        "    <BytesPerResponse>{}</BytesPerResponse>",
+        b.bytes_per_response
+    );
     let _ = writeln!(w, "    <CodeSize>{}</CodeSize>", b.code_size);
     let _ = writeln!(w, "  </Behaviors>");
     let _ = writeln!(w, "</{tag}>");
@@ -249,7 +277,10 @@ mod tests {
                     .behavior(Behavior::new().rrf(0.2)),
             )
             .rule(ModificationRule::boolean_and("Confidentiality"))
-            .derive("Eff", PropExpr::parse("min(TrustLevel, 3)").expect("parses"));
+            .derive(
+                "Eff",
+                PropExpr::parse("min(TrustLevel, 3)").expect("parses"),
+            );
         let xml = print_spec_xml(&spec);
         let reparsed = parse_spec_xml("mail", &xml).expect("parses");
         assert_eq!(reparsed, spec);

@@ -220,7 +220,11 @@ mod tests {
 
     #[test]
     fn any_satisfies_everything() {
-        for s in [Satisfaction::Exact, Satisfaction::AtLeast, Satisfaction::AtMost] {
+        for s in [
+            Satisfaction::Exact,
+            Satisfaction::AtLeast,
+            Satisfaction::AtMost,
+        ] {
             assert!(s.satisfies(&PropertyValue::Any, &PropertyValue::Int(4)));
             assert!(s.satisfies(&PropertyValue::Int(4), &PropertyValue::Any));
         }

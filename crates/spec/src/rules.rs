@@ -244,7 +244,10 @@ mod tests {
     fn unknown_property_passes_through() {
         let rules = RuleSet::new().with(ModificationRule::boolean_and("Confidentiality"));
         let v = PropertyValue::Int(7);
-        assert_eq!(rules.apply("TrustLevel", &v, &PropertyValue::Bool(false)), v);
+        assert_eq!(
+            rules.apply("TrustLevel", &v, &PropertyValue::Bool(false)),
+            v
+        );
     }
 
     #[test]

@@ -163,7 +163,9 @@ impl ServiceSpec {
                 // are *not* service properties (e.g. `User`), so only check
                 // declared ones for type agreement.
                 if let Some(p) = self.properties.get(
-                    cond.property.strip_prefix("Node.").unwrap_or(&cond.property),
+                    cond.property
+                        .strip_prefix("Node.")
+                        .unwrap_or(&cond.property),
                 ) {
                     if let crate::condition::Predicate::Equals(v) = &cond.predicate {
                         if !p.ty.admits(v) {
@@ -269,7 +271,10 @@ impl ServiceSpec {
 #[allow(missing_docs)] // field names are self-describing
 pub enum SpecError {
     /// A linkage references an undeclared interface.
-    UnknownInterface { component: String, interface: String },
+    UnknownInterface {
+        component: String,
+        interface: String,
+    },
     /// A binding references an undeclared property.
     UnknownProperty { component: String, property: String },
     /// A binding names a property the interface does not carry.
@@ -365,22 +370,21 @@ mod tests {
 
     #[test]
     fn unknown_interface_is_reported() {
-        let spec = minimal_spec()
-            .component(Component::new("C").requires(InterfaceRef::plain("Nope")));
+        let spec =
+            minimal_spec().component(Component::new("C").requires(InterfaceRef::plain("Nope")));
         let errs = spec.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SpecError::UnknownInterface { interface, .. } if interface == "Nope")));
+        assert!(errs.iter().any(
+            |e| matches!(e, SpecError::UnknownInterface { interface, .. } if interface == "Nope")
+        ));
     }
 
     #[test]
     fn out_of_range_literal_is_reported() {
-        let spec = minimal_spec().component(
-            Component::new("C").implements(InterfaceRef::with_bindings(
+        let spec =
+            minimal_spec().component(Component::new("C").implements(InterfaceRef::with_bindings(
                 "ServerInterface",
                 Bindings::new().bind_lit("TrustLevel", 9i64),
-            )),
-        );
+            )));
         let errs = spec.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -393,17 +397,19 @@ mod tests {
             .component(Component::view("A", "B", ViewKind::Data))
             .component(Component::view("B", "A", ViewKind::Data));
         let errs = spec.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, SpecError::RepresentsCycle { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::RepresentsCycle { .. })));
     }
 
     #[test]
     fn property_not_on_interface_is_reported() {
-        let spec = minimal_spec()
-            .property(Property::text("User"))
-            .component(Component::new("C").implements(InterfaceRef::with_bindings(
+        let spec = minimal_spec().property(Property::text("User")).component(
+            Component::new("C").implements(InterfaceRef::with_bindings(
                 "ServerInterface",
                 Bindings::new().bind_lit("User", "Alice"),
-            )));
+            )),
+        );
         let errs = spec.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -412,10 +418,11 @@ mod tests {
 
     #[test]
     fn bad_behavior_is_reported() {
-        let spec = minimal_spec().component(
-            Component::new("C").behavior(Behavior::new().rrf(-0.5)),
-        );
+        let spec =
+            minimal_spec().component(Component::new("C").behavior(Behavior::new().rrf(-0.5)));
         let errs = spec.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, SpecError::BadBehavior { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::BadBehavior { .. })));
     }
 }

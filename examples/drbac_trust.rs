@@ -10,8 +10,8 @@
 //! Run with `cargo run --release --example drbac_trust`.
 
 use partitionable_services::drbac::{DrbacTranslator, Role, Subject, TrustStore};
-use partitionable_services::mail::spec::names::*;
 use partitionable_services::mail::mail_spec;
+use partitionable_services::mail::spec::names::*;
 use partitionable_services::net::casestudy::default_case_study;
 use partitionable_services::planner::{Planner, PlannerConfig, ServiceRequest};
 use partitionable_services::sim::SimTime;
@@ -39,27 +39,57 @@ fn main() {
     // HQ nodes get their role directly from the company.
     for node in ["NewYork-0", "NewYork-1", "NewYork-2"] {
         store
-            .delegate("Company", Subject::Entity(node.into()), hq.clone(), None, now)
+            .delegate(
+                "Company",
+                Subject::Entity(node.into()),
+                hq.clone(),
+                None,
+                now,
+            )
             .expect("company owns the namespace");
     }
     // The company appoints a branch admin, who then delegates the
     // branch-node role to San Diego's machines: a two-step chain.
     store
-        .delegate("Company", Subject::Entity("sd-admin".into()), branch_admin.clone(), None, now)
+        .delegate(
+            "Company",
+            Subject::Entity("sd-admin".into()),
+            branch_admin.clone(),
+            None,
+            now,
+        )
         .expect("appoint admin");
     store
-        .delegate("Company", Subject::Role(branch_admin), branch.clone(), None, now)
+        .delegate(
+            "Company",
+            Subject::Role(branch_admin),
+            branch.clone(),
+            None,
+            now,
+        )
         .expect("role-to-role");
     let mut sd_delegations = Vec::new();
     for node in ["SanDiego-0", "SanDiego-1", "SanDiego-2"] {
         let id = store
-            .delegate("sd-admin", Subject::Entity(node.into()), branch.clone(), None, now)
+            .delegate(
+                "sd-admin",
+                Subject::Entity(node.into()),
+                branch.clone(),
+                None,
+                now,
+            )
             .expect("admin holds branch role transitively");
         sd_delegations.push(id);
     }
     for node in ["Seattle-0", "Seattle-1", "Seattle-2"] {
         store
-            .delegate("Company", Subject::Entity(node.into()), partner.clone(), None, now)
+            .delegate(
+                "Company",
+                Subject::Entity(node.into()),
+                partner.clone(),
+                None,
+                now,
+            )
             .expect("partner role");
     }
 
@@ -71,7 +101,10 @@ fn main() {
         .require("TrustLevel", 4i64);
 
     println!("=== plan under the dRBAC-derived environments ===\n");
-    let translator = DrbacTranslator { store: &store, at: now };
+    let translator = DrbacTranslator {
+        store: &store,
+        at: now,
+    };
     let plan = planner
         .plan(&cs.network, &translator, &request)
         .expect("feasible under trust web");
@@ -93,7 +126,10 @@ fn main() {
     // including the user's own MailClient. The user logs in from another
     // branch machine and the planner places everything on still-trusted
     // nodes.
-    let translator = DrbacTranslator { store: &store, at: now };
+    let translator = DrbacTranslator {
+        store: &store,
+        at: now,
+    };
     assert!(
         planner.plan(&cs.network, &translator, &request).is_err(),
         "nothing company-trusted may run on the distrusted node"
@@ -114,9 +150,15 @@ fn main() {
     let replanned = planner
         .plan(&cs.network, &translator, &request)
         .expect("feasible from a still-trusted machine");
-    println!("\n=== replanned from {} ===\n{replanned}\n", cs.network.node(fallback).name);
+    println!(
+        "\n=== replanned from {} ===\n{replanned}\n",
+        cs.network.node(fallback).name
+    );
     let new_vms = replanned.placement_of(VIEW_MAIL_SERVER).unwrap();
-    assert_ne!(new_vms.node, vms_node, "the cache moved off the distrusted node");
+    assert_ne!(
+        new_vms.node, vms_node,
+        "the cache moved off the distrusted node"
+    );
     println!(
         "the ViewMailServer moved from {} to {} — placement followed the trust web",
         vms_name,

@@ -45,7 +45,10 @@ fn main() {
     for c in &changes {
         println!("  change: {c}");
     }
-    println!("  affected plan edges: {:?}", affected_edges(&plan, &changes));
+    println!(
+        "  affected plan edges: {:?}",
+        affected_edges(&plan, &changes)
+    );
     match replanner.evaluate(&degraded, &translator, &request, &plan) {
         ReplanDecision::Keep => {
             println!("  decision: KEEP — the cache already amortizes the slower link\n")
@@ -66,9 +69,15 @@ fn main() {
     let changes = monitor.observe(&distrusted);
     println!("=== event 2: San Diego loses company trust ===");
     println!("  {} credential changes detected", changes.len());
-    println!("  affected plan edges: {:?}", affected_edges(&plan, &changes));
+    println!(
+        "  affected plan edges: {:?}",
+        affected_edges(&plan, &changes)
+    );
     match replanner.evaluate(&distrusted, &translator, &request, &plan) {
-        ReplanDecision::Redeploy { plan: new_plan, delta } => {
+        ReplanDecision::Redeploy {
+            plan: new_plan,
+            delta,
+        } => {
             println!("  decision: REDEPLOY\n{new_plan}");
             println!(
                 "  delta: {} kept, {} added, {} retired",
@@ -94,7 +103,10 @@ fn main() {
                 .origin(cs.mail_server)
                 .require("TrustLevel", 1i64);
             match replanner.evaluate(&distrusted, &translator, &partner_request, &plan) {
-                ReplanDecision::Redeploy { plan: new_plan, delta } => {
+                ReplanDecision::Redeploy {
+                    plan: new_plan,
+                    delta,
+                } => {
                     println!("{new_plan}");
                     println!(
                         "  delta: {} kept, {} added, {} retired",

@@ -79,7 +79,11 @@ fn main() {
                 "  {:16} @ {:12} {}",
                 p.component,
                 fw.world.network().node(p.node).name,
-                if p.preexisting { "(existing)" } else { "(deployed)" }
+                if p.preexisting {
+                    "(existing)"
+                } else {
+                    "(deployed)"
+                }
             );
         }
         println!("  one-time: {}", connection.costs);
@@ -91,7 +95,11 @@ fn main() {
         let driver = ClusterDriver::new(ClusterConfig {
             sends: 100,
             receives: 10,
-            ..ClusterConfig::paper(format!("user-{i}"), format!("user-{}", (i + 1) % 3), (i as u64 + 1) << 40)
+            ..ClusterConfig::paper(
+                format!("user-{i}"),
+                format!("user-{}", (i + 1) % 3),
+                (i as u64 + 1) << 40,
+            )
         });
         let id = fw.world.instantiate(
             format!("driver-{i}"),

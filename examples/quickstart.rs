@@ -46,12 +46,7 @@ fn main() {
     //    joined by a 30 ms link.
     let mut net = Network::new();
     let laptop = net.add_node("laptop", "home", 1.0, Credentials::new());
-    let rack = net.add_node(
-        "rack",
-        "dc",
-        2.0,
-        Credentials::new().with("Hosting", true),
-    );
+    let rack = net.add_node("rack", "dc", 2.0, Credentials::new().with("Hosting", true));
     net.add_link(
         laptop,
         rack,

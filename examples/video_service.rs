@@ -32,7 +32,11 @@ fn video_spec() -> ServiceSpec {
                     Bindings::new().bind_lit("RawFrameRate", 60i64),
                 ))
                 .condition(Condition::equals("Studio", true))
-                .behavior(Behavior::new().cpu_per_request_ms(2.0).message_bytes(256, 65536)),
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(2.0)
+                        .message_bytes(256, 65536),
+                ),
         )
         // The transcoder: consumes raw at >= 30 fps, emits a compressed
         // 30 fps stream that survives slow links.
@@ -46,7 +50,11 @@ fn video_spec() -> ServiceSpec {
                     "RawStream",
                     Bindings::new().bind_lit("RawFrameRate", 30i64),
                 ))
-                .behavior(Behavior::new().cpu_per_request_ms(8.0).message_bytes(256, 8192)),
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(8.0)
+                        .message_bytes(256, 8192),
+                ),
         )
         // The player needs a compressed stream at >= 24 fps.
         .component(
@@ -59,7 +67,11 @@ fn video_spec() -> ServiceSpec {
                     "CompressedStream",
                     Bindings::new().bind_lit("FrameRate", 24i64),
                 ))
-                .behavior(Behavior::new().cpu_per_request_ms(1.0).message_bytes(256, 8192)),
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(1.0)
+                        .message_bytes(256, 8192),
+                ),
         )
         // The raw frame rate is capped by every traversed environment
         // (`min` rule); the compressed `FrameRate` has no rule and passes
@@ -85,22 +97,36 @@ fn video_translator() -> MappingTranslator {
 
 fn network() -> (Network, NodeId, NodeId) {
     let mut net = Network::new();
-    let studio = net.add_node("studio", "studio", 4.0, Credentials::new().with("Studio", true));
-    let edge = net.add_node("edge", "studio", 2.0, Credentials::new().with("Studio", true));
+    let studio = net.add_node(
+        "studio",
+        "studio",
+        4.0,
+        Credentials::new().with("Studio", true),
+    );
+    let edge = net.add_node(
+        "edge",
+        "studio",
+        2.0,
+        Credentials::new().with("Studio", true),
+    );
     let home = net.add_node("home", "home", 1.0, Credentials::new());
     net.add_link(
         studio,
         edge,
         SimDuration::from_micros(200),
         1e9,
-        Credentials::new().with("Secure", true).with("RawFps", 60i64),
+        Credentials::new()
+            .with("Secure", true)
+            .with("RawFps", 60i64),
     );
     net.add_link(
         edge,
         home,
         SimDuration::from_millis(20),
         2e7,
-        Credentials::new().with("Secure", true).with("RawFps", 10i64),
+        Credentials::new()
+            .with("Secure", true)
+            .with("RawFps", 10i64),
     );
     (net, studio, home)
 }

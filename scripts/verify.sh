@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full offline verification pipeline: formatting, lints, build, tests,
+# and a smoke run of the planner hot-path bench (regenerates
+# BENCH_planner.json in the repo root). Everything runs without network
+# access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> bench smoke: bench_planner (writes BENCH_planner.json)"
+cargo run --release -q -p ps-bench --bin bench_planner
+
+echo "==> verify OK"

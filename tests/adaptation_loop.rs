@@ -7,9 +7,7 @@
 use partitionable_services::core::Framework;
 use partitionable_services::mail::spec::names::*;
 use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver, OpKind};
-use partitionable_services::mail::{
-    mail_spec, mail_translator, register_mail_components, Keyring,
-};
+use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use partitionable_services::monitor::NetworkMonitor;
 use partitionable_services::net::casestudy::default_case_study;
 use partitionable_services::planner::ServiceRequest;
@@ -31,7 +29,8 @@ fn degraded_link_triggers_redeployment_clients_keep_running() {
         CoherencePolicy::None,
     );
     fw.register_service(ServiceRegistration::new(mail_spec()));
-    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
 
     // Initial conditions: San Diego is a fully trusted branch (trust 5,
     // so the (1,3)-windowed view server cannot be installed there) and
@@ -50,7 +49,8 @@ fn degraded_link_triggers_redeployment_clients_keep_running() {
     }
     {
         let l = fw.world.network().link(wan).clone();
-        fw.world.update_link(wan, SimDuration::from_millis(5), l.bandwidth_bps);
+        fw.world
+            .update_link(wan, SimDuration::from_millis(5), l.bandwidth_bps);
         let mut creds = l.credentials.clone();
         creds.set("Secure", true);
         fw.world.update_link_credentials(wan, creds);
@@ -160,12 +160,12 @@ fn degraded_link_triggers_redeployment_clients_keep_running() {
     // the 600 ms window.
     let early: f64 = sends[2..20].iter().sum::<f64>() / 18.0;
     let late: f64 = sends[sends.len() - 40..].iter().sum::<f64>() / 40.0;
-    let degraded = sends
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let degraded = sends.iter().cloned().fold(0.0f64, f64::max);
     assert!(early < 40.0, "phase 1 is fast: {early:.2} ms");
-    assert!(degraded > 700.0, "phase 2 suffered the degraded WAN: {degraded:.1} ms");
+    assert!(
+        degraded > 700.0,
+        "phase 2 suffered the degraded WAN: {degraded:.1} ms"
+    );
     assert!(
         late < 10.0,
         "phase 3 recovered via the deployed cache: {late:.2} ms"

@@ -5,9 +5,7 @@
 use partitionable_services::core::Framework;
 use partitionable_services::mail::spec::names::*;
 use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
-use partitionable_services::mail::{
-    mail_spec, mail_translator, register_mail_components, Keyring,
-};
+use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use partitionable_services::net::brite::{hierarchical, FlatParams, HierParams};
 use partitionable_services::net::{Credentials, Network, NodeId};
 use partitionable_services::planner::ServiceRequest;
@@ -148,14 +146,9 @@ fn planning_effort_stays_bounded_on_larger_networks() {
         .node_ids()
         .find(|&n| net.trust_rating(n) == Some(5))
         .unwrap();
-    let client = net
-        .node_ids()
-        .find(|&n| net.node(n).site == "as3")
-        .unwrap();
-    let planner = partitionable_services::planner::Planner::with_config(
-        mail_spec(),
-        Default::default(),
-    );
+    let client = net.node_ids().find(|&n| net.node(n).site == "as3").unwrap();
+    let planner =
+        partitionable_services::planner::Planner::with_config(mail_spec(), Default::default());
     let request = ServiceRequest::new(CLIENT_INTERFACE, client)
         .rate(2.0)
         .pin(MAIL_SERVER, hq)

@@ -7,14 +7,10 @@ use partitionable_services::core::Framework;
 use partitionable_services::mail::components::{MailServerLogic, ViewMailServerLogic};
 use partitionable_services::mail::spec::names::*;
 use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
-use partitionable_services::mail::{
-    mail_spec, mail_translator, register_mail_components, Keyring,
-};
+use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use partitionable_services::net::casestudy::{default_case_study, CaseStudy};
 use partitionable_services::planner::ServiceRequest;
-use partitionable_services::smock::{
-    CoherencePolicy, Connection, InstanceId, ServiceRegistration,
-};
+use partitionable_services::smock::{CoherencePolicy, Connection, InstanceId, ServiceRegistration};
 use partitionable_services::spec::Behavior;
 
 fn setup(policy: CoherencePolicy) -> (Framework, CaseStudy, InstanceId) {
@@ -32,7 +28,12 @@ fn setup(policy: CoherencePolicy) -> (Framework, CaseStudy, InstanceId) {
     (fw, cs, primary)
 }
 
-fn connect_site(fw: &mut Framework, cs: &CaseStudy, client: ps_net::NodeId, trust: i64) -> Connection {
+fn connect_site(
+    fw: &mut Framework,
+    cs: &CaseStudy,
+    client: ps_net::NodeId,
+    trust: i64,
+) -> Connection {
     let request = ServiceRequest::new(CLIENT_INTERFACE, client)
         .rate(10.0)
         .pin(MAIL_SERVER, cs.mail_server)
@@ -104,7 +105,11 @@ fn messages_survive_the_full_encrypted_chain() {
     // windows of 10); the remaining 5 still sit unpropagated at the view.
     let server = server_logic(&mut fw, primary);
     let store = server.store();
-    assert_eq!(store.delivered(), 20, "two flush windows reached the primary");
+    assert_eq!(
+        store.delivered(),
+        20,
+        "two flush windows reached the primary"
+    );
     let bob = store.account("bob").expect("bob's account exists");
     assert_eq!(bob.inbox.len(), 20);
     // Every stored message was re-encrypted for bob and decrypts cleanly.

@@ -6,9 +6,7 @@
 use partitionable_services::core::Framework;
 use partitionable_services::mail::spec::names::*;
 use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
-use partitionable_services::mail::{
-    mail_spec, mail_translator, register_mail_components, Keyring,
-};
+use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use partitionable_services::net::casestudy::default_case_study;
 use partitionable_services::planner::ServiceRequest;
 use partitionable_services::smock::{CoherencePolicy, ServiceRegistration};
@@ -28,7 +26,8 @@ fn crashed_cache_host_is_replanned_around() {
         CoherencePolicy::CountLimit(5),
     );
     fw.register_service(ServiceRegistration::new(mail_spec()));
-    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
 
     let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
         .rate(10.0)
@@ -58,7 +57,10 @@ fn crashed_cache_host_is_replanned_around() {
     fw.run();
 
     let failed = fw.world.fail_node(vms_node);
-    assert!(failed.len() >= 3, "client, cache, encryptor died: {failed:?}");
+    assert!(
+        failed.len() >= 3,
+        "client, cache, encryptor died: {failed:?}"
+    );
     for id in &failed {
         assert!(fw.world.is_retired(*id));
     }

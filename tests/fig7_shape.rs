@@ -81,8 +81,22 @@ fn latency_grows_mildly_with_client_count() {
 
 #[test]
 fn scenario_runs_are_deterministic() {
-    let a = run_scenario(Scenario::DS500, &Fig7Config { clients: 3, msgs_per_client: 600, ..Default::default() });
-    let b = run_scenario(Scenario::DS500, &Fig7Config { clients: 3, msgs_per_client: 600, ..Default::default() });
+    let a = run_scenario(
+        Scenario::DS500,
+        &Fig7Config {
+            clients: 3,
+            msgs_per_client: 600,
+            ..Default::default()
+        },
+    );
+    let b = run_scenario(
+        Scenario::DS500,
+        &Fig7Config {
+            clients: 3,
+            msgs_per_client: 600,
+            ..Default::default()
+        },
+    );
     assert_eq!(a.send.count(), b.send.count());
     assert_eq!(a.send.mean(), b.send.mean());
     assert_eq!(a.messages, b.messages);

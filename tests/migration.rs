@@ -6,9 +6,7 @@ use partitionable_services::core::Framework;
 use partitionable_services::mail::components::ViewMailServerLogic;
 use partitionable_services::mail::spec::names::*;
 use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
-use partitionable_services::mail::{
-    mail_spec, mail_translator, register_mail_components, Keyring,
-};
+use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use partitionable_services::net::casestudy::default_case_study;
 use partitionable_services::planner::ServiceRequest;
 use partitionable_services::sim::SimDuration;
@@ -29,7 +27,8 @@ fn view_server_migrates_mid_workload_without_losing_state() {
         CoherencePolicy::None,
     );
     fw.register_service(ServiceRegistration::new(mail_spec()));
-    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
 
     let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
         .rate(10.0)

@@ -22,10 +22,15 @@ fn small_changes_keep_the_plan() {
     let cs = default_case_study();
     let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
     let request = sd_request(&cs);
-    let plan = planner.plan(&cs.network, &mail_translator(), &request).unwrap();
+    let plan = planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .unwrap();
 
     let mut degraded = cs.network.clone();
-    let wan = degraded.link_between(cs.ny_gateway, cs.sd_gateway).unwrap().id;
+    let wan = degraded
+        .link_between(cs.ny_gateway, cs.sd_gateway)
+        .unwrap()
+        .id;
     degraded.link_mut(wan).latency = SimDuration::from_millis(450);
 
     let replanner = Replanner::new(planner);
@@ -38,7 +43,9 @@ fn credential_loss_invalidates_and_redeploys() {
     let cs = default_case_study();
     let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
     let request = sd_request(&cs);
-    let plan = planner.plan(&cs.network, &mail_translator(), &request).unwrap();
+    let plan = planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .unwrap();
 
     // The client's own node keeps its trust, but the rest of San Diego
     // drops to partner level: the cache must stay on the client node, so
@@ -56,7 +63,10 @@ fn credential_loss_invalidates_and_redeploys() {
     let replanner = Replanner::new(planner);
     let decision = replanner.evaluate(&changed, &mail_translator(), &request, &plan);
     match decision {
-        ReplanDecision::Redeploy { plan: new_plan, delta } => {
+        ReplanDecision::Redeploy {
+            plan: new_plan,
+            delta,
+        } => {
             assert!(
                 new_plan.placement_of(VIEW_MAIL_SERVER).is_none(),
                 "no trust-1..3 node remains in San Diego"
@@ -76,7 +86,9 @@ fn monitor_diffs_drive_edge_attribution() {
     let cs = default_case_study();
     let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
     let request = sd_request(&cs);
-    let plan = planner.plan(&cs.network, &mail_translator(), &request).unwrap();
+    let plan = planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .unwrap();
 
     let mut monitor = NetworkMonitor::new(cs.network.clone());
     let mut changed = cs.network.clone();
@@ -92,7 +104,10 @@ fn monitor_diffs_drive_edge_attribution() {
 
     // Touch the NY-SD link: the Encryptor->Decryptor edge rides it.
     let mut changed2 = changed.clone();
-    let wan = changed2.link_between(cs.ny_gateway, cs.sd_gateway).unwrap().id;
+    let wan = changed2
+        .link_between(cs.ny_gateway, cs.sd_gateway)
+        .unwrap()
+        .id;
     changed2.link_mut(wan).bandwidth_bps = 4e6;
     let changes = monitor.observe(&changed2);
     let hit = affected_edges(&plan, &changes);
@@ -107,9 +122,13 @@ fn plan_delta_classifies_placements() {
     let cs = default_case_study();
     let planner = Planner::with_config(mail_spec(), PlannerConfig::default());
     let request = sd_request(&cs);
-    let a = planner.plan(&cs.network, &mail_translator(), &request).unwrap();
+    let a = planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .unwrap();
     // Same request, same network: delta must be empty except kept.
-    let b = planner.plan(&cs.network, &mail_translator(), &request).unwrap();
+    let b = planner
+        .plan(&cs.network, &mail_translator(), &request)
+        .unwrap();
     let delta = plan_delta(&a, &b);
     assert_eq!(delta.kept.len(), a.placements.len());
     assert!(delta.added.is_empty());
@@ -134,7 +153,8 @@ fn framework_reconnect_redeploys_and_retires() {
         CoherencePolicy::None,
     );
     fw.register_service(ServiceRegistration::new(mail_spec()));
-    fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
 
     let request = sd_request(&cs);
     let old = fw.connect("mail", &request).unwrap();
@@ -187,7 +207,9 @@ fn retired_view_flushes_unpropagated_state_upstream() {
         CoherencePolicy::None,
     );
     fw.register_service(ServiceRegistration::new(mail_spec()));
-    let primary = fw.install_primary("mail", MAIL_SERVER, cs.mail_server).unwrap();
+    let primary = fw
+        .install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
 
     let request = sd_request(&cs);
     let conn = fw.connect("mail", &request).unwrap();
