@@ -5,6 +5,7 @@
 use ps_bench::{run_custom_policy, Fig7Config};
 use ps_sim::SimDuration;
 use ps_smock::CoherencePolicy;
+use ps_trace::Report;
 
 fn main() {
     let base = Fig7Config {
@@ -12,11 +13,12 @@ fn main() {
         msgs_per_client: 1000,
         ..Default::default()
     };
-    println!("=== Coherence-policy ablation (San Diego deployment, 3 clients x 1000 msgs) ===\n");
-    println!(
+    let mut report =
+        Report::new("Coherence-policy ablation (San Diego deployment, 3 clients x 1000 msgs)");
+    report.line(format!(
         "{:<22} {:>12} {:>10} {:>10} {:>12} {:>12}",
         "policy", "mean[ms]", "p50[ms]", "p95[ms]", "recv[ms]", "simtime[s]"
-    );
+    ));
 
     let mut policies: Vec<(String, CoherencePolicy)> = vec![
         ("none".into(), CoherencePolicy::None),
@@ -37,7 +39,7 @@ fn main() {
 
     for (name, policy) in policies {
         let r = run_custom_policy(policy, &base);
-        println!(
+        report.line(format!(
             "{:<22} {:>12.3} {:>10.3} {:>10.3} {:>12.3} {:>12.2}",
             name,
             r.send.mean(),
@@ -45,10 +47,12 @@ fn main() {
             r.send_p95,
             r.receive.mean(),
             r.completed_at.as_secs_f64()
-        );
+        ));
     }
-    println!(
-        "\n(write-through pays the WAN on every send; looser limits amortize the\n\
-         per-flush fixed cost, approaching the no-coherence floor)"
+    report.line("");
+    report.line(
+        "(write-through pays the WAN on every send; looser limits amortize the\n\
+         per-flush fixed cost, approaching the no-coherence floor)",
     );
+    println!("{report}");
 }

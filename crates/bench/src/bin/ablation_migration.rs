@@ -14,13 +14,14 @@ use ps_net::casestudy::default_case_study;
 use ps_planner::ServiceRequest;
 use ps_smock::{CoherencePolicy, ServiceRegistration};
 use ps_spec::Behavior;
+use ps_trace::Report;
 
 fn main() {
-    println!("=== Migration cost vs cached state (ViewMailServer) ===\n");
-    println!(
+    let mut report = Report::new("Migration cost vs cached state (ViewMailServer)");
+    report.line(format!(
         "{:>14} {:>14} {:>18} {:>18}",
         "msgs cached", "state[KB]", "LAN move[ms]", "WAN move[ms]"
-    );
+    ));
     for msgs in [0u32, 100, 500, 1000, 2000, 5000] {
         let mut lan_ms = 0.0;
         let mut wan_ms = 0.0;
@@ -100,13 +101,15 @@ fn main() {
                 lan_ms = cost;
             }
         }
-        println!(
+        report.line(format!(
             "{:>14} {:>14.1} {:>18.2} {:>18.1}",
             msgs, state_kb, lan_ms, wan_ms
-        );
+        ));
     }
-    println!(
-        "\n(LAN moves ride 100 Mb/s zero-latency links; WAN moves pay the\n\
-         50 Mb/s / 100 ms Seattle link — linear in cached bytes either way)"
+    report.line("");
+    report.line(
+        "(LAN moves ride 100 Mb/s zero-latency links; WAN moves pay the\n\
+         50 Mb/s / 100 ms Seattle link — linear in cached bytes either way)",
     );
+    println!("{report}");
 }

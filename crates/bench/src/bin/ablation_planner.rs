@@ -14,6 +14,7 @@ use ps_net::casestudy::default_case_study;
 use ps_net::{Credentials, Network};
 use ps_planner::{Algorithm, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::Rng;
+use ps_trace::Report;
 use std::time::Instant;
 
 fn run(
@@ -58,11 +59,11 @@ fn decorate(net: &mut Network) {
 }
 
 fn main() {
-    println!("=== Planner ablation: exhaustive vs DP(chains) vs branch-and-bound ===\n");
-    println!(
+    let mut report = Report::new("Planner ablation: exhaustive vs DP(chains) vs branch-and-bound");
+    report.line(format!(
         "{:<26} {:<13} {:>10} {:>10} {:>10} {:>12}",
         "request", "algorithm", "time[ms]", "mappings", "prunes", "objective"
-    );
+    ));
 
     // Case-study requests.
     let cs = default_case_study();
@@ -76,7 +77,7 @@ fn main() {
             .pin(MAIL_SERVER, cs.mail_server)
             .origin(cs.mail_server)
             .require("TrustLevel", trust);
-        report(label, &cs.network, &request);
+        add_rows(&mut report, label, &cs.network, &request);
     }
 
     // Larger generated networks.
@@ -106,11 +107,12 @@ fn main() {
             .origin(server_node)
             .require("TrustLevel", 4i64);
         let label = format!("brite/{}as-x{}r ({}n)", as_count, routers, net.node_count());
-        report(&label, &net, &request);
+        add_rows(&mut report, &label, &net, &request);
     }
+    println!("{report}");
 }
 
-fn report(label: &str, net: &Network, request: &ServiceRequest) {
+fn add_rows(report: &mut Report, label: &str, net: &Network, request: &ServiceRequest) {
     let mut objectives = Vec::new();
     for (name, algorithm) in [
         ("exhaustive", Algorithm::Exhaustive),
@@ -119,13 +121,15 @@ fn report(label: &str, net: &Network, request: &ServiceRequest) {
     ] {
         match run(net, request, algorithm) {
             Some((ms, mappings, prunes, objective)) => {
-                println!(
+                report.line(format!(
                     "{:<26} {:<13} {:>10.2} {:>10} {:>10} {:>12.4}",
                     label, name, ms, mappings, prunes, objective
-                );
+                ));
                 objectives.push(objective);
             }
-            None => println!("{label:<26} {name:<13} infeasible"),
+            None => {
+                report.line(format!("{label:<26} {name:<13} infeasible"));
+            }
         }
     }
     if let (Some(first), Some(max)) = (
@@ -136,7 +140,7 @@ fn report(label: &str, net: &Network, request: &ServiceRequest) {
             .max_by(|a, b| a.partial_cmp(b).expect("finite")),
     ) {
         let agree = (max - first).abs() <= 1e-6 * first.abs().max(1.0);
-        println!(
+        report.line(format!(
             "{:<26} {:<13} {}",
             "",
             "",
@@ -145,7 +149,7 @@ fn report(label: &str, net: &Network, request: &ServiceRequest) {
             } else {
                 "OBJECTIVES DIVERGE"
             }
-        );
+        ));
     }
-    println!();
+    report.line("");
 }

@@ -13,16 +13,18 @@ use ps_mail::{mail_spec, mail_translator};
 use ps_net::casestudy::default_case_study;
 use ps_planner::{Planner, PlannerConfig, ServiceRequest};
 use ps_sim::SimDuration;
+use ps_trace::Report;
+use std::fmt::Write as _;
 
 fn main() {
-    println!("=== RRF crossover: does the planner deploy the cache? ===\n");
-    println!("{:<14}", "WAN latency");
-    print!("{:<14}", "rrf:");
+    let mut report = Report::new("RRF crossover: does the planner deploy the cache?");
+    report.line(format!("{:<14}", "WAN latency"));
     let rrfs: Vec<f64> = vec![0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.98, 0.99, 1.0];
+    let mut header = format!("{:<14}", "rrf:");
     for rrf in &rrfs {
-        print!(" {rrf:>5.2}");
+        let _ = write!(header, " {rrf:>5.2}");
     }
-    println!();
+    report.line(header);
 
     for wan_ms in [1u64, 2, 5, 10, 50, 400] {
         let mut cs = default_case_study();
@@ -34,7 +36,7 @@ fn main() {
             .id;
         cs.network.link_mut(link_id).latency = SimDuration::from_millis(wan_ms);
 
-        print!("{:<14}", format!("{wan_ms} ms"));
+        let mut row = format!("{:<14}", format!("{wan_ms} ms"));
         for rrf in &rrfs {
             let mut spec = mail_spec();
             spec.components
@@ -52,9 +54,11 @@ fn main() {
                 .plan(&cs.network, &mail_translator(), &request)
                 .expect("feasible");
             let cached = plan.placement_of(VIEW_MAIL_SERVER).is_some();
-            print!(" {:>5}", if cached { "cache" } else { "-" });
+            let _ = write!(row, " {:>5}", if cached { "cache" } else { "-" });
         }
-        println!();
+        report.line(row);
     }
-    println!("\n('cache' = plan includes a ViewMailServer; '-' = direct encrypted connection)");
+    report.line("");
+    report.line("('cache' = plan includes a ViewMailServer; '-' = direct encrypted connection)");
+    println!("{report}");
 }

@@ -15,6 +15,7 @@ use ps_net::casestudy::default_case_study;
 use ps_planner::ServiceRequest;
 use ps_smock::{CoherencePolicy, ServiceRegistration};
 use ps_spec::Behavior;
+use ps_trace::Report;
 
 /// Runs `msgs` open-loop sends at `rate`; returns (mean ms, p95-ish max).
 fn run(direct: bool, rate: f64, msgs: u32) -> (f64, f64, bool) {
@@ -105,16 +106,16 @@ fn run(direct: bool, rate: f64, msgs: u32) -> (f64, f64, bool) {
 }
 
 fn main() {
-    println!("=== Open-loop saturation: offered rate vs send latency [ms] ===\n");
-    println!(
+    let mut report = Report::new("Open-loop saturation: offered rate vs send latency [ms]");
+    report.line(format!(
         "{:>10} {:>14} {:>12} {:>16} {:>12}",
         "rate[/s]", "cached mean", "cached max", "direct mean", "direct max"
-    );
+    ));
     for rate in [10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 600.0] {
         let msgs = (rate as u32 * 4).max(200);
         let (cm, cx, cd) = run(false, rate, msgs);
         let (dm, dx, dd) = run(true, rate, msgs);
-        println!(
+        report.line(format!(
             "{:>10.0} {:>14.2} {:>12.1} {:>16.1} {:>12.1}{}{}",
             rate,
             cm,
@@ -123,11 +124,13 @@ fn main() {
             dx,
             if cd { "" } else { "  cached-incomplete" },
             if dd { "" } else { "  direct-incomplete" },
-        );
+        ));
     }
-    println!(
-        "\n(the direct deployment's latency explodes once the offered rate\n\
+    report.line("");
+    report.line(
+        "(the direct deployment's latency explodes once the offered rate\n\
          exceeds what the 8 Mb/s WAN serializes — ~380 msg/s at ~2.6 KB —\n\
-         while the cache-absorbed deployment stays flat)"
+         while the cache-absorbed deployment stays flat)",
     );
+    println!("{report}");
 }

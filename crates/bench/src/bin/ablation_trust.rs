@@ -10,13 +10,14 @@
 
 use ps_bench::{run_scenario_with_policy, Fig7Config, Scenario};
 use ps_smock::CoherencePolicy;
+use ps_trace::Report;
 
 fn main() {
-    println!("=== Sensitivity mix vs send latency (San Diego, trust-3 cache) ===\n");
-    println!(
+    let mut report = Report::new("Sensitivity mix vs send latency (San Diego, trust-3 cache)");
+    report.line(format!(
         "{:<18} {:>14} {:>12} {:>12}",
         "sensitivity", "bypass[frac]", "mean[ms]", "p95[ms]"
-    );
+    ));
     for (lo, hi) in [(1u8, 1u8), (1, 2), (1, 3), (1, 5), (3, 5), (4, 5), (5, 5)] {
         let config = Fig7Config {
             clients: 1,
@@ -29,16 +30,18 @@ fn main() {
         let levels: Vec<u8> = (lo..=hi).collect();
         let bypass = levels.iter().filter(|&&s| s > 3).count() as f64 / levels.len() as f64;
         let r = run_scenario_with_policy(Scenario::DS0, CoherencePolicy::None, &config);
-        println!(
+        report.line(format!(
             "{:<18} {:>14.2} {:>12.3} {:>12.3}",
             format!("uniform {lo}..={hi}"),
             bypass,
             r.send.mean(),
             r.send_p95
-        );
+        ));
     }
-    println!(
-        "\n(bypass fraction x WAN round trip dominates the mean once sensitive\n\
-         messages outnumber cacheable ones)"
+    report.line("");
+    report.line(
+        "(bypass fraction x WAN round trip dominates the mean once sensitive\n\
+         messages outnumber cacheable ones)",
     );
+    println!("{report}");
 }

@@ -22,6 +22,7 @@ use ps_net::casestudy::default_case_study;
 use ps_net::{Credentials, Network};
 use ps_planner::{Algorithm, PlanStats, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::Rng;
+use ps_trace::Report;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -174,12 +175,15 @@ fn main() {
         scenarios.push((label, net, request));
     }
 
-    println!("=== Planner hot path: seed (oracle, lazy routes, serial) vs optimized ===");
-    println!("    (bounded search + shared route table + {threads} plan_parallel threads)\n");
-    println!(
+    let mut report =
+        Report::new("Planner hot path: seed (oracle, lazy routes, serial) vs optimized");
+    report.line(format!(
+        "    (bounded search + shared route table + {threads} plan_parallel threads)"
+    ));
+    report.line(format!(
         "{:<24} {:>10} {:>10} {:>8} {:>11} {:>11} {:>9}",
         "scenario", "seed[ms]", "new[ms]", "speedup", "seed evals", "new evals", "bound cut"
-    );
+    ));
 
     let mut entries = Vec::new();
     let mut log_speedup_sum = 0.0;
@@ -200,7 +204,7 @@ fn main() {
                     new.objective
                 );
                 let speedup = seed.time_ms / new.time_ms;
-                println!(
+                report.line(format!(
                     "{:<24} {:>10.2} {:>10.2} {:>7.1}x {:>11} {:>11} {:>9}",
                     label,
                     seed.time_ms,
@@ -209,7 +213,7 @@ fn main() {
                     seed.stats.mappings_evaluated,
                     new.stats.mappings_evaluated,
                     new.stats.bound_prunes,
-                );
+                ));
                 log_speedup_sum += speedup.ln();
                 compared += 1;
                 let mut entry = String::new();
@@ -224,7 +228,9 @@ fn main() {
                 .expect("write to string");
                 entries.push(entry);
             }
-            _ => println!("{label:<24} infeasible"),
+            _ => {
+                report.line(format!("{label:<24} infeasible"));
+            }
         }
     }
 
@@ -233,7 +239,11 @@ fn main() {
     } else {
         0.0
     };
-    println!("\ngeometric-mean speedup: {geomean:.2}x over {compared} scenarios");
+    report.line("");
+    report.kv(
+        "geometric-mean speedup",
+        format!("{geomean:.2}x over {compared} scenarios"),
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"planner_hot_path\",\n  \"threads\": {threads},\n  \
@@ -243,5 +253,6 @@ fn main() {
         entries.join(",\n")
     );
     std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
-    println!("wrote BENCH_planner.json");
+    report.kv("wrote", "BENCH_planner.json");
+    println!("{report}");
 }

@@ -6,11 +6,12 @@
 
 use ps_mail::mail_spec;
 use ps_planner::{enumerate_linkages, LinkageLimits};
+use ps_trace::Report;
 
 fn main() {
     let spec = mail_spec();
 
-    println!("=== Figure 3: valid component chains (max one repeat) ===\n");
+    let mut report = Report::new("Figure 3: valid component chains (max one repeat)");
     let limits = LinkageLimits {
         max_repeats: 1,
         max_depth: 8,
@@ -18,26 +19,27 @@ fn main() {
     };
     let graphs = enumerate_linkages(&spec, "ClientInterface", &limits);
     for g in &graphs {
-        println!("  {g}");
+        report.line(format!("  {g}"));
     }
-    println!(
+    report.line(format!(
         "\n  {} chains; all start at a client component and end at MailServer",
         graphs.len()
-    );
+    ));
 
-    println!("\n=== With component repetition (the Seattle chains) ===\n");
+    report.section("With component repetition (the Seattle chains)");
     let limits = LinkageLimits::default(); // max_repeats = 2
     let graphs = enumerate_linkages(&spec, "ClientInterface", &limits);
     let chained: Vec<_> = graphs
         .iter()
         .filter(|g| g.to_string().matches("ViewMailServer").count() >= 2)
         .collect();
-    println!(
+    report.line(format!(
         "  {} total graphs, of which {} chain two view servers, e.g.:",
         graphs.len(),
         chained.len()
-    );
+    ));
     for g in chained.iter().take(4) {
-        println!("    {g}");
+        report.line(format!("    {g}"));
     }
+    println!("{report}");
 }

@@ -6,6 +6,7 @@ use ps_mail::spec::names::*;
 use ps_mail::{mail_spec, mail_translator};
 use ps_net::casestudy::default_case_study;
 use ps_planner::{Plan, Planner, PlannerConfig, ServiceRequest};
+use ps_trace::Report;
 
 fn main() {
     let cs = default_case_study();
@@ -13,7 +14,7 @@ fn main() {
     let translator = mail_translator();
 
     let mut existing: Vec<Plan> = Vec::new();
-    println!("=== Figure 6: dynamically deployed components ===");
+    let mut report = Report::new("Figure 6: dynamically deployed components");
     for (site, client, trust) in [
         ("New York", cs.ny_client, 4i64),
         ("San Diego", cs.sd_client, 4),
@@ -30,9 +31,9 @@ fn main() {
         let plan = planner
             .plan(&cs.network, &translator, &request)
             .expect("feasible deployment");
-        println!("\n--- client request from {site} ---");
+        report.section(format!("client request from {site}"));
         for p in &plan.placements {
-            println!(
+            report.line(format!(
                 "  {:16} @ {:10} {}{}",
                 p.component,
                 cs.network.node(p.node).name,
@@ -46,19 +47,20 @@ fn main() {
                 } else {
                     "(deployed)"
                 }
-            );
+            ));
         }
-        println!(
+        report.line(format!(
             "  expected latency {:8.3} ms | deploy cost {:8.1} ms | sustainable {:7.1} req/s",
             plan.expected_latency_ms, plan.deployment_cost_ms, plan.sustainable_rate
-        );
-        println!(
+        ));
+        report.line(format!(
             "  search: {} graphs, {} mappings evaluated, {} prunes",
             plan.stats.graphs_enumerated, plan.stats.mappings_evaluated, plan.stats.prunes
-        );
+        ));
         if std::env::args().any(|a| a == "--dot") {
-            println!("--- graphviz ---\n{}", plan.to_dot(&cs.network));
+            report.line(format!("--- graphviz ---\n{}", plan.to_dot(&cs.network)));
         }
         existing.push(plan);
     }
+    println!("{report}");
 }

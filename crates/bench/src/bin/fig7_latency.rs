@@ -6,6 +6,7 @@
 //! group structure the paper highlights, and the receive latencies.
 
 use ps_bench::{Fig7Config, Scenario};
+use ps_trace::Report;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -17,12 +18,14 @@ fn main() {
         ..Default::default()
     };
 
-    println!("=== Figure 7: average client-perceived send latency [ms] ===");
-    println!("(workload: {msgs} sends + 10 receives per client cluster, seed {seed})\n");
-    println!(
+    let mut report = Report::new("Figure 7: average client-perceived send latency [ms]");
+    report.line(format!(
+        "(workload: {msgs} sends + 10 receives per client cluster, seed {seed})\n"
+    ));
+    report.line(format!(
         "{:<8} {:>2} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "scenario", "g", "1 client", "2", "3", "4", "5"
-    );
+    ));
 
     let results = ps_bench::figure7_sweep(5, &base);
     let mut means: Vec<(Scenario, Vec<f64>)> = Vec::new();
@@ -36,7 +39,7 @@ fn main() {
                     .unwrap_or(f64::NAN)
             })
             .collect();
-        println!(
+        report.line(format!(
             "{:<8} {:>2} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
             scenario.to_string(),
             scenario.paper_group(),
@@ -45,27 +48,27 @@ fn main() {
             row[2],
             row[3],
             row[4]
-        );
+        ));
         means.push((scenario, row));
     }
 
-    println!();
-    print!("{}", ps_bench::render_figure7(&results, 5));
+    report.line("");
+    report.line(ps_bench::render_figure7(&results, 5));
 
     // Planning-time claims are backed by recorded counters: the one-time
     // costs of the planner-driven (dynamic) scenarios at 1 client.
-    println!("\n--- recorded one-time planning costs (dynamic scenarios, 1 client) ---");
+    report.section("recorded one-time planning costs (dynamic scenarios, 1 client)");
     for r in &results {
         if r.clients != 1 {
             continue;
         }
         if let Some(costs) = &r.plan_costs {
-            println!("{:<8} {costs}", r.scenario.to_string());
+            report.line(format!("{:<8} {costs}", r.scenario.to_string()));
         }
     }
 
     // The paper's three observations, checked on the data.
-    println!("\n--- shape checks (the paper's three key points) ---");
+    report.section("shape checks (the paper's three key points)");
     let mean_of = |s: Scenario, c: usize| -> f64 {
         means
             .iter()
@@ -90,25 +93,25 @@ fn main() {
             })
         })
         .fold(0.0f64, f64::max);
-    println!(
+    report.line(format!(
         "1. dynamic vs static overhead: max relative gap {:.2}% (paper: virtually indistinguishable)",
         max_gap * 100.0
-    );
+    ));
 
     // 2. Caching before the slow link vs the naive static deployment.
     let speedup = mean_of(Scenario::SS, 1) / mean_of(Scenario::DS0, 1);
-    println!(
+    report.line(format!(
         "2. automatic caching gain: SS / DS0 = {speedup:.0}x at 1 client (paper: orders of magnitude)"
-    );
+    ));
 
     // 3. Remote ~ local to the extent the coherence protocol permits.
-    println!(
+    report.line(format!(
         "3. remote vs local access: DF {:.2} ms vs DS0 {:.2} / DS1000 {:.2} / DS500 {:.2} ms",
         mean_of(Scenario::DF, 1),
         mean_of(Scenario::DS0, 1),
         mean_of(Scenario::DS1000, 1),
         mean_of(Scenario::DS500, 1),
-    );
+    ));
 
     // Group ordering.
     let g1 = mean_of(Scenario::DS0, 5).max(mean_of(Scenario::DF, 5));
@@ -116,7 +119,7 @@ fn main() {
     let g3 = mean_of(Scenario::DS500, 5);
     let g4 = mean_of(Scenario::SS, 5);
     let ordered = g1 < g2 && g2 < g3 && g3 < g4;
-    println!(
+    report.line(format!(
         "group ordering at 5 clients: {:.2} < {:.2} < {:.2} < {:.2} : {}",
         g1,
         g2,
@@ -127,5 +130,6 @@ fn main() {
         } else {
             "MISMATCH"
         }
-    );
+    ));
+    println!("{report}");
 }

@@ -11,6 +11,7 @@ use ps_mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use ps_net::casestudy::default_case_study;
 use ps_planner::ServiceRequest;
 use ps_smock::{CoherencePolicy, ServiceRegistration};
+use ps_trace::Report;
 
 fn main() {
     let cs = default_case_study();
@@ -33,8 +34,8 @@ fn main() {
         .install_primary("mail", MAIL_SERVER, cs.mail_server)
         .expect("primary");
 
-    println!("=== One-time connection costs per site (Section 4.2) ===\n");
-    println!(
+    let mut report = Report::new("One-time connection costs per site (Section 4.2)");
+    report.line(format!(
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9} {:>6}",
         "site",
         "proxy[ms]",
@@ -49,7 +50,7 @@ fn main() {
         "boundcut",
         "table[µs]",
         "hits"
-    );
+    ));
     for (site, client, trust) in [
         ("NewYork", cs.ny_client, 4i64),
         ("SanDiego", cs.sd_client, 4),
@@ -62,7 +63,7 @@ fn main() {
             .require("TrustLevel", trust);
         let connection = framework.connect("mail", &request).expect("connect");
         let c = &connection.costs;
-        println!(
+        report.line(format!(
             "{:<10} {:>12.1} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9} {:>6}",
             site,
             c.proxy_download_ms,
@@ -77,10 +78,12 @@ fn main() {
             c.plan_stats.bound_prunes,
             c.plan_stats.route_table_build_us,
             c.plan_stats.plan_cache_hits,
-        );
+        ));
     }
-    println!(
-        "\n(paper: ~10 s total on a 1 GHz P3 with JVM class loading; the shape —\n\
-         transfer-dominated, incurred once per connection — is the comparison point)"
+    report.line("");
+    report.line(
+        "(paper: ~10 s total on a 1 GHz P3 with JVM class loading; the shape —\n\
+         transfer-dominated, incurred once per connection — is the comparison point)",
     );
+    println!("{report}");
 }

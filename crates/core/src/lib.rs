@@ -68,6 +68,17 @@ impl Framework {
         self
     }
 
+    /// Installs one tracer across the whole stack: the world (message
+    /// traffic, invoke spans), its engine (event counts), the generic
+    /// server (connection lifecycle spans), and the planner configuration
+    /// (search statistics). All layers share the tracer's sink and
+    /// registry.
+    pub fn set_tracer(&mut self, tracer: ps_trace::Tracer) -> &mut Self {
+        self.world.set_tracer(tracer.clone());
+        self.server.set_tracer(tracer);
+        self
+    }
+
     /// Registers a service: its specification is uploaded to the lookup
     /// service (Figure 1, step 1).
     pub fn register_service(&mut self, registration: ServiceRegistration) -> &mut Self {

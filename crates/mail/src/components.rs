@@ -72,6 +72,7 @@ impl MailServerLogic {
 
     fn invalidate_conflicting(&self, out: &mut Outbox, user: &str, origin: Option<InstanceId>) {
         let keys = ViewScope::of([user]);
+        let mut sent = 0u64;
         for replica in self.directory.conflicting(&keys, origin) {
             out.notify_instance(
                 replica,
@@ -82,6 +83,10 @@ impl MailServerLogic {
                     64,
                 ),
             );
+            sent += 1;
+        }
+        if sent > 0 {
+            out.tracer().count("coherence.invalidations", sent);
         }
     }
 
@@ -256,6 +261,16 @@ impl ViewMailServerLogic {
     fn start_flush(&mut self, out: &mut Outbox) {
         let _ = self.coherence.begin_flush(out.now());
         let batch = std::mem::take(&mut self.pending_batch);
+        out.tracer().count("coherence.flushes", 1);
+        out.tracer().instant(
+            "mail.coherence",
+            "flush",
+            out.now().as_nanos(),
+            vec![
+                ("view", out.self_id().0.into()),
+                ("msgs", batch.len().into()),
+            ],
+        );
         let op = MailOp::SyncBatch {
             origin: out.self_id(),
             messages: batch,
@@ -279,6 +294,7 @@ impl ViewMailServerLogic {
     /// Absorbs a storable send locally; returns `true` when the caller
     /// may acknowledge immediately (false = blocked behind a flush).
     fn absorb(&mut self, out: &mut Outbox, req: RequestHandle, m: MailMessage) -> bool {
+        out.tracer().count("coherence.updates", 1);
         match self.coherence.record_update(m.wire_bytes()) {
             FlushDecision::Accumulate => {
                 self.cached.deliver(m.clone());
@@ -298,6 +314,7 @@ impl ViewMailServerLogic {
                 // The update that would overflow the window waits for the
                 // in-flight flush — this wait is the client-visible
                 // coherence overhead of Figure 7.
+                out.tracer().count("coherence.blocks", 1);
                 self.coherence.unrecord_update(m.wire_bytes());
                 self.blocked.push_back((req, m));
                 false

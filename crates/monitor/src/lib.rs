@@ -20,7 +20,8 @@
 
 use ps_net::{shortest_route, LinkId, Network, NodeId, PropertyTranslator};
 use ps_planner::{LoadModel, Mapper, Placement, Plan, PlanError, Planner, ServiceRequest};
-use ps_sim::SimDuration;
+use ps_sim::{SimDuration, SimTime};
+use ps_trace::Tracer;
 use std::fmt;
 
 /// A detected change in the network.
@@ -99,12 +100,23 @@ pub struct FlowInfo {
 #[derive(Debug, Clone)]
 pub struct NetworkMonitor {
     baseline: Network,
+    tracer: Tracer,
 }
 
 impl NetworkMonitor {
     /// Starts monitoring from a baseline snapshot.
     pub fn new(baseline: Network) -> Self {
-        NetworkMonitor { baseline }
+        NetworkMonitor {
+            baseline,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Installs a tracer; detected changes become `monitor.change`
+    /// events (via [`observe_at`](Self::observe_at)) and count into the
+    /// registry.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Remos-like flow query against a current network state.
@@ -153,6 +165,33 @@ impl NetworkMonitor {
             }
         }
         self.baseline = current.clone();
+        changes
+    }
+
+    /// Like [`observe`](Self::observe), stamping each detected change as
+    /// a `monitor.change` trace event at virtual time `now`. Prefer this
+    /// entry point when a tracer is installed (the untimed `observe`
+    /// cannot know the simulation clock).
+    pub fn observe_at(&mut self, now: SimTime, current: &Network) -> Vec<NetworkChange> {
+        let changes = self.observe(current);
+        if self.tracer.enabled() && !changes.is_empty() {
+            self.tracer.count("monitor.changes", changes.len() as u64);
+            for change in &changes {
+                let (kind, subject) = match change {
+                    NetworkChange::LinkLatency { link, .. } => ("link_latency", link.0 as u64),
+                    NetworkChange::LinkBandwidth { link, .. } => ("link_bandwidth", link.0 as u64),
+                    NetworkChange::LinkCredentials { link } => ("link_credentials", link.0 as u64),
+                    NetworkChange::NodeCredentials { node } => ("node_credentials", node.0 as u64),
+                    NetworkChange::NodeSpeed { node, .. } => ("node_speed", node.0 as u64),
+                };
+                self.tracer.instant(
+                    "monitor",
+                    "change",
+                    now.as_nanos(),
+                    vec![("kind", kind.into()), ("subject", subject.into())],
+                );
+            }
+        }
         changes
     }
 }
@@ -237,6 +276,8 @@ pub struct Replanner {
     /// Replace the plan when its current objective exceeds the fresh
     /// optimum by this factor (1.0 = always chase the optimum).
     pub degradation_factor: f64,
+    /// Tracer receiving `replan.decision` events and `replan.*` counters.
+    pub tracer: Tracer,
 }
 
 impl Replanner {
@@ -245,7 +286,13 @@ impl Replanner {
         Replanner {
             planner,
             degradation_factor: 1.25,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer (see [`evaluate_at`](Self::evaluate_at)).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Evaluates `old` under the (possibly changed) network and decides.
@@ -291,6 +338,45 @@ impl Replanner {
             (Some(_), Err(_)) => ReplanDecision::Keep,
             (None, Err(e)) => ReplanDecision::Infeasible(e),
         }
+    }
+
+    /// Like [`evaluate`](Self::evaluate), stamping the decision as a
+    /// `replan.decision` trace event at virtual time `now` and counting
+    /// it in the registry.
+    pub fn evaluate_at<T: PropertyTranslator + ?Sized>(
+        &self,
+        now: SimTime,
+        net: &Network,
+        translator: &T,
+        request: &ServiceRequest,
+        old: &Plan,
+    ) -> ReplanDecision {
+        let decision = self.evaluate(net, translator, request, old);
+        if self.tracer.enabled() {
+            let mut fields: ps_trace::Fields = Vec::new();
+            let kind = match &decision {
+                ReplanDecision::Keep => "keep",
+                ReplanDecision::Redeploy { delta, .. } => {
+                    fields.push(("added", delta.added.len().into()));
+                    fields.push(("kept", delta.kept.len().into()));
+                    fields.push(("removed", delta.removed.len().into()));
+                    "redeploy"
+                }
+                ReplanDecision::Infeasible(_) => "infeasible",
+            };
+            fields.insert(0, ("decision", kind.into()));
+            self.tracer.count(
+                match &decision {
+                    ReplanDecision::Keep => "replan.keep",
+                    ReplanDecision::Redeploy { .. } => "replan.redeploy",
+                    ReplanDecision::Infeasible(_) => "replan.infeasible",
+                },
+                1,
+            );
+            self.tracer
+                .instant("monitor", "replan", now.as_nanos(), fields);
+        }
+        decision
     }
 }
 

@@ -11,6 +11,7 @@ use crate::plan::{Objective, Placement, Plan, PlanError, PlanStats, ServiceReque
 use crate::pop;
 use ps_net::{Network, PropertyTranslator, RouteTable};
 use ps_spec::ServiceSpec;
+use ps_trace::Tracer;
 use std::sync::Arc;
 
 /// Which search algorithm maps linkage graphs onto the network.
@@ -56,6 +57,11 @@ pub struct PlannerConfig {
     /// running its own on-demand Dijkstras. On by default; turn off to
     /// measure the lazy baseline.
     pub share_route_table: bool,
+    /// Tracer receiving planning statistics (`planner.*` registry
+    /// counters). Disabled by default; the planner emits no trace
+    /// *events* because it runs in host wall-clock time, which is banned
+    /// from the deterministic event stream.
+    pub tracer: Tracer,
 }
 
 impl Default for PlannerConfig {
@@ -67,6 +73,7 @@ impl Default for PlannerConfig {
             algorithm: Algorithm::default(),
             threads: 0,
             share_route_table: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -227,12 +234,28 @@ impl Planner {
         match best {
             Some(mut plan) => {
                 plan.stats = stats;
+                self.publish_stats(&plan.stats);
                 Ok(plan)
             }
             None => Err(PlanError::NoFeasibleMapping {
                 graphs: graphs.len(),
             }),
         }
+    }
+
+    /// Folds a completed search's statistics into the configured tracer's
+    /// registry (a no-op with the default disabled tracer).
+    fn publish_stats(&self, stats: &PlanStats) {
+        let tracer = &self.config.tracer;
+        tracer.count("planner.plans", 1);
+        tracer.count("planner.graphs_enumerated", stats.graphs_enumerated as u64);
+        tracer.count("planner.mappings_evaluated", stats.mappings_evaluated);
+        tracer.count("planner.prunes", stats.prunes);
+        tracer.count("planner.bound_prunes", stats.bound_prunes);
+        tracer.gauge(
+            "planner.route_table_build_us",
+            stats.route_table_build_us as f64,
+        );
     }
 
     /// Like [`plan`](Self::plan), but maps candidate linkage graphs onto
@@ -407,6 +430,7 @@ impl Planner {
                 preexisting: winner.eval.preexisting[idx],
             })
             .collect();
+        self.publish_stats(&stats);
         Ok(Plan {
             graph: graph.clone(),
             placements,

@@ -7,6 +7,7 @@
 //! runs deterministic.
 
 use crate::time::{SimDuration, SimTime};
+use ps_trace::Tracer;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -42,6 +43,7 @@ pub struct Engine<E> {
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled<E>>>,
     processed: u64,
+    tracer: Tracer,
 }
 
 impl<E> Default for Engine<E> {
@@ -58,7 +60,18 @@ impl<E> Engine<E> {
             seq: 0,
             queue: BinaryHeap::new(),
             processed: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer; event dispatch counts into its registry.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current virtual time.
@@ -98,6 +111,7 @@ impl<E> Engine<E> {
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.processed += 1;
+        self.tracer.count("sim.events", 1);
         Some((entry.at, entry.event))
     }
 

@@ -31,6 +31,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
+pub use ps_trace::Tracer;
 pub use resources::{CpuModel, LinkModel};
 pub use rng::Rng;
 pub use stats::{LogHistogram, Percentiles, Summary, TimeSeries};
@@ -43,4 +44,5 @@ pub mod prelude {
     pub use crate::rng::Rng;
     pub use crate::stats::{LogHistogram, Percentiles, Summary, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};
+    pub use ps_trace::Tracer;
 }

@@ -7,6 +7,7 @@
 
 use ps_sim::{SimDuration, SimTime};
 use ps_spec::ResolvedBindings;
+use ps_trace::Tracer;
 use std::any::Any;
 use std::fmt;
 use std::rc::Rc;
@@ -116,21 +117,36 @@ pub struct Outbox {
     pub(crate) actions: Vec<Action>,
     pub(crate) linkage_count: usize,
     pub(crate) self_id: InstanceId,
+    pub(crate) tracer: Tracer,
 }
 
 impl Outbox {
-    pub(crate) fn new(now: SimTime, linkage_count: usize, self_id: InstanceId) -> Self {
+    pub(crate) fn new(
+        now: SimTime,
+        linkage_count: usize,
+        self_id: InstanceId,
+        tracer: Tracer,
+    ) -> Self {
         Outbox {
             now,
             actions: Vec::new(),
             linkage_count,
             self_id,
+            tracer,
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The world's tracer, so component logic (coherence layers, data
+    /// views) can emit events and count into the shared registry. The
+    /// handle is the disabled tracer unless one was installed on the
+    /// world.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The id of the instance this handler runs in (e.g. for replica

@@ -41,6 +41,7 @@ pub use component::{
 };
 pub use deploy::{DeployError, Deployment};
 pub use lookup::{LookupService, ServiceRegistration};
+pub use ps_trace::Tracer;
 pub use registry::{Blueprint, ComponentRegistry, Factory, FactoryArgs};
 pub use server::{ConnectError, Connection, GenericServer, GenericServerPool, OneTimeCosts};
 pub use world::World;

@@ -17,8 +17,10 @@ use crate::world::World;
 use ps_net::{shortest_route, NodeId, PropertyTranslator};
 use ps_planner::{Plan, PlanError, PlanStats, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::{SimDuration, SimTime};
+use ps_trace::Tracer;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One-time connection costs (Section 4.2's "costs not reflected in
@@ -145,6 +147,12 @@ pub struct GenericServer {
     /// are also swept eagerly on insert and by
     /// [`GenericServer::invalidate_plans`].
     plan_cache: Mutex<HashMap<PlanCacheKey, Plan>>,
+    /// Tracer for the request lifecycle (disabled by default). Each
+    /// connection gets a `conn-<n>` scope tying its `lookup` / `plan` /
+    /// `transfer` / `deploy` spans together for breakdown analysis.
+    tracer: Tracer,
+    /// Monotone connection counter feeding the `conn-<n>` scopes.
+    next_conn: AtomicU64,
 }
 
 impl GenericServer {
@@ -157,7 +165,22 @@ impl GenericServer {
             planner_config: PlannerConfig::default(),
             home,
             plan_cache: Mutex::new(HashMap::new()),
+            tracer: Tracer::disabled(),
+            next_conn: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a tracer for the connection lifecycle; the planner
+    /// configuration inherits it so planning statistics land in the same
+    /// registry.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.planner_config.tracer = tracer.clone();
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Drops every cached plan. Staleness is already prevented by the
@@ -190,6 +213,28 @@ impl GenericServer {
             .lookup
             .by_name(service)
             .ok_or_else(|| ConnectError::UnknownService(service.to_owned()))?;
+
+        let scope = format!("conn-{}", self.next_conn.fetch_add(1, Ordering::Relaxed));
+        let t0 = world.now().as_nanos();
+        self.tracer.count("server.connects", 1);
+        let connect_span = self.tracer.enter_span(
+            "smock.server",
+            "connect",
+            t0,
+            vec![("scope", scope.clone().into()), ("service", service.into())],
+        );
+
+        // The client's attribute query against the lookup service: one
+        // small request/response exchange, modelled like any other
+        // transfer (the registry itself answers instantly).
+        let lookup_rtt = 2 * transfer_time(world, request.client_node, self.home, 512).as_nanos();
+        self.tracer.span_closed(
+            "smock.server",
+            "lookup",
+            t0,
+            t0 + lookup_rtt,
+            vec![("scope", scope.clone().into())],
+        );
 
         // Step 2: the client downloads the generic proxy.
         let proxy_download = transfer_time(
@@ -229,6 +274,7 @@ impl GenericServer {
             .expect("plan cache")
             .get(&cache_key)
             .cloned();
+        let cache_hit = cached.is_some();
         let plan = match cached {
             Some(mut plan) => {
                 // The cached plan was computed against the identical
@@ -258,6 +304,32 @@ impl GenericServer {
             }
         };
         let planning_ms = started.elapsed().as_secs_f64() * 1000.0;
+        self.tracer.count(
+            if cache_hit {
+                "server.plan_cache_hits"
+            } else {
+                "server.plan_cache_misses"
+            },
+            1,
+        );
+        // Planning runs in host wall-clock time, which is banned from the
+        // deterministic event stream: the span is zero-width in virtual
+        // time and carries only the deterministic search statistics; the
+        // wall-clock cost goes to the registry histogram.
+        self.tracer.observe("server.planning_ms", planning_ms);
+        self.tracer.span_closed(
+            "smock.server",
+            "plan",
+            t0 + lookup_rtt,
+            t0 + lookup_rtt,
+            vec![
+                ("scope", scope.clone().into()),
+                ("cache_hit", cache_hit.into()),
+                ("evals", plan.stats.mappings_evaluated.into()),
+                ("prunes", plan.stats.prunes.into()),
+                ("bound_prunes", plan.stats.bound_prunes.into()),
+            ],
+        );
 
         // Step 5: deployment.
         let origin = request.origin.unwrap_or(self.home);
@@ -283,9 +355,50 @@ impl GenericServer {
             startup_ms,
             plan_stats: plan.stats,
         };
+        let ready_at = deployment.ready_at + proxy_download;
+        if self.tracer.enabled() {
+            let startup_ns = if deployment.created > 0 {
+                STARTUP_DELAY.as_nanos()
+            } else {
+                0
+            };
+            let before_ns = before.as_nanos();
+            let transfer_ns =
+                proxy_download.as_nanos() + deploy_span.as_nanos().saturating_sub(startup_ns);
+            self.tracer.span_closed(
+                "smock.server",
+                "transfer",
+                before_ns,
+                before_ns + transfer_ns,
+                vec![
+                    ("scope", scope.clone().into()),
+                    ("bytes", deployment.bytes_shipped.into()),
+                    ("blueprints", deployment.blueprints.len().into()),
+                ],
+            );
+            let ready_ns = deployment.ready_at.as_nanos();
+            self.tracer.span_closed(
+                "smock.server",
+                "deploy",
+                ready_ns - startup_ns,
+                ready_ns,
+                vec![
+                    ("scope", scope.clone().into()),
+                    ("created", deployment.created.into()),
+                    ("reused", deployment.reused.into()),
+                ],
+            );
+            self.tracer.exit_span(
+                "smock.server",
+                "connect",
+                connect_span,
+                ready_at.as_nanos(),
+                vec![("root", deployment.root().0.into())],
+            );
+        }
         Ok(Connection {
             root: deployment.root(),
-            ready_at: deployment.ready_at + proxy_download,
+            ready_at,
             plan,
             deployment,
             costs,

@@ -13,6 +13,7 @@ use crate::component::{
 use ps_net::{shortest_route, Network, NodeId};
 use ps_sim::{CpuModel, Engine, LinkModel, Percentiles, SimDuration, SimTime, Summary};
 use ps_spec::{Behavior, ResolvedBindings};
+use ps_trace::Tracer;
 use std::collections::{BTreeMap, HashMap};
 
 /// Directed hop sequence memo per (from, to) node pair.
@@ -45,7 +46,6 @@ enum Kind {
 
 struct Envelope {
     kind: Kind,
-    #[allow(dead_code)] // kept for debugging / tracing
     from: InstanceId,
     to: InstanceId,
     /// `(link, direction)` per hop; direction 0 = a->b, 1 = b->a.
@@ -57,6 +57,8 @@ struct Envelope {
 struct PendingRequest {
     caller: InstanceId,
     token: u64,
+    /// Open `invoke` trace span (0 when tracing is disabled).
+    span: u64,
 }
 
 struct InstanceSlot {
@@ -135,6 +137,46 @@ impl World {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Installs a tracer on the world (and its engine). Message traffic,
+    /// forwards, drops, and request `invoke` spans flow into it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer);
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        self.engine.tracer()
+    }
+
+    /// Publishes resource-occupancy gauges (per-direction link busy time,
+    /// bytes carried, transmissions; per-node CPU busy time) into the
+    /// tracer's registry. Call after (or during) a run; a no-op when
+    /// tracing is disabled.
+    pub fn publish_resource_metrics(&self) {
+        let tracer = self.engine.tracer();
+        if !tracer.enabled() {
+            return;
+        }
+        for (i, directions) in self.state.links.iter().enumerate() {
+            for (dir, link) in directions.iter().enumerate() {
+                let prefix = format!("link.{i}.{dir}");
+                tracer.gauge(
+                    &format!("{prefix}.busy_ms"),
+                    link.busy_time().as_millis_f64(),
+                );
+                tracer.gauge(&format!("{prefix}.bytes"), link.bytes_carried() as f64);
+                tracer.gauge(
+                    &format!("{prefix}.transmissions"),
+                    link.transmissions() as f64,
+                );
+            }
+        }
+        for (i, cpu) in self.state.cpus.iter().enumerate() {
+            tracer.gauge(&format!("cpu.{i}.busy_ms"), cpu.busy_time().as_millis_f64());
+            tracer.gauge(&format!("cpu.{i}.jobs"), cpu.jobs() as f64);
+        }
     }
 
     /// The network.
@@ -469,10 +511,28 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
                         // instance's node to the new one (`to` still
                         // names the old instance, whose node is intact).
                         let env = state.envelopes.remove(&msg).expect("present");
+                        engine.tracer().count("world.forwards", 1);
+                        engine.tracer().instant(
+                            "smock.world",
+                            "forward",
+                            now.as_nanos(),
+                            vec![
+                                ("from", env.from.0.into()),
+                                ("to", to.0.into()),
+                                ("target", target.0.into()),
+                            ],
+                        );
                         send(engine, state, to, target, env.kind, env.payload);
                     }
                     None => {
-                        state.envelopes.remove(&msg);
+                        let env = state.envelopes.remove(&msg).expect("present");
+                        engine.tracer().count("world.drops", 1);
+                        engine.tracer().instant(
+                            "smock.world",
+                            "drop",
+                            now.as_nanos(),
+                            vec![("from", env.from.0.into()), ("to", to.0.into())],
+                        );
                     }
                 }
                 return;
@@ -504,8 +564,20 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
             // as at delivery time.
             let slot = &state.instances[to.0 as usize];
             if slot.retired {
-                if let Some(target) = slot.forward {
-                    send(engine, state, to, target, env.kind, env.payload);
+                match slot.forward {
+                    Some(target) => {
+                        engine.tracer().count("world.forwards", 1);
+                        send(engine, state, to, target, env.kind, env.payload);
+                    }
+                    None => {
+                        engine.tracer().count("world.drops", 1);
+                        engine.tracer().instant(
+                            "smock.world",
+                            "drop",
+                            engine.now().as_nanos(),
+                            vec![("from", env.from.0.into()), ("to", to.0.into())],
+                        );
+                    }
                 }
                 return;
             }
@@ -519,6 +591,13 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
                     if let Some(pending) = state.pending.remove(&req) {
                         debug_assert_eq!(pending.caller, to);
                         let token = pending.token;
+                        engine.tracer().exit_span(
+                            "smock.world",
+                            "invoke",
+                            pending.span,
+                            engine.now().as_nanos(),
+                            Vec::new(),
+                        );
                         dispatch(engine, state, to, |logic, out| {
                             logic.on_response(out, token, &env.payload)
                         });
@@ -546,7 +625,12 @@ fn dispatch(
         .take()
         .expect("no reentrant dispatch");
     let linkage_count = state.instances[instance.0 as usize].info.linkages.len();
-    let mut out = Outbox::new(engine.now(), linkage_count, instance);
+    let mut out = Outbox::new(
+        engine.now(),
+        linkage_count,
+        instance,
+        engine.tracer().clone(),
+    );
     f(logic.as_mut(), &mut out);
     state.instances[instance.0 as usize].logic = Some(logic);
     apply_actions(engine, state, instance, out.actions);
@@ -583,11 +667,22 @@ fn apply_actions(
                 let provider = state.instances[instance.0 as usize].info.linkages[linkage];
                 let req = state.next_req;
                 state.next_req += 1;
+                let span = engine.tracer().enter_span(
+                    "smock.world",
+                    "invoke",
+                    engine.now().as_nanos(),
+                    vec![
+                        ("from", instance.0.into()),
+                        ("to", provider.0.into()),
+                        ("req", req.into()),
+                    ],
+                );
                 state.pending.insert(
                     req,
                     PendingRequest {
                         caller: instance,
                         token,
+                        span,
                     },
                 );
                 send(
@@ -658,9 +753,23 @@ fn send(
             });
         match cached {
             Some(hops) => hops.clone(),
-            None => return, // unreachable destination: message dropped
+            None => {
+                // Unreachable destination: message dropped.
+                engine.tracer().count("world.drops", 1);
+                engine.tracer().instant(
+                    "smock.world",
+                    "drop",
+                    engine.now().as_nanos(),
+                    vec![("from", from.0.into()), ("to", to.0.into())],
+                );
+                return;
+            }
         }
     };
+    engine.tracer().count("world.messages", 1);
+    if !hops.is_empty() {
+        engine.tracer().count("world.hops", hops.len() as u64);
+    }
     let msg = state.next_msg;
     state.next_msg += 1;
     let first = if hops.is_empty() {

@@ -1,0 +1,199 @@
+//! Per-request latency breakdowns reconstructed from the event stream.
+//!
+//! This is the Figure 7-style decomposition: given the events of a run,
+//! pair every span's enter/exit, group spans by their `scope` field (one
+//! scope per client request, e.g. `conn-0`), and aggregate each span
+//! name into a phase total. The canonical phases for a connection are
+//! `lookup`, `plan`, `transfer`, `deploy`, and `invoke`, but any span
+//! name groups the same way.
+
+use crate::event::{Event, EventKind, FieldValue, Fields};
+use std::collections::BTreeMap;
+
+/// One reconstructed (paired) span.
+#[derive(Debug, Clone)]
+pub struct ClosedSpan {
+    /// Span name.
+    pub name: &'static str,
+    /// Emitting subsystem.
+    pub target: &'static str,
+    /// Span correlation id.
+    pub span: u64,
+    /// Virtual enter time (ns).
+    pub enter_ns: u64,
+    /// Virtual exit time (ns).
+    pub exit_ns: u64,
+    /// `scope` field from the enter event, if any.
+    pub scope: Option<String>,
+    /// All fields of the enter event.
+    pub fields: Fields,
+}
+
+impl ClosedSpan {
+    /// Span duration in virtual nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.exit_ns.saturating_sub(self.enter_ns)
+    }
+
+    /// An enter-event field interpreted as u64.
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        match self.fields.iter().find(|(k, _)| *k == name)?.1 {
+            FieldValue::U64(v) => Some(v),
+            FieldValue::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate for one phase (span name) inside one scope.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Total virtual time spent in this phase.
+    pub total_ns: u64,
+    /// Number of spans aggregated.
+    pub count: u64,
+}
+
+/// Latency breakdown for one scope (one request / connection).
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Scope label (`scope` field shared by the grouped spans).
+    pub scope: String,
+    /// Per-phase totals, keyed by span name (sorted).
+    pub phases: BTreeMap<&'static str, PhaseAgg>,
+}
+
+impl Breakdown {
+    /// Total virtual time across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.phases.values().map(|p| p.total_ns).sum()
+    }
+
+    /// Total for one phase (0 when absent).
+    pub fn phase_ns(&self, name: &str) -> u64 {
+        self.phases.get(name).map(|p| p.total_ns).unwrap_or(0)
+    }
+
+    /// Renders the breakdown as a JSON object with phase totals in
+    /// milliseconds: `{"scope":"conn-0","total_ms":..,"phases":{..}}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"scope\":\"{}\",\"total_ms\":{},\"phases\":{{",
+            self.scope,
+            ms(self.total_ns())
+        );
+        for (i, (name, agg)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"ms\":{},\"count\":{}}}",
+                ms(agg.total_ns),
+                agg.count
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+/// Pairs enter/exit events into closed spans (emission order preserved).
+/// Unmatched enters are dropped.
+pub fn closed_spans(events: &[Event]) -> Vec<ClosedSpan> {
+    let mut open: BTreeMap<u64, &Event> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for event in events {
+        match event.kind {
+            EventKind::Enter => {
+                open.insert(event.span, event);
+            }
+            EventKind::Exit => {
+                if let Some(enter) = open.remove(&event.span) {
+                    spans.push(ClosedSpan {
+                        name: enter.name,
+                        target: enter.target,
+                        span: enter.span,
+                        enter_ns: enter.sim_ns,
+                        exit_ns: event.sim_ns,
+                        scope: enter.field_str("scope").map(str::to_owned),
+                        fields: enter.fields.clone(),
+                    });
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+    spans
+}
+
+/// Groups closed spans by scope and aggregates phases. Spans without a
+/// `scope` field are ignored. Breakdowns come back sorted by scope.
+pub fn breakdowns(events: &[Event]) -> Vec<Breakdown> {
+    let mut by_scope: BTreeMap<String, BTreeMap<&'static str, PhaseAgg>> = BTreeMap::new();
+    for span in closed_spans(events) {
+        let Some(scope) = span.scope.clone() else {
+            continue;
+        };
+        let agg = by_scope
+            .entry(scope)
+            .or_default()
+            .entry(span.name)
+            .or_default();
+        agg.total_ns += span.duration_ns();
+        agg.count += 1;
+    }
+    by_scope
+        .into_iter()
+        .map(|(scope, phases)| Breakdown { scope, phases })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn reconstructs_per_scope_phase_totals() {
+        let (t, sink) = Tracer::memory();
+        t.span_closed("s", "lookup", 0, 10, vec![("scope", "conn-0".into())]);
+        t.span_closed("s", "plan", 10, 25, vec![("scope", "conn-0".into())]);
+        t.span_closed("s", "lookup", 100, 140, vec![("scope", "conn-1".into())]);
+        t.span_closed("w", "invoke", 200, 230, vec![("scope", "conn-0".into())]);
+        t.span_closed("w", "invoke", 230, 260, vec![("scope", "conn-0".into())]);
+        // No scope: ignored by the grouping.
+        t.span_closed("s", "misc", 0, 5, Vec::new());
+        let events = sink.events();
+        let all = breakdowns(&events);
+        assert_eq!(all.len(), 2);
+        let c0 = &all[0];
+        assert_eq!(c0.scope, "conn-0");
+        assert_eq!(c0.phase_ns("lookup"), 10);
+        assert_eq!(c0.phase_ns("plan"), 15);
+        assert_eq!(c0.phase_ns("invoke"), 60);
+        assert_eq!(c0.phases["invoke"].count, 2);
+        assert_eq!(c0.total_ns(), 85);
+        assert_eq!(all[1].scope, "conn-1");
+        assert_eq!(all[1].phase_ns("lookup"), 40);
+    }
+
+    #[test]
+    fn json_contains_phase_millis() {
+        let (t, sink) = Tracer::memory();
+        t.span_closed("s", "plan", 0, 2_000_000, vec![("scope", "conn-0".into())]);
+        let events = sink.events();
+        let all = breakdowns(&events);
+        assert_eq!(
+            all[0].to_json(),
+            "{\"scope\":\"conn-0\",\"total_ms\":2,\"phases\":{\"plan\":{\"ms\":2,\"count\":1}}}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Structured trace events.
+//!
+//! An [`Event`] is one record in a run's event stream: a span boundary
+//! (enter/exit) or an instantaneous observation, stamped with *virtual*
+//! time (integer nanoseconds since simulation start) and a monotone
+//! sequence number. Because both stamps are deterministic under a fixed
+//! seed, two identical runs serialize to byte-identical streams — the
+//! property the verification pipeline checks.
+//!
+//! Wall-clock durations (host time) must never appear in event fields;
+//! they belong in the [`Registry`](crate::Registry), which is reported
+//! separately and carries no determinism guarantee.
+
+use std::fmt;
+
+/// A field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized via Rust's shortest-roundtrip `Display`, which
+    /// is deterministic).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Ordered event fields (order is preserved in the serialized form).
+pub type Fields = Vec<(&'static str, FieldValue)>;
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span was entered.
+    Enter,
+    /// A span was exited.
+    Exit,
+    /// An instantaneous observation.
+    Instant,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One record in the trace stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number (emission order).
+    pub seq: u64,
+    /// Virtual time, nanoseconds since simulation start.
+    pub sim_ns: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Emitting subsystem (e.g. `smock.server`).
+    pub target: &'static str,
+    /// Event or span name (e.g. `plan`, `invoke`).
+    pub name: &'static str,
+    /// Span correlation id pairing `Enter` with `Exit` (0 = none).
+    pub span: u64,
+    /// Attached fields, in emission order.
+    pub fields: Fields,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+
+    /// A field interpreted as u64 (also converts `I64`/`F64` values).
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        match self.field(name)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) => u64::try_from(*v).ok(),
+            FieldValue::F64(v) => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// A string field.
+    pub fn field_str(&self, name: &str) -> Option<&str> {
+        match self.field(name)? {
+            FieldValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline). The
+    /// rendering is deterministic: field order is emission order, floats
+    /// use shortest-roundtrip formatting.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t\":{},\"kind\":\"{}\",\"target\":\"{}\",\"name\":\"{}\",\"span\":{}",
+            self.seq,
+            self.sim_ns,
+            self.kind.as_str(),
+            self.target,
+            self.name,
+            self.span
+        );
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":");
+                match v {
+                    FieldValue::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    FieldValue::I64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    FieldValue::F64(v) => {
+                        if v.is_finite() {
+                            let _ = write!(out, "{v}");
+                        } else {
+                            let _ = write!(out, "\"{v}\"");
+                        }
+                    }
+                    FieldValue::Bool(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    FieldValue::Str(s) => {
+                        out.push('"');
+                        for c in s.chars() {
+                            match c {
+                                '"' => out.push_str("\\\""),
+                                '\\' => out.push_str("\\\\"),
+                                '\n' => out.push_str("\\n"),
+                                '\r' => out.push_str("\\r"),
+                                '\t' => out.push_str("\\t"),
+                                c if (c as u32) < 0x20 => {
+                                    let _ = write!(out, "\\u{:04x}", c as u32);
+                                }
+                                c => out.push(c),
+                            }
+                        }
+                        out.push('"');
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let e = Event {
+            seq: 3,
+            sim_ns: 1_500_000,
+            kind: EventKind::Instant,
+            target: "test",
+            name: "msg",
+            span: 0,
+            fields: vec![
+                ("n", 7u64.into()),
+                ("label", "a\"b\\c\n".into()),
+                ("ok", true.into()),
+                ("x", 2.5f64.into()),
+            ],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"seq\":3,\"t\":1500000,\"kind\":\"instant\",\"target\":\"test\",\"name\":\"msg\",\
+             \"span\":0,\"fields\":{\"n\":7,\"label\":\"a\\\"b\\\\c\\n\",\"ok\":true,\"x\":2.5}}"
+        );
+    }
+
+    #[test]
+    fn field_accessors() {
+        let e = Event {
+            seq: 0,
+            sim_ns: 0,
+            kind: EventKind::Enter,
+            target: "t",
+            name: "n",
+            span: 1,
+            fields: vec![("a", 5u64.into()), ("s", "hi".into())],
+        };
+        assert_eq!(e.field_u64("a"), Some(5));
+        assert_eq!(e.field_str("s"), Some("hi"));
+        assert!(e.field("missing").is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! All metrics live behind one mutex in a `BTreeMap`, so snapshots and
+//! renderings are deterministic in iteration order. Histograms use a
+//! fixed exponential bucket ladder (decades from 1 µs-scale up), never
+//! adapting to the data — equal inputs always produce equal bucket
+//! counts, regardless of arrival order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Fixed histogram bucket upper bounds. Unitless; callers conventionally
+/// record milliseconds. Values above the last bound land in an overflow
+/// bucket.
+pub const HISTOGRAM_BOUNDS: [f64; 10] = [
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+/// A deterministic fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket counts; `counts[i]` counts values `<= HISTOGRAM_BOUNDS[i]`
+    /// (and greater than the previous bound). The final slot is overflow.
+    pub counts: [u64; HISTOGRAM_BOUNDS.len() + 1],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest recorded value (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        let bucket = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(HISTOGRAM_BOUNDS.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric in the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// The metrics registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by `by` (creating it at zero).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut inner = self.inner.lock().expect("registry");
+        match inner.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += by,
+            other => *other = Metric::Counter(by),
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .expect("registry")
+            .insert(name.to_owned(), Metric::Gauge(value));
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("registry");
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => {
+                let mut h = Histogram::default();
+                h.record(value);
+                *other = Metric::Histogram(h);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.inner.lock().expect("registry").get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.inner.lock().expect("registry").get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        match self.inner.lock().expect("registry").get(name) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Sorted snapshot of every metric.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.inner
+            .lock()
+            .expect("registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Renders every metric as a JSON object (sorted keys, deterministic
+    /// for identical recorded values).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{g}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"mean\":{}",
+                        h.count,
+                        h.sum,
+                        h.mean()
+                    );
+                    if h.count > 0 {
+                        let _ = write!(out, ",\"min\":{},\"max\":{}", h.min, h.max);
+                    }
+                    out.push_str(",\"buckets\":[");
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let r = Registry::new();
+        r.inc("a.count", 2);
+        r.inc("a.count", 3);
+        r.set_gauge("b.gauge", 1.5);
+        r.observe("c.ms", 0.5);
+        r.observe("c.ms", 50.0);
+        assert_eq!(r.counter("a.count"), 5);
+        assert_eq!(r.gauge("b.gauge"), Some(1.5));
+        let h = r.histogram("c.ms").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 25.25);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 50.0);
+        // 0.5 lands in the (0.1, 1.0] bucket, 50.0 in (10, 100].
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[5], 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_order_independent() {
+        let values = [0.002, 3.0, 120.0, 0.5, 2_000_000.0];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in values {
+            a.record(v);
+        }
+        for v in values.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a.counts, b.counts);
+        // The huge value overflows into the final bucket.
+        assert_eq!(a.counts[HISTOGRAM_BOUNDS.len()], 1);
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted() {
+        let r = Registry::new();
+        r.inc("z", 1);
+        r.inc("a", 1);
+        let json = r.to_json();
+        assert!(json.find("\"a\"").unwrap() < json.find("\"z\"").unwrap());
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable report rendering.
+//!
+//! [`Report`] is the shared renderer the bench binaries use instead of
+//! ad-hoc `println!` formatting: a title, optional sections, and aligned
+//! key/value lines. Rendering is purely a function of what was added, so
+//! reports are as deterministic as their inputs.
+
+use std::fmt;
+
+enum Item {
+    Section(String),
+    Line(String),
+    Kv(String, String),
+}
+
+/// An accumulating plain-text report.
+pub struct Report {
+    title: String,
+    items: Vec<Item>,
+}
+
+impl Report {
+    /// Starts a report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Opens a named section.
+    pub fn section(&mut self, name: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Section(name.into()));
+        self
+    }
+
+    /// Adds a free-form line.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Line(text.into()));
+        self
+    }
+
+    /// Adds an aligned key/value line.
+    pub fn kv(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut Self {
+        self.items.push(Item::Kv(key.into(), value.to_string()));
+        self
+    }
+
+    /// Renders the report (keys aligned per contiguous key/value run).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let mut i = 0;
+        while i < self.items.len() {
+            match &self.items[i] {
+                Item::Section(name) => {
+                    let _ = writeln!(out, "\n--- {name} ---");
+                    i += 1;
+                }
+                Item::Line(text) => {
+                    let _ = writeln!(out, "{text}");
+                    i += 1;
+                }
+                Item::Kv(..) => {
+                    let run_end = self.items[i..]
+                        .iter()
+                        .position(|it| !matches!(it, Item::Kv(..)))
+                        .map(|n| i + n)
+                        .unwrap_or(self.items.len());
+                    let width = self.items[i..run_end]
+                        .iter()
+                        .map(|it| match it {
+                            Item::Kv(k, _) => k.len(),
+                            _ => 0,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    for it in &self.items[i..run_end] {
+                        if let Item::Kv(k, v) = it {
+                            let _ = writeln!(out, "  {k:<width$}  {v}");
+                        }
+                    }
+                    i = run_end;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sections_and_aligned_kv() {
+        let mut r = Report::new("demo");
+        r.section("one");
+        r.kv("short", 1);
+        r.kv("a-longer-key", 2);
+        r.line("done");
+        let text = r.render();
+        assert!(text.starts_with("=== demo ===\n"));
+        assert!(text.contains("\n--- one ---\n"));
+        assert!(text.contains("  short         1\n"));
+        assert!(text.contains("  a-longer-key  2\n"));
+        assert!(text.ends_with("done\n"));
+    }
+}

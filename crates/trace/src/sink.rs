@@ -1,0 +1,98 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every event a [`Tracer`](crate::Tracer) emits.
+//! Three implementations cover the repo's needs: [`MemorySink`] for
+//! tests and in-process analysis, [`JsonlSink`] for offline analysis of
+//! a run's full stream, and [`NullSink`] when only the metrics registry
+//! matters.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Receives emitted events. Implementations synchronize internally —
+/// `record` takes `&self` so one sink can serve concurrent emitters.
+pub trait Sink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &Event);
+}
+
+/// Collects events in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones out the recorded events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink").len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every event as JSON lines (one event per line, trailing
+    /// newline included). Byte-identical across identical runs.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().expect("memory sink");
+        let mut out = String::with_capacity(events.len() * 96);
+        for e in events.iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("memory sink").push(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to a writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink").flush();
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink");
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+/// Discards every event (registry-only tracing).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}

@@ -24,4 +24,15 @@ cargo test --workspace -q
 echo "==> bench smoke: bench_planner (writes BENCH_planner.json)"
 cargo run --release -q -p ps-bench --bin bench_planner
 
+# trace_report runs after bench_planner so its <5% disabled-tracer
+# overhead guard compares against a same-machine, same-session baseline.
+echo "==> trace smoke: trace_report (writes BENCH_trace.json + overhead guard)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p ps-bench --bin trace_report -- "$tmpdir/trace1.jsonl"
+
+echo "==> trace determinism: two identical runs, byte-identical JSONL"
+cargo run --release -q -p ps-bench --bin trace_report -- "$tmpdir/trace2.jsonl" > /dev/null
+cmp "$tmpdir/trace1.jsonl" "$tmpdir/trace2.jsonl"
+
 echo "==> verify OK"

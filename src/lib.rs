@@ -18,6 +18,7 @@
 //! | [`mail`] | `ps-mail` | the security-sensitive mail case study (§2, §4) |
 //! | [`drbac`] | `ps-drbac` | trust management (§6 future work) |
 //! | [`monitor`] | `ps-monitor` | monitoring + re-planning (§6 future work) |
+//! | [`trace`] | `ps-trace` | sim-time-aware tracing + metrics (observability) |
 //! | [`core`] | `ps-core` | the assembled [`core::Framework`] |
 //!
 //! ```
@@ -44,3 +45,4 @@ pub use ps_planner as planner;
 pub use ps_sim as sim;
 pub use ps_smock as smock;
 pub use ps_spec as spec;
+pub use ps_trace as trace;
