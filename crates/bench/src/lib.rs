@@ -5,8 +5,10 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod scenarios;
 
+pub use chaos::{outcome_json, run_chaos, ChaosBenchConfig, ChaosOutcome, DriverStats};
 pub use scenarios::{
     figure7_sweep, render_figure7, run_custom_policy, run_scenario, run_scenario_with_policy,
     Fig7Config, Scenario, ScenarioResult,

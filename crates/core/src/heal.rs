@@ -1,0 +1,370 @@
+//! Self-healing: the monitoring → re-planning → re-deployment loop.
+//!
+//! Section 6's integration list asks for exactly this: a monitoring
+//! system reports changes, the planning module re-runs, and the run-time
+//! redeploys. Here the loop is driven by the lease-based failure
+//! detector in `ps-smock` (`World::take_liveness_events`): a healing
+//! pass quarantines nodes the leases declared dead (flipping the
+//! network's `up` flag, which monitoring *can* see), diffs the network
+//! through `ps-monitor`, and re-plans every managed connection that was
+//! touched — reusing surviving instances and rewiring their linkages, so
+//! service resumes without any manual `connect`.
+
+use crate::Framework;
+use ps_monitor::{affected_edges, NetworkChange, NetworkMonitor, ReplanDecision, Replanner};
+use ps_net::NodeId;
+use ps_planner::{Planner, ServiceRequest};
+use ps_sim::SimTime;
+use ps_smock::{ConnectError, Connection, FailReport, InstanceId, LivenessEvent, LivenessKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Handle to a connection under self-healing management (index into the
+/// framework's managed list; stable for the framework's lifetime).
+pub type ManagedId = usize;
+
+/// A client connection the framework keeps alive across failures.
+pub(crate) struct Managed {
+    pub(crate) service: String,
+    pub(crate) request: ServiceRequest,
+    pub(crate) connection: Connection,
+    /// The client's own node died: nothing left to heal for.
+    pub(crate) abandoned: bool,
+    /// A liveness event implicated this connection (or a previous
+    /// redeploy attempt failed); redeployment is owed until one
+    /// succeeds.
+    pub(crate) degraded: bool,
+}
+
+/// The healing state: a snapshot-diffing monitor plus the managed
+/// connections.
+pub(crate) struct Healer {
+    pub(crate) monitor: NetworkMonitor,
+    pub(crate) managed: Vec<Managed>,
+}
+
+/// What one [`Framework::heal`] pass observed and did.
+#[derive(Debug)]
+pub struct HealReport {
+    /// Virtual time of the pass.
+    pub at: SimTime,
+    /// Liveness events drained from the world (lease expiries, explicit
+    /// failures, link flips) since the previous pass.
+    pub liveness: Vec<LivenessEvent>,
+    /// Network changes the monitor detected against its baseline.
+    pub changes: Vec<NetworkChange>,
+    /// Nodes quarantined this pass (declared dead by leases and now
+    /// marked down in the network model, steering the planner away).
+    pub quarantined: Vec<NodeId>,
+    /// Nodes whose restart was observed this pass.
+    pub restored: Vec<NodeId>,
+    /// Managed connections re-planned and re-deployed this pass.
+    pub recovered: Vec<ManagedId>,
+    /// Managed connections evaluated but kept on their current plan.
+    pub kept: Vec<ManagedId>,
+    /// Managed connections abandoned because the client node itself is
+    /// down.
+    pub abandoned: Vec<ManagedId>,
+    /// Managed connections whose re-plan found no feasible deployment
+    /// (they stay managed and are retried next pass).
+    pub infeasible: Vec<ManagedId>,
+    /// Instances retired by this pass's redeployments.
+    pub retired: Vec<InstanceId>,
+    /// Re-deployments that failed outright (deploy errors and the like).
+    pub failed: Vec<(ManagedId, ConnectError)>,
+}
+
+impl HealReport {
+    fn new(at: SimTime) -> Self {
+        HealReport {
+            at,
+            liveness: Vec::new(),
+            changes: Vec::new(),
+            quarantined: Vec::new(),
+            restored: Vec::new(),
+            recovered: Vec::new(),
+            kept: Vec::new(),
+            abandoned: Vec::new(),
+            infeasible: Vec::new(),
+            retired: Vec::new(),
+            failed: Vec::new(),
+        }
+    }
+
+    /// Number of re-plans executed (successful redeployments).
+    pub fn replans(&self) -> usize {
+        self.recovered.len()
+    }
+
+    /// Whether the pass left every managed connection either healthy or
+    /// deliberately abandoned.
+    pub fn fully_healed(&self) -> bool {
+        self.infeasible.is_empty() && self.failed.is_empty()
+    }
+}
+
+impl fmt::Display for HealReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heal @ {}: {} liveness event(s), {} change(s), quarantined {:?}, \
+             recovered {:?}, kept {:?}, abandoned {:?}, infeasible {:?}",
+            self.at,
+            self.liveness.len(),
+            self.changes.len(),
+            self.quarantined,
+            self.recovered,
+            self.kept,
+            self.abandoned,
+            self.infeasible,
+        )
+    }
+}
+
+impl Framework {
+    /// Turns on the self-healing loop: snapshots the current network as
+    /// the monitoring baseline. Call after topology setup, before
+    /// faults. [`Framework::manage`] enables this implicitly.
+    pub fn enable_self_healing(&mut self) -> &mut Self {
+        if self.healer.is_none() {
+            let mut monitor = NetworkMonitor::new(self.world.network().clone());
+            monitor.set_tracer(self.server.tracer().clone());
+            self.healer = Some(Healer {
+                monitor,
+                managed: Vec::new(),
+            });
+        }
+        self
+    }
+
+    /// Places a connection under management: every [`Framework::heal`]
+    /// pass will re-plan and re-deploy it as needed to keep it serving.
+    /// Returns a handle for [`Framework::managed_connection`].
+    pub fn manage(
+        &mut self,
+        service: impl Into<String>,
+        request: ServiceRequest,
+        connection: Connection,
+    ) -> ManagedId {
+        self.enable_self_healing();
+        let healer = self.healer.as_mut().expect("just enabled");
+        healer.managed.push(Managed {
+            service: service.into(),
+            request,
+            connection,
+            abandoned: false,
+            degraded: false,
+        });
+        healer.managed.len() - 1
+    }
+
+    /// The current connection behind a managed handle (`None` for an
+    /// unknown handle or an abandoned connection).
+    pub fn managed_connection(&self, id: ManagedId) -> Option<&Connection> {
+        let m = self.healer.as_ref()?.managed.get(id)?;
+        (!m.abandoned).then_some(&m.connection)
+    }
+
+    /// Fails a node through the world *and* purges its lookup-service
+    /// registrations, returning the completed [`FailReport`] (the
+    /// world alone cannot fill `lookup_purged` — it does not own the
+    /// lookup service).
+    pub fn fail_node(&mut self, node: NodeId) -> FailReport {
+        let mut report = self.world.fail_node(node);
+        report.lookup_purged = self.server.lookup.purge_node(node);
+        report
+    }
+
+    /// One pass of the self-healing loop:
+    ///
+    /// 1. drain the world's liveness events; quarantine every node the
+    ///    lease-based detector declared dead (marking it down in the
+    ///    network model, where monitoring and the planner can see it);
+    /// 2. diff the network against the monitoring baseline;
+    /// 3. for each managed connection: abandon it if its client node was
+    ///    declared dead; re-plan and re-deploy it if a liveness event
+    ///    implicated one of its instances (or a previous redeploy is
+    ///    still owed); otherwise consult the [`Replanner`] when detected
+    ///    changes touch its plan's routes.
+    ///
+    /// The pass acts only on *detected* information — liveness events
+    /// and monitor diffs — never on world-internal crash state the
+    /// run-time could not actually observe: until a host's leases
+    /// expire, the planner will keep considering it, exactly as a real
+    /// deployment would.
+    ///
+    /// Safe to call at any cadence — a pass with nothing to report is a
+    /// no-op. Works (steps 1–2 only matter) even before any connection
+    /// is managed.
+    pub fn heal(&mut self) -> HealReport {
+        let now = self.world.now();
+        let mut report = HealReport::new(now);
+
+        // Step 1: what did the failure detector learn?
+        report.liveness = self.world.take_liveness_events();
+        let mut dead_instances: HashSet<InstanceId> = HashSet::new();
+        let mut dead_nodes: HashSet<NodeId> = HashSet::new();
+        for event in &report.liveness {
+            match event.kind {
+                LivenessKind::InstanceDown { instance, .. } => {
+                    dead_instances.insert(instance);
+                }
+                LivenessKind::NodeDown { node } => {
+                    dead_nodes.insert(node);
+                    if self.world.network().node(node).up {
+                        self.world.quarantine_node(node);
+                        report.quarantined.push(node);
+                    }
+                }
+                LivenessKind::NodeUp { node } => report.restored.push(node),
+                _ => {}
+            }
+        }
+
+        let Some(mut healer) = self.healer.take() else {
+            return report;
+        };
+
+        // Step 2: the monitor's view of what changed.
+        report.changes = healer.monitor.observe_at(now, self.world.network());
+
+        // Step 3: triage every managed connection. The managed list is
+        // taken out of the healer so redeployments can borrow the
+        // framework mutably.
+        let mut managed = std::mem::take(&mut healer.managed);
+        for idx in 0..managed.len() {
+            if managed[idx].abandoned {
+                continue;
+            }
+            if dead_nodes.contains(&managed[idx].request.client_node) {
+                managed[idx].abandoned = true;
+                report.abandoned.push(idx);
+                continue;
+            }
+            if managed[idx]
+                .connection
+                .deployment
+                .instances
+                .iter()
+                .any(|i| dead_instances.contains(i))
+            {
+                managed[idx].degraded = true;
+            }
+            let must_redeploy = if managed[idx].degraded {
+                // Part of the deployment was declared dead: recovery is
+                // mandatory, no need to ask whether the plan holds.
+                true
+            } else if !report.changes.is_empty()
+                && !affected_edges(&managed[idx].connection.plan, &report.changes).is_empty()
+            {
+                match self.consult_replanner(now, &managed[idx]) {
+                    Some(ReplanDecision::Redeploy { .. }) => true,
+                    Some(ReplanDecision::Infeasible(_)) => {
+                        report.infeasible.push(idx);
+                        false
+                    }
+                    Some(ReplanDecision::Keep) | None => {
+                        report.kept.push(idx);
+                        false
+                    }
+                }
+            } else {
+                false
+            };
+            if !must_redeploy {
+                continue;
+            }
+            match self.redeploy_managed(&managed, idx) {
+                Ok((connection, retired)) => {
+                    managed[idx].connection = connection;
+                    managed[idx].degraded = false;
+                    report.recovered.push(idx);
+                    report.retired.extend(retired);
+                }
+                Err(ConnectError::Planning(_)) => {
+                    managed[idx].degraded = true;
+                    report.infeasible.push(idx);
+                }
+                Err(e) => {
+                    managed[idx].degraded = true;
+                    report.failed.push((idx, e));
+                }
+            }
+        }
+        healer.managed = managed;
+        self.healer = Some(healer);
+
+        let tracer = self.server.tracer().clone();
+        if tracer.enabled() {
+            tracer.count("heal.passes", 1);
+            tracer.count("heal.recovered", report.recovered.len() as u64);
+            tracer.count("heal.abandoned", report.abandoned.len() as u64);
+            tracer.count("heal.infeasible", report.infeasible.len() as u64);
+            tracer.instant(
+                "core",
+                "heal",
+                now.as_nanos(),
+                vec![
+                    ("liveness", report.liveness.len().into()),
+                    ("changes", report.changes.len().into()),
+                    ("quarantined", report.quarantined.len().into()),
+                    ("recovered", report.recovered.len().into()),
+                    ("abandoned", report.abandoned.len().into()),
+                    ("infeasible", report.infeasible.len().into()),
+                ],
+            );
+        }
+        report
+    }
+
+    /// Asks a [`Replanner`] whether a managed connection's plan should
+    /// be replaced under the current network. `None` when the service's
+    /// registration disappeared (e.g. purged with its crashed home).
+    fn consult_replanner(&self, now: SimTime, m: &Managed) -> Option<ReplanDecision> {
+        let spec = self.server.lookup.by_name(&m.service)?.spec.clone();
+        let planner = Planner::with_config(spec, self.server.planner_config.clone());
+        let mut replanner = Replanner::new(planner);
+        replanner.set_tracer(self.server.tracer().clone());
+        Some(replanner.evaluate_at(
+            now,
+            self.world.network(),
+            self.server.translator.as_ref(),
+            &m.request,
+            &m.connection.plan,
+        ))
+    }
+
+    /// Re-plans and re-deploys `managed[idx]`, retiring instances only
+    /// its *old* deployment used. Unlike [`Framework::reconnect`], this
+    /// never retires an instance another managed connection still
+    /// depends on (two sites may share a replica; losing one must not
+    /// tear down the other's chain).
+    fn redeploy_managed(
+        &mut self,
+        managed: &[Managed],
+        idx: usize,
+    ) -> Result<(Connection, Vec<InstanceId>), ConnectError> {
+        let service = managed[idx].service.clone();
+        let request = managed[idx].request.clone();
+        let new = self.connect(&service, &request)?;
+        let mut in_use: HashSet<InstanceId> = new.deployment.instances.iter().copied().collect();
+        for (other, m) in managed.iter().enumerate() {
+            if other != idx && !m.abandoned {
+                in_use.extend(m.connection.deployment.instances.iter().copied());
+            }
+        }
+        let mut retired = Vec::new();
+        for &instance in &managed[idx].connection.deployment.instances {
+            if in_use.contains(&instance) || self.world.is_retired(instance) {
+                continue;
+            }
+            let component = self.world.instance(instance).component.clone();
+            if request.pinned.contains_key(&component) {
+                continue;
+            }
+            self.world.retire(instance);
+            retired.push(instance);
+        }
+        Ok((new, retired))
+    }
+}

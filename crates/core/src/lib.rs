@@ -31,6 +31,10 @@
 
 #![warn(missing_docs)]
 
+mod heal;
+
+pub use heal::{HealReport, ManagedId};
+
 use ps_net::{Network, NodeId, PropertyTranslator};
 use ps_planner::{PlannerConfig, ServiceRequest};
 use ps_sim::SimTime;
@@ -46,6 +50,10 @@ pub struct Framework {
     pub world: World,
     /// The generic server.
     pub server: GenericServer,
+    /// Self-healing state (monitor baseline + managed connections);
+    /// `None` until [`Framework::enable_self_healing`] or
+    /// [`Framework::manage`].
+    healer: Option<heal::Healer>,
 }
 
 impl Framework {
@@ -59,6 +67,7 @@ impl Framework {
         Framework {
             world: World::new(network),
             server: GenericServer::new(home, translator),
+            healer: None,
         }
     }
 
@@ -75,6 +84,9 @@ impl Framework {
     /// registry.
     pub fn set_tracer(&mut self, tracer: ps_trace::Tracer) -> &mut Self {
         self.world.set_tracer(tracer.clone());
+        if let Some(healer) = self.healer.as_mut() {
+            healer.monitor.set_tracer(tracer.clone());
+        }
         self.server.set_tracer(tracer);
         self
     }

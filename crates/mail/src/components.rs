@@ -171,6 +171,22 @@ impl ComponentLogic for MailServerLogic {
             let _ = self.apply(out, &op);
         }
     }
+
+    fn on_peers_retired(&mut self, out: &mut Outbox, peers: &[InstanceId]) {
+        // Dead replicas must leave the coherence directory, or every
+        // future conflicting delivery would push invalidations at a
+        // crashed host.
+        let mut purged = 0u64;
+        for &peer in peers {
+            if self.directory.replicas().iter().any(|r| r.id == peer) {
+                self.directory.unregister(peer);
+                purged += 1;
+            }
+        }
+        if purged > 0 {
+            out.tracer().count("coherence.replicas_purged", purged);
+        }
+    }
 }
 
 // ----------------------------------------------------------- view server

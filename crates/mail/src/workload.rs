@@ -10,7 +10,7 @@
 use crate::message::{MailMessage, Sensitivity};
 use crate::payload::{MailOp, MailReply};
 use ps_sim::{Rng, SimTime};
-use ps_smock::{ComponentLogic, Outbox, Payload, RequestHandle};
+use ps_smock::{ComponentLogic, InvokeError, Outbox, Payload, RequestHandle};
 
 /// Metric name for send latencies.
 pub const SEND_METRIC: &str = "send_ms";
@@ -18,6 +18,8 @@ pub const SEND_METRIC: &str = "send_ms";
 pub const RECEIVE_METRIC: &str = "receive_ms";
 /// Metric recorded once per finished driver (value = completion time ms).
 pub const DONE_METRIC: &str = "client_done_ms";
+/// Metric recorded once per operation the retry policy gave up on.
+pub const LOST_METRIC: &str = "op_lost";
 
 /// Configuration of one client-cluster driver.
 #[derive(Debug, Clone)]
@@ -75,6 +77,10 @@ pub struct ClusterDriver {
     pub completed: Vec<(OpKind, f64)>,
     /// Replies that came back `Denied`.
     pub denied: u32,
+    /// Operations the world's retry policy gave up on (typed
+    /// `on_error`); the driver logs the loss and moves on, so the closed
+    /// loop survives crashes instead of stalling forever.
+    pub lost: u32,
     done: bool,
 }
 
@@ -100,6 +106,7 @@ impl ClusterDriver {
             peer_cursor: 0,
             completed: Vec::new(),
             denied: 0,
+            lost: 0,
             done: false,
         }
     }
@@ -213,6 +220,18 @@ impl ComponentLogic for ClusterDriver {
                 self.completed.push((OpKind::Receive, latency_ms));
             }
         }
+        self.issue(out);
+    }
+
+    fn on_error(&mut self, out: &mut Outbox, _token: u64, _error: InvokeError) {
+        // The retry policy exhausted its attempts — the operation is
+        // lost. Log it and issue the next one so the closed loop keeps
+        // driving (and probing whether the service has recovered).
+        let Some((_op, _started)) = self.outstanding.take() else {
+            return;
+        };
+        self.lost += 1;
+        out.measure(LOST_METRIC, 1.0);
         self.issue(out);
     }
 }

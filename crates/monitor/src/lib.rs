@@ -64,6 +64,26 @@ pub enum NetworkChange {
         /// New relative speed.
         new: f64,
     },
+    /// A node went down (crash detected, e.g. through lease expiry).
+    NodeDown {
+        /// The node.
+        node: NodeId,
+    },
+    /// A previously-down node came back up.
+    NodeUp {
+        /// The node.
+        node: NodeId,
+    },
+    /// A link stopped carrying traffic.
+    LinkDown {
+        /// The link.
+        link: LinkId,
+    },
+    /// A previously-down link came back up.
+    LinkUp {
+        /// The link.
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for NetworkChange {
@@ -80,6 +100,10 @@ impl fmt::Display for NetworkChange {
             NetworkChange::NodeSpeed { node, old, new } => {
                 write!(f, "{node}: speed {old} -> {new}")
             }
+            NetworkChange::NodeDown { node } => write!(f, "{node}: down"),
+            NetworkChange::NodeUp { node } => write!(f, "{node}: up"),
+            NetworkChange::LinkDown { link } => write!(f, "{link}: down"),
+            NetworkChange::LinkUp { link } => write!(f, "{link}: up"),
         }
     }
 }
@@ -151,6 +175,13 @@ impl NetworkMonitor {
             if old.credentials != new.credentials {
                 changes.push(NetworkChange::LinkCredentials { link: new.id });
             }
+            if old.up != new.up {
+                changes.push(if new.up {
+                    NetworkChange::LinkUp { link: new.id }
+                } else {
+                    NetworkChange::LinkDown { link: new.id }
+                });
+            }
         }
         for (old, new) in self.baseline.nodes().iter().zip(current.nodes()) {
             if old.credentials != new.credentials {
@@ -161,6 +192,13 @@ impl NetworkMonitor {
                     node: new.id,
                     old: old.cpu_speed,
                     new: new.cpu_speed,
+                });
+            }
+            if old.up != new.up {
+                changes.push(if new.up {
+                    NetworkChange::NodeUp { node: new.id }
+                } else {
+                    NetworkChange::NodeDown { node: new.id }
                 });
             }
         }
@@ -183,6 +221,10 @@ impl NetworkMonitor {
                     NetworkChange::LinkCredentials { link } => ("link_credentials", link.0 as u64),
                     NetworkChange::NodeCredentials { node } => ("node_credentials", node.0 as u64),
                     NetworkChange::NodeSpeed { node, .. } => ("node_speed", node.0 as u64),
+                    NetworkChange::NodeDown { node } => ("node_down", node.0 as u64),
+                    NetworkChange::NodeUp { node } => ("node_up", node.0 as u64),
+                    NetworkChange::LinkDown { link } => ("link_down", link.0 as u64),
+                    NetworkChange::LinkUp { link } => ("link_up", link.0 as u64),
                 };
                 self.tracer.instant(
                     "monitor",
@@ -204,8 +246,13 @@ pub fn affected_edges(plan: &Plan, changes: &[NetworkChange]) -> Vec<usize> {
         let touched = changes.iter().any(|c| match c {
             NetworkChange::LinkLatency { link, .. }
             | NetworkChange::LinkBandwidth { link, .. }
-            | NetworkChange::LinkCredentials { link } => edge.route.links.contains(link),
-            NetworkChange::NodeCredentials { node } | NetworkChange::NodeSpeed { node, .. } => {
+            | NetworkChange::LinkCredentials { link }
+            | NetworkChange::LinkDown { link }
+            | NetworkChange::LinkUp { link } => edge.route.links.contains(link),
+            NetworkChange::NodeCredentials { node }
+            | NetworkChange::NodeSpeed { node, .. }
+            | NetworkChange::NodeDown { node }
+            | NetworkChange::NodeUp { node } => {
                 plan.placements[edge.from].node == *node
                     || plan.placements[edge.to].node == *node
                     || edge.route.via.contains(node)
@@ -425,6 +472,23 @@ mod tests {
         let changes = monitor.observe(&after);
         assert!(changes.contains(&NetworkChange::NodeCredentials { node: NodeId(1) }));
         assert!(changes.contains(&NetworkChange::LinkCredentials { link: LinkId(0) }));
+    }
+
+    #[test]
+    fn observe_detects_up_flag_flips() {
+        let before = two_site_net(100);
+        let mut monitor = NetworkMonitor::new(before);
+        let mut after = two_site_net(100);
+        after.set_node_up(NodeId(1), false);
+        after.set_link_up(LinkId(0), false);
+        let changes = monitor.observe(&after);
+        assert!(changes.contains(&NetworkChange::NodeDown { node: NodeId(1) }));
+        assert!(changes.contains(&NetworkChange::LinkDown { link: LinkId(0) }));
+        after.set_node_up(NodeId(1), true);
+        after.set_link_up(LinkId(0), true);
+        let restored = monitor.observe(&after);
+        assert!(restored.contains(&NetworkChange::NodeUp { node: NodeId(1) }));
+        assert!(restored.contains(&NetworkChange::LinkUp { link: LinkId(0) }));
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct Node {
     pub cpu_speed: f64,
     /// Application-independent credentials.
     pub credentials: Credentials,
+    /// Whether the node is currently up. Down nodes are excluded from
+    /// routing and from planner candidate sets; flip via
+    /// [`Network::set_node_up`].
+    pub up: bool,
 }
 
 /// A bidirectional network link.
@@ -70,6 +74,9 @@ pub struct Link {
     pub bandwidth_bps: f64,
     /// Application-independent credentials (e.g. `Secure = T`).
     pub credentials: Credentials,
+    /// Whether the link currently carries traffic. Down links are
+    /// excluded from routing; flip via [`Network::set_link_up`].
+    pub up: bool,
 }
 
 impl Link {
@@ -130,6 +137,7 @@ impl Network {
             site: site.into(),
             cpu_speed,
             credentials,
+            up: true,
         });
         self.adjacency.push(Vec::new());
         self.epoch += 1;
@@ -156,6 +164,7 @@ impl Network {
             latency,
             bandwidth_bps,
             credentials,
+            up: true,
         });
         self.adjacency[a.0 as usize].push((b, id));
         self.adjacency[b.0 as usize].push((a, id));
@@ -202,6 +211,25 @@ impl Network {
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
         self.epoch += 1;
         &mut self.links[id.0 as usize]
+    }
+
+    /// Marks a node up or down, bumping the epoch when the flag actually
+    /// changes. Down nodes disappear from routes and candidate sets but
+    /// keep their topology entry, so restoring them is symmetric.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        if self.nodes[id.0 as usize].up != up {
+            self.nodes[id.0 as usize].up = up;
+            self.epoch += 1;
+        }
+    }
+
+    /// Marks a link up or down, bumping the epoch when the flag actually
+    /// changes (see [`Network::set_node_up`]).
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        if self.links[id.0 as usize].up != up {
+            self.links[id.0 as usize].up = up;
+            self.epoch += 1;
+        }
     }
 
     /// All nodes.

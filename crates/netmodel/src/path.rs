@@ -78,6 +78,9 @@ pub(crate) fn dijkstra_tree(
 ) {
     dist.fill(UNREACHED);
     prev.fill(None);
+    if !net.node(from).up {
+        return;
+    }
     let mut heap = BinaryHeap::new();
     dist[from.0 as usize] = (0, 0, 0);
     heap.push(Reverse(((0u32, 0u64, 0u32), from)));
@@ -92,6 +95,9 @@ pub(crate) fn dijkstra_tree(
         let (wan, d, hops) = cost;
         for &(next, link_id) in net.neighbours(node) {
             let link = net.link(link_id);
+            if !link.up || !net.node(next).up {
+                continue;
+            }
             let nw = wan + u32::from(!net.link_secure(link_id));
             let nd = d.saturating_add(link.latency.as_nanos());
             let nh = hops + 1;
@@ -249,6 +255,41 @@ mod tests {
         let route = shortest_route(&net, a, c).unwrap();
         assert_eq!(route.hops(), 1);
         assert_eq!(route.latency, SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn down_link_is_routed_around() {
+        let mut net = triangle();
+        // Best a→c is a-b-c (2ms); kill a-b and the direct 10ms link wins.
+        net.set_link_up(LinkId(0), false);
+        let route = shortest_route(&net, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(route.hops(), 1);
+        assert_eq!(route.latency, SimDuration::from_millis(10));
+        net.set_link_up(LinkId(0), true);
+        let restored = shortest_route(&net, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(restored.hops(), 2);
+    }
+
+    #[test]
+    fn down_node_is_not_transited_or_reached() {
+        let mut net = triangle();
+        net.set_node_up(NodeId(1), false);
+        let route = shortest_route(&net, NodeId(0), NodeId(2)).unwrap();
+        assert!(route.via.is_empty(), "must not transit the down node");
+        assert!(shortest_route(&net, NodeId(0), NodeId(1)).is_none());
+        assert!(shortest_route(&net, NodeId(1), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn up_flags_bump_epoch_only_on_change() {
+        let mut net = triangle();
+        let e0 = net.epoch();
+        net.set_node_up(NodeId(1), true); // already up: no-op
+        assert_eq!(net.epoch(), e0);
+        net.set_node_up(NodeId(1), false);
+        assert_eq!(net.epoch(), e0 + 1);
+        net.set_link_up(LinkId(0), false);
+        assert_eq!(net.epoch(), e0 + 2);
     }
 
     #[test]

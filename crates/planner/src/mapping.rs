@@ -240,7 +240,10 @@ impl<'a> Mapper<'a> {
         let Some(decl) = self.spec.get_component(name) else {
             return Vec::new();
         };
-        let check = |node: NodeId| -> bool { self.component_fits(decl, node) };
+        // Down nodes never host components: a pinned-on-down-node request
+        // yields no candidates and the plan comes back infeasible.
+        let check =
+            |node: NodeId| -> bool { self.net.node(node).up && self.component_fits(decl, node) };
         match forced {
             Some(node) => {
                 if check(node) {

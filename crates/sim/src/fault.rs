@@ -1,0 +1,311 @@
+//! Deterministic fault injection plans.
+//!
+//! A [`FaultPlan`] is a time-sorted list of fault events — node crashes
+//! and restarts, link outages, and per-link message-loss windows — that a
+//! host simulation schedules onto its [`Engine`](crate::Engine) before a
+//! run. The plan itself is pure data: it names nodes and links by the raw
+//! `u32` ids the network layer uses, so this crate stays independent of
+//! the network model. Because every event carries an explicit virtual
+//! time and randomized plans are generated from an explicit seed through
+//! [`Rng`], a chaos scenario replays byte-identically.
+
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node halts: hosted instances stop processing, in-flight
+    /// messages to and from it are dropped, and its leases stop renewing.
+    NodeCrash {
+        /// Raw id of the crashed node.
+        node: u32,
+    },
+    /// The node comes back up (with empty component state).
+    NodeRestart {
+        /// Raw id of the restarted node.
+        node: u32,
+    },
+    /// The link stops carrying traffic in both directions.
+    LinkDown {
+        /// Raw id of the downed link.
+        link: u32,
+    },
+    /// The link carries traffic again.
+    LinkUp {
+        /// Raw id of the restored link.
+        link: u32,
+    },
+    /// Messages on the link start being dropped independently with the
+    /// given probability (the link itself stays up).
+    LossStart {
+        /// Raw id of the lossy link.
+        link: u32,
+        /// Per-message drop probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// The loss window on the link ends.
+    LossEnd {
+        /// Raw id of the link whose loss window ends.
+        link: u32,
+    },
+}
+
+/// A fault scheduled at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Shape parameters for [`FaultPlan::randomized`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Window start: no fault fires before this time.
+    pub start: SimTime,
+    /// Window end: every fault (including restorations) fires before this.
+    pub horizon: SimTime,
+    /// Node ids eligible for crash/restart cycles.
+    pub crashable_nodes: Vec<u32>,
+    /// Link ids eligible for flaps and loss windows.
+    pub flappable_links: Vec<u32>,
+    /// Number of node crash (+ later restart) cycles to draw.
+    pub node_crashes: usize,
+    /// Number of link down/up flaps to draw.
+    pub link_flaps: usize,
+    /// Number of loss windows to draw.
+    pub loss_windows: usize,
+    /// Loss probability range for loss windows, `[lo, hi)`.
+    pub loss_range: (f64, f64),
+    /// Minimum time a crashed node or downed link stays out.
+    pub min_outage: SimDuration,
+    /// Maximum time a crashed node or downed link stays out.
+    pub max_outage: SimDuration,
+    /// If false, crashed nodes stay down (no `NodeRestart` is emitted).
+    pub restart_nodes: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            start: SimTime::ZERO,
+            horizon: SimTime::from_nanos(60_000_000_000),
+            crashable_nodes: Vec::new(),
+            flappable_links: Vec::new(),
+            node_crashes: 1,
+            link_flaps: 2,
+            loss_windows: 1,
+            loss_range: (0.05, 0.4),
+            min_outage: SimDuration::from_millis(500),
+            max_outage: SimDuration::from_secs(5),
+            restart_nodes: true,
+        }
+    }
+}
+
+/// A deterministic, time-sorted fault schedule.
+///
+/// Build one explicitly with the fluent methods, or draw one from a seed
+/// with [`FaultPlan::randomized`]; either way [`FaultPlan::events`]
+/// returns the events sorted by firing time (ties keep insertion order,
+/// matching the engine's FIFO tie-break).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an arbitrary event.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Crashes `node` at `at` (no restart).
+    pub fn crash(&mut self, at: SimTime, node: u32) -> &mut Self {
+        self.push(at, FaultKind::NodeCrash { node })
+    }
+
+    /// Restarts `node` at `at`.
+    pub fn restart(&mut self, at: SimTime, node: u32) -> &mut Self {
+        self.push(at, FaultKind::NodeRestart { node })
+    }
+
+    /// Takes `link` down at `at`.
+    pub fn link_down(&mut self, at: SimTime, link: u32) -> &mut Self {
+        self.push(at, FaultKind::LinkDown { link })
+    }
+
+    /// Brings `link` back up at `at`.
+    pub fn link_up(&mut self, at: SimTime, link: u32) -> &mut Self {
+        self.push(at, FaultKind::LinkUp { link })
+    }
+
+    /// Takes `link` down at `at` and back up after `outage`.
+    pub fn flap(&mut self, at: SimTime, link: u32, outage: SimDuration) -> &mut Self {
+        self.link_down(at, link).link_up(at + outage, link)
+    }
+
+    /// Drops messages on `link` with probability `loss` during
+    /// `[at, at + window)`.
+    pub fn loss_window(
+        &mut self,
+        at: SimTime,
+        link: u32,
+        loss: f64,
+        window: SimDuration,
+    ) -> &mut Self {
+        self.push(at, FaultKind::LossStart { link, loss })
+            .push(at + window, FaultKind::LossEnd { link })
+    }
+
+    /// Draws a randomized-but-reproducible plan: the same `seed` and
+    /// `config` always produce the same schedule.
+    pub fn randomized(seed: u64, config: &ChaosConfig) -> Self {
+        let mut rng = Rng::seed_from_u64(seed).derive("fault-plan");
+        let mut plan = FaultPlan::new();
+        let span = config.horizon.since(config.start).as_nanos();
+        if span == 0 {
+            return plan;
+        }
+        let draw_at = |rng: &mut Rng| config.start + SimDuration::from_nanos(rng.next_below(span));
+        let draw_outage = |rng: &mut Rng| {
+            let lo = config.min_outage.as_nanos();
+            let hi = config.max_outage.as_nanos().max(lo);
+            SimDuration::from_nanos(lo + rng.next_below(hi - lo + 1))
+        };
+        if !config.crashable_nodes.is_empty() {
+            for _ in 0..config.node_crashes {
+                let node = *rng.choose(&config.crashable_nodes);
+                let at = draw_at(&mut rng);
+                plan.crash(at, node);
+                if config.restart_nodes {
+                    plan.restart(at + draw_outage(&mut rng), node);
+                }
+            }
+        }
+        if !config.flappable_links.is_empty() {
+            for _ in 0..config.link_flaps {
+                let link = *rng.choose(&config.flappable_links);
+                plan.flap(draw_at(&mut rng), link, draw_outage(&mut rng));
+            }
+        }
+        if !config.flappable_links.is_empty() {
+            for _ in 0..config.loss_windows {
+                let link = *rng.choose(&config.flappable_links);
+                let loss = rng.range_f64(config.loss_range.0, config.loss_range.1);
+                plan.loss_window(draw_at(&mut rng), link, loss, draw_outage(&mut rng));
+            }
+        }
+        plan
+    }
+
+    /// The events sorted by firing time (stable: same-time events keep
+    /// insertion order).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| e.at);
+        sorted
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_events_by_time() {
+        let mut plan = FaultPlan::new();
+        plan.crash(SimTime::from_nanos(50), 1)
+            .flap(SimTime::from_nanos(10), 7, SimDuration::from_nanos(5))
+            .restart(SimTime::from_nanos(90), 1);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, [10, 15, 50, 90]);
+    }
+
+    #[test]
+    fn flap_emits_matched_pair() {
+        let mut plan = FaultPlan::new();
+        plan.flap(SimTime::from_nanos(100), 3, SimDuration::from_nanos(40));
+        let evs = plan.events();
+        assert_eq!(evs[0].kind, FaultKind::LinkDown { link: 3 });
+        assert_eq!(evs[1].kind, FaultKind::LinkUp { link: 3 });
+        assert_eq!(evs[1].at.as_nanos() - evs[0].at.as_nanos(), 40);
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let config = ChaosConfig {
+            crashable_nodes: vec![1, 2, 3],
+            flappable_links: vec![10, 11],
+            horizon: SimTime::from_nanos(10_000_000_000),
+            ..ChaosConfig::default()
+        };
+        let a = FaultPlan::randomized(42, &config);
+        let b = FaultPlan::randomized(42, &config);
+        let c = FaultPlan::randomized(43, &config);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn randomized_respects_window() {
+        let config = ChaosConfig {
+            start: SimTime::from_nanos(1_000),
+            horizon: SimTime::from_nanos(2_000),
+            crashable_nodes: vec![0],
+            flappable_links: vec![0],
+            node_crashes: 4,
+            link_flaps: 4,
+            loss_windows: 4,
+            loss_range: (0.05, 0.4),
+            min_outage: SimDuration::from_nanos(1),
+            max_outage: SimDuration::from_nanos(10),
+            restart_nodes: true,
+        };
+        for ev in FaultPlan::randomized(7, &config).events() {
+            assert!(ev.at.as_nanos() >= 1_000);
+            assert!(ev.at.as_nanos() < 2_020, "restorations stay near window");
+        }
+    }
+
+    #[test]
+    fn loss_windows_carry_probability_in_range() {
+        let config = ChaosConfig {
+            crashable_nodes: vec![],
+            flappable_links: vec![5],
+            node_crashes: 0,
+            link_flaps: 0,
+            loss_windows: 8,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::randomized(9, &config);
+        let mut seen = 0;
+        for ev in plan.events() {
+            if let FaultKind::LossStart { link, loss } = ev.kind {
+                assert_eq!(link, 5);
+                assert!((0.05..0.4).contains(&loss));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 8);
+    }
+}

@@ -209,6 +209,19 @@ pub trait ComponentLogic {
     /// A response to an earlier [`Outbox::call`] arrived.
     fn on_response(&mut self, out: &mut Outbox, token: u64, payload: &Payload);
 
+    /// An earlier [`Outbox::call`] failed for good: the world's
+    /// [`RetryPolicy`](crate::fault::RetryPolicy) exhausted its attempts
+    /// or deadline. `token` is the correlation token passed to `call`.
+    /// Default: the failure is swallowed (matching the old silent-drop
+    /// behaviour for components that do not opt in).
+    fn on_error(&mut self, _out: &mut Outbox, _token: u64, _error: crate::fault::InvokeError) {}
+
+    /// Peer instances were declared dead (a host crash detected by
+    /// lease expiry, or an explicit `fail_node`). Components holding
+    /// references to other instances — a coherence directory's replica
+    /// set, for example — purge them here. Default: ignore.
+    fn on_peers_retired(&mut self, _out: &mut Outbox, _peers: &[InstanceId]) {}
+
     /// A one-way message arrived.
     fn on_notify(&mut self, _out: &mut Outbox, _payload: &Payload) {}
 

@@ -30,6 +30,7 @@
 pub mod coherence;
 pub mod component;
 pub mod deploy;
+pub mod fault;
 pub mod lookup;
 pub mod registry;
 pub mod server;
@@ -40,6 +41,9 @@ pub use component::{
     Action, ComponentLogic, InstanceId, InstanceInfo, Outbox, Payload, RequestHandle,
 };
 pub use deploy::{DeployError, Deployment};
+pub use fault::{
+    DetectionMode, FailReport, InvokeError, LeaseConfig, LivenessEvent, LivenessKind, RetryPolicy,
+};
 pub use lookup::{LookupService, ServiceRegistration};
 pub use ps_trace::Tracer;
 pub use registry::{Blueprint, ComponentRegistry, Factory, FactoryArgs};
@@ -53,6 +57,7 @@ pub mod prelude {
     };
     pub use crate::component::{ComponentLogic, InstanceId, Outbox, Payload, RequestHandle};
     pub use crate::deploy::Deployment;
+    pub use crate::fault::{FailReport, InvokeError, LeaseConfig, LivenessEvent, RetryPolicy};
     pub use crate::lookup::{LookupService, ServiceRegistration};
     pub use crate::registry::{ComponentRegistry, FactoryArgs};
     pub use crate::server::{Connection, GenericServer, OneTimeCosts};

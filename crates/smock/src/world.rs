@@ -10,8 +10,14 @@
 use crate::component::{
     Action, ComponentLogic, InstanceId, InstanceInfo, Outbox, Payload, RequestHandle,
 };
+use crate::fault::{
+    DetectionMode, FailReport, InvokeError, LeaseConfig, LivenessEvent, LivenessKind, RetryPolicy,
+};
 use ps_net::{shortest_route, Network, NodeId};
-use ps_sim::{CpuModel, Engine, LinkModel, Percentiles, SimDuration, SimTime, Summary};
+use ps_sim::{
+    CpuModel, Engine, FaultKind, FaultPlan, LinkModel, Percentiles, Rng, SimDuration, SimTime,
+    Summary,
+};
 use ps_spec::{Behavior, ResolvedBindings};
 use ps_trace::Tracer;
 use std::collections::{BTreeMap, HashMap};
@@ -32,6 +38,13 @@ enum Event {
     Timer { instance: InstanceId, tag: u64 },
     /// Instance start callback.
     Start { instance: InstanceId },
+    /// The timeout armed for attempt `attempt` of request `req` elapsed.
+    RequestTimeout { req: u64, attempt: u32 },
+    /// A crashed instance's last-renewed lease ran out: the failure is
+    /// now *detected* and enters the liveness stream.
+    LeaseExpire { instance: InstanceId },
+    /// An injected fault from an installed [`FaultPlan`] fires.
+    Fault { kind: FaultKind },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +72,16 @@ struct PendingRequest {
     token: u64,
     /// Open `invoke` trace span (0 when tracing is disabled).
     span: u64,
+    /// The caller's linkage index the request went out on; retries
+    /// re-resolve the provider through it (post-replan retries then hit
+    /// the replacement instance).
+    linkage: usize,
+    /// The request payload, kept for retransmission (`Rc`-cheap).
+    payload: Payload,
+    /// 1-based attempt counter.
+    attempt: u32,
+    /// When the first attempt was sent (drives the deadline check).
+    first_issued: SimTime,
 }
 
 struct InstanceSlot {
@@ -89,6 +112,28 @@ struct State {
     /// Memoized directed hop sequences per (from, to) node pair;
     /// invalidated whenever link conditions change.
     route_cache: RouteMemo,
+    /// Host liveness (false = crashed). Distinct from the *network*'s
+    /// `up` flags: a crashed host keeps routing intact and stays
+    /// invisible to monitoring until its leases expire.
+    node_up: Vec<bool>,
+    /// Per-link message-loss probability while inside a loss window.
+    loss: Vec<Option<f64>>,
+    /// Seeded generator driving loss-window drops (see
+    /// [`World::set_fault_seed`]).
+    rng: Rng,
+    /// Invoke-path retry policy; `None` keeps the historical
+    /// silent-drop behaviour.
+    retry: Option<RetryPolicy>,
+    /// Lease parameters; `None` disables lease-based detection (crashes
+    /// are reported to the liveness stream immediately).
+    lease: Option<LeaseConfig>,
+    /// Lease grant time per instance (parallel to `instances`).
+    lease_granted: Vec<SimTime>,
+    /// Outstanding lease expiries per crashed node; the `NodeDown`
+    /// liveness event fires when the count reaches zero.
+    down_pending: HashMap<u32, usize>,
+    /// Detected-but-undrained liveness events.
+    pending_liveness: Vec<LivenessEvent>,
 }
 
 /// The simulated runtime.
@@ -111,11 +156,13 @@ impl World {
                 ]
             })
             .collect();
-        let cpus = net
+        let cpus: Vec<CpuModel> = net
             .nodes()
             .iter()
             .map(|n| CpuModel::new(n.cpu_speed))
             .collect();
+        let node_up = vec![true; net.node_count()];
+        let loss = vec![None; net.link_count()];
         World {
             engine: Engine::new(),
             state: State {
@@ -130,6 +177,14 @@ impl World {
                 metrics: BTreeMap::new(),
                 messages_sent: 0,
                 route_cache: HashMap::new(),
+                node_up,
+                loss,
+                rng: Rng::seed_from_u64(0),
+                retry: None,
+                lease: None,
+                lease_granted: Vec::new(),
+                down_pending: HashMap::new(),
+                pending_liveness: Vec::new(),
             },
         }
     }
@@ -202,6 +257,9 @@ impl World {
         start_at: SimTime,
     ) -> InstanceId {
         let id = InstanceId(self.state.instances.len() as u32);
+        // An instance placed on a crashed (undetected) host is born dead:
+        // it never processes, exactly like the host it landed on.
+        let host_down = !self.state.node_up[node.0 as usize];
         self.state.instances.push(InstanceSlot {
             info: InstanceInfo {
                 id,
@@ -213,8 +271,9 @@ impl World {
             behavior,
             logic: Some(logic),
             forward: None,
-            retired: false,
+            retired: host_down,
         });
+        self.state.lease_granted.push(start_at);
         self.engine
             .schedule_at(start_at, Event::Start { instance: id });
         id
@@ -410,23 +469,126 @@ impl World {
         (new, live_at)
     }
 
-    /// Fails a node abruptly: every instance hosted there is retired
-    /// *without* the graceful [`ComponentLogic::on_retire`] hook (a crash
-    /// ships no state), and traffic addressed to those instances is
-    /// dropped. Returns the retired instances. The node stays in the
-    /// topology (links up, conditions unchanged) — modelling a host
-    /// crash, not a partition; callers wanting the planner to avoid the
-    /// node should also strip its credentials.
-    pub fn fail_node(&mut self, node: NodeId) -> Vec<InstanceId> {
-        let mut failed = Vec::new();
-        for slot in &mut self.state.instances {
-            if slot.info.node == node && !slot.retired {
-                slot.retired = true;
-                slot.forward = None;
-                failed.push(slot.info.id);
-            }
+    /// Installs the invoke-path retry policy: outstanding requests arm
+    /// virtual-time timeouts, expired attempts are retransmitted with
+    /// backoff, and exhausted requests surface as
+    /// [`ComponentLogic::on_error`] calls instead of silent drops.
+    pub fn enable_retry(&mut self, policy: RetryPolicy) {
+        self.state.retry = Some(policy);
+    }
+
+    /// Enables lease-based failure detection: a crashed host's instances
+    /// are declared dead when their last-renewed lease expires — at most
+    /// `heartbeat + duration` after the crash — rather than immediately.
+    pub fn enable_leases(&mut self, config: LeaseConfig) {
+        self.state.lease = Some(config);
+    }
+
+    /// The active lease config, if any.
+    pub fn lease_config(&self) -> Option<LeaseConfig> {
+        self.state.lease
+    }
+
+    /// Seeds the generator behind probabilistic faults (loss windows).
+    /// Runs with equal seeds, workloads, and fault plans replay
+    /// byte-identically.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.state.rng = Rng::seed_from_u64(seed);
+    }
+
+    /// Schedules every event of a [`FaultPlan`] onto the engine; the
+    /// faults then fire interleaved with regular traffic.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.engine
+                .schedule_at(ev.at, Event::Fault { kind: ev.kind });
         }
-        failed
+    }
+
+    /// Whether the host is up (false between a crash and a restart).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.state.node_up[node.0 as usize]
+    }
+
+    /// Drains the liveness events detected since the last call (lease
+    /// expiries, node restarts, link transitions). The framework layer
+    /// converts them into `ps-monitor` network changes.
+    pub fn take_liveness_events(&mut self) -> Vec<LivenessEvent> {
+        std::mem::take(&mut self.state.pending_liveness)
+    }
+
+    /// Crashes a host: every instance there halts immediately (no
+    /// graceful [`ComponentLogic::on_retire`] — a crash ships no state)
+    /// and messages to and from it are dropped. Routing stays intact and
+    /// the network's `up` flag is untouched: a silently-dead host is
+    /// invisible to monitoring until leases expire (or immediately, when
+    /// leases are disabled). Returns the instances killed.
+    pub fn crash_node(&mut self, node: NodeId) -> Vec<InstanceId> {
+        crash_node_inner(&mut self.engine, &mut self.state, node)
+    }
+
+    /// Restarts a crashed host: the node accepts deployments and routes
+    /// again (clearing any quarantine), and a `NodeUp` liveness event is
+    /// emitted. Killed instances stay dead — recovery means re-planning
+    /// onto the restarted capacity, not resurrecting lost state.
+    pub fn restart_node(&mut self, node: NodeId) {
+        restart_node_inner(&mut self.engine, &mut self.state, node);
+    }
+
+    /// Marks a detected-dead node down in the *network* graph, so routes
+    /// avoid it and the planner stops placing components there. This is
+    /// the healer's acknowledgement of a lease-detected crash; it bumps
+    /// the network epoch, invalidating route tables and plan caches.
+    pub fn quarantine_node(&mut self, node: NodeId) {
+        self.state.net.set_node_up(node, false);
+        self.state.route_cache.clear();
+    }
+
+    /// Takes a link down or brings it back up. Unlike a host crash this
+    /// is immediately visible (the network's `up` flag flips, as a
+    /// Remos-style monitor would report), emits a liveness event, and
+    /// drops in-flight traffic on the link while it is down.
+    pub fn set_link_state(&mut self, link: ps_net::LinkId, up: bool) {
+        set_link_state_inner(&mut self.engine, &mut self.state, link, up);
+    }
+
+    /// Starts (`Some(p)`) or ends (`None`) a message-loss window on a
+    /// link: while active, each message entering the link is dropped
+    /// independently with probability `p` (drawn from the seeded fault
+    /// generator).
+    pub fn set_link_loss(&mut self, link: ps_net::LinkId, loss: Option<f64>) {
+        self.state.loss[link.0 as usize] = loss;
+    }
+
+    /// Fails a node abruptly and reports what happened: the typed
+    /// [`FailReport`] lists the retired instances and how detection
+    /// reaches the liveness stream, and surviving instances get their
+    /// [`ComponentLogic::on_peers_retired`] hook (so coherence
+    /// directories purge dead replicas at once on this manual path).
+    /// The framework layer additionally purges lookup registrations
+    /// homed on the node.
+    pub fn fail_node(&mut self, node: NodeId) -> FailReport {
+        let at = self.now();
+        let failed = crash_node_inner(&mut self.engine, &mut self.state, node);
+        let detection = match (self.state.lease, failed.is_empty()) {
+            (Some(lease), false) => {
+                // With leases active the crash path defers notification
+                // to lease expiry; the manual API notifies now as well
+                // (the later lease-driven pass is idempotent).
+                notify_survivors(&mut self.engine, &mut self.state, &failed);
+                DetectionMode::Leased {
+                    detected_by: at + lease.max_detection_latency(),
+                }
+            }
+            _ => DetectionMode::Immediate,
+        };
+        FailReport {
+            node,
+            at,
+            retired: failed,
+            detection,
+            lookup_purged: Vec::new(),
+        }
     }
 
     /// Retires an instance: its [`ComponentLogic::on_retire`] hook runs
@@ -470,9 +632,17 @@ impl World {
 fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
     match event {
         Event::Start { instance } => {
+            // Crashed (or already-retired) instances never start.
+            if state.instances[instance.0 as usize].retired {
+                return;
+            }
             dispatch(engine, state, instance, |logic, out| logic.on_start(out));
         }
         Event::Timer { instance, tag } => {
+            // Timers die with their instance.
+            if state.instances[instance.0 as usize].retired {
+                return;
+            }
             dispatch(engine, state, instance, |logic, out| {
                 logic.on_timer(out, tag)
             });
@@ -486,6 +656,37 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
             else {
                 return;
             };
+            // A downed link, a crashed endpoint host, or an active loss
+            // window kills the message at this hop.
+            let l = state.net.link(link);
+            let endpoints_up =
+                state.node_up[l.a.0 as usize] && state.node_up[l.b.0 as usize] && l.up;
+            let lossy = match state.loss[link.0 as usize] {
+                Some(p) => state.rng.chance(p),
+                None => false,
+            };
+            if !endpoints_up || lossy {
+                let env = state.envelopes.remove(&msg).expect("envelope exists");
+                engine.tracer().count(
+                    if lossy && endpoints_up {
+                        "world.loss_drops"
+                    } else {
+                        "world.drops"
+                    },
+                    1,
+                );
+                engine.tracer().instant(
+                    "smock.world",
+                    "drop",
+                    now.as_nanos(),
+                    vec![
+                        ("from", env.from.0.into()),
+                        ("to", env.to.0.into()),
+                        ("link", link.0.into()),
+                    ],
+                );
+                return;
+            }
             let arrival = state.links[link.0 as usize][dir as usize].transmit(now, bytes);
             let env = state.envelopes.get_mut(&msg).expect("envelope exists");
             env.hop += 1;
@@ -610,6 +811,322 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
                 }
             }
         }
+        Event::RequestTimeout { req, attempt } => {
+            handle_request_timeout(engine, state, req, attempt);
+        }
+        Event::LeaseExpire { instance } => {
+            handle_lease_expire(engine, state, instance);
+        }
+        Event::Fault { kind } => {
+            apply_fault(engine, state, kind);
+        }
+    }
+}
+
+/// A request's per-attempt timeout elapsed: retransmit with backoff, or
+/// exhaust the policy and deliver a typed error to the caller.
+fn handle_request_timeout(engine: &mut Engine<Event>, state: &mut State, req: u64, attempt: u32) {
+    let Some(pending) = state.pending.get(&req) else {
+        return; // The response arrived; the timeout is stale.
+    };
+    if pending.attempt != attempt {
+        return; // A newer attempt re-armed its own timeout.
+    }
+    let Some(policy) = state.retry.clone() else {
+        return;
+    };
+    let now = engine.now();
+    let caller = pending.caller;
+    let deadline_hit = policy
+        .deadline
+        .is_some_and(|d| now.since(pending.first_issued) >= d);
+    let caller_dead = state.instances[caller.0 as usize].retired;
+    if caller_dead || attempt >= policy.max_attempts || deadline_hit {
+        let pending = state.pending.remove(&req).expect("checked above");
+        engine.tracer().exit_span(
+            "smock.world",
+            "invoke",
+            pending.span,
+            now.as_nanos(),
+            vec![(
+                "error",
+                if deadline_hit { "deadline" } else { "timeout" }.into(),
+            )],
+        );
+        if caller_dead {
+            return; // Nobody left to tell.
+        }
+        engine.tracer().count("world.invoke_failures", 1);
+        let error = if deadline_hit {
+            InvokeError::DeadlineExceeded { attempts: attempt }
+        } else {
+            InvokeError::TimedOut { attempts: attempt }
+        };
+        let token = pending.token;
+        dispatch(engine, state, caller, |logic, out| {
+            logic.on_error(out, token, error)
+        });
+        return;
+    }
+    // Retry: re-resolve the provider through the caller's *current*
+    // linkage (a re-plan may have rewired it) and retransmit.
+    let pending = state.pending.get_mut(&req).expect("checked above");
+    pending.attempt = attempt + 1;
+    let linkage = pending.linkage;
+    let payload = pending.payload.clone();
+    let Some(&provider) = state.instances[caller.0 as usize]
+        .info
+        .linkages
+        .get(linkage)
+    else {
+        return; // Rewired to fewer linkages; the request dies quietly.
+    };
+    engine.tracer().count("world.retries", 1);
+    engine.tracer().instant(
+        "smock.world",
+        "retry",
+        now.as_nanos(),
+        vec![
+            ("req", req.into()),
+            ("attempt", (attempt + 1).into()),
+            ("to", provider.0.into()),
+        ],
+    );
+    send(
+        engine,
+        state,
+        caller,
+        provider,
+        Kind::Request { req },
+        payload,
+    );
+    let next_timeout = policy.timeout_for_attempt(attempt + 1);
+    engine.schedule(
+        next_timeout,
+        Event::RequestTimeout {
+            req,
+            attempt: attempt + 1,
+        },
+    );
+}
+
+/// A crashed instance's lease ran out: the failure becomes visible.
+/// Emits the `InstanceDown` liveness event (plus `NodeDown` once the
+/// node's last lease expires) and notifies surviving instances so they
+/// can purge references to the dead peer.
+fn handle_lease_expire(engine: &mut Engine<Event>, state: &mut State, instance: InstanceId) {
+    let slot = &state.instances[instance.0 as usize];
+    if !slot.retired {
+        return; // Lease was renewed (instance alive) — spurious expiry.
+    }
+    let node = slot.info.node;
+    let now = engine.now();
+    engine.tracer().count("world.lease_expiries", 1);
+    engine.tracer().instant(
+        "smock.world",
+        "lease_expire",
+        now.as_nanos(),
+        vec![("instance", instance.0.into()), ("node", node.0.into())],
+    );
+    state.pending_liveness.push(LivenessEvent {
+        at: now,
+        kind: LivenessKind::InstanceDown { instance, node },
+    });
+    if let Some(remaining) = state.down_pending.get_mut(&node.0) {
+        *remaining -= 1;
+        if *remaining == 0 {
+            state.down_pending.remove(&node.0);
+            state.pending_liveness.push(LivenessEvent {
+                at: now,
+                kind: LivenessKind::NodeDown { node },
+            });
+        }
+    }
+    notify_survivors(engine, state, &[instance]);
+}
+
+/// Applies one injected fault from an installed [`FaultPlan`].
+fn apply_fault(engine: &mut Engine<Event>, state: &mut State, kind: FaultKind) {
+    engine.tracer().count("world.faults", 1);
+    let (label, subject) = match kind {
+        FaultKind::NodeCrash { node } => ("node_crash", node),
+        FaultKind::NodeRestart { node } => ("node_restart", node),
+        FaultKind::LinkDown { link } => ("link_down", link),
+        FaultKind::LinkUp { link } => ("link_up", link),
+        FaultKind::LossStart { link, .. } => ("loss_start", link),
+        FaultKind::LossEnd { link } => ("loss_end", link),
+    };
+    engine.tracer().instant(
+        "smock.world",
+        "fault",
+        engine.now().as_nanos(),
+        vec![("kind", label.into()), ("subject", subject.into())],
+    );
+    match kind {
+        FaultKind::NodeCrash { node } => {
+            crash_node_inner(engine, state, NodeId(node));
+        }
+        FaultKind::NodeRestart { node } => {
+            restart_node_inner(engine, state, NodeId(node));
+        }
+        FaultKind::LinkDown { link } => {
+            set_link_state_inner(engine, state, ps_net::LinkId(link), false);
+        }
+        FaultKind::LinkUp { link } => {
+            set_link_state_inner(engine, state, ps_net::LinkId(link), true);
+        }
+        FaultKind::LossStart { link, loss } => {
+            state.loss[link as usize] = Some(loss);
+        }
+        FaultKind::LossEnd { link } => {
+            state.loss[link as usize] = None;
+        }
+    }
+}
+
+/// The crash itself: instances halt now; detection is deferred to lease
+/// expiry when leases are active, otherwise reported immediately.
+fn crash_node_inner(
+    engine: &mut Engine<Event>,
+    state: &mut State,
+    node: NodeId,
+) -> Vec<InstanceId> {
+    if !state.node_up[node.0 as usize] {
+        return Vec::new(); // Already down.
+    }
+    state.node_up[node.0 as usize] = false;
+    let now = engine.now();
+    let mut failed = Vec::new();
+    for slot in &mut state.instances {
+        if slot.info.node == node && !slot.retired {
+            slot.retired = true;
+            slot.forward = None;
+            failed.push(slot.info.id);
+        }
+    }
+    engine.tracer().count("world.crashes", 1);
+    engine.tracer().instant(
+        "smock.world",
+        "crash",
+        now.as_nanos(),
+        vec![("node", node.0.into()), ("instances", failed.len().into())],
+    );
+    // Requests the dead instances had outstanding can never be answered
+    // usefully: close their invoke spans and drop the bookkeeping.
+    let mut orphaned: Vec<u64> = state
+        .pending
+        .iter()
+        .filter(|(_, p)| failed.contains(&p.caller))
+        .map(|(&req, _)| req)
+        .collect();
+    // Hash-map order is not deterministic; sort so traces replay
+    // byte-identically.
+    orphaned.sort_unstable();
+    for req in orphaned {
+        let pending = state.pending.remove(&req).expect("just listed");
+        engine.tracer().exit_span(
+            "smock.world",
+            "invoke",
+            pending.span,
+            now.as_nanos(),
+            vec![("error", "caller_crashed".into())],
+        );
+    }
+    match state.lease {
+        Some(lease) if !failed.is_empty() => {
+            // Lazy lease accounting: the instance renewed every
+            // `heartbeat` since its grant while the host was up, so its
+            // last renewal precedes the crash by less than one heartbeat
+            // and detection lands at `last_renewal + duration`.
+            state.down_pending.insert(node.0, failed.len());
+            for &id in &failed {
+                let granted = state.lease_granted[id.0 as usize];
+                let hb = lease.heartbeat.as_nanos().max(1);
+                let elapsed = now.since(granted).as_nanos();
+                let last_renewal = granted + SimDuration::from_nanos(elapsed / hb * hb);
+                let expiry = (last_renewal + lease.duration).max(now);
+                engine.schedule_at(expiry, Event::LeaseExpire { instance: id });
+            }
+        }
+        _ => {
+            for &id in &failed {
+                state.pending_liveness.push(LivenessEvent {
+                    at: now,
+                    kind: LivenessKind::InstanceDown { instance: id, node },
+                });
+            }
+            if !failed.is_empty() {
+                state.pending_liveness.push(LivenessEvent {
+                    at: now,
+                    kind: LivenessKind::NodeDown { node },
+                });
+                notify_survivors(engine, state, &failed);
+            }
+        }
+    }
+    failed
+}
+
+/// Brings a crashed host back: capacity returns (and any quarantine is
+/// lifted), but killed instances stay dead.
+fn restart_node_inner(engine: &mut Engine<Event>, state: &mut State, node: NodeId) {
+    if state.node_up[node.0 as usize] && state.net.node(node).up {
+        return;
+    }
+    state.node_up[node.0 as usize] = true;
+    state.net.set_node_up(node, true);
+    state.route_cache.clear();
+    state.down_pending.remove(&node.0);
+    let now = engine.now();
+    engine.tracer().instant(
+        "smock.world",
+        "restart",
+        now.as_nanos(),
+        vec![("node", node.0.into())],
+    );
+    state.pending_liveness.push(LivenessEvent {
+        at: now,
+        kind: LivenessKind::NodeUp { node },
+    });
+}
+
+/// Flips a link's up flag in the network (immediately visible to
+/// monitoring) and records the liveness event.
+fn set_link_state_inner(
+    engine: &mut Engine<Event>,
+    state: &mut State,
+    link: ps_net::LinkId,
+    up: bool,
+) {
+    if state.net.link(link).up == up {
+        return;
+    }
+    state.net.set_link_up(link, up);
+    state.route_cache.clear();
+    state.pending_liveness.push(LivenessEvent {
+        at: engine.now(),
+        kind: if up {
+            LivenessKind::LinkUp { link }
+        } else {
+            LivenessKind::LinkDown { link }
+        },
+    });
+}
+
+/// Runs `on_peers_retired` on every surviving instance so components
+/// holding references to the dead peers (coherence directories, replica
+/// sets) purge them.
+fn notify_survivors(engine: &mut Engine<Event>, state: &mut State, dead: &[InstanceId]) {
+    let survivors: Vec<InstanceId> = state
+        .instances
+        .iter()
+        .filter(|s| !s.retired)
+        .map(|s| s.info.id)
+        .collect();
+    for id in survivors {
+        dispatch(engine, state, id, |logic, out| {
+            logic.on_peers_retired(out, dead)
+        });
     }
 }
 
@@ -683,8 +1200,18 @@ fn apply_actions(
                         caller: instance,
                         token,
                         span,
+                        linkage,
+                        payload: payload.clone(),
+                        attempt: 1,
+                        first_issued: engine.now(),
                     },
                 );
+                if let Some(policy) = &state.retry {
+                    engine.schedule(
+                        policy.timeout_for_attempt(1),
+                        Event::RequestTimeout { req, attempt: 1 },
+                    );
+                }
                 send(
                     engine,
                     state,
@@ -1169,5 +1696,278 @@ mod migration_tests {
         let before = world.now();
         let (_new, live_at) = world.migrate(server, c);
         assert_eq!(live_at, before, "same-node migration costs nothing");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{InvokeError, LeaseConfig, LivenessKind, RetryPolicy};
+    use ps_net::Credentials;
+    use ps_sim::FaultPlan;
+
+    struct Echo;
+    impl ComponentLogic for Echo {
+        fn on_request(&mut self, out: &mut Outbox, req: RequestHandle, payload: &Payload) {
+            out.reply(req, payload.clone());
+        }
+        fn on_response(&mut self, _o: &mut Outbox, _t: u64, _p: &Payload) {}
+    }
+
+    /// Sends one request at start; records replies, errors, and dead
+    /// peers it is told about.
+    struct Probe {
+        replies: u64,
+        errors: Vec<InvokeError>,
+        dead_peers: Vec<InstanceId>,
+    }
+    impl Probe {
+        fn new() -> Self {
+            Probe {
+                replies: 0,
+                errors: Vec::new(),
+                dead_peers: Vec::new(),
+            }
+        }
+    }
+    impl ComponentLogic for Probe {
+        fn on_start(&mut self, out: &mut Outbox) {
+            if out.linkage_count() > 0 {
+                out.call(0, Payload::new((), 1_000), 7);
+            }
+        }
+        fn on_request(&mut self, _o: &mut Outbox, _r: RequestHandle, _p: &Payload) {}
+        fn on_response(&mut self, _o: &mut Outbox, token: u64, _p: &Payload) {
+            assert_eq!(token, 7);
+            self.replies += 1;
+        }
+        fn on_error(&mut self, _o: &mut Outbox, _token: u64, error: InvokeError) {
+            self.errors.push(error);
+        }
+        fn on_peers_retired(&mut self, _o: &mut Outbox, peers: &[InstanceId]) {
+            self.dead_peers.extend_from_slice(peers);
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn probe_world(latency_ms: u64) -> (World, InstanceId, InstanceId) {
+        let mut net = Network::new();
+        let a = net.add_node("a", "s", 1.0, Credentials::new());
+        let b = net.add_node("b", "t", 1.0, Credentials::new());
+        net.add_link(
+            a,
+            b,
+            SimDuration::from_millis(latency_ms),
+            1e8,
+            Credentials::new(),
+        );
+        let mut world = World::new(net);
+        let server = world.instantiate(
+            "Echo",
+            b,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Echo),
+            SimTime::ZERO,
+        );
+        let client = world.instantiate(
+            "Probe",
+            a,
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Probe::new()),
+            SimTime::ZERO,
+        );
+        world.wire(client, vec![server]);
+        (world, client, server)
+    }
+
+    fn probe(world: &mut World, id: InstanceId) -> &Probe {
+        world
+            .logic_mut(id)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Probe>()
+            .unwrap()
+    }
+
+    #[test]
+    fn lease_expiry_detects_crash_at_deterministic_time() {
+        let (mut world, _client, server) = probe_world(10);
+        world.enable_leases(LeaseConfig {
+            duration: SimDuration::from_secs(2),
+            heartbeat: SimDuration::from_millis(500),
+        });
+        world.run();
+        world.run_until(SimTime::from_nanos(3_200_000_000));
+        world.crash_node(NodeId(1));
+        assert!(!world.node_is_up(NodeId(1)));
+        assert!(world.is_retired(server), "crash halts instances at once");
+        assert!(
+            world.take_liveness_events().is_empty(),
+            "detection is deferred until the lease runs out"
+        );
+        world.run();
+        // Last renewal at 3.0 s (heartbeats every 0.5 s), + 2 s lease.
+        assert_eq!(world.now(), SimTime::from_nanos(5_000_000_000));
+        let events = world.take_liveness_events();
+        assert!(events.iter().any(|e| e.kind
+            == LivenessKind::InstanceDown {
+                instance: server,
+                node: NodeId(1)
+            }
+            && e.at == SimTime::from_nanos(5_000_000_000)));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == LivenessKind::NodeDown { node: NodeId(1) }));
+    }
+
+    #[test]
+    fn retry_resends_through_a_loss_window() {
+        let (mut world, client, _server) = probe_world(10);
+        world.enable_retry(RetryPolicy {
+            max_attempts: 3,
+            timeout: SimDuration::from_secs(1),
+            backoff_multiplier: 2.0,
+            deadline: None,
+        });
+        // Drop everything for the first 500 ms; the 1 s timeout retries
+        // into the clear window.
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::ZERO, 0, 1.0, SimDuration::from_millis(500));
+        world.install_fault_plan(&plan);
+        world.run();
+        let p = probe(&mut world, client);
+        assert_eq!(p.replies, 1, "the retry completed the request");
+        assert!(p.errors.is_empty());
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_typed_error() {
+        let (mut world, client, server) = probe_world(10);
+        world.enable_retry(RetryPolicy {
+            max_attempts: 2,
+            timeout: SimDuration::from_millis(100),
+            backoff_multiplier: 2.0,
+            deadline: None,
+        });
+        world.crash_node(NodeId(1));
+        world.run();
+        let now = world.now();
+        let p = probe(&mut world, client);
+        assert_eq!(p.replies, 0);
+        assert_eq!(p.errors, vec![InvokeError::TimedOut { attempts: 2 }]);
+        assert!(p.dead_peers.contains(&server), "survivors were notified");
+        // 100 ms first timeout + 200 ms backed-off second.
+        assert_eq!(now, SimTime::from_nanos(300_000_000));
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short() {
+        let (mut world, client, _server) = probe_world(10);
+        world.enable_retry(RetryPolicy {
+            max_attempts: 10,
+            timeout: SimDuration::from_millis(100),
+            backoff_multiplier: 1.0,
+            deadline: Some(SimDuration::from_millis(250)),
+        });
+        world.crash_node(NodeId(1));
+        world.run();
+        let p = probe(&mut world, client);
+        assert_eq!(p.errors.len(), 1);
+        assert!(matches!(
+            p.errors[0],
+            InvokeError::DeadlineExceeded { attempts: 3 }
+        ));
+    }
+
+    #[test]
+    fn fail_node_returns_typed_report() {
+        let (mut world, client, server) = probe_world(10);
+        world.run();
+        let report = world.fail_node(NodeId(1));
+        assert_eq!(report.node, NodeId(1));
+        assert_eq!(report.retired, vec![server]);
+        assert!(matches!(report.detection, DetectionMode::Immediate));
+        assert!(report.lookup_purged.is_empty());
+        // Survivors learned about the dead peer synchronously.
+        let p = probe(&mut world, client);
+        assert_eq!(p.dead_peers, vec![server]);
+        // Failing again is a no-op.
+        assert!(world.fail_node(NodeId(1)).retired.is_empty());
+    }
+
+    #[test]
+    fn restart_emits_node_up_and_accepts_new_instances() {
+        let (mut world, _client, server) = probe_world(10);
+        world.run();
+        world.crash_node(NodeId(1));
+        world.restart_node(NodeId(1));
+        let events = world.take_liveness_events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == LivenessKind::NodeUp { node: NodeId(1) }));
+        assert!(world.node_is_up(NodeId(1)));
+        assert!(world.is_retired(server), "old instances stay dead");
+        // A fresh instance on the restarted node serves again.
+        let now = world.now();
+        let server2 = world.instantiate(
+            "Echo",
+            NodeId(1),
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Echo),
+            now,
+        );
+        let client2 = world.instantiate(
+            "Probe",
+            NodeId(0),
+            ResolvedBindings::new(),
+            Behavior::new(),
+            Box::new(Probe::new()),
+            now,
+        );
+        world.wire(client2, vec![server2]);
+        world.run();
+        assert_eq!(probe(&mut world, client2).replies, 1);
+    }
+
+    #[test]
+    fn link_down_drops_traffic_and_emits_liveness() {
+        let (mut world, client, _server) = probe_world(10);
+        world.set_link_state(ps_net::LinkId(0), false);
+        let events = world.take_liveness_events();
+        assert!(events.iter().any(|e| e.kind
+            == LivenessKind::LinkDown {
+                link: ps_net::LinkId(0)
+            }));
+        assert!(!world.network().link(ps_net::LinkId(0)).up);
+        world.run();
+        assert_eq!(probe(&mut world, client).replies, 0, "no path, no reply");
+    }
+
+    #[test]
+    fn fault_plan_replays_identically() {
+        let run = |seed: u64| {
+            let (mut world, client, _server) = probe_world(10);
+            world.set_fault_seed(seed);
+            world.enable_retry(RetryPolicy {
+                max_attempts: 5,
+                timeout: SimDuration::from_millis(200),
+                backoff_multiplier: 1.5,
+                deadline: None,
+            });
+            let mut plan = FaultPlan::new();
+            plan.loss_window(SimTime::ZERO, 0, 0.5, SimDuration::from_millis(600));
+            world.install_fault_plan(&plan);
+            world.run();
+            let events = world.events_processed();
+            let messages = world.messages_sent();
+            let p = probe(&mut world, client);
+            (events, messages, p.replies, p.errors.clone())
+        };
+        assert_eq!(run(42), run(42), "same seed, same outcome");
     }
 }

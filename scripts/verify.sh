@@ -35,4 +35,11 @@ echo "==> trace determinism: two identical runs, byte-identical JSONL"
 cargo run --release -q -p ps-bench --bin trace_report -- "$tmpdir/trace2.jsonl" > /dev/null
 cmp "$tmpdir/trace1.jsonl" "$tmpdir/trace2.jsonl"
 
+echo "==> chaos smoke: chaos_recovery (writes BENCH_chaos.json)"
+cargo run --release -q -p ps-bench --bin chaos_recovery -- 42 "$tmpdir/chaos1.jsonl"
+
+echo "==> chaos determinism: two same-seed runs, byte-identical JSONL"
+cargo run --release -q -p ps-bench --bin chaos_recovery -- 42 "$tmpdir/chaos2.jsonl" > /dev/null
+cmp "$tmpdir/chaos1.jsonl" "$tmpdir/chaos2.jsonl"
+
 echo "==> verify OK"

@@ -1,0 +1,209 @@
+//! Seeded fault-injection properties over the mail case study:
+//!
+//! * any single node crash leaves every managed connection either
+//!   automatically recovered (driver finishes) or cleanly abandoned
+//!   (the client's own host died) — never silently hung;
+//! * any single link failure is survived by every connection;
+//! * two chaos-bench runs with the same seed produce byte-identical
+//!   artifacts (the determinism contract behind `BENCH_chaos.json`).
+
+use partitionable_services::core::Framework;
+use partitionable_services::mail::spec::names::*;
+use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
+use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
+use partitionable_services::net::casestudy::default_case_study;
+use partitionable_services::net::{LinkId, NodeId};
+use partitionable_services::planner::ServiceRequest;
+use partitionable_services::sim::{FaultPlan, SimDuration, SimTime};
+use partitionable_services::smock::{
+    CoherencePolicy, InstanceId, LeaseConfig, RetryPolicy, ServiceRegistration,
+};
+use partitionable_services::spec::Behavior;
+use ps_bench::chaos::{outcome_json, run_chaos, ChaosBenchConfig};
+
+enum Fault {
+    Crash(NodeId),
+    LinkDown(LinkId),
+}
+
+const FAULT_AT_NS: u64 = 20_000_000;
+
+struct ScenarioEnd {
+    sd_abandoned: bool,
+    sea_abandoned: bool,
+    sd_done: bool,
+    sea_done: bool,
+}
+
+/// Runs the two-client mail workload under one injected fault, healing
+/// every 500 ms of virtual time, then drains the world completely.
+fn run_fault_scenario(fault: &Fault, seed: u64) -> ScenarioEnd {
+    let cs = default_case_study();
+    let mut fw = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    register_mail_components(
+        &mut fw.server.registry,
+        Keyring::new(5),
+        CoherencePolicy::CountLimit(50),
+    );
+    fw.register_service(ServiceRegistration::new(mail_spec()).home_node(cs.mail_server));
+    fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .unwrap();
+    fw.world.enable_retry(RetryPolicy::default());
+    fw.world.enable_leases(LeaseConfig::default());
+    fw.world.set_fault_seed(seed);
+
+    let connect = |fw: &mut Framework, node: NodeId, trust: i64| {
+        let request = ServiceRequest::new(CLIENT_INTERFACE, node)
+            .rate(10.0)
+            .pin(MAIL_SERVER, cs.mail_server)
+            .origin(cs.mail_server)
+            .require("TrustLevel", trust);
+        let conn = fw.connect("mail", &request).unwrap();
+        let root = conn.root;
+        let handle = fw.manage("mail", request, conn);
+        (root, handle)
+    };
+    let (sd_root, sd_handle) = connect(&mut fw, cs.sd_client, 4);
+    let (sea_root, sea_handle) = connect(&mut fw, cs.seattle_client, 1);
+
+    let spawn = |fw: &mut Framework, node: NodeId, root: InstanceId, base: u64| {
+        let driver = ClusterDriver::new(ClusterConfig {
+            sends: 30,
+            receives: 3,
+            ..ClusterConfig::paper("alice", "bob", base)
+        });
+        let id = fw.world.instantiate(
+            "driver",
+            node,
+            Default::default(),
+            Behavior::new(),
+            Box::new(driver),
+            SimTime::ZERO,
+        );
+        fw.world.wire(id, vec![root]);
+        id
+    };
+    let sd_driver = spawn(&mut fw, cs.sd_client, sd_root, 1 << 40);
+    let sea_driver = spawn(&mut fw, cs.seattle_client, sea_root, 2 << 40);
+
+    let fault_at = SimTime::from_nanos(FAULT_AT_NS);
+    let mut plan = FaultPlan::new();
+    match fault {
+        Fault::Crash(node) => plan.crash(fault_at, node.0),
+        Fault::LinkDown(link) => plan.link_down(fault_at, link.0),
+    };
+    fw.world.install_fault_plan(&plan);
+
+    let mut now = fault_at;
+    let deadline = SimTime::from_nanos(60_000_000_000);
+    while now < deadline {
+        now += SimDuration::from_millis(500);
+        fw.run_until(now);
+        fw.heal();
+    }
+    fw.run();
+    fw.heal();
+
+    let done = |fw: &mut Framework, id: InstanceId| {
+        fw.world
+            .logic_mut(id)
+            .as_any()
+            .and_then(|a| a.downcast_ref::<ClusterDriver>())
+            .is_some_and(|d| d.is_done())
+    };
+    ScenarioEnd {
+        sd_abandoned: fw.managed_connection(sd_handle).is_none(),
+        sea_abandoned: fw.managed_connection(sea_handle).is_none(),
+        sd_done: done(&mut fw, sd_driver),
+        sea_done: done(&mut fw, sea_driver),
+    }
+}
+
+#[test]
+fn any_single_node_crash_recovers_or_cleanly_abandons() {
+    let cs = default_case_study();
+    for index in 0..cs.network.node_count() {
+        let node = NodeId(index as u32);
+        let end = run_fault_scenario(&Fault::Crash(node), 17 + index as u64);
+
+        // A connection is abandoned exactly when its own client host
+        // died; every other connection must finish its workload.
+        assert_eq!(
+            end.sd_abandoned,
+            node == cs.sd_client,
+            "SD abandonment after crashing node {node}"
+        );
+        assert_eq!(
+            end.sea_abandoned,
+            node == cs.seattle_client,
+            "Seattle abandonment after crashing node {node}"
+        );
+        if node != cs.sd_client {
+            assert!(end.sd_done, "SD workload hung after crashing node {node}");
+        }
+        if node != cs.seattle_client {
+            assert!(
+                end.sea_done,
+                "Seattle workload hung after crashing node {node}"
+            );
+        }
+    }
+}
+
+#[test]
+fn any_single_link_failure_is_survived() {
+    let cs = default_case_study();
+    for link in cs.network.links() {
+        let end = run_fault_scenario(&Fault::LinkDown(link.id), 170 + u64::from(link.id.0));
+        assert!(!end.sd_abandoned, "SD abandoned after link {:?}", link.id);
+        assert!(
+            !end.sea_abandoned,
+            "Seattle abandoned after link {:?}",
+            link.id
+        );
+        assert!(
+            end.sd_done,
+            "SD workload hung after link {:?} failed",
+            link.id
+        );
+        assert!(
+            end.sea_done,
+            "Seattle workload hung after link {:?} failed",
+            link.id
+        );
+    }
+}
+
+#[test]
+fn same_seed_chaos_runs_produce_identical_artifacts() {
+    let config = ChaosBenchConfig {
+        seed: 23,
+        crash_at: SimTime::from_nanos(50_000_000),
+        seattle_ops: (60, 5),
+        sd_ops: (60, 5),
+        ..ChaosBenchConfig::default()
+    };
+    let (tracer_a, sink_a) = partitionable_services::trace::Tracer::memory();
+    let (tracer_b, sink_b) = partitionable_services::trace::Tracer::memory();
+    let a = run_chaos(&config, &tracer_a);
+    let b = run_chaos(&config, &tracer_b);
+    assert_eq!(
+        outcome_json(&a),
+        outcome_json(&b),
+        "BENCH_chaos.json must be byte-identical for one seed"
+    );
+    assert_eq!(
+        sink_a.to_jsonl(),
+        sink_b.to_jsonl(),
+        "trace JSONL must be byte-identical for one seed"
+    );
+
+    // A different seed perturbs the workload and fault draws.
+    let other = ChaosBenchConfig { seed: 24, ..config };
+    let c = run_chaos(&other, &partitionable_services::trace::Tracer::disabled());
+    assert_ne!(outcome_json(&a), outcome_json(&c));
+}

@@ -1,7 +1,9 @@
-//! Fault handling (the paper lists it as a required integration for "a
-//! complete practical system"): a host crash kills the cache replica;
-//! the next connection re-plans around the dead instances and service
-//! resumes on a surviving machine.
+//! Fault handling across the stack: a host crash is *detected* by
+//! lease expiry, the healer quarantines the node and automatically
+//! re-plans the surviving connections (no manual `connect`), and the
+//! workload completes on the replacement chain. A second test guards
+//! the manual [`Framework::fail_node`] path, which retires instances
+//! and reports a typed [`FailReport`] immediately.
 
 use partitionable_services::core::Framework;
 use partitionable_services::mail::spec::names::*;
@@ -9,11 +11,13 @@ use partitionable_services::mail::workload::{ClusterConfig, ClusterDriver};
 use partitionable_services::mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use partitionable_services::net::casestudy::default_case_study;
 use partitionable_services::planner::ServiceRequest;
-use partitionable_services::smock::{CoherencePolicy, ServiceRegistration};
+use partitionable_services::sim::{FaultPlan, SimDuration, SimTime};
+use partitionable_services::smock::{
+    CoherencePolicy, DetectionMode, LeaseConfig, RetryPolicy, ServiceRegistration,
+};
 use partitionable_services::spec::Behavior;
 
-#[test]
-fn crashed_cache_host_is_replanned_around() {
+fn mail_framework() -> (partitionable_services::net::CaseStudy, Framework) {
     let cs = default_case_study();
     let mut fw = Framework::new(
         cs.network.clone(),
@@ -25,9 +29,129 @@ fn crashed_cache_host_is_replanned_around() {
         Keyring::new(31),
         CoherencePolicy::CountLimit(5),
     );
-    fw.register_service(ServiceRegistration::new(mail_spec()));
+    fw.register_service(ServiceRegistration::new(mail_spec()).home_node(cs.mail_server));
     fw.install_primary("mail", MAIL_SERVER, cs.mail_server)
         .unwrap();
+    (cs, fw)
+}
+
+fn spawn_driver(
+    fw: &mut Framework,
+    node: partitionable_services::net::NodeId,
+    root: partitionable_services::smock::InstanceId,
+    id_base: u64,
+    at: SimTime,
+) -> partitionable_services::smock::InstanceId {
+    let driver = ClusterDriver::new(ClusterConfig {
+        sends: 30,
+        receives: 3,
+        ..ClusterConfig::paper("alice", "bob", id_base)
+    });
+    let id = fw.world.instantiate(
+        "driver",
+        node,
+        Default::default(),
+        Behavior::new(),
+        Box::new(driver),
+        at,
+    );
+    fw.world.wire(id, vec![root]);
+    id
+}
+
+fn driver_done(fw: &mut Framework, id: partitionable_services::smock::InstanceId) -> bool {
+    fw.world
+        .logic_mut(id)
+        .as_any()
+        .and_then(|a| a.downcast_ref::<ClusterDriver>())
+        .is_some_and(|d| d.is_done())
+}
+
+/// The tentpole path: crash → lease expiry → `NodeDown` → quarantine →
+/// automatic re-plan — zero manual `connect` calls after the fault.
+#[test]
+fn lease_detection_auto_heals_the_partner_connection() {
+    let (cs, mut fw) = mail_framework();
+    fw.world.enable_retry(RetryPolicy::default());
+    fw.world.enable_leases(LeaseConfig::default());
+    fw.world.set_fault_seed(9);
+
+    // San Diego deploys the shared view chain; Seattle chains onto it.
+    let sd_request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let sd_conn = fw.connect("mail", &sd_request).unwrap();
+    let sd_handle = fw.manage("mail", sd_request, sd_conn);
+
+    let sea_request = ServiceRequest::new(CLIENT_INTERFACE, cs.seattle_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 1i64);
+    let sea_conn = fw.connect("mail", &sea_request).unwrap();
+    let sea_root = sea_conn.root;
+    let sea_uses_sd = sea_conn
+        .plan
+        .placements
+        .iter()
+        .any(|p| p.node == cs.sd_client);
+    assert!(sea_uses_sd, "Seattle chains through the San Diego host");
+    let sea_handle = fw.manage("mail", sea_request, sea_conn);
+
+    let sea_driver = spawn_driver(&mut fw, cs.seattle_client, sea_root, 1 << 40, SimTime::ZERO);
+
+    // The San Diego host crashes silently mid-workload.
+    let crash_at = SimTime::from_nanos(100_000_000);
+    let mut plan = FaultPlan::new();
+    plan.crash(crash_at, cs.sd_client.0);
+    fw.world.install_fault_plan(&plan);
+
+    // Healing loop: step virtual time, drain liveness, re-plan.
+    let mut now = crash_at;
+    let mut recovered = false;
+    let deadline = SimTime::from_nanos(60_000_000_000);
+    while now < deadline {
+        now += SimDuration::from_millis(500);
+        fw.run_until(now);
+        let report = fw.heal();
+        if report.recovered.contains(&sea_handle) {
+            recovered = true;
+        }
+        if recovered && driver_done(&mut fw, sea_driver) {
+            break;
+        }
+    }
+    fw.run();
+
+    // The crashed client's own connection is abandoned...
+    assert!(fw.managed_connection(sd_handle).is_none());
+    // ...the node was quarantined out of the planner's network view...
+    assert!(!fw.world.network().node(cs.sd_client).up);
+    // ...and Seattle was re-deployed off the dead host, automatically.
+    assert!(recovered, "healer must re-deploy the Seattle connection");
+    let healed = fw.managed_connection(sea_handle).expect("still managed");
+    assert!(
+        healed
+            .plan
+            .placements
+            .iter()
+            .all(|p| p.node != cs.sd_client),
+        "replacement plan avoids the quarantined host"
+    );
+    assert!(
+        driver_done(&mut fw, sea_driver),
+        "the Seattle workload completes on the replacement chain"
+    );
+}
+
+/// The legacy manual path: `fail_node` retires the host's instances at
+/// once, reports them in a typed [`FailReport`], and a fresh connection
+/// re-plans around the dead machine.
+#[test]
+fn manual_fail_node_reports_and_replans_around_the_host() {
+    let (cs, mut fw) = mail_framework();
 
     let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
         .rate(10.0)
@@ -40,28 +164,22 @@ fn crashed_cache_host_is_replanned_around() {
 
     // Run a short workload, then the client's machine crashes (taking
     // the MailClient, cache, and encryptor with it).
-    let d1 = ClusterDriver::new(ClusterConfig {
-        sends: 20,
-        receives: 0,
-        ..ClusterConfig::paper("alice", "bob", 1 << 40)
-    });
-    let id1 = fw.world.instantiate(
-        "driver-1",
-        cs.sd_client,
-        Default::default(),
-        Behavior::new(),
-        Box::new(d1),
-        conn.ready_at,
-    );
-    fw.world.wire(id1, vec![conn.root]);
+    let id1 = spawn_driver(&mut fw, cs.sd_client, conn.root, 1 << 40, conn.ready_at);
     fw.run();
+    assert!(driver_done(&mut fw, id1));
 
-    let failed = fw.world.fail_node(vms_node);
-    assert!(
-        failed.len() >= 3,
-        "client, cache, encryptor died: {failed:?}"
+    let report = fw.fail_node(vms_node);
+    assert_eq!(report.node, vms_node);
+    assert_eq!(
+        report.detection,
+        DetectionMode::Immediate,
+        "without leases the manual path reports synchronously"
     );
-    for id in &failed {
+    assert!(
+        report.retired.len() >= 3,
+        "client, cache, encryptor died: {report:?}"
+    );
+    for id in &report.retired {
         assert!(fw.world.is_retired(*id));
     }
     // The primary (other node) survived.
@@ -90,20 +208,7 @@ fn crashed_cache_host_is_replanned_around() {
     assert!(conn2.deployment.created >= 3, "fresh chain deployed");
 
     // Service resumes: the new workload completes.
-    let d2 = ClusterDriver::new(ClusterConfig {
-        sends: 20,
-        receives: 2,
-        ..ClusterConfig::paper("alice", "bob", 1 << 41)
-    });
-    let id2 = fw.world.instantiate(
-        "driver-2",
-        fallback,
-        Default::default(),
-        Behavior::new(),
-        Box::new(d2),
-        conn2.ready_at,
-    );
-    fw.world.wire(id2, vec![conn2.root]);
+    let id2 = spawn_driver(&mut fw, fallback, conn2.root, 1 << 41, conn2.ready_at);
     fw.run();
     let d = fw
         .world
