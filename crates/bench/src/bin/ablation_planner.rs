@@ -14,8 +14,7 @@ use ps_net::casestudy::default_case_study;
 use ps_net::{Credentials, Network};
 use ps_planner::{Algorithm, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::Rng;
-use ps_trace::Report;
-use std::time::Instant;
+use ps_trace::{Report, WallTimer};
 
 fn run(
     net: &Network,
@@ -29,9 +28,9 @@ fn run(
             ..Default::default()
         },
     );
-    let start = Instant::now();
+    let start = WallTimer::start();
     let plan = planner.plan(net, &mail_translator(), request).ok()?;
-    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let elapsed_ms = start.elapsed_ms();
     Some((
         elapsed_ms,
         plan.stats.mappings_evaluated,

@@ -22,9 +22,8 @@ use ps_net::casestudy::default_case_study;
 use ps_net::{Credentials, Network};
 use ps_planner::{Algorithm, PlanStats, Planner, PlannerConfig, ServiceRequest};
 use ps_sim::Rng;
-use ps_trace::Report;
+use ps_trace::{Report, WallTimer};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Minimum timed repetitions per configuration (the fastest is
 /// reported). Short scenarios keep repeating until `MIN_TOTAL_MS` of
@@ -76,7 +75,7 @@ fn measure(
     let mut total_ms = 0.0;
     let mut reps = 0;
     while reps < REPS || (total_ms < MIN_TOTAL_MS && reps < MAX_REPS) {
-        let start = Instant::now();
+        let start = WallTimer::start();
         let plan = if threads > 1 {
             planner
                 .plan_parallel(net, &translator, request, threads)
@@ -84,7 +83,7 @@ fn measure(
         } else {
             planner.plan(net, &translator, request).ok()?
         };
-        let time_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let time_ms = start.elapsed_ms();
         total_ms += time_ms;
         reps += 1;
         if best.as_ref().is_none_or(|b| time_ms < b.time_ms) {
@@ -130,7 +129,12 @@ fn json_measurement(m: &Measurement) -> String {
 }
 
 fn main() {
-    let threads = planning_threads();
+    // Stable-artifact mode (PS_STABLE_ARTIFACTS=1): wall-clock fields
+    // are zeroed and planning runs serial — with >1 worker the shared
+    // incumbent makes prune/eval counts depend on thread timing, which
+    // would break the byte-identical double-run guarantee.
+    let stable = ps_bench::stable_artifacts();
+    let threads = if stable { 1 } else { planning_threads() };
     let mut scenarios: Vec<(String, Network, ServiceRequest)> = Vec::new();
 
     let cs = default_case_study();
@@ -196,14 +200,24 @@ fn main() {
         // The optimized stack.
         let new = measure(net, request, Algorithm::Exhaustive, true, threads);
         match (seed, new) {
-            (Some(seed), Some(new)) => {
+            (Some(mut seed), Some(mut new)) => {
+                if stable {
+                    for m in [&mut seed, &mut new] {
+                        m.time_ms = 0.0;
+                        m.stats.route_table_build_us = 0;
+                    }
+                }
                 assert!(
                     (seed.objective - new.objective).abs() <= 1e-6 * seed.objective.abs().max(1.0),
                     "{label}: objectives diverged ({} vs {})",
                     seed.objective,
                     new.objective
                 );
-                let speedup = seed.time_ms / new.time_ms;
+                let speedup = if stable {
+                    0.0
+                } else {
+                    seed.time_ms / new.time_ms
+                };
                 report.line(format!(
                     "{:<24} {:>10.2} {:>10.2} {:>7.1}x {:>11} {:>11} {:>9}",
                     label,
@@ -214,7 +228,9 @@ fn main() {
                     new.stats.mappings_evaluated,
                     new.stats.bound_prunes,
                 ));
-                log_speedup_sum += speedup.ln();
+                if !stable {
+                    log_speedup_sum += speedup.ln();
+                }
                 compared += 1;
                 let mut entry = String::new();
                 write!(
@@ -234,7 +250,7 @@ fn main() {
         }
     }
 
-    let geomean = if compared > 0 {
+    let geomean = if compared > 0 && !stable {
         (log_speedup_sum / compared as f64).exp()
     } else {
         0.0

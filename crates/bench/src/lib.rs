@@ -9,6 +9,18 @@ pub mod chaos;
 pub mod scenarios;
 
 pub use chaos::{outcome_json, run_chaos, ChaosBenchConfig, ChaosOutcome, DriverStats};
+
+/// Whether the bench bins should write *stable* artifacts: every
+/// wall-clock-derived field zeroed/omitted (and planning forced serial)
+/// so that two same-seed runs produce byte-identical JSON/JSONL.
+///
+/// Enabled by `PS_STABLE_ARTIFACTS=1`; `scripts/verify.sh` uses it for
+/// the double-run determinism gate over every artifact-writing bin. The
+/// default (unset) keeps the real timing numbers in the published
+/// `BENCH_*.json` artifacts.
+pub fn stable_artifacts() -> bool {
+    std::env::var("PS_STABLE_ARTIFACTS").is_ok_and(|v| v == "1")
+}
 pub use scenarios::{
     figure7_sweep, render_figure7, run_custom_policy, run_scenario, run_scenario_with_policy,
     Fig7Config, Scenario, ScenarioResult,

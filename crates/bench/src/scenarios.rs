@@ -359,6 +359,9 @@ pub fn figure7_sweep(max_clients: usize, base: &Fig7Config) -> Vec<ScenarioResul
                 clients,
                 ..base.clone()
             };
+            // ps-lint: allow(D004): slot-indexed fan-out — each worker fills only
+            // its own `results[slot]` and the merge reads slots in order, so the
+            // output is independent of thread completion timing
             handles.push((slot, scope.spawn(move || run_scenario(scenario, &config))));
         }
         for (slot, handle) in handles {

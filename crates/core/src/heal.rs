@@ -16,7 +16,7 @@ use ps_net::NodeId;
 use ps_planner::{Planner, ServiceRequest};
 use ps_sim::SimTime;
 use ps_smock::{ConnectError, Connection, FailReport, InstanceId, LivenessEvent, LivenessKind};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Handle to a connection under self-healing management (index into the
@@ -202,8 +202,8 @@ impl Framework {
 
         // Step 1: what did the failure detector learn?
         report.liveness = self.world.take_liveness_events();
-        let mut dead_instances: HashSet<InstanceId> = HashSet::new();
-        let mut dead_nodes: HashSet<NodeId> = HashSet::new();
+        let mut dead_instances: BTreeSet<InstanceId> = BTreeSet::new();
+        let mut dead_nodes: BTreeSet<NodeId> = BTreeSet::new();
         for event in &report.liveness {
             match event.kind {
                 LivenessKind::InstanceDown { instance, .. } => {
@@ -347,7 +347,7 @@ impl Framework {
         let service = managed[idx].service.clone();
         let request = managed[idx].request.clone();
         let new = self.connect(&service, &request)?;
-        let mut in_use: HashSet<InstanceId> = new.deployment.instances.iter().copied().collect();
+        let mut in_use: BTreeSet<InstanceId> = new.deployment.instances.iter().copied().collect();
         for (other, m) in managed.iter().enumerate() {
             if other != idx && !m.abandoned {
                 in_use.extend(m.connection.deployment.instances.iter().copied());

@@ -1,0 +1,397 @@
+//! A small hand-rolled Rust lexer: comment-, string-, and
+//! raw-string-aware, producing a flat token stream with line numbers.
+//!
+//! This is deliberately *not* a parser (the build is offline, so no
+//! `syn`): the rule engine in [`crate::rules`] pattern-matches over the
+//! token stream. The lexer's one extra job is extracting `ps-lint:
+//! allow(...)` suppression comments, which never appear as tokens.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (multi-char operators appear as
+    /// consecutive tokens: `::` is two `:`).
+    Punct,
+    /// Numeric, string, byte, or char literal (text preserved).
+    Literal,
+    /// A lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Source text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes()[0] as char == c
+    }
+}
+
+/// A parsed `// ps-lint: allow(D00x[, D00y]): reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Rule IDs the suppression covers (e.g. `["D001"]`).
+    pub rules: Vec<String>,
+    /// The mandatory human-written justification.
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Well-formed suppression comments.
+    pub allows: Vec<Allow>,
+    /// Malformed suppression comments: `(line, what is wrong)`. These
+    /// are reported as hard findings — a suppression without a written
+    /// reason is itself a violation of the audit contract.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// The marker a suppression comment must contain.
+pub const ALLOW_MARKER: &str = "ps-lint: allow(";
+
+/// Lexes `source`, returning tokens plus suppression comments.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                parse_allow_comment(&source[start..i], line, &mut out);
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (len, newlines) = scan_string(&source[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..i + len].to_owned(),
+                    line,
+                });
+                line += newlines;
+                i += len;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&source[i..]) => {
+                let (len, newlines) = scan_raw_or_byte_string(&source[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..i + len].to_owned(),
+                    line,
+                });
+                line += newlines;
+                i += len;
+            }
+            '\'' => {
+                let (tok_len, kind) = scan_quote(&source[i..]);
+                let (skip, text) = match kind {
+                    TokenKind::Lifetime => (tok_len, source[i + 1..i + tok_len].to_owned()),
+                    _ => (tok_len, source[i..i + tok_len].to_owned()),
+                };
+                out.tokens.push(Token { kind, text, line });
+                i += skip;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part: only when `.` is followed by a digit,
+                // so `0..n` stays three tokens.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+/// Recognizes `r"`, `r#`, `b"`, `br"`, `br#` string openers.
+fn starts_raw_or_byte_string(s: &str) -> bool {
+    let b = s.as_bytes();
+    match b[0] {
+        b'r' => b.get(1).is_some_and(|&c| c == b'"' || c == b'#'),
+        b'b' => match b.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => b.get(2).is_some_and(|&c| c == b'"' || c == b'#'),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a normal `"..."` string (escapes honoured). Returns (length,
+/// newline count).
+fn scan_string(s: &str) -> (usize, u32) {
+    let b = s.as_bytes();
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Scans raw/byte strings (`r#"..."#`, `b"..."`, `br##"..."##`).
+fn scan_raw_or_byte_string(s: &str) -> (usize, u32) {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return (i.max(1), 0); // not actually a string; consume the prefix
+    }
+    let raw = hashes > 0 || s.starts_with('r') || s.starts_with("br");
+    i += 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0;
+                while seen < hashes && j < b.len() && b[j] == b'#' {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return (j, newlines);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Distinguishes a char literal from a lifetime at a leading `'`.
+/// Returns (token length, kind).
+fn scan_quote(s: &str) -> (usize, TokenKind) {
+    let b = s.as_bytes();
+    if b.len() >= 2 && b[1] == b'\\' {
+        // Escaped char literal: find the closing quote.
+        let mut i = 2;
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1, TokenKind::Literal);
+    }
+    if b.len() >= 3 && b[2] == b'\'' {
+        return (3, TokenKind::Literal);
+    }
+    // Lifetime: consume identifier characters after the quote.
+    let mut i = 1;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    (i.max(2), TokenKind::Lifetime)
+}
+
+/// Parses a `ps-lint: allow(...)` directive out of a line comment, if
+/// present, recording either a well-formed [`Allow`] or a malformed
+/// entry. Doc comments (`///`, `//!`) are documentation, not directives,
+/// so they are ignored — which also lets docs quote the syntax freely.
+fn parse_allow_comment(comment: &str, line: u32, out: &mut Lexed) {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return;
+    }
+    let Some(pos) = comment.find(ALLOW_MARKER) else {
+        return;
+    };
+    let rest = &comment[pos + ALLOW_MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        out.malformed
+            .push((line, "unterminated allow(...) rule list".to_owned()));
+        return;
+    };
+    let mut rules = Vec::new();
+    for raw in rest[..close].split(',') {
+        let id = raw.trim();
+        let well_formed =
+            id.len() == 4 && id.starts_with('D') && id[1..].chars().all(|c| c.is_ascii_digit());
+        if !well_formed {
+            out.malformed
+                .push((line, format!("bad rule id `{id}` in allow(...)")));
+            return;
+        }
+        rules.push(id.to_owned());
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        out.malformed.push((
+            line,
+            "suppression carries no reason — write `ps-lint: allow(D00x): <why>`".to_owned(),
+        ));
+        return;
+    }
+    out.allows.push(Allow {
+        line,
+        rules,
+        reason: reason.to_owned(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_idents() {
+        let src = r##"
+// a comment with HashMap in it
+fn f() {
+    let s = "HashMap::iter() inside a string";
+    let r = r#"raw "quoted" HashMap"#;
+    let c = 'x';
+    let life: &'static str = s;
+    for i in 0..10 {}
+}
+"##;
+        let lexed = lex(src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(
+            !idents.contains(&"HashMap"),
+            "strings/comments must not leak"
+        );
+        assert!(idents.contains(&"for"));
+        // `0..10` lexes as literal, dot, dot, literal.
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn allow_comment_parses() {
+        let src = "// ps-lint: allow(D001): keys feed a membership set only\nlet x = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rules, vec!["D001".to_owned()]);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert!(lexed.malformed.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// ps-lint: allow(D002)\nlet x = 1;\n";
+        let lexed = lex(src);
+        assert!(lexed.allows.is_empty());
+        assert_eq!(lexed.malformed.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "// ps-lint: allow(D001, D005): sorted upstream\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "/* outer /* inner */ still comment */ fn g() {}\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        let y = lexed.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 2);
+    }
+}

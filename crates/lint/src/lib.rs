@@ -1,0 +1,110 @@
+//! ps-lint: zero-dependency determinism & protocol-invariant static
+//! analysis for the partitionable-services workspace.
+//!
+//! The simulator's core promise is that a seeded run is byte-identical
+//! across repeats (see DESIGN.md "Determinism contract"). That promise is
+//! easy to break silently: one `HashMap` iteration feeding a trace, one
+//! `Instant::now()` feeding a decision, one unseeded RNG — and replays
+//! diverge in ways tests only catch probabilistically. `ps-lint` makes
+//! those hazards a compile-gate instead: a hand-rolled lexer
+//! ([`lexer`]) plus a rule engine ([`rules`]) walk every `.rs` file and
+//! fail `scripts/verify.sh` on any unsuppressed finding.
+//!
+//! There are **no built-in path whitelists**. Every legitimate exception
+//! carries an inline `// ps-lint: allow(D00x): <reason>` comment on the
+//! line above (or the same line), and `ps-lint --list-allows` prints the
+//! complete exception inventory for review.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{scan_source, AllowRecord, FileReport, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// Directories scanned under the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Path components that end a descent.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+
+/// Collects every `.rs` file under the workspace root, sorted, so scan
+/// output (and therefore verify logs) is itself deterministic.
+pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans the whole workspace rooted at `root`. Reports come back in
+/// sorted path order; unreadable files are skipped.
+pub fn scan_workspace(root: &Path) -> Vec<FileReport> {
+    let mut reports = Vec::new();
+    for path in workspace_rs_files(root) {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        reports.push(scan_source(&label, &source));
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_source_reports_and_suppresses() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+                m.keys().copied().collect()
+            }
+        "#;
+        let report = scan_source("t.rs", src);
+        let hits: Vec<_> = report.unsuppressed().collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "D001");
+    }
+
+    #[test]
+    fn allow_comment_silences_next_code_line() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+                // ps-lint: allow(D001): output feeds a set-equality check only
+                m.keys().copied().collect()
+            }
+        "#;
+        let report = scan_source("t.rs", src);
+        assert_eq!(report.unsuppressed().count(), 0);
+        assert_eq!(report.allows.len(), 1);
+        assert_eq!(report.allows[0].used, 1);
+    }
+}

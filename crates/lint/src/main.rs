@@ -1,0 +1,113 @@
+//! CLI for ps-lint. Usage:
+//!
+//! ```text
+//! cargo run -p ps-lint                      # scan the workspace, exit 1 on findings
+//! cargo run -p ps-lint -- --list-allows     # print the suppression inventory
+//! cargo run -p ps-lint -- --root <dir>      # scan a different root
+//! cargo run -p ps-lint -- file.rs ...       # scan specific files
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut list_allows = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-allows" => list_allows = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("ps-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "ps-lint: determinism & protocol-invariant static analysis\n\
+                     \n\
+                     usage: ps-lint [--root DIR] [--list-allows] [FILE.rs ...]\n\
+                     \n\
+                     rules: D001 hash-order iteration, D002 wall-clock reads,\n\
+                     D003 unseeded randomness, D004 unordered parallel reduction,\n\
+                     D005 float accumulation order (D000 = malformed suppression)\n\
+                     \n\
+                     suppress with `// ps-lint: allow(D00x): <reason>` on the\n\
+                     preceding line; --list-allows prints the full inventory"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    let reports = if files.is_empty() {
+        // Default root: the workspace this binary was built from.
+        let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+        ps_lint::scan_workspace(&root)
+    } else {
+        let mut out = Vec::new();
+        for path in &files {
+            match std::fs::read_to_string(path) {
+                Ok(src) => out.push(ps_lint::scan_source(&path.to_string_lossy(), &src)),
+                Err(e) => {
+                    eprintln!("ps-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+
+    if list_allows {
+        let mut total = 0usize;
+        let mut unused = 0usize;
+        for report in &reports {
+            for rec in &report.allows {
+                total += 1;
+                let rules = rec.allow.rules.join(",");
+                let status = if rec.used > 0 { "used" } else { "UNUSED" };
+                if rec.used == 0 {
+                    unused += 1;
+                }
+                println!(
+                    "{}:{}: allow({rules}) [{status}] — {}",
+                    report.path, rec.allow.line, rec.allow.reason
+                );
+            }
+        }
+        println!("ps-lint: {total} suppression(s), {unused} unused");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut unsuppressed = 0usize;
+    let mut suppressed = 0usize;
+    let mut scanned = 0usize;
+    for report in &reports {
+        scanned += 1;
+        for finding in &report.findings {
+            if finding.suppressed {
+                suppressed += 1;
+                continue;
+            }
+            unsuppressed += 1;
+            println!(
+                "{} {}:{}: {}",
+                finding.rule, report.path, finding.line, finding.message
+            );
+        }
+    }
+    println!(
+        "ps-lint: {scanned} file(s) scanned, {unsuppressed} finding(s), \
+         {suppressed} suppressed"
+    );
+    if unsuppressed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub fn order_leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    // ps-lint: allow(D001): result feeds a set-equality assertion; order never observed
+    m.keys().copied().collect()
+}
+
+pub fn loop_leak(m: &HashMap<u32, u32>) -> u32 {
+    let mut last = 0;
+    // ps-lint: allow(D001): reduction below is max-like and order-insensitive
+    for (_k, v) in m {
+        last = last.max(*v);
+    }
+    last
+}

@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+
+pub fn order_leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn loop_leak(m: &HashMap<u32, u32>) -> u32 {
+    let mut last = 0;
+    for (_k, v) in m {
+        last = last.max(*v);
+    }
+    last
+}

@@ -1,0 +1,5 @@
+pub fn wall_reading() -> bool {
+    // ps-lint: allow(D002): recording-only reading; duration is logged, never consumed
+    let t = std::time::SystemTime::now();
+    t.elapsed().is_ok()
+}

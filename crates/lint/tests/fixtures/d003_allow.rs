@@ -1,0 +1,5 @@
+pub fn cache_key() -> u64 {
+    // ps-lint: allow(D003): hasher feeds an in-memory cache key; never traced or replayed
+    let state = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&state, 42u8)
+}

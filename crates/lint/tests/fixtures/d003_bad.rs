@@ -1,0 +1,4 @@
+pub fn ambient_hash() -> u64 {
+    let state = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&state, 42u8)
+}

@@ -1,0 +1,14 @@
+pub fn fan_out(jobs: Vec<u64>) -> Vec<u64> {
+    let mut results: Vec<Option<u64>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (slot, j) in jobs.iter().enumerate() {
+            // ps-lint: allow(D004): slot-indexed merge — output order is fixed by slot, not completion time
+            handles.push((slot, scope.spawn(move || j * 2)));
+        }
+        for (slot, h) in handles {
+            results[slot] = Some(h.join().unwrap());
+        }
+    });
+    results.into_iter().map(Option::unwrap).collect()
+}

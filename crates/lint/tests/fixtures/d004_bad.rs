@@ -1,0 +1,9 @@
+pub fn fan_out(jobs: Vec<u64>) -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    for j in jobs {
+        let tx = tx.clone();
+        std::thread::spawn(move || tx.send(j * 2).unwrap());
+    }
+    drop(tx);
+    rx.iter().sum()
+}

@@ -1,0 +1,16 @@
+use std::collections::HashMap;
+
+pub fn total_cost(costs: &HashMap<u32, f64>) -> f64 {
+    // ps-lint: allow(D005): display-only total; bit-exactness not required
+    costs.values().sum::<f64>()
+}
+
+pub fn loop_total(costs: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    // ps-lint: allow(D001): totalling loop; order not otherwise observed
+    for (_k, v) in costs {
+        // ps-lint: allow(D005): same display-only total as above
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn total_cost(costs: &HashMap<u32, f64>) -> f64 {
+    costs.values().sum::<f64>()
+}
+
+pub fn folded_cost(costs: &HashMap<u32, f64>) -> f64 {
+    costs.values().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,143 @@
+//! Fixture tests: each rule fires at exactly the expected (rule, line)
+//! sites in its `*_bad.rs` fixture, and an inline
+//! `// ps-lint: allow(...)` comment silences it in the `*_allow.rs`
+//! twin. Fixtures live under `tests/fixtures/`, which the workspace walk
+//! skips, so the lint gate never trips on its own test corpus.
+
+use ps_lint::{scan_source, FileReport};
+
+fn scan_fixture(name: &str) -> FileReport {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {path}: {e}"));
+    scan_source(name, &source)
+}
+
+fn rule_lines(report: &FileReport) -> Vec<(&'static str, u32)> {
+    report.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d001_fires_on_chain_and_for_loop() {
+    let report = scan_fixture("d001_bad.rs");
+    assert_eq!(rule_lines(&report), vec![("D001", 4), ("D001", 9)]);
+    assert_eq!(report.unsuppressed().count(), 2);
+}
+
+#[test]
+fn d001_allow_silences_both_forms() {
+    let report = scan_fixture("d001_allow.rs");
+    assert_eq!(rule_lines(&report), vec![("D001", 5), ("D001", 11)]);
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert_eq!(report.allows.len(), 2);
+    assert!(report.allows.iter().all(|a| a.used == 1));
+    assert!(report.allows[0].allow.reason.contains("set-equality"));
+}
+
+#[test]
+fn d002_fires_on_instant_and_system_time() {
+    let report = scan_fixture("d002_bad.rs");
+    assert_eq!(rule_lines(&report), vec![("D002", 2), ("D002", 3)]);
+    assert_eq!(report.unsuppressed().count(), 2);
+}
+
+#[test]
+fn d002_allow_silences_wall_clock() {
+    let report = scan_fixture("d002_allow.rs");
+    assert_eq!(rule_lines(&report), vec![("D002", 3)]);
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].used, 1);
+}
+
+#[test]
+fn d003_fires_on_random_state() {
+    let report = scan_fixture("d003_bad.rs");
+    assert_eq!(rule_lines(&report), vec![("D003", 2)]);
+    assert_eq!(report.unsuppressed().count(), 1);
+}
+
+#[test]
+fn d003_allow_silences_entropy() {
+    let report = scan_fixture("d003_allow.rs");
+    assert_eq!(rule_lines(&report), vec![("D003", 3)]);
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert!(report.allows[0].allow.reason.contains("cache key"));
+}
+
+#[test]
+fn d004_fires_on_channel_and_spawn() {
+    let report = scan_fixture("d004_bad.rs");
+    assert_eq!(rule_lines(&report), vec![("D004", 2), ("D004", 5)]);
+    assert_eq!(report.unsuppressed().count(), 2);
+}
+
+#[test]
+fn d004_allow_silences_slot_indexed_fanout() {
+    let report = scan_fixture("d004_allow.rs");
+    assert_eq!(rule_lines(&report), vec![("D004", 7)]);
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert!(report.allows[0].allow.reason.contains("slot-indexed"));
+}
+
+#[test]
+fn d005_fires_on_float_sum_and_fold() {
+    let report = scan_fixture("d005_bad.rs");
+    assert_eq!(rule_lines(&report), vec![("D005", 4), ("D005", 8)]);
+    assert_eq!(report.unsuppressed().count(), 2);
+}
+
+#[test]
+fn d005_allow_silences_chain_and_loop_accumulator() {
+    let report = scan_fixture("d005_allow.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("D005", 5), ("D001", 11), ("D005", 13)]
+    );
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert_eq!(report.allows.len(), 3);
+    assert!(report.allows.iter().all(|a| a.used == 1));
+}
+
+#[test]
+fn malformed_allow_is_an_unsuppressable_finding() {
+    let src = "// ps-lint: allow(D001)\nfn f() {}\n";
+    let report = scan_source("inline.rs", src);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "D000");
+    assert!(!report.findings[0].suppressed);
+}
+
+/// The real workspace must stay clean: zero unsuppressed findings, and
+/// every suppression actually in use. This mirrors the verify.sh gate so
+/// a plain `cargo test` catches regressions too.
+#[test]
+fn workspace_is_clean() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let reports = ps_lint::scan_workspace(std::path::Path::new(&root));
+    assert!(reports.len() > 50, "workspace walk found too few files");
+    let mut problems = Vec::new();
+    for report in &reports {
+        for f in report.unsuppressed() {
+            problems.push(format!(
+                "{} {}:{}: {}",
+                f.rule, report.path, f.line, f.message
+            ));
+        }
+        for a in &report.allows {
+            if a.used == 0 {
+                problems.push(format!(
+                    "{}:{}: unused suppression allow({})",
+                    report.path,
+                    a.allow.line,
+                    a.allow.rules.join(",")
+                ));
+            }
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "workspace lint debt:\n{}",
+        problems.join("\n")
+    );
+}

@@ -44,7 +44,10 @@ impl RouteTable {
     /// Builds the table from the network's current state: one full
     /// Dijkstra per source node.
     pub fn build(net: &Network) -> Self {
-        let started = std::time::Instant::now();
+        // Wall-clock accounting only: `build_micros` flows into
+        // `PlanStats` / registry `_wall_` metrics and is never consulted
+        // by any virtual-time or planning decision.
+        let started = ps_trace::WallTimer::start();
         let n = net.node_count();
         let mut prev = vec![None; n * n];
         let mut dist = vec![UNREACHED; n * n];
@@ -60,7 +63,7 @@ impl RouteTable {
             n,
             prev,
             dist,
-            build_micros: started.elapsed().as_micros() as u64,
+            build_micros: started.elapsed_micros(),
         }
     }
 

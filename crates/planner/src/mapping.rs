@@ -23,7 +23,7 @@ use ps_net::{shortest_route, Network, NodeId, PropertyTranslator, Route, RouteTa
 use ps_spec::condition::all_hold;
 use ps_spec::{Component, Environment, ResolvedBindings, ServiceSpec};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -481,8 +481,12 @@ impl<'a> Mapper<'a> {
         let parents = graph.parents();
         let mut edges = Vec::new();
         let mut latency_ms = 0.0;
-        let mut link_bits: HashMap<u32, f64> = HashMap::new();
-        let mut node_cpu: HashMap<u32, f64> = HashMap::new();
+        // BTreeMaps (not HashMaps): the capacity checks below iterate
+        // them, and keyed ordering keeps the walk deterministic
+        // (ps-lint D001). They stay tiny — one entry per touched
+        // node/link of a single candidate mapping.
+        let mut link_bits: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut node_cpu: BTreeMap<u32, f64> = BTreeMap::new();
         let mut sustainable = f64::INFINITY;
         let root_rate = rates.node_rate[0];
 

@@ -253,7 +253,7 @@ impl Planner {
         tracer.count("planner.prunes", stats.prunes);
         tracer.count("planner.bound_prunes", stats.bound_prunes);
         tracer.gauge(
-            "planner.route_table_build_us",
+            "planner.route_table_build_wall_us",
             stats.route_table_build_us as f64,
         );
     }
@@ -322,6 +322,9 @@ impl Planner {
                     .step_by(threads)
                     .collect();
                 let worker_table = route_table.clone();
+                // ps-lint: allow(D004): the documented planner reduction — workers
+                // fill disjoint `per_graph` slots and the merge folds them in slot
+                // order, independent of thread completion order
                 handles.push(scope.spawn(move || {
                     let with_table = |mapper| attach_table(mapper, &worker_table);
                     let mapper = with_table(Mapper::new(

@@ -265,7 +265,10 @@ impl GenericServer {
                 );
             }
         }
-        let started = std::time::Instant::now();
+        // Wall-clock accounting only (planner actually runs here, so its
+        // host cost is real): recorded under a `_wall_` registry metric,
+        // never visible to virtual time or the event stream.
+        let started = ps_trace::WallTimer::start();
         let epoch = world.network().epoch();
         let cache_key: PlanCacheKey = (service.to_owned(), epoch, format!("{request:?}"));
         let cached = self
@@ -303,7 +306,7 @@ impl GenericServer {
                 plan
             }
         };
-        let planning_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let planning_ms = started.elapsed_ms();
         self.tracer.count(
             if cache_hit {
                 "server.plan_cache_hits"
@@ -316,7 +319,7 @@ impl GenericServer {
         // deterministic event stream: the span is zero-width in virtual
         // time and carries only the deterministic search statistics; the
         // wall-clock cost goes to the registry histogram.
-        self.tracer.observe("server.planning_ms", planning_ms);
+        self.tracer.observe("server.planning_wall_ms", planning_ms);
         self.tracer.span_closed(
             "smock.server",
             "plan",

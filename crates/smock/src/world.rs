@@ -104,7 +104,11 @@ struct State {
     cpus: Vec<CpuModel>,
     instances: Vec<InstanceSlot>,
     envelopes: HashMap<u64, Envelope>,
-    pending: HashMap<u64, PendingRequest>,
+    /// Keyed by request id. `BTreeMap` because the crash handler and
+    /// caller-forwarding paths *iterate* it and the visit order reaches
+    /// the trace stream (ps-lint D001); `envelopes` stays a `HashMap`
+    /// since it is only ever accessed by key.
+    pending: BTreeMap<u64, PendingRequest>,
     next_msg: u64,
     next_req: u64,
     metrics: BTreeMap<String, (Summary, Percentiles)>,
@@ -131,7 +135,7 @@ struct State {
     lease_granted: Vec<SimTime>,
     /// Outstanding lease expiries per crashed node; the `NodeDown`
     /// liveness event fires when the count reaches zero.
-    down_pending: HashMap<u32, usize>,
+    down_pending: BTreeMap<u32, usize>,
     /// Detected-but-undrained liveness events.
     pending_liveness: Vec<LivenessEvent>,
 }
@@ -171,7 +175,7 @@ impl World {
                 cpus,
                 instances: Vec::new(),
                 envelopes: HashMap::new(),
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 next_msg: 0,
                 next_req: 0,
                 metrics: BTreeMap::new(),
@@ -183,7 +187,7 @@ impl World {
                 retry: None,
                 lease: None,
                 lease_granted: Vec::new(),
-                down_pending: HashMap::new(),
+                down_pending: BTreeMap::new(),
                 pending_liveness: Vec::new(),
             },
         }
@@ -1013,15 +1017,15 @@ fn crash_node_inner(
     );
     // Requests the dead instances had outstanding can never be answered
     // usefully: close their invoke spans and drop the bookkeeping.
-    let mut orphaned: Vec<u64> = state
+    // `pending` is a BTreeMap, so this visits (and closes spans for)
+    // orphaned requests in request-id order — deterministic by
+    // construction, no post-hoc sort needed.
+    let orphaned: Vec<u64> = state
         .pending
         .iter()
         .filter(|(_, p)| failed.contains(&p.caller))
         .map(|(&req, _)| req)
         .collect();
-    // Hash-map order is not deterministic; sort so traces replay
-    // byte-identically.
-    orphaned.sort_unstable();
     for req in orphaned {
         let pending = state.pending.remove(&req).expect("just listed");
         engine.tracer().exit_span(

@@ -47,6 +47,7 @@ pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod tracer;
+pub mod wallclock;
 
 pub use breakdown::{breakdowns, closed_spans, Breakdown, ClosedSpan, PhaseAgg};
 pub use event::{Event, EventKind, FieldValue, Fields};
@@ -54,6 +55,7 @@ pub use registry::{Histogram, Metric, Registry, HISTOGRAM_BOUNDS};
 pub use report::Report;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 pub use tracer::{SpanGuard, Tracer};
+pub use wallclock::WallTimer;
 
 /// Glob-import convenience: `use ps_trace::prelude::*;`.
 pub mod prelude {

@@ -171,9 +171,26 @@ impl Registry {
     /// Renders every metric as a JSON object (sorted keys, deterministic
     /// for identical recorded values).
     pub fn to_json(&self) -> String {
+        self.render_json(|_| true)
+    }
+
+    /// Like [`Registry::to_json`] but with wall-clock accounting metrics
+    /// (names carrying the `_wall_` marker, see
+    /// [`crate::wallclock::is_wall_metric`]) stripped, so two same-seed
+    /// runs render byte-identical JSON.
+    pub fn to_json_deterministic(&self) -> String {
+        self.render_json(|name| !crate::wallclock::is_wall_metric(name))
+    }
+
+    fn render_json(&self, keep: impl Fn(&str) -> bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("{");
-        for (i, (name, metric)) in self.snapshot().iter().enumerate() {
+        let kept: Vec<_> = self
+            .snapshot()
+            .into_iter()
+            .filter(|(name, _)| keep(name))
+            .collect();
+        for (i, (name, metric)) in kept.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -250,6 +267,19 @@ mod tests {
         assert_eq!(a.counts, b.counts);
         // The huge value overflows into the final bucket.
         assert_eq!(a.counts[HISTOGRAM_BOUNDS.len()], 1);
+    }
+
+    #[test]
+    fn deterministic_json_strips_wall_metrics() {
+        let r = Registry::new();
+        r.inc("server.connects", 2);
+        r.observe("server.planning_wall_ms", 3.7);
+        r.observe("planner.route_table_build_wall_us", 12.0);
+        let full = r.to_json();
+        assert!(full.contains("planning_wall_ms"));
+        let stable = r.to_json_deterministic();
+        assert!(!stable.contains("_wall_"));
+        assert!(stable.contains("\"server.connects\":2"));
     }
 
     #[test]

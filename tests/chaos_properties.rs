@@ -70,7 +70,7 @@ fn run_fault_scenario(fault: &Fault, seed: u64) -> ScenarioEnd {
     let (sd_root, sd_handle) = connect(&mut fw, cs.sd_client, 4);
     let (sea_root, sea_handle) = connect(&mut fw, cs.seattle_client, 1);
 
-    let spawn = |fw: &mut Framework, node: NodeId, root: InstanceId, base: u64| {
+    let spawn_driver = |fw: &mut Framework, node: NodeId, root: InstanceId, base: u64| {
         let driver = ClusterDriver::new(ClusterConfig {
             sends: 30,
             receives: 3,
@@ -87,8 +87,8 @@ fn run_fault_scenario(fault: &Fault, seed: u64) -> ScenarioEnd {
         fw.world.wire(id, vec![root]);
         id
     };
-    let sd_driver = spawn(&mut fw, cs.sd_client, sd_root, 1 << 40);
-    let sea_driver = spawn(&mut fw, cs.seattle_client, sea_root, 2 << 40);
+    let sd_driver = spawn_driver(&mut fw, cs.sd_client, sd_root, 1 << 40);
+    let sea_driver = spawn_driver(&mut fw, cs.seattle_client, sea_root, 2 << 40);
 
     let fault_at = SimTime::from_nanos(FAULT_AT_NS);
     let mut plan = FaultPlan::new();
