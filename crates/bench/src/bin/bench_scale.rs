@@ -1,0 +1,225 @@
+//! Thousand-node scaling benchmark: calendar event queue, incremental
+//! route-table repair, and warm-start plan repair.
+//!
+//! For each world size (100, 250, 500, 1000 routers) this measures:
+//!
+//! * route-table delta repair after a single link change vs a full
+//!   rebuild (sampled-equivalent by construction);
+//! * a warm-start `plan_repair` seeded with the surviving plan and
+//!   pre-damage route table vs a cold from-scratch `plan` after a
+//!   placement node dies — identical objectives asserted, placement
+//!   churn reported.
+//!
+//! It also drives the calendar event queue at steady state for an
+//! events/second figure, and runs the full self-healing stack through
+//! a chaos-style crash-and-recover workload on the 1000-router world.
+//!
+//! Writes `BENCH_scale.json` (hand-rolled JSON, no serde in the tree)
+//! to the current directory and prints the same numbers as a table.
+//! Under `PS_STABLE_ARTIFACTS=1` every wall-clock-derived field is
+//! zeroed so same-seed double runs are byte-identical.
+
+use ps_bench::scale::{
+    measure_engine_throughput, measure_replan, measure_route_repair, run_heal_workload,
+    scale_network,
+};
+use ps_trace::{Report, Tracer};
+use std::fmt::Write as _;
+
+/// Total routers per scaling step.
+const WORLDS: [usize; 4] = [100, 250, 500, 1000];
+/// Timed repetitions per measurement (fastest run reported).
+const REPS: usize = 5;
+/// Events pushed through the engine-throughput measurement.
+const ENGINE_EVENTS: u64 = 1_000_000;
+/// Concurrent events in flight during the throughput measurement.
+const ENGINE_WIDTH: usize = 4_096;
+/// Seed for all topologies and workloads.
+const SEED: u64 = 7_000;
+
+fn main() {
+    let stable = ps_bench::stable_artifacts();
+    // Stable runs zero every wall-clock field, so repeated timing reps
+    // and the long throughput drive would only burn verify time.
+    let reps = if stable { 1 } else { REPS };
+    let engine_events = if stable {
+        ENGINE_EVENTS / 10
+    } else {
+        ENGINE_EVENTS
+    };
+    let mut report = Report::new("Thousand-node scaling: route repair + warm-start replanning");
+    let mut entries = Vec::new();
+
+    // Engine throughput through the calendar queue.
+    let mut engine = measure_engine_throughput(engine_events, ENGINE_WIDTH, SEED);
+    if stable {
+        engine.wall_ms = 0.0;
+        engine.events_per_sec = 0.0;
+    }
+    report.kv(
+        "event queue",
+        format!(
+            "{} events, {:.0} events/sec",
+            engine.events, engine.events_per_sec
+        ),
+    );
+
+    report.line("");
+    report.line(format!(
+        "{:<8} {:>9} {:>11} {:>11} {:>8} {:>10} {:>10} {:>8} {:>6}",
+        "routers",
+        "rt build",
+        "rt rebuild",
+        "rt repair",
+        "rt spdup",
+        "cold plan",
+        "warm plan",
+        "spdup",
+        "churn"
+    ));
+
+    for &routers in &WORLDS {
+        let (mut net, server, client) = scale_network(routers, SEED + routers as u64);
+
+        eprintln!("[bench_scale] {routers} routers: replan...");
+        let mut replan = measure_replan(&mut net.clone(), server, client, reps);
+        eprintln!("[bench_scale] {routers} routers: route repair...");
+        let mut route = measure_route_repair(&mut net, reps, SEED);
+        assert!(
+            !route.full_rebuild,
+            "{routers} routers: single-link repair fell back to a full rebuild"
+        );
+        if !stable {
+            assert!(
+                replan.warm_us < replan.cold_us,
+                "{routers} routers: warm repair ({}us) did not beat cold replan ({}us)",
+                replan.warm_us,
+                replan.cold_us
+            );
+            if routers >= 1000 {
+                assert!(
+                    route.speedup() >= 10.0,
+                    "single-link route repair speedup {:.1}x below 10x at {routers} routers",
+                    route.speedup()
+                );
+            }
+        }
+
+        let (route_speedup, replan_speedup) = if stable {
+            route.build_us = 0;
+            route.repair_us = 0;
+            route.rebuild_us = 0;
+            replan.cold_us = 0;
+            replan.warm_us = 0;
+            (0.0, 0.0)
+        } else {
+            (route.speedup(), replan.speedup())
+        };
+
+        report.line(format!(
+            "{:<8} {:>8}u {:>10}u {:>10}u {:>7.1}x {:>9}u {:>9}u {:>7.1}x {:>3}/{}",
+            route.nodes,
+            route.build_us,
+            route.rebuild_us,
+            route.repair_us,
+            route_speedup,
+            replan.cold_us,
+            replan.warm_us,
+            replan_speedup,
+            replan.churn_moved,
+            replan.placements,
+        ));
+
+        let mut entry = String::new();
+        write!(
+            entry,
+            "    {{\"routers\": {}, \"links\": {},\n      \
+             \"route\": {{\"build_us\": {}, \"rebuild_us\": {}, \"repair_us\": {}, \
+             \"speedup\": {:.3}, \"sources_rebuilt\": {}, \"sources_total\": {}}},\n      \
+             \"replan\": {{\"cold_us\": {}, \"warm_us\": {}, \"speedup\": {:.3}, \
+             \"objective\": {:.6}, \"churn_moved\": {}, \"placements\": {}, \
+             \"chains_resolved\": {}, \"chains_reused\": {}, \"seeded_bound_cuts\": {}, \
+             \"seeded\": {}}}}}",
+            route.nodes,
+            route.links,
+            route.build_us,
+            route.rebuild_us,
+            route.repair_us,
+            route_speedup,
+            route.sources_rebuilt,
+            route.sources_total,
+            replan.cold_us,
+            replan.warm_us,
+            replan_speedup,
+            replan.objective,
+            replan.churn_moved,
+            replan.placements,
+            replan.repair.chains_resolved,
+            replan.repair.chains_reused,
+            replan.repair.seeded_bound_cuts,
+            replan.repair.seeded,
+        )
+        .expect("write to string");
+        entries.push(entry);
+    }
+
+    // The full self-healing stack on the largest world: crash a
+    // mid-chain node, heal on a 1s cadence, leases as the detector.
+    let routers = *WORLDS.last().expect("at least one world");
+    eprintln!("[bench_scale] {routers} routers: heal workload...");
+    let (net, server, client) = scale_network(routers, SEED + routers as u64);
+    let tracer = Tracer::disabled();
+    let mut heal = run_heal_workload(net, server, client, SEED, &tracer);
+    assert!(
+        heal.recovered_ms.is_some(),
+        "1000-router heal workload did not recover within the horizon"
+    );
+    if stable {
+        heal.wall_ms = 0.0;
+    }
+    report.line("");
+    report.kv(
+        "heal @1000 routers",
+        format!(
+            "crash detected {} ms, recovered {} ms (virtual), {} passes, {} replans, \
+             chains {} re-solved / {} reused",
+            heal.detected_ms
+                .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            heal.recovered_ms
+                .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            heal.heal_passes,
+            heal.replans,
+            heal.repair.chains_resolved,
+            heal.repair.chains_reused,
+        ),
+    );
+
+    let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |v| format!("{v:.3}"));
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"engine\": {{\"events\": {}, \"wall_ms\": {:.3}, \
+         \"events_per_sec\": {:.0}}},\n  \"worlds\": [\n{}\n  ],\n  \
+         \"heal_1000\": {{\"nodes\": {}, \"crashed\": {}, \"heal_passes\": {}, \
+         \"replans\": {}, \"infeasible\": {}, \"detected_ms\": {}, \"recovered_ms\": {}, \
+         \"chains_resolved\": {}, \"chains_reused\": {}, \"seeded_bound_cuts\": {}, \
+         \"seeded\": {}, \"wall_ms\": {:.3}}}\n}}\n",
+        engine.events,
+        engine.wall_ms,
+        engine.events_per_sec,
+        entries.join(",\n"),
+        heal.nodes,
+        heal.crashed.0,
+        heal.heal_passes,
+        heal.replans,
+        heal.infeasible,
+        opt(heal.detected_ms),
+        opt(heal.recovered_ms),
+        heal.repair.chains_resolved,
+        heal.repair.chains_reused,
+        heal.repair.seeded_bound_cuts,
+        heal.repair.seeded,
+        heal.wall_ms,
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    report.kv("wrote", "BENCH_scale.json");
+    println!("{report}");
+}

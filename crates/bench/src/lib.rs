@@ -6,9 +6,14 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod scale;
 pub mod scenarios;
 
 pub use chaos::{outcome_json, run_chaos, ChaosBenchConfig, ChaosOutcome, DriverStats};
+pub use scale::{
+    measure_engine_throughput, measure_replan, measure_route_repair, run_heal_workload,
+    scale_network, EngineMeasure, HealWorkloadOutcome, ReplanMeasure, RouteRepairMeasure,
+};
 
 /// Whether the bench bins should write *stable* artifacts: every
 /// wall-clock-derived field zeroed/omitted (and planning forced serial)

@@ -12,12 +12,13 @@
 
 use crate::Framework;
 use ps_monitor::{affected_edges, NetworkChange, NetworkMonitor, ReplanDecision, Replanner};
-use ps_net::NodeId;
-use ps_planner::{Planner, ServiceRequest};
+use ps_net::{LinkId, NodeId, RouteTable};
+use ps_planner::{PlanRepairStats, Planner, RepairContext, ServiceRequest};
 use ps_sim::SimTime;
 use ps_smock::{ConnectError, Connection, FailReport, InstanceId, LivenessEvent, LivenessKind};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Handle to a connection under self-healing management (index into the
 /// framework's managed list; stable for the framework's lifetime).
@@ -41,6 +42,13 @@ pub(crate) struct Managed {
 pub(crate) struct Healer {
     pub(crate) monitor: NetworkMonitor,
     pub(crate) managed: Vec<Managed>,
+    /// All-pairs route table carried across heal passes and repaired
+    /// incrementally (delta-Dijkstra over the pass's batched dirty sets)
+    /// instead of rebuilt per replan. Valid as of the last pass's
+    /// monitor observation; the monitor diff is complete with respect to
+    /// everything the route metric reads (link liveness / latency /
+    /// credentials, node liveness), so unaffected rows stay exact.
+    pub(crate) route_table: Option<Arc<RouteTable>>,
 }
 
 /// What one [`Framework::heal`] pass observed and did.
@@ -72,6 +80,10 @@ pub struct HealReport {
     pub retired: Vec<InstanceId>,
     /// Re-deployments that failed outright (deploy errors and the like).
     pub failed: Vec<(ManagedId, ConnectError)>,
+    /// Warm-start repair statistics aggregated over this pass's
+    /// successful redeployments (zeros when no repair-planned redeploy
+    /// happened — e.g. all replans were plan-cache hits).
+    pub repair: PlanRepairStats,
 }
 
 impl HealReport {
@@ -88,6 +100,7 @@ impl HealReport {
             infeasible: Vec::new(),
             retired: Vec::new(),
             failed: Vec::new(),
+            repair: PlanRepairStats::default(),
         }
     }
 
@@ -132,6 +145,7 @@ impl Framework {
             self.healer = Some(Healer {
                 monitor,
                 managed: Vec::new(),
+                route_table: None,
             });
         }
         self
@@ -228,6 +242,62 @@ impl Framework {
         // Step 2: the monitor's view of what changed.
         report.changes = healer.monitor.observe_at(now, self.world.network());
 
+        // Batch everything this pass learned — liveness verdicts and
+        // monitor diffs alike — into one dirty node/link set: each
+        // touched connection then gets exactly one (warm-started) repair
+        // solve per pass, and the route table one repair total, no
+        // matter how many concurrent events piled up since the last one.
+        let mut dirty_nodes: BTreeSet<NodeId> = dead_nodes.clone();
+        dirty_nodes.extend(report.restored.iter().copied());
+        let mut dirty_links: BTreeSet<LinkId> = BTreeSet::new();
+        for change in &report.changes {
+            match change {
+                NetworkChange::LinkLatency { link, .. }
+                | NetworkChange::LinkBandwidth { link, .. }
+                | NetworkChange::LinkCredentials { link }
+                | NetworkChange::LinkDown { link }
+                | NetworkChange::LinkUp { link } => {
+                    dirty_links.insert(*link);
+                }
+                NetworkChange::NodeCredentials { node }
+                | NetworkChange::NodeSpeed { node, .. }
+                | NetworkChange::NodeDown { node }
+                | NetworkChange::NodeUp { node } => {
+                    dirty_nodes.insert(*node);
+                }
+            }
+        }
+        let dirty_nodes: Vec<NodeId> = dirty_nodes.into_iter().collect();
+        let dirty_links: Vec<LinkId> = dirty_links.into_iter().collect();
+
+        // Maintain the shared all-pairs route table incrementally: the
+        // cached table is valid as of the previous observation, and the
+        // dirty sets are exactly what changed since, so delta-Dijkstra
+        // repair re-runs only the affected sources.
+        if self.server.planner_config.share_route_table {
+            let net = self.world.network();
+            let table = match healer.route_table.take() {
+                Some(prior) if prior.is_current(net) => prior,
+                Some(prior) => {
+                    let mut table = Arc::unwrap_or_clone(prior);
+                    let outcome = table.repair(net, &dirty_links, &dirty_nodes);
+                    let tracer = self.server.tracer();
+                    tracer.count(
+                        if outcome.full_rebuild {
+                            "heal.route_rebuilds"
+                        } else {
+                            "heal.route_repairs"
+                        },
+                        1,
+                    );
+                    tracer.observe("heal.route_repair_wall_us", outcome.repair_micros as f64);
+                    Arc::new(table)
+                }
+                None => Arc::new(RouteTable::build(net)),
+            };
+            healer.route_table = Some(table);
+        }
+
         // Step 3: triage every managed connection. The managed list is
         // taken out of the healer so redeployments can borrow the
         // framework mutably.
@@ -274,8 +344,17 @@ impl Framework {
             if !must_redeploy {
                 continue;
             }
-            match self.redeploy_managed(&managed, idx) {
+            match self.redeploy_managed(
+                &managed,
+                idx,
+                &dirty_nodes,
+                &dirty_links,
+                healer.route_table.clone(),
+            ) {
                 Ok((connection, retired)) => {
+                    if let Some(r) = connection.plan.repair {
+                        report.repair += r;
+                    }
                     managed[idx].connection = connection;
                     managed[idx].degraded = false;
                     report.recovered.push(idx);
@@ -300,6 +379,12 @@ impl Framework {
             tracer.count("heal.recovered", report.recovered.len() as u64);
             tracer.count("heal.abandoned", report.abandoned.len() as u64);
             tracer.count("heal.infeasible", report.infeasible.len() as u64);
+            // Mirror of `planner.*` PlanStats publication: the repair
+            // aggregates ride the trace stream so churn numbers are
+            // reconstructible from the JSONL alone.
+            tracer.count("heal.chains_resolved", report.repair.chains_resolved as u64);
+            tracer.count("heal.chains_reused", report.repair.chains_reused as u64);
+            tracer.count("heal.seeded_bound_cuts", report.repair.seeded_bound_cuts);
             tracer.instant(
                 "core",
                 "heal",
@@ -311,6 +396,9 @@ impl Framework {
                     ("recovered", report.recovered.len().into()),
                     ("abandoned", report.abandoned.len().into()),
                     ("infeasible", report.infeasible.len().into()),
+                    ("chains_resolved", report.repair.chains_resolved.into()),
+                    ("chains_reused", report.repair.chains_reused.into()),
+                    ("seeded_cuts", report.repair.seeded_bound_cuts.into()),
                 ],
             );
         }
@@ -343,10 +431,24 @@ impl Framework {
         &mut self,
         managed: &[Managed],
         idx: usize,
+        dirty_nodes: &[NodeId],
+        dirty_links: &[LinkId],
+        prior_routes: Option<Arc<RouteTable>>,
     ) -> Result<(Connection, Vec<InstanceId>), ConnectError> {
         let service = managed[idx].service.clone();
         let request = managed[idx].request.clone();
-        let new = self.connect(&service, &request)?;
+        // Warm-start: repair the surviving plan (re-solving only the
+        // chain positions the pass's batched damage touched) instead of
+        // planning from scratch; exact same objective, found faster.
+        let ctx = RepairContext {
+            old_plan: &managed[idx].connection.plan,
+            dirty_nodes: dirty_nodes.to_vec(),
+            dirty_links: dirty_links.to_vec(),
+            prior_routes,
+        };
+        let new = self
+            .server
+            .connect_repair(&mut self.world, &service, &request, &ctx)?;
         let mut in_use: BTreeSet<InstanceId> = new.deployment.instances.iter().copied().collect();
         for (other, m) in managed.iter().enumerate() {
             if other != idx && !m.abandoned {

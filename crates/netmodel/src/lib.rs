@@ -31,7 +31,7 @@ pub mod translate;
 pub use casestudy::{default_case_study, CaseStudy};
 pub use graph::{Credentials, Link, LinkId, Network, Node, NodeId};
 pub use path::{routes_from, shortest_route, Route};
-pub use route_table::RouteTable;
+pub use route_table::{RepairOutcome, RouteTable};
 pub use translate::{Mapping, MappingTranslator, PropertyTranslator};
 
 /// Convenience prelude for network-model users.
@@ -40,6 +40,6 @@ pub mod prelude {
     pub use crate::casestudy::{build as build_case_study, default_case_study, CaseStudy};
     pub use crate::graph::{Credentials, Link, LinkId, Network, Node, NodeId};
     pub use crate::path::{routes_from, shortest_route, Route};
-    pub use crate::route_table::RouteTable;
+    pub use crate::route_table::{RepairOutcome, RouteTable};
     pub use crate::translate::{Mapping, MappingTranslator, PropertyTranslator};
 }

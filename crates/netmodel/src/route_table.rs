@@ -14,10 +14,56 @@
 //! table records `net.epoch()` at build time and [`RouteTable::is_current`]
 //! compares it against the live graph, so callers rebuild exactly when
 //! the topology or a credential changed.
+//!
+//! ## Incremental repair
+//!
+//! A full build is `n` Dijkstra runs; at a thousand routers that is the
+//! dominant cost of every heal pass even when a single link flapped.
+//! [`RouteTable::repair`] instead classifies each *source* as affected
+//! or not by the reported changes and re-runs Dijkstra only for the
+//! affected sources (delta-Dijkstra at source granularity — exactly
+//! equivalent to a full rebuild, including deterministic tie-breaks,
+//! because each rebuilt tree is produced by the very same
+//! `dijkstra_tree`). A source `s` is affected when:
+//!
+//! - a touched link is a tree edge of `s`'s old tree (the link may have
+//!   worsened or vanished), or
+//! - relaxing a touched (live) link against `s`'s *old* distances gives
+//!   a cost `<=` the recorded cost at either endpoint (the link may
+//!   now offer a better route, or an equal-cost one that changes the
+//!   deterministic predecessor choice), or
+//! - a touched node that went down is *internal* to `s`'s tree (some
+//!   neighbour's tree parent is that node); if it was a leaf the row is
+//!   patched in place (`UNREACHED`) without re-running anything, or
+//! - a touched node came (back) up and one of its incident links passes
+//!   the relaxation test above.
+//!
+//! When more than [`REPAIR_DAMAGE_THRESHOLD`] of sources are affected
+//! the repair falls back to a full rebuild — the classification sweep
+//! is cheap, so the fallback costs one extra `O(n · deg)` pass.
 
 use crate::graph::{LinkId, Network, NodeId};
 use crate::path::{dijkstra_tree, reconstruct, Route, RouteCost, UNREACHED};
 use ps_sim::SimDuration;
+
+/// Fraction of sources above which [`RouteTable::repair`] rebuilds the
+/// whole table instead of repairing per-source (numerator/denominator).
+pub const REPAIR_DAMAGE_THRESHOLD: (usize, usize) = (1, 4);
+
+/// What [`RouteTable::repair`] did, for perf accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Whether the damage threshold (or a node-count change) forced a
+    /// full rebuild.
+    pub full_rebuild: bool,
+    /// Sources whose Dijkstra tree was re-run.
+    pub sources_rebuilt: usize,
+    /// Total sources in the table.
+    pub sources_total: usize,
+    /// Wall-clock time spent repairing, in microseconds (accounting
+    /// only; never consulted by any planning decision).
+    pub repair_micros: u64,
+}
 
 /// Immutable all-pairs routing table for one network epoch.
 ///
@@ -38,6 +84,9 @@ pub struct RouteTable {
     dist: Vec<RouteCost>,
     /// Wall-clock time spent building, in microseconds.
     build_micros: u64,
+    /// Number of [`RouteTable::repair`] passes applied since the full
+    /// build (0 for a freshly built table).
+    generation: u64,
 }
 
 impl RouteTable {
@@ -64,17 +113,200 @@ impl RouteTable {
             prev,
             dist,
             build_micros: started.elapsed_micros(),
+            generation: 0,
         }
     }
 
-    /// The network epoch this table was built at.
+    /// The network epoch this table reflects: the build epoch for a
+    /// fresh table, the post-repair epoch after [`RouteTable::repair`].
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// Whether the table still reflects `net` (same epoch).
+    /// Number of repair passes applied since the full build.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the table still reflects `net` (same epoch). This is the
+    /// single staleness authority for both fresh and repaired tables:
+    /// [`RouteTable::repair`] advances the recorded epoch to the
+    /// network's, so a repaired table reports current until the next
+    /// mutation.
     pub fn is_current(&self, net: &Network) -> bool {
         self.epoch == net.epoch() && self.n == net.node_count()
+    }
+
+    /// Incrementally repairs the table after the reported changes,
+    /// producing a table identical to `RouteTable::build(net)` (same
+    /// routes, same deterministic tie-breaks).
+    ///
+    /// `touched_links` / `touched_nodes` must cover *every* link and
+    /// node whose routing-relevant state (up flag, latency, `Secure`
+    /// credential, or an endpoint's up flag via `touched_nodes`)
+    /// changed since the epoch this table reflects; extra entries cost
+    /// only wasted re-runs, missing ones silently corrupt routes. Falls
+    /// back to a full rebuild when the damage exceeds
+    /// [`REPAIR_DAMAGE_THRESHOLD`] or the node count changed.
+    pub fn repair(
+        &mut self,
+        net: &Network,
+        touched_links: &[LinkId],
+        touched_nodes: &[NodeId],
+    ) -> RepairOutcome {
+        let started = ps_trace::WallTimer::start();
+        let n = self.n;
+        if net.node_count() != n {
+            return self.rebuild_all(net, started);
+        }
+        let affected = self.classify_affected(net, touched_links, touched_nodes);
+
+        let sources_rebuilt = affected.iter().filter(|&&a| a).count();
+        let (num, den) = REPAIR_DAMAGE_THRESHOLD;
+        if sources_rebuilt * den > n * num {
+            return self.rebuild_all(net, started);
+        }
+
+        // Patch unaffected rows: a down node becomes unreachable as a
+        // leaf without disturbing the rest of the tree.
+        for &node in touched_nodes {
+            if !net.node(node).up {
+                for (s, _) in affected.iter().enumerate().filter(|&(_, &a)| !a) {
+                    self.dist[s * n + node.0 as usize] = UNREACHED;
+                    self.prev[s * n + node.0 as usize] = None;
+                }
+            }
+        }
+        for (s, _) in affected.iter().enumerate().filter(|&(_, &a)| a) {
+            let (d, p) = (
+                &mut self.dist[s * n..(s + 1) * n],
+                &mut self.prev[s * n..(s + 1) * n],
+            );
+            dijkstra_tree(net, NodeId(s as u32), None, d, p);
+        }
+        self.epoch = net.epoch();
+        self.generation += 1;
+        RepairOutcome {
+            full_rebuild: false,
+            sources_rebuilt,
+            sources_total: n,
+            repair_micros: started.elapsed_micros(),
+        }
+    }
+
+    /// Dry-run damage assessment: how many sources a
+    /// [`RouteTable::repair`] with these dirty sets would re-run
+    /// Dijkstra for, without mutating the table. Returns `n` (every
+    /// source) when the node count changed. Callers use this to decide
+    /// between scheduling a repair and a rebuild — or, in benches, to
+    /// find damage that stays localized — at classification cost
+    /// (linear in sources) instead of paying for the repair itself.
+    pub fn affected_sources(
+        &self,
+        net: &Network,
+        touched_links: &[LinkId],
+        touched_nodes: &[NodeId],
+    ) -> usize {
+        if net.node_count() != self.n {
+            return self.n;
+        }
+        self.classify_affected(net, touched_links, touched_nodes)
+            .iter()
+            .filter(|&&a| a)
+            .count()
+    }
+
+    /// Per-source affected classification shared by
+    /// [`RouteTable::repair`] and [`RouteTable::affected_sources`]: a
+    /// source must re-run when its old tree used a touched element or a
+    /// touched element could now improve (or tie) its row.
+    fn classify_affected(
+        &self,
+        net: &Network,
+        touched_links: &[LinkId],
+        touched_nodes: &[NodeId],
+    ) -> Vec<bool> {
+        let n = self.n;
+        // Relaxes `link` from `from` against a source's old distances;
+        // `None` when `from` was unreached.
+        let relax = |row: &[RouteCost], from: NodeId, link_id: LinkId| -> Option<RouteCost> {
+            let (w, d, h) = row[from.0 as usize];
+            if d == u64::MAX {
+                return None;
+            }
+            let link = net.link(link_id);
+            Some((
+                w + u32::from(!net.link_secure(link_id)),
+                d.saturating_add(link.latency.as_nanos()),
+                h + 1,
+            ))
+        };
+        // Whether a live link could improve (or tie) a source's row.
+        let link_improves = |row: &[RouteCost], link_id: LinkId| -> bool {
+            let link = net.link(link_id);
+            if !link.up || !net.node(link.a).up || !net.node(link.b).up {
+                return false;
+            }
+            let better = |from: NodeId, to: NodeId| {
+                relax(row, from, link_id).is_some_and(|cand| cand <= row[to.0 as usize])
+            };
+            better(link.a, link.b) || better(link.b, link.a)
+        };
+        // Whether a touched link is a tree edge of the source's old tree.
+        let tree_uses = |row_prev: &[Option<(NodeId, LinkId)>], link_id: LinkId| -> bool {
+            let link = net.link(link_id);
+            row_prev[link.b.0 as usize] == Some((link.a, link_id))
+                || row_prev[link.a.0 as usize] == Some((link.b, link_id))
+        };
+
+        let mut affected = vec![false; n];
+        for &NodeId(d) in touched_nodes {
+            // The touched node's own tree is always re-run (cheap: a
+            // down source yields an all-UNREACHED row immediately).
+            affected[d as usize] = true;
+        }
+        for (s, slot) in affected.iter_mut().enumerate() {
+            if *slot {
+                continue;
+            }
+            let row = &self.dist[s * n..(s + 1) * n];
+            let row_prev = &self.prev[s * n..(s + 1) * n];
+            let hit = touched_nodes.iter().any(|&node| {
+                if net.node(node).up {
+                    // Restarted node: new routes can only enter through
+                    // an incident link, so the relaxation test on them
+                    // catches every improvement or tie.
+                    net.neighbours(node)
+                        .iter()
+                        .any(|&(_, link_id)| link_improves(row, link_id))
+                } else {
+                    // Down node: only sources routing *through* it need
+                    // a re-run; leaves are patched below.
+                    net.neighbours(node)
+                        .iter()
+                        .any(|&(v, _)| row_prev[v.0 as usize].is_some_and(|(p, _)| p == node))
+                }
+            }) || touched_links
+                .iter()
+                .any(|&link_id| tree_uses(row_prev, link_id) || link_improves(row, link_id));
+            *slot = hit;
+        }
+        affected
+    }
+
+    /// Full-rebuild fallback for [`RouteTable::repair`]; keeps the
+    /// repair-generation lineage so stale-read diagnostics can tell a
+    /// repaired table from a fresh one.
+    fn rebuild_all(&mut self, net: &Network, started: ps_trace::WallTimer) -> RepairOutcome {
+        let generation = self.generation + 1;
+        *self = RouteTable::build(net);
+        self.generation = generation;
+        RepairOutcome {
+            full_rebuild: true,
+            sources_rebuilt: self.n,
+            sources_total: self.n,
+            repair_micros: started.elapsed_micros(),
+        }
     }
 
     /// Wall-clock build time in microseconds.
@@ -94,8 +326,9 @@ impl RouteTable {
     pub fn route(&self, net: &Network, from: NodeId, to: NodeId) -> Option<Route> {
         debug_assert!(
             self.is_current(net),
-            "route table is stale: built at epoch {}, network at {}",
+            "route table is stale: built at epoch {} (repair generation {}), network at {}",
             self.epoch,
+            self.generation,
             net.epoch()
         );
         let src = from.0 as usize;
@@ -176,6 +409,146 @@ mod tests {
         let rebuilt = RouteTable::build(&net);
         assert!(rebuilt.is_current(&net));
         assert!(rebuilt.epoch() > table.epoch());
+    }
+
+    /// Asserts the repaired table answers every query identically to a
+    /// fresh full build.
+    fn assert_matches_full_build(table: &RouteTable, net: &Network, context: &str) {
+        assert!(
+            table.is_current(net),
+            "{context}: repaired table must be current"
+        );
+        let full = RouteTable::build(net);
+        for from in net.node_ids() {
+            for to in net.node_ids() {
+                assert_eq!(
+                    table.route(net, from, to),
+                    full.route(net, from, to),
+                    "{context}: route {from}->{to} diverged"
+                );
+                assert_eq!(
+                    table.reachable(from, to),
+                    full.reachable(from, to),
+                    "{context}"
+                );
+                assert_eq!(table.latency(from, to), full.latency(from, to), "{context}");
+            }
+        }
+    }
+
+    /// a - b - c - d - e chain: quarantining the leaf `e` only re-runs
+    /// `e`'s own tree; every other source is patched in place.
+    #[test]
+    fn leaf_quarantine_repairs_without_tree_reruns() {
+        let mut net = Network::new();
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| net.add_node(format!("n{i}"), "s", 1.0, Credentials::new()))
+            .collect();
+        for w in ids.windows(2) {
+            net.add_link(w[0], w[1], SimDuration::from_millis(1), 1e8, secure());
+        }
+        let mut table = RouteTable::build(&net);
+        net.set_node_up(ids[4], false);
+        let outcome = table.repair(&net, &[], &[ids[4]]);
+        assert!(!outcome.full_rebuild);
+        assert_eq!(outcome.sources_rebuilt, 1, "only the down node's own tree");
+        assert_eq!(table.generation(), 1);
+        assert_matches_full_build(&table, &net, "leaf quarantine");
+    }
+
+    #[test]
+    fn heavy_damage_falls_back_to_full_rebuild() {
+        // a - b - c - d - e chain: the middle node is internal to every
+        // other source's tree, so quarantining it damages all 5 sources.
+        let mut net = Network::new();
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| net.add_node(format!("n{i}"), "s", 1.0, Credentials::new()))
+            .collect();
+        for w in ids.windows(2) {
+            net.add_link(w[0], w[1], SimDuration::from_millis(1), 1e8, secure());
+        }
+        let mut table = RouteTable::build(&net);
+        net.set_node_up(ids[2], false);
+        let outcome = table.repair(&net, &[], &[ids[2]]);
+        assert!(outcome.full_rebuild);
+        assert_eq!(outcome.sources_rebuilt, outcome.sources_total);
+        assert_eq!(table.generation(), 1, "fallback keeps the repair lineage");
+        assert_matches_full_build(&table, &net, "heavy damage");
+    }
+
+    #[test]
+    fn node_count_change_forces_full_rebuild() {
+        let mut net = diamond();
+        let mut table = RouteTable::build(&net);
+        let e = net.add_node("e", "s2", 1.0, Credentials::new());
+        net.add_link(NodeId(3), e, SimDuration::from_millis(1), 1e8, secure());
+        let outcome = table.repair(&net, &[], &[]);
+        assert!(outcome.full_rebuild);
+        assert_matches_full_build(&table, &net, "node-count change");
+    }
+
+    /// Property: across randomized seeded link-flap / crash / restart /
+    /// latency-change sequences, `repair` produces a table identical to
+    /// a from-scratch `RouteTable::build` after every single event.
+    #[test]
+    fn repair_matches_full_build_across_random_flap_sequences() {
+        use crate::brite::{hierarchical, FlatParams, HierParams};
+        use ps_sim::{ChaosConfig, FaultKind, FaultPlan, Rng};
+
+        for seed in 0..6u64 {
+            let mut rng = Rng::seed_from_u64(seed).derive("repair-equiv");
+            let params = HierParams {
+                as_count: 3,
+                router: FlatParams {
+                    nodes: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mut net = hierarchical(&mut rng, &params);
+            let mut table = RouteTable::build(&net);
+            let config = ChaosConfig {
+                crashable_nodes: net.node_ids().map(|n| n.0).collect(),
+                flappable_links: (0..net.link_count() as u32).collect(),
+                node_crashes: 4,
+                link_flaps: 6,
+                loss_windows: 0,
+                ..ChaosConfig::default()
+            };
+            let plan = FaultPlan::randomized(7919 * seed + 1, &config);
+            for (i, ev) in plan.events().iter().enumerate() {
+                let mut links = Vec::new();
+                let mut nodes = Vec::new();
+                match ev.kind {
+                    FaultKind::NodeCrash { node } => {
+                        net.set_node_up(NodeId(node), false);
+                        nodes.push(NodeId(node));
+                    }
+                    FaultKind::NodeRestart { node } => {
+                        net.set_node_up(NodeId(node), true);
+                        nodes.push(NodeId(node));
+                    }
+                    FaultKind::LinkDown { link } => {
+                        net.set_link_up(LinkId(link), false);
+                        links.push(LinkId(link));
+                    }
+                    FaultKind::LinkUp { link } => {
+                        net.set_link_up(LinkId(link), true);
+                        links.push(LinkId(link));
+                    }
+                    FaultKind::LossStart { .. } | FaultKind::LossEnd { .. } => continue,
+                }
+                if i % 3 == 0 {
+                    // Batch a link-weight change into the same repair:
+                    // worsenings and improvements both get exercised.
+                    let l = LinkId(rng.next_below(net.link_count() as u64) as u32);
+                    net.link_mut(l).latency = SimDuration::from_millis(1 + rng.next_below(20));
+                    links.push(l);
+                }
+                table.repair(&net, &links, &nodes);
+                assert_matches_full_build(&table, &net, &format!("seed {seed} event {i}"));
+            }
+        }
     }
 
     #[test]

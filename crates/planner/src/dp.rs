@@ -22,6 +22,7 @@ use crate::mapping::{Evaluation, Mapper, STARTUP_COST_MS};
 use crate::plan::{Objective, PlanStats};
 use ps_net::NodeId;
 use ps_spec::ResolvedBindings;
+use std::rc::Rc;
 
 /// A DP label: a distinct effective property map with its best suffix
 /// cost and the back-pointer to reconstruct the assignment.
@@ -190,7 +191,7 @@ pub fn search(
                         let mut assignment = vec![None; graph.len()];
                         let mut provided = vec![None; graph.len()];
                         assignment[child_tree] = Some(m);
-                        provided[child_tree] = Some(label.provided.clone());
+                        provided[child_tree] = Some(Rc::new(label.provided.clone()));
                         let Some(flow) =
                             mapper.flow_at(graph, tree_idx, node, &assignment, &provided)
                         else {

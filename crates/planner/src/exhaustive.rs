@@ -8,17 +8,27 @@
 //! lower bound already exceeds the incumbent's objective:
 //!
 //! * the partial cost of a placement is the same per-node increment the
-//!   final evaluation charges (CPU share + parent-edge round trips +
-//!   the client edge for the root), so at a complete assignment the
-//!   accumulated partial equals the evaluation's latency part exactly;
+//!   final evaluation charges — the latency part (CPU share +
+//!   parent-edge round trips + the client edge for the root) *and* the
+//!   deployment-cost part (code transfer + startup, zero for
+//!   pinned/existing attachments), each weighted as the objective
+//!   weights them — so at a complete assignment the accumulated partial
+//!   equals the full objective (undershooting only when a
+//!   might-be-preexisting placement's factors fail to match);
 //! * the remaining-suffix bound takes, per unplaced tree node, the
 //!   minimum increment over its whole candidate set — an underestimate
 //!   of whatever the search will actually commit to;
+//! * a *corridor floor* tightens that suffix where its per-edge minima
+//!   collapse to ~0: placing any non-root tree node at host `m` leaves
+//!   the whole ancestor edge chain back to the client uncharged
+//!   (bottom-up order), and by the triangle inequality that chain costs
+//!   at least the minimum path fraction times the client → `m` round
+//!   trip — so candidates far from the client ↔ pinned-server corridor
+//!   are cut before any property-flow work;
 //! * pruning is *strict* (`partial + suffix > incumbent objective`):
 //!   a subtree is cut only when every completion is strictly worse than
 //!   the incumbent, so the surviving optimum — value *and* chosen
 //!   assignment — is identical to the unbounded oracle's. For
-//!   `MinCost` the latency part is zero and the bound never fires; for
 //!   `MaxCapacity` (non-additive, negated) bounding is disabled.
 //!
 //! The pre-bounding oracle remains reachable via [`search_unbounded`]
@@ -33,6 +43,8 @@ use crate::mapping::{Evaluation, Mapper};
 use crate::plan::{Objective, PlanStats};
 use ps_net::NodeId;
 use ps_spec::ResolvedBindings;
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically decreasing objective value shared across graph
@@ -90,7 +102,7 @@ pub fn search(
     graph: &LinkageGraph,
     stats: &mut PlanStats,
 ) -> Option<(Vec<NodeId>, Evaluation)> {
-    search_inner(mapper, graph, stats, true, None)
+    search_inner(mapper, graph, stats, true, None, None, false)
 }
 
 /// Like [`search`], but additionally prunes against `incumbent` — the
@@ -102,7 +114,52 @@ pub fn search_seeded(
     stats: &mut PlanStats,
     incumbent: &Incumbent,
 ) -> Option<(Vec<NodeId>, Evaluation)> {
-    search_inner(mapper, graph, stats, true, Some(incumbent))
+    search_inner(mapper, graph, stats, true, Some(incumbent), None, false)
+}
+
+/// Warm-start repair solve: like [`search_seeded`], but every tree node
+/// with `fixed[idx] = Some(node)` has its candidate set intersected down
+/// to that single node (kept only if the node still passes the mapper's
+/// condition-1 filter), so the search explores just the unfixed —
+/// failure-touched — positions. Returns `None` when a fixed placement is
+/// no longer admissible; any feasible result's objective is offered to
+/// `incumbent`, seeding the exact full search that follows.
+pub fn search_restricted(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    stats: &mut PlanStats,
+    fixed: &[Option<NodeId>],
+    incumbent: &Incumbent,
+) -> Option<(Vec<NodeId>, Evaluation)> {
+    debug_assert_eq!(fixed.len(), graph.len());
+    search_inner(
+        mapper,
+        graph,
+        stats,
+        true,
+        Some(incumbent),
+        Some(fixed),
+        false,
+    )
+}
+
+/// The repair sweep's confirmation search: like [`search_seeded`], but
+/// prunes with `>=` against the incumbent, cutting subtrees that cannot
+/// *strictly* beat it. Sound whenever a feasible plan achieving the
+/// incumbent's value is already in hand (the repair seed) and ties
+/// should keep it: every strictly better mapping is still found (an
+/// admissible bound `>=` the incumbent proves no completion goes below
+/// it), only equal-or-worse completions are skipped — including the
+/// plateau of equal-objective tie mappings a strict bound must evaluate
+/// one by one. Serial use only: under a shared concurrent incumbent the
+/// returned per-graph result would depend on publication timing.
+pub fn search_strictly_better(
+    mapper: &Mapper<'_>,
+    graph: &LinkageGraph,
+    stats: &mut PlanStats,
+    incumbent: &Incumbent,
+) -> Option<(Vec<NodeId>, Evaluation)> {
+    search_inner(mapper, graph, stats, true, Some(incumbent), None, true)
 }
 
 /// The unbounded oracle: explores the full candidate product with only
@@ -114,7 +171,7 @@ pub fn search_unbounded(
     graph: &LinkageGraph,
     stats: &mut PlanStats,
 ) -> Option<(Vec<NodeId>, Evaluation)> {
-    search_inner(mapper, graph, stats, false, None)
+    search_inner(mapper, graph, stats, false, None, None, false)
 }
 
 fn search_inner(
@@ -123,10 +180,22 @@ fn search_inner(
     stats: &mut PlanStats,
     bounded: bool,
     incumbent: Option<&Incumbent>,
+    fixed: Option<&[Option<NodeId>]>,
+    prune_ties: bool,
 ) -> Option<(Vec<NodeId>, Evaluation)> {
     let n = graph.len();
     let order = graph.bottom_up_order();
-    let candidates: Vec<Vec<NodeId>> = (0..n).map(|i| mapper.candidates(graph, i)).collect();
+    let mut candidates: Vec<Vec<NodeId>> = (0..n).map(|i| mapper.candidates(graph, i)).collect();
+    if let Some(fixed) = fixed {
+        // Intersecting (rather than replacing) keeps the condition-1
+        // filter authoritative: a fixed node that lost its installation
+        // conditions empties the set and the repair reports infeasible.
+        for (idx, forced) in fixed.iter().enumerate() {
+            if let Some(node) = forced {
+                candidates[idx].retain(|c| c == node);
+            }
+        }
+    }
     if candidates.iter().any(Vec::is_empty) {
         return None;
     }
@@ -137,12 +206,13 @@ fn search_inner(
     let bounding = bounded && !matches!(mapper.objective, Objective::MaxCapacity);
     let rates = mapper.rates(graph);
     let lp = latency_part(mapper.objective);
+    let cp = cost_part(mapper.objective);
 
     // Admissible per-tree-node lower bounds over each candidate set,
     // mirroring the increments charged during recursion.
-    let suffix_bound = if bounding && lp > 0.0 {
+    let suffix_bound = if bounding && (lp > 0.0 || cp > 0.0) {
         let lower_bound: Vec<f64> = (0..n)
-            .map(|idx| min_increment(mapper, graph, &rates, &candidates, idx, lp))
+            .map(|idx| min_increment(mapper, graph, &rates, &candidates, idx, lp, cp))
             .collect();
         let mut suffix = vec![0.0; order.len() + 1];
         for pos in (0..order.len()).rev() {
@@ -153,6 +223,139 @@ fn search_inner(
         vec![0.0; order.len() + 1]
     };
 
+    // Corridor-floor coefficients: placing tree node `idx` at host `m`
+    // commits every completion to still pay the — bottom-up order, so
+    // entirely uncharged — ancestor edge chain client → root → … → idx.
+    // That directed walk ends at `m`, so by the triangle inequality of
+    // shortest-path latencies its one-way latency sum is at least
+    // `d(client, m)`, each edge weighted by at least the minimum flow
+    // fraction along the path (the client edge carries fraction 1) and
+    // doubled by the evaluator's round-trip charge. `anc_floor[idx] *
+    // d(client, m)` is therefore an admissible remaining-cost floor that
+    // stays non-zero deep in the fabric, where the per-edge candidate
+    // minima underlying `suffix_bound` collapse to ~0 — it is what cuts
+    // roaming candidates far from the client ↔ pinned-server corridor
+    // before any property-flow work. Zero for the root (its client edge
+    // is charged in its own increment).
+    let anc_floor: Vec<f64> = if bounding && lp > 0.0 {
+        let mut parent = vec![usize::MAX; n];
+        for i in 0..n {
+            for &(_, child) in &graph.nodes[i].children {
+                parent[child] = i;
+            }
+        }
+        (0..n)
+            .map(|idx| {
+                if idx == 0 {
+                    return 0.0;
+                }
+                let mut fmin = 1.0f64;
+                let mut v = idx;
+                while v != 0 {
+                    if v == usize::MAX {
+                        // Disconnected from the root: no ancestor chain
+                        // to charge for.
+                        return 0.0;
+                    }
+                    fmin = fmin.min(rates.fraction(v));
+                    v = parent[v];
+                }
+                lp * 2.0 * fmin
+            })
+            .collect()
+    } else {
+        vec![0.0; n]
+    };
+
+    // Node-only objective terms, resolved per candidate once so the
+    // descent's hot loop reads two array slots instead of re-running
+    // route-cache lookups at every visit: `static_cost` carries the
+    // deployment-cost part, the CPU share, and (for the root) the
+    // client edge — summed in exactly the order [`State::increment`]
+    // historically charged them, keeping the accumulated partial
+    // bit-identical — and `cand_floor` carries the corridor floor,
+    // `anc_floor[idx] * d(client, candidate)`.
+    let (static_cost, cand_floor) = if bounding && (lp > 0.0 || cp > 0.0) {
+        let client = mapper.request.client_node;
+        let mut static_cost = Vec::with_capacity(n);
+        let mut cand_floor = Vec::with_capacity(n);
+        for idx in 0..n {
+            let behavior = mapper.spec.behavior_of(&graph.nodes[idx].component);
+            let frac = rates.fraction(idx);
+            let mut costs = Vec::with_capacity(candidates[idx].len());
+            let mut floors = Vec::with_capacity(candidates[idx].len());
+            for &node in &candidates[idx] {
+                let mut cost = if cp > 0.0 {
+                    cp * deploy_cost_lower(mapper, graph, idx, node)
+                } else {
+                    0.0
+                };
+                if lp > 0.0 {
+                    cost +=
+                        lp * frac * behavior.cpu_per_request_ms / mapper.net.node(node).cpu_speed;
+                    if idx == 0 {
+                        if let Some(info) = mapper.route(client, node) {
+                            if !info.route.is_local() {
+                                let bytes = (behavior.bytes_per_request
+                                    + behavior.bytes_per_response)
+                                    as f64;
+                                cost += lp * rtt_ms(&info.route, bytes);
+                            }
+                        }
+                    }
+                }
+                costs.push(cost);
+                let floor = match anc_floor[idx] {
+                    coeff if coeff > 0.0 => mapper
+                        .route(client, node)
+                        .map_or(0.0, |info| coeff * info.route.latency.as_millis_f64()),
+                    _ => 0.0,
+                };
+                floors.push(floor);
+            }
+            static_cost.push(costs);
+            cand_floor.push(floors);
+        }
+        (static_cost, cand_floor)
+    } else {
+        // Shape-matched zeros: the descent indexes these whenever it
+        // bounds, even for objectives with no latency or cost part.
+        let zeros: Vec<Vec<f64>> = candidates.iter().map(|c| vec![0.0; c.len()]).collect();
+        (zeros.clone(), zeros)
+    };
+
+    // Per tree node, the latency weight × fraction and request+response
+    // bytes its parent edge is charged with — read by the descent for
+    // edges to already-placed children.
+    let edge_w: Vec<f64> = (0..n).map(|idx| lp * rates.fraction(idx)).collect();
+    let edge_bytes: Vec<f64> = (0..n)
+        .map(|idx| {
+            let b = mapper.spec.behavior_of(&graph.nodes[idx].component);
+            (b.bytes_per_request + b.bytes_per_response) as f64
+        })
+        .collect();
+
+    // Same-component sibling lists for descent-time instance-identity
+    // pruning: a pair violation (same node, or duplicate fresh factors)
+    // holds in every completion, so the subtree can be cut the moment
+    // the second instance is placed instead of evaluating every leaf
+    // under it. Empty for graphs whose components are all distinct.
+    let same_component: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i && graph.nodes[j].component == graph.nodes[i].component)
+                .collect()
+        })
+        .collect();
+    let data_view: Vec<bool> = (0..n)
+        .map(|i| {
+            mapper
+                .spec
+                .get_component(&graph.nodes[i].component)
+                .is_some_and(|c| c.is_data_view())
+        })
+        .collect();
+
     let mut state = State {
         mapper,
         graph,
@@ -160,9 +363,21 @@ fn search_inner(
         candidates,
         rates,
         suffix_bound,
+        static_cost,
+        cand_floor,
+        edge_w,
+        edge_bytes,
         bounding,
         lp,
+        same_component,
+        data_view,
+        identity_prune: bounded,
         incumbent: if bounding { incumbent } else { None },
+        prune_ties,
+        memoize: bounded,
+        flow_memo: HashMap::new(),
+        provided_interned: Vec::new(),
+        provided_id: vec![None; n],
         assignment: vec![None; n],
         provided: vec![None; n],
         factors: vec![None; n],
@@ -173,12 +388,68 @@ fn search_inner(
     state.best
 }
 
+/// Memo key for one property-flow verdict: the tree node, its candidate
+/// host, and — the only descent state the flow reads — each child's
+/// `(host, interned provided-bindings)` pair, packed into fixed slots
+/// (one `u64` per child, `u64::MAX` marking unused) so a lookup does
+/// not allocate; trees with more than two children per node spill into
+/// the overflow vector. Exact equality, no hashes of unbounded values,
+/// so a hit is guaranteed to be the same verdict.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FlowKey {
+    idx: u32,
+    node: u32,
+    ctx: [u64; 2],
+    spill: Vec<u64>,
+}
+
+/// Memoized outcome of a property-flow check: `None` for an
+/// incompatible placement, otherwise the resolved (provided, factor)
+/// bindings pair.
+type FlowVerdict = Option<(Rc<ResolvedBindings>, Rc<ResolvedBindings>)>;
+
 fn latency_part(objective: Objective) -> f64 {
     match objective {
         Objective::MinLatency => 1.0,
         Objective::MinCost | Objective::MaxCapacity => 0.0,
         Objective::Weighted { latency_weight, .. } => latency_weight,
     }
+}
+
+/// Weight of the deployment-cost term in the objective. `1e-9` is
+/// MinLatency's deterministic tie-break coefficient — it must match the
+/// evaluator's ([`Mapper::evaluate`]) so the accumulated partial at a
+/// complete assignment equals the full objective when no preexisting
+/// factor mismatch occurs; this is what lets the `>=` sweep of
+/// [`search_strictly_better`] cut the plateau of latency-tied mappings.
+fn cost_part(objective: Objective) -> f64 {
+    match objective {
+        Objective::MinLatency => 1e-9,
+        Objective::MinCost => 1.0,
+        Objective::MaxCapacity => 0.0,
+        Objective::Weighted { cost_weight, .. } => cost_weight,
+    }
+}
+
+/// Lower bound of the deployment cost [`Mapper::evaluate`] charges for
+/// placing `idx` at `node`: zero when the placement might attach to a
+/// pinned/existing instance (the factor match isn't known yet during
+/// descent), else the code transfer from the effective origin plus the
+/// startup charge — exactly the evaluator's per-placement term.
+fn deploy_cost_lower(mapper: &Mapper<'_>, graph: &LinkageGraph, idx: usize, node: NodeId) -> f64 {
+    let component = &graph.nodes[idx].component;
+    if mapper.request.could_be_preexisting(component, node) {
+        return 0.0;
+    }
+    let comp = mapper.spec.behavior_of(component);
+    let transfer_ms = match mapper.route(mapper.request.effective_origin(), node) {
+        Some(info) if !info.route.is_local() => {
+            info.route.latency.as_millis_f64()
+                + comp.code_size as f64 * 8.0 / info.route.bottleneck_bps * 1000.0
+        }
+        _ => 0.0,
+    };
+    transfer_ms + crate::mapping::STARTUP_COST_MS
 }
 
 /// Round-trip milliseconds of one request over `route` carrying `bytes`.
@@ -200,6 +471,7 @@ fn min_increment(
     candidates: &[Vec<NodeId>],
     idx: usize,
     lp: f64,
+    cp: f64,
 ) -> f64 {
     let min_rtt = |from_set: &[NodeId], to_set: &[NodeId], bytes: f64| -> f64 {
         let mut best = f64::INFINITY;
@@ -224,19 +496,31 @@ fn min_increment(
     };
     let behavior = mapper.spec.behavior_of(&graph.nodes[idx].component);
     let frac = rates.fraction(idx);
-    let min_cpu = candidates[idx]
+    // The CPU and deployment-cost terms both depend only on the chosen
+    // node, so minimising their *sum* over the candidate set stays
+    // admissible and is tighter than summing independent minima.
+    let min_node = candidates[idx]
         .iter()
-        .map(|&node| lp * frac * behavior.cpu_per_request_ms / mapper.net.node(node).cpu_speed)
+        .map(|&node| {
+            let mut inc = lp * frac * behavior.cpu_per_request_ms / mapper.net.node(node).cpu_speed;
+            if cp > 0.0 {
+                inc += cp * deploy_cost_lower(mapper, graph, idx, node);
+            }
+            inc
+        })
         .fold(f64::INFINITY, f64::min);
-    let mut bound = min_cpu;
-    for &(_, child) in &graph.nodes[idx].children {
-        let cb = mapper.spec.behavior_of(&graph.nodes[child].component);
-        let bytes = (cb.bytes_per_request + cb.bytes_per_response) as f64;
-        bound += lp * rates.fraction(child) * min_rtt(&candidates[idx], &candidates[child], bytes);
-    }
-    if idx == 0 {
-        let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
-        bound += lp * min_rtt(&[mapper.request.client_node], &candidates[0], bytes);
+    let mut bound = min_node;
+    if lp > 0.0 {
+        for &(_, child) in &graph.nodes[idx].children {
+            let cb = mapper.spec.behavior_of(&graph.nodes[child].component);
+            let bytes = (cb.bytes_per_request + cb.bytes_per_response) as f64;
+            bound +=
+                lp * rates.fraction(child) * min_rtt(&candidates[idx], &candidates[child], bytes);
+        }
+        if idx == 0 {
+            let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
+            bound += lp * min_rtt(&[mapper.request.client_node], &candidates[0], bytes);
+        }
     }
     bound
 }
@@ -248,59 +532,171 @@ struct State<'a, 'b> {
     candidates: Vec<Vec<NodeId>>,
     rates: crate::load::RatePlan,
     suffix_bound: Vec<f64>,
+    /// Per tree node and candidate (same index as `candidates`), every
+    /// node-only objective term precomputed: deployment cost, own CPU
+    /// share, and (for the root) the client edge — summed in the same
+    /// order the evaluator charges them, so partials stay bit-identical.
+    static_cost: Vec<Vec<f64>>,
+    /// Per tree node and candidate, the corridor floor: the
+    /// ancestor-path coefficient × the client → candidate shortest-path
+    /// latency (0 where the ancestor chain contributes nothing).
+    cand_floor: Vec<Vec<f64>>,
+    /// Per tree node, the weight its parent edge carries in the
+    /// objective: latency weight × request fraction.
+    edge_w: Vec<f64>,
+    /// Per tree node, the request + response bytes its parent edge moves.
+    edge_bytes: Vec<f64>,
     bounding: bool,
     lp: f64,
+    /// Per tree node, the other tree nodes sharing its component.
+    same_component: Vec<Vec<usize>>,
+    /// Per tree node, whether its component is a data view.
+    data_view: Vec<bool>,
+    /// Apply the evaluator's instance-identity rules during descent.
+    /// Disabled in the unbounded oracle, which keeps rejecting complete
+    /// assignments in the evaluator and thereby stays an independent
+    /// equivalence check on this pruning.
+    identity_prune: bool,
     incumbent: Option<&'a Incumbent>,
+    /// Prune with `>=` instead of `>`: cut subtrees that cannot
+    /// *strictly* beat the incumbent. Only sound when the caller keeps
+    /// a feasible plan achieving the incumbent's value on ties (the
+    /// repair sweep); see [`search_strictly_better`].
+    prune_ties: bool,
+    /// Memoize property-flow verdicts per (tree node, host, child
+    /// context). The flow is a pure function of that key, and the
+    /// descent re-derives identical verdicts across every variation of
+    /// the *deeper* — already placed, irrelevant — subtree, so the hit
+    /// rate is enormous on large candidate sets. Off in the unbounded
+    /// oracle, which stays a from-first-principles equivalence check.
+    memoize: bool,
+    flow_memo: HashMap<FlowKey, FlowVerdict>,
+    /// Distinct provided-bindings values seen this search; a child's
+    /// index in here is its part of the [`FlowKey`] context.
+    provided_interned: Vec<ResolvedBindings>,
+    provided_id: Vec<Option<u32>>,
     assignment: Vec<Option<NodeId>>,
-    provided: Vec<Option<ResolvedBindings>>,
-    factors: Vec<Option<ResolvedBindings>>,
+    provided: Vec<Option<Rc<ResolvedBindings>>>,
+    factors: Vec<Option<Rc<ResolvedBindings>>>,
     best: Option<(Vec<NodeId>, Evaluation)>,
     stats: &'a mut PlanStats,
 }
 
 impl State<'_, '_> {
-    /// Incremental latency-part cost of placing `idx` at `node`: its own
-    /// CPU contribution plus the edges to its (already-placed, thanks to
-    /// bottom-up order) children, plus the client edge for the root —
-    /// the same terms [`Mapper::evaluate`] charges, so the accumulated
-    /// partial at a complete assignment equals the evaluation's latency
-    /// part exactly. Cost terms are *not* tracked, which keeps the
-    /// partial an underestimate of the full objective for
-    /// MinCost/Weighted (admissible).
-    fn increment(&self, idx: usize, node: NodeId) -> f64 {
+    /// The dynamic half of the incremental objective cost of placing
+    /// `idx` at `node`: the edges to its already-placed — thanks to
+    /// bottom-up order — children. Everything node-only (CPU share,
+    /// deployment cost, the root's client edge) lives precomputed in
+    /// `static_cost`; together they charge the same terms
+    /// [`Mapper::evaluate`] charges, each weighted as the objective
+    /// weights them. At a complete assignment the accumulated partial
+    /// therefore equals the full objective exactly, except when a
+    /// might-be-preexisting placement's factors end up not matching —
+    /// then the partial undershoots, which keeps the bound admissible.
+    fn child_edge_cost(&self, idx: usize, node: NodeId, base: f64) -> f64 {
         if self.lp == 0.0 {
-            return 0.0;
+            return base;
         }
-        let behavior = self
-            .mapper
-            .spec
-            .behavior_of(&self.graph.nodes[idx].component);
-        let frac = self.rates.fraction(idx);
-        let mut cost =
-            self.lp * frac * behavior.cpu_per_request_ms / self.mapper.net.node(node).cpu_speed;
-        if idx == 0 {
-            // The implicit client -> root edge.
-            if let Some(info) = self.mapper.route(self.mapper.request.client_node, node) {
-                if !info.route.is_local() {
-                    let bytes = (behavior.bytes_per_request + behavior.bytes_per_response) as f64;
-                    cost += self.lp * rtt_ms(&info.route, bytes);
-                }
-            }
-        }
+        // Accumulate onto `base` in the original charge order so the
+        // running partial stays bit-identical to the pre-split math.
+        let mut cost = base;
         for &(_, child) in &self.graph.nodes[idx].children {
             let Some(child_node) = self.assignment[child] else {
                 continue;
             };
             if let Some(info) = self.mapper.route(node, child_node) {
-                let cb = self
-                    .mapper
-                    .spec
-                    .behavior_of(&self.graph.nodes[child].component);
-                let bytes = (cb.bytes_per_request + cb.bytes_per_response) as f64;
-                cost += self.lp * self.rates.fraction(child) * rtt_ms(&info.route, bytes);
+                cost += self.edge_w[child] * rtt_ms(&info.route, self.edge_bytes[child]);
             }
         }
         cost
+    }
+
+    /// The evaluator's instance-identity rules, applied to the pair of
+    /// `idx` placed at `node` (with `resolved` factors) and every
+    /// already-placed same-component tree node: a plan may create at
+    /// most one *new* instance per (component, factors) configuration,
+    /// and same-configured data views never chain. Any violation here
+    /// holds in every completion of the current partial assignment.
+    fn identity_ok(&self, idx: usize, node: NodeId, resolved: &ResolvedBindings) -> bool {
+        let component = &self.graph.nodes[idx].component;
+        for &j in &self.same_component[idx] {
+            let Some(other) = self.assignment[j] else {
+                continue;
+            };
+            let Some(other_factors) = &self.factors[j] else {
+                continue;
+            };
+            if **other_factors != *resolved {
+                continue;
+            }
+            if self.data_view[idx] {
+                return false;
+            }
+            let pre_new = self
+                .mapper
+                .request
+                .is_preexisting(component, node, resolved);
+            let pre_old = self
+                .mapper
+                .request
+                .is_preexisting(component, other, other_factors);
+            if !pre_new && !pre_old {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Property flow for `idx` at `node`, memoized by the only state it
+    /// reads: each child's `(host, provided)` pair. Bottom-up order
+    /// guarantees all children are placed (and interned) here.
+    fn flow_memoized(&mut self, idx: usize, node: NodeId) -> FlowVerdict {
+        if !self.memoize {
+            return self
+                .mapper
+                .flow_and_factors_at(self.graph, idx, node, &self.assignment, &self.provided)
+                .map(|(flow, resolved)| (Rc::new(flow), Rc::new(resolved)));
+        }
+        let mut ctx = [u64::MAX; 2];
+        let mut spill = Vec::new();
+        for (i, &(_, child)) in self.graph.nodes[idx].children.iter().enumerate() {
+            let child_node = self.assignment[child]
+                .expect("child placed before parent")
+                .0;
+            let provided_id = self.provided_id[child].expect("child flow interned");
+            let packed = (u64::from(child_node) << 32) | u64::from(provided_id);
+            match ctx.get_mut(i) {
+                Some(slot) => *slot = packed,
+                None => spill.push(packed),
+            }
+        }
+        let key = FlowKey {
+            idx: idx as u32,
+            node: node.0,
+            ctx,
+            spill,
+        };
+        if let Some(cached) = self.flow_memo.get(&key) {
+            return cached.clone();
+        }
+        let result = self
+            .mapper
+            .flow_and_factors_at(self.graph, idx, node, &self.assignment, &self.provided)
+            .map(|(flow, resolved)| (Rc::new(flow), Rc::new(resolved)));
+        self.flow_memo.insert(key, result.clone());
+        result
+    }
+
+    /// Index of `value` in the per-search provided-bindings interner,
+    /// inserting it on first sight. The distinct-value population is
+    /// tiny (components produce the same effective bindings over and
+    /// over), so a linear scan beats hashing the bindings themselves.
+    fn intern_provided(&mut self, value: &ResolvedBindings) -> u32 {
+        if let Some(i) = self.provided_interned.iter().position(|v| v == value) {
+            return i as u32;
+        }
+        self.provided_interned.push(value.clone());
+        (self.provided_interned.len() - 1) as u32
     }
 
     /// Best objective known anywhere: this graph's own best, improved by
@@ -324,7 +720,9 @@ impl State<'_, '_> {
             // subtrees are still explored, so tie-breaks — including
             // MinLatency's tiny deployment-cost term — resolve exactly
             // as in the unbounded oracle.
-            if partial + self.suffix_bound[pos] > self.threshold() {
+            let bound = partial + self.suffix_bound[pos];
+            let t = self.threshold();
+            if bound > t || (self.prune_ties && bound >= t) {
                 self.stats.bound_prunes += 1;
                 return;
             }
@@ -372,25 +770,51 @@ impl State<'_, '_> {
         // cannot afford.
         for ci in 0..self.candidates[idx].len() {
             let node = self.candidates[idx][ci];
+            if self.identity_prune
+                && self.same_component[idx]
+                    .iter()
+                    .any(|&j| self.assignment[j] == Some(node))
+            {
+                // Two same-component tree nodes on one host would deploy
+                // as a single instance linked to itself — every
+                // completion is infeasible, skip before paying for the
+                // bound or property flow.
+                self.stats.prunes += 1;
+                continue;
+            }
             let inc = if self.bounding {
-                self.increment(idx, node)
+                self.child_edge_cost(idx, node, self.static_cost[idx][ci])
             } else {
                 0.0
             };
-            if self.bounding && partial + inc + self.suffix_bound[pos + 1] > self.threshold() {
+            // The suffix bound and the corridor floor both underestimate
+            // the remaining cost but overlap on the ancestor edge terms,
+            // so they combine by max, not sum.
+            let mut remaining = self.suffix_bound[pos + 1];
+            if self.bounding {
+                let floor = self.cand_floor[idx][ci];
+                if floor > remaining {
+                    remaining = floor;
+                }
+            }
+            let bound = partial + inc + remaining;
+            let t = self.threshold();
+            if self.bounding && (bound > t || (self.prune_ties && bound >= t)) {
                 // This placement already costs more than a known complete
-                // mapping — skip it before paying for property flow.
+                // mapping (or, in tie-pruning mode, cannot strictly beat
+                // one) — skip it before paying for property flow.
                 self.stats.bound_prunes += 1;
                 continue;
             }
-            match self.mapper.flow_and_factors_at(
-                self.graph,
-                idx,
-                node,
-                &self.assignment,
-                &self.provided,
-            ) {
+            match self.flow_memoized(idx, node) {
                 Some((flow, resolved)) => {
+                    if self.identity_prune && !self.identity_ok(idx, node, &resolved) {
+                        self.stats.prunes += 1;
+                        continue;
+                    }
+                    if self.memoize {
+                        self.provided_id[idx] = Some(self.intern_provided(&flow));
+                    }
                     self.assignment[idx] = Some(node);
                     self.provided[idx] = Some(flow);
                     self.factors[idx] = Some(resolved);
@@ -398,6 +822,7 @@ impl State<'_, '_> {
                     self.assignment[idx] = None;
                     self.provided[idx] = None;
                     self.factors[idx] = None;
+                    self.provided_id[idx] = None;
                 }
                 None => self.stats.prunes += 1,
             }

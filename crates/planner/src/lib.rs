@@ -34,8 +34,10 @@ pub use linkage::{
 };
 pub use load::{propagate_rates, LoadModel, RatePlan};
 pub use mapping::{Evaluation, Mapper};
-pub use plan::{Objective, Placement, Plan, PlanEdge, PlanError, PlanStats, ServiceRequest};
-pub use planner::{Algorithm, Planner, PlannerConfig};
+pub use plan::{
+    Objective, Placement, Plan, PlanEdge, PlanError, PlanRepairStats, PlanStats, ServiceRequest,
+};
+pub use planner::{Algorithm, Planner, PlannerConfig, RepairContext};
 
 /// Convenience prelude for planner users.
 pub mod prelude {

@@ -78,8 +78,8 @@ pub struct Evaluation {
 /// the search's bottom-up descent, plus the graph's rate plan the
 /// search computed once up front.
 type DescentArtifacts<'d> = (
-    &'d [Option<ResolvedBindings>],
-    &'d [Option<ResolvedBindings>],
+    &'d [Option<Rc<ResolvedBindings>>],
+    &'d [Option<Rc<ResolvedBindings>>],
     &'d RatePlan,
 );
 
@@ -271,7 +271,7 @@ impl<'a> Mapper<'a> {
         idx: usize,
         node: NodeId,
         assignment: &[Option<NodeId>],
-        provided: &[Option<ResolvedBindings>],
+        provided: &[Option<Rc<ResolvedBindings>>],
     ) -> Option<ResolvedBindings> {
         self.flow_and_factors_at(graph, idx, node, assignment, provided)
             .map(|(flowed, _)| flowed)
@@ -286,7 +286,7 @@ impl<'a> Mapper<'a> {
         idx: usize,
         node: NodeId,
         assignment: &[Option<NodeId>],
-        provided: &[Option<ResolvedBindings>],
+        provided: &[Option<Rc<ResolvedBindings>>],
     ) -> Option<(ResolvedBindings, ResolvedBindings)> {
         let decl = self.spec.get_component(&graph.nodes[idx].component)?;
         let env = self.node_env(node);
@@ -335,8 +335,8 @@ impl<'a> Mapper<'a> {
         &self,
         graph: &LinkageGraph,
         assignment: &[NodeId],
-        provided: &[Option<ResolvedBindings>],
-        factors: &[Option<ResolvedBindings>],
+        provided: &[Option<Rc<ResolvedBindings>>],
+        factors: &[Option<Rc<ResolvedBindings>>],
         rates: &RatePlan,
     ) -> Option<Evaluation> {
         self.evaluate_inner(graph, assignment, Some((provided, factors, rates)))
@@ -376,7 +376,7 @@ impl<'a> Mapper<'a> {
                 }));
                 stash
                     .iter()
-                    .map(|f| f.clone().expect("complete factors"))
+                    .map(|f| (**f.as_ref().expect("complete factors")).clone())
                     .collect()
             }
             None => {
@@ -448,19 +448,22 @@ impl<'a> Mapper<'a> {
             Some(flow) => {
                 debug_assert_eq!(flow.len(), n);
                 flow.iter()
-                    .map(|p| p.clone().expect("complete flow"))
+                    .map(|p| (**p.as_ref().expect("complete flow")).clone())
                     .collect()
             }
             None => {
                 let opt_assignment: Vec<Option<NodeId>> =
                     assignment.iter().copied().map(Some).collect();
-                let mut provided: Vec<Option<ResolvedBindings>> = vec![None; n];
+                let mut provided: Vec<Option<Rc<ResolvedBindings>>> = vec![None; n];
                 for idx in graph.bottom_up_order() {
                     let flowed =
                         self.flow_at(graph, idx, assignment[idx], &opt_assignment, &provided)?;
-                    provided[idx] = Some(flowed);
+                    provided[idx] = Some(Rc::new(flowed));
                 }
-                provided.into_iter().map(Option::unwrap).collect()
+                provided
+                    .into_iter()
+                    .map(|p| (*p.expect("complete flow")).clone())
+                    .collect()
             }
         };
 

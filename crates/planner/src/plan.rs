@@ -165,6 +165,19 @@ impl ServiceRequest {
             .any(|e| e.component == component && e.node == node && &e.factors == factors)
     }
 
+    /// Whether `(component, node)` *might* be preexisting under some
+    /// resolved factors — [`Self::is_preexisting`] without the factor
+    /// match. Used by the search bound to lower-bound deployment cost
+    /// before a placement's factors are resolved: charging zero whenever
+    /// this holds never overestimates what the evaluator will charge.
+    pub fn could_be_preexisting(&self, component: &str, node: NodeId) -> bool {
+        self.pinned.get(component) == Some(&node)
+            || self
+                .existing
+                .iter()
+                .any(|e| e.component == component && e.node == node)
+    }
+
     /// The effective code origin.
     pub fn effective_origin(&self) -> NodeId {
         self.origin
@@ -250,6 +263,10 @@ pub struct Plan {
     pub sustainable_rate: f64,
     /// Search statistics.
     pub stats: PlanStats,
+    /// Warm-start repair statistics — `Some` when this plan came from
+    /// [`Planner::plan_repair`](crate::Planner::plan_repair), `None` for
+    /// from-scratch plans.
+    pub repair: Option<PlanRepairStats>,
 }
 
 /// Search statistics for a planning run.
@@ -282,6 +299,38 @@ impl PlanStats {
         self.bound_prunes += other.bound_prunes;
         self.route_table_build_us = self.route_table_build_us.max(other.route_table_build_us);
         self.plan_cache_hits += other.plan_cache_hits;
+    }
+}
+
+/// Statistics of one warm-start plan repair
+/// ([`Planner::plan_repair`](crate::Planner::plan_repair)), mirroring
+/// [`PlanStats`]: deterministic counts only (no wall clock), so they may
+/// flow into trace events and stable bench artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanRepairStats {
+    /// Chain positions of the old plan that failures touched and the
+    /// repair re-solved.
+    pub chains_resolved: usize,
+    /// Chain positions kept fixed on their surviving placements during
+    /// the repair solve.
+    pub chains_reused: usize,
+    /// Subtrees the exact follow-up search cut against the
+    /// repair-seeded incumbent (bound prunes recorded after seeding).
+    pub seeded_bound_cuts: u64,
+    /// Whether the restricted repair solve found a feasible mapping to
+    /// seed the incumbent with (when false, the repair degraded to a
+    /// from-scratch search).
+    pub seeded: bool,
+}
+
+impl std::ops::AddAssign for PlanRepairStats {
+    /// Aggregates repair runs (e.g. every redeploy of one healing
+    /// pass): counts add, `seeded` holds if any run was seeded.
+    fn add_assign(&mut self, other: PlanRepairStats) {
+        self.chains_resolved += other.chains_resolved;
+        self.chains_reused += other.chains_reused;
+        self.seeded_bound_cuts += other.seeded_bound_cuts;
+        self.seeded |= other.seeded;
     }
 }
 

@@ -4,12 +4,14 @@
 use crate::dp;
 use crate::exhaustive;
 use crate::linkage::enumerate_linkages_multi;
-use crate::linkage::LinkageLimits;
+use crate::linkage::{LinkageGraph, LinkageLimits};
 use crate::load::LoadModel;
-use crate::mapping::Mapper;
-use crate::plan::{Objective, Placement, Plan, PlanError, PlanStats, ServiceRequest};
+use crate::mapping::{Evaluation, Mapper};
+use crate::plan::{
+    Objective, Placement, Plan, PlanError, PlanRepairStats, PlanStats, ServiceRequest,
+};
 use crate::pop;
-use ps_net::{Network, PropertyTranslator, RouteTable};
+use ps_net::{LinkId, Network, NodeId, PropertyTranslator, RouteTable};
 use ps_spec::ServiceSpec;
 use ps_trace::Tracer;
 use std::sync::Arc;
@@ -206,29 +208,7 @@ impl Planner {
             if !better {
                 continue;
             }
-            let placements = graph
-                .nodes
-                .iter()
-                .enumerate()
-                .map(|(idx, tn)| Placement {
-                    graph_index: idx,
-                    component: tn.component.clone(),
-                    node: assignment[idx],
-                    factors: eval.factors[idx].clone(),
-                    provided: eval.provided[idx].clone(),
-                    preexisting: eval.preexisting[idx],
-                })
-                .collect();
-            best = Some(Plan {
-                graph: graph.clone(),
-                placements,
-                edges: eval.edges,
-                objective_value: eval.objective_value,
-                expected_latency_ms: eval.latency_ms,
-                deployment_cost_ms: eval.cost_ms,
-                sustainable_rate: eval.sustainable_rate,
-                stats,
-            });
+            best = Some(assemble_plan(graph, &assignment, eval));
         }
 
         match best {
@@ -256,6 +236,182 @@ impl Planner {
             "planner.route_table_build_wall_us",
             stats.route_table_build_us as f64,
         );
+    }
+
+    /// Warm-start plan repair: re-plans `request` after a network change,
+    /// seeding the exact search with a cheap *repair* of the surviving
+    /// plan instead of starting cold. Two phases:
+    ///
+    /// 1. **Repair solve** — on the old plan's linkage graph, every chain
+    ///    position the damage did *not* touch keeps its surviving
+    ///    placement (candidate set fixed to the old node); only positions
+    ///    on quarantined hosts or whose edge routes crossed dirty links
+    ///    are re-solved. Any feasible repaired mapping's objective seeds
+    ///    the shared incumbent.
+    /// 2. **Exact search** — the same bounded branch-and-bound sweep over
+    ///    every candidate graph that [`plan`](Self::plan) runs (pinned to
+    ///    [`Algorithm::Exhaustive`], the incumbent-aware solver). Because
+    ///    pruning is strict (`bound > incumbent`), the seed never cuts an
+    ///    equal-or-better completion, so the returned objective value is
+    ///    exactly the from-scratch optimum — just found with most of the
+    ///    tree pre-cut.
+    ///
+    /// On objective *ties* the repaired old-shape mapping wins, which
+    /// minimizes placement churn: surviving instances stay where they
+    /// are unless strictly beaten. When the repair solve is infeasible
+    /// (a surviving node lost its installation conditions), the call
+    /// degrades to an unseeded — still exact — search.
+    ///
+    /// When `ctx.prior_routes` carries the previous epoch's route table,
+    /// it is repaired incrementally ([`RouteTable::repair`]) from the
+    /// same dirty sets instead of rebuilding all sources.
+    pub fn plan_repair<T: PropertyTranslator + ?Sized>(
+        &self,
+        net: &Network,
+        translator: &T,
+        request: &ServiceRequest,
+        ctx: &RepairContext<'_>,
+    ) -> Result<Plan, PlanError> {
+        for pinned in request.pinned.keys() {
+            if self.spec.get_component(pinned).is_none() {
+                return Err(PlanError::UnknownPinned(pinned.clone()));
+            }
+        }
+        let graphs = enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        if graphs.is_empty() {
+            return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
+        }
+
+        let mut stats = PlanStats {
+            graphs_enumerated: graphs.len(),
+            ..PlanStats::default()
+        };
+        let route_table = self.config.share_route_table.then(|| {
+            match &ctx.prior_routes {
+                Some(prior) if prior.is_current(net) => Arc::clone(prior),
+                Some(prior) => {
+                    // Delta-Dijkstra repair of the previous epoch's table:
+                    // the dirty sets below are exactly the damage since it
+                    // was built, so only affected sources re-run.
+                    let mut table = (**prior).clone();
+                    let outcome = table.repair(net, &ctx.dirty_links, &ctx.dirty_nodes);
+                    stats.route_table_build_us = outcome.repair_micros;
+                    Arc::new(table)
+                }
+                None => {
+                    let table = Arc::new(RouteTable::build(net));
+                    stats.route_table_build_us = table.build_micros();
+                    table
+                }
+            }
+        });
+        let configured_mapper = attach_table(
+            Mapper::new(
+                &self.spec,
+                net,
+                translator,
+                request,
+                self.config.load_model,
+                self.config.objective,
+            ),
+            &route_table,
+        );
+
+        // Which chain positions did the damage touch? A placement is
+        // affected when its host is down or dirty; an edge implicates
+        // both endpoints when its route crossed a dirty link or node.
+        let old = ctx.old_plan;
+        let mut affected = vec![false; old.placements.len()];
+        for (i, p) in old.placements.iter().enumerate() {
+            if !net.node(p.node).up || ctx.dirty_nodes.contains(&p.node) {
+                affected[i] = true;
+            }
+        }
+        for edge in &old.edges {
+            let touched = edge.route.links.iter().any(|l| ctx.dirty_links.contains(l))
+                || edge.route.via.iter().any(|n| ctx.dirty_nodes.contains(n));
+            if touched {
+                affected[edge.from] = true;
+                affected[edge.to] = true;
+            }
+        }
+        if !request.colocate_root && (!ctx.dirty_nodes.is_empty() || !ctx.dirty_links.is_empty()) {
+            // The implicit client → root route is not recorded in the
+            // plan's edges; a free-floating root is conservatively
+            // re-solved whenever anything moved.
+            affected[0] = true;
+        }
+        let chains_resolved = affected.iter().filter(|&&a| a).count();
+        let chains_reused = affected.len() - chains_resolved;
+
+        let incumbent = exhaustive::Incumbent::new();
+
+        // Phase 1: the repair solve (fixed survivors, re-solve the rest).
+        let fixed: Vec<Option<NodeId>> = affected
+            .iter()
+            .zip(&old.placements)
+            .map(|(&aff, p)| (!aff).then_some(p.node))
+            .collect();
+        let seed = exhaustive::search_restricted(
+            &configured_mapper,
+            &old.graph,
+            &mut stats,
+            &fixed,
+            &incumbent,
+        );
+        let seeded = seed.is_some();
+        let cuts_before_full = stats.bound_prunes;
+        let mut best: Option<Plan> =
+            seed.map(|(assignment, eval)| assemble_plan(&old.graph, &assignment, eval));
+
+        // Phase 2: the exact confirmation sweep, warm-started by the
+        // repair seed. Tie-pruning (`>=` cuts) is sound here because
+        // `best` always holds a feasible plan achieving the incumbent's
+        // value — the seed, or the latest strictly-better find — and
+        // ties deliberately keep it (churn minimization): the sweep
+        // only needs to surface *strictly better* mappings, so the
+        // plateau of equal-objective completions is never enumerated.
+        for graph in &graphs {
+            if !self.graph_possibly_feasible(graph, request) {
+                stats.prunes += 1;
+                continue;
+            }
+            let Some((assignment, eval)) = exhaustive::search_strictly_better(
+                &configured_mapper,
+                graph,
+                &mut stats,
+                &incumbent,
+            ) else {
+                continue;
+            };
+            let better = best
+                .as_ref()
+                .is_none_or(|b| eval.objective_value < b.objective_value);
+            if better {
+                best = Some(assemble_plan(graph, &assignment, eval));
+            }
+        }
+
+        match best {
+            Some(mut plan) => {
+                plan.stats = stats;
+                plan.repair = Some(PlanRepairStats {
+                    chains_resolved,
+                    chains_reused,
+                    seeded_bound_cuts: stats.bound_prunes - cuts_before_full,
+                    seeded,
+                });
+                self.publish_stats(&plan.stats);
+                let tracer = &self.config.tracer;
+                tracer.count("planner.repairs", 1);
+                tracer.count("planner.repair_chains_resolved", chains_resolved as u64);
+                tracer.count("planner.repair_chains_reused", chains_reused as u64);
+                Ok(plan)
+            }
+            None => Err(PlanError::NoFeasibleMapping {
+                graphs: graphs.len(),
+            }),
+        }
     }
 
     /// Like [`plan`](Self::plan), but maps candidate linkage graphs onto
@@ -420,30 +576,10 @@ impl Planner {
             });
         };
         let graph = &graphs[winner.order];
-        let placements = graph
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(idx, tn)| Placement {
-                graph_index: idx,
-                component: tn.component.clone(),
-                node: winner.assignment[idx],
-                factors: winner.eval.factors[idx].clone(),
-                provided: winner.eval.provided[idx].clone(),
-                preexisting: winner.eval.preexisting[idx],
-            })
-            .collect();
         self.publish_stats(&stats);
-        Ok(Plan {
-            graph: graph.clone(),
-            placements,
-            edges: winner.eval.edges,
-            objective_value: winner.eval.objective_value,
-            expected_latency_ms: winner.eval.latency_ms,
-            deployment_cost_ms: winner.eval.cost_ms,
-            sustainable_rate: winner.eval.sustainable_rate,
-            stats,
-        })
+        let mut plan = assemble_plan(graph, &winner.assignment, winner.eval);
+        plan.stats = stats;
+        Ok(plan)
     }
 
     /// Cheap structural pre-filter: a graph that uses a component with
@@ -486,6 +622,55 @@ impl Planner {
             }
         }
         true
+    }
+}
+
+/// What changed since a plan was made — the input to
+/// [`Planner::plan_repair`]. Built by one heal pass from *all* liveness
+/// events and monitor diffs observed since the last pass, so concurrent
+/// failures batch into a single repair solve per connection.
+#[derive(Debug, Clone)]
+pub struct RepairContext<'p> {
+    /// The surviving plan to repair.
+    pub old_plan: &'p Plan,
+    /// Nodes whose liveness or credentials changed (quarantined, restored,
+    /// re-rated) since `old_plan` was made.
+    pub dirty_nodes: Vec<NodeId>,
+    /// Links whose state (up/down, latency, bandwidth, credentials)
+    /// changed since `old_plan` was made.
+    pub dirty_links: Vec<LinkId>,
+    /// The route table from before the change; repaired incrementally
+    /// from the dirty sets instead of rebuilt (used as-is when already
+    /// current). `None` falls back to a full build.
+    pub prior_routes: Option<Arc<RouteTable>>,
+}
+
+/// Materializes a search result as a [`Plan`] (stats and repair info are
+/// attached by the caller).
+fn assemble_plan(graph: &LinkageGraph, assignment: &[NodeId], eval: Evaluation) -> Plan {
+    let placements = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(idx, tn)| Placement {
+            graph_index: idx,
+            component: tn.component.clone(),
+            node: assignment[idx],
+            factors: eval.factors[idx].clone(),
+            provided: eval.provided[idx].clone(),
+            preexisting: eval.preexisting[idx],
+        })
+        .collect();
+    Plan {
+        graph: graph.clone(),
+        placements,
+        edges: eval.edges,
+        objective_value: eval.objective_value,
+        expected_latency_ms: eval.latency_ms,
+        deployment_cost_ms: eval.cost_ms,
+        sustainable_rate: eval.sustainable_rate,
+        stats: PlanStats::default(),
+        repair: None,
     }
 }
 

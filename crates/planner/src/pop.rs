@@ -24,6 +24,7 @@ use crate::mapping::{Evaluation, Mapper};
 use crate::plan::{Objective, PlanStats};
 use ps_net::NodeId;
 use ps_spec::ResolvedBindings;
+use std::rc::Rc;
 
 /// Runs the branch-and-bound search; returns the best assignment and its
 /// evaluation.
@@ -141,7 +142,7 @@ struct State<'a, 'b> {
     suffix_bound: Vec<f64>,
     bounding: bool,
     assignment: Vec<Option<NodeId>>,
-    provided: Vec<Option<ResolvedBindings>>,
+    provided: Vec<Option<Rc<ResolvedBindings>>>,
     best: Option<(Vec<NodeId>, Evaluation)>,
     stats: &'a mut PlanStats,
 }
@@ -254,7 +255,7 @@ impl State<'_, '_> {
         options.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
         for (inc, node, flow) in options {
             self.assignment[idx] = Some(node);
-            self.provided[idx] = Some(flow);
+            self.provided[idx] = Some(Rc::new(flow));
             self.recurse(pos + 1, partial + inc);
             self.assignment[idx] = None;
             self.provided[idx] = None;

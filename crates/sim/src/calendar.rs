@@ -1,0 +1,273 @@
+//! Two-tier calendar event queue for the discrete-event engine.
+//!
+//! A single [`BinaryHeap`] costs `O(log n)` per operation with `n` the
+//! *total* pending population; thousand-node worlds with open-loop client
+//! drivers keep hundreds of thousands of timers in flight and the heap
+//! constant dominates the run. [`CalendarQueue`] splits the pending set
+//! by firing time instead:
+//!
+//! - **current** — a small heap holding every entry whose bucket index is
+//!   at or before the cursor. The global minimum always lives here, so a
+//!   pop is `O(log current)` with `current` typically a handful of
+//!   near-simultaneous entries.
+//! - **wheel** — `SLOT_COUNT` unsorted slots of [`BUCKET_WIDTH_NS`]-wide
+//!   buckets covering the near future. A push into the wheel is `O(1)`;
+//!   a slot is only sorted (by being dumped into `current`) when the
+//!   cursor reaches it.
+//! - **overflow** — a heap for entries beyond the wheel horizon. Far
+//!   timers (lease expiries, chaos faults) are pushed once and touched
+//!   again only when the cursor approaches them.
+//!
+//! The ordering contract is exactly the old heap's: entries pop in
+//! ascending `(at, seq)` order, so two entries at the same instant fire
+//! in scheduling order. The equivalence is pinned by a randomized
+//! property test against a reference [`BinaryHeap`] below.
+//!
+//! Invariants (maintained by [`CalendarQueue::push`] and the refill step
+//! in [`CalendarQueue::pop`]):
+//!
+//! 1. every entry in `current` has `bucket(at) <= cursor`;
+//! 2. every entry in a wheel slot or in `overflow` has
+//!    `bucket(at) > cursor`;
+//! 3. a wheel slot holds only entries of a single bucket index (pushes
+//!    land within one wheel revolution of the cursor, and the cursor
+//!    drains each slot as it passes).
+//!
+//! (1) + (2) mean `current`'s minimum is the global minimum whenever
+//! `current` is non-empty, because bucket indices are monotone in `at`.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Width of one calendar bucket: 2^19 ns ≈ 524 µs (a power of two so
+/// the bucket index compiles to a shift).
+const BUCKET_WIDTH_NS: u64 = 1 << 19;
+/// Number of wheel slots; the wheel horizon is
+/// `SLOT_COUNT * BUCKET_WIDTH_NS` ≈ 2.1 s of virtual time.
+const SLOT_COUNT: u64 = 4096;
+
+/// Bucket index of a firing time.
+#[inline]
+fn bucket(at: SimTime) -> u64 {
+    at.as_nanos() / BUCKET_WIDTH_NS
+}
+
+/// A scheduled entry: ordered by `(at, seq)` so same-instant entries
+/// keep FIFO scheduling order.
+#[derive(Debug)]
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The two-tier queue. See the module docs for the structure and
+/// invariants.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue<E> {
+    current: BinaryHeap<Reverse<Scheduled<E>>>,
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// Total entries across all wheel slots.
+    in_slots: usize,
+    overflow: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Bucket index the wheel has advanced to.
+    cursor: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    pub(crate) fn new() -> Self {
+        CalendarQueue {
+            current: BinaryHeap::new(),
+            slots: (0..SLOT_COUNT).map(|_| Vec::new()).collect(),
+            in_slots: 0,
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Total pending entries.
+    pub(crate) fn len(&self) -> usize {
+        self.current.len() + self.in_slots + self.overflow.len()
+    }
+
+    /// Inserts an entry. The engine clamps firing times to `now`, so a
+    /// push never lands before the cursor's bucket; even if one did
+    /// (same bucket as the cursor), routing it to `current` keeps the
+    /// invariants.
+    pub(crate) fn push(&mut self, entry: Scheduled<E>) {
+        let b = bucket(entry.at);
+        if b <= self.cursor {
+            self.current.push(Reverse(entry));
+        } else if b - self.cursor < SLOT_COUNT {
+            self.slots[(b % SLOT_COUNT) as usize].push(entry);
+            self.in_slots += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// Advances the cursor until `current` holds the global minimum
+    /// (or the queue is empty). Each wheel entry is moved exactly once,
+    /// so the sweep is amortized `O(1)` per entry plus at most one
+    /// wheel revolution of empty-slot checks.
+    fn refill(&mut self) {
+        while self.current.is_empty() && (self.in_slots > 0 || !self.overflow.is_empty()) {
+            if self.in_slots == 0 {
+                // The wheel is empty: jump straight to the earliest
+                // overflow bucket instead of sweeping empty slots.
+                let Reverse(head) = self.overflow.peek().expect("overflow checked non-empty");
+                self.cursor = bucket(head.at);
+            } else {
+                self.cursor += 1;
+            }
+            let slot = std::mem::take(&mut self.slots[(self.cursor % SLOT_COUNT) as usize]);
+            self.in_slots -= slot.len();
+            for entry in slot {
+                self.current.push(Reverse(entry));
+            }
+            // Overflow entries whose bucket the cursor reached (pushed
+            // beyond the horizon of an *earlier* cursor) become current.
+            while self
+                .overflow
+                .peek()
+                .is_some_and(|Reverse(head)| bucket(head.at) <= self.cursor)
+            {
+                let Reverse(entry) = self.overflow.pop().expect("peeked entry must pop");
+                self.current.push(Reverse(entry));
+            }
+        }
+    }
+
+    /// Removes and returns the `(at, seq)`-minimal entry.
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.refill();
+        self.current.pop().map(|Reverse(entry)| entry)
+    }
+
+    /// Firing time of the minimal entry without removing it. Takes
+    /// `&mut self` because locating the minimum may advance the wheel.
+    pub(crate) fn min_time(&mut self) -> Option<SimTime> {
+        self.refill();
+        self.current.peek().map(|Reverse(entry)| entry.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::time::SimDuration;
+
+    fn entry(at_ns: u64, seq: u64) -> Scheduled<u64> {
+        Scheduled {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            event: seq,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(entry(500, 0));
+        q.push(entry(100, 1));
+        q.push(entry(100, 2));
+        q.push(entry(BUCKET_WIDTH_NS * 10_000, 3)); // far future → overflow
+        q.push(entry(BUCKET_WIDTH_NS * 8, 4)); // near future → wheel
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|s| s.seq).collect();
+        assert_eq!(order, vec![1, 2, 0, 4, 3]);
+    }
+
+    #[test]
+    fn min_time_does_not_disturb_order() {
+        let mut q = CalendarQueue::new();
+        q.push(entry(BUCKET_WIDTH_NS * 100, 0));
+        q.push(entry(7, 1));
+        assert_eq!(q.min_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(
+            q.min_time(),
+            Some(SimTime::from_nanos(BUCKET_WIDTH_NS * 100))
+        );
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.min_time(), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    /// Property: across randomized interleaved push/pop schedules the
+    /// calendar queue pops in exactly the reference `BinaryHeap`'s
+    /// `(at, seq)` order — including same-instant FIFO ties, horizon
+    /// crossings, and pushes into the past of the cursor.
+    #[test]
+    fn equivalent_to_binary_heap_on_random_schedules() {
+        for seed in 0..20u64 {
+            let mut rng = Rng::seed_from_u64(seed).derive("calendar-equiv");
+            let mut calendar: CalendarQueue<u64> = CalendarQueue::new();
+            let mut reference: BinaryHeap<Reverse<Scheduled<u64>>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = SimTime::ZERO;
+            for _ in 0..2_000 {
+                if rng.next_below(100) < 60 || reference.is_empty() {
+                    // Push with a horizon-spanning delay mix: same
+                    // instant, sub-bucket, in-wheel, and far overflow.
+                    let delay = match rng.next_below(4) {
+                        0 => 0,
+                        1 => rng.next_below(BUCKET_WIDTH_NS),
+                        2 => rng.next_below(BUCKET_WIDTH_NS * SLOT_COUNT),
+                        _ => rng.next_below(BUCKET_WIDTH_NS * SLOT_COUNT * 64),
+                    };
+                    let at = now + SimDuration::from_nanos(delay);
+                    calendar.push(Scheduled {
+                        at,
+                        seq,
+                        event: seq,
+                    });
+                    reference.push(Reverse(Scheduled {
+                        at,
+                        seq,
+                        event: seq,
+                    }));
+                    seq += 1;
+                } else {
+                    let got = calendar.pop().expect("calendar has entries");
+                    let Reverse(want) = reference.pop().expect("reference has entries");
+                    assert_eq!(
+                        (got.at, got.seq),
+                        (want.at, want.seq),
+                        "seed {seed}: calendar diverged from heap order"
+                    );
+                    now = got.at;
+                }
+            }
+            // Drain both; the tails must match too.
+            while let Some(got) = calendar.pop() {
+                let Reverse(want) = reference.pop().expect("reference drains in lockstep");
+                assert_eq!(
+                    (got.at, got.seq),
+                    (want.at, want.seq),
+                    "seed {seed}: drain tail"
+                );
+            }
+            assert!(reference.is_empty());
+            assert_eq!(calendar.len(), 0);
+        }
+    }
+}

@@ -6,42 +6,21 @@
 //! scheduling order (a monotone sequence number breaks ties), which keeps
 //! runs deterministic.
 
+use crate::calendar::{CalendarQueue, Scheduled};
 use crate::time::{SimDuration, SimTime};
 use ps_trace::Tracer;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// A scheduled entry in the event queue.
-#[derive(Debug)]
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
 
 /// A discrete-event simulation engine.
+///
+/// Pending events live in a two-tier [`CalendarQueue`] (near-future
+/// bucket wheel plus far-future overflow heap) that preserves the exact
+/// `(at, seq)` pop order of a binary heap at `O(1)` amortized cost per
+/// event instead of `O(log pending)`.
 #[derive(Debug)]
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    queue: CalendarQueue<E>,
     processed: u64,
     tracer: Tracer,
 }
@@ -58,7 +37,7 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             processed: 0,
             tracer: Tracer::disabled(),
         }
@@ -96,18 +75,23 @@ impl<E> Engine<E> {
 
     /// Schedules `event` at absolute time `at`. Scheduling in the past is a
     /// logic error; the event is clamped to `now` so causality is never
-    /// violated, and debug builds assert.
+    /// violated, debug builds assert, and every clamp counts into the
+    /// tracer as `sim.events_clamped` so causality bugs surface in trace
+    /// reports instead of vanishing.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            self.tracer.count("sim.events_clamped", 1);
+        }
         debug_assert!(at >= self.now, "scheduling into the past");
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, event }));
+        self.queue.push(Scheduled { at, seq, event });
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn step(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(entry) = self.queue.pop()?;
+        let entry = self.queue.pop()?;
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.processed += 1;
@@ -130,8 +114,8 @@ impl<E> Engine<E> {
         state: &mut S,
         mut handler: impl FnMut(&mut Self, &mut S, E),
     ) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.queue.min_time() {
+            if head_at > deadline {
                 break;
             }
             let (_, event) = self.step().expect("peeked entry must pop");
@@ -139,7 +123,7 @@ impl<E> Engine<E> {
         }
         self.now = self
             .now
-            .max(deadline.min(self.queue.peek().map(|Reverse(h)| h.at).unwrap_or(deadline)));
+            .max(deadline.min(self.queue.min_time().unwrap_or(deadline)));
     }
 
     /// Runs at most `max_events` events.
@@ -220,6 +204,53 @@ mod tests {
         let mut t = SimTime::ZERO;
         engine.run(&mut t, |engine, t, _| *t = engine.now());
         assert_eq!(t.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn clamped_events_count_into_tracer() {
+        let (tracer, _sink) = Tracer::memory();
+        let mut engine: Engine<u32> = Engine::new();
+        engine.set_tracer(tracer);
+        engine.schedule(SimDuration::from_millis(5), 1);
+        engine.step();
+        // Scheduling into the past is a causality bug: it clamps to
+        // `now`, counts `sim.events_clamped`, and asserts in debug
+        // builds (absorbed here so the counter is observable).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.schedule_at(SimTime::ZERO, 2);
+        }));
+        assert_eq!(result.is_err(), cfg!(debug_assertions));
+        let clamped = |engine: &Engine<u32>| {
+            let registry = engine
+                .tracer()
+                .registry()
+                .expect("memory tracer has a registry");
+            registry.counter("sim.events_clamped")
+        };
+        assert_eq!(clamped(&engine), 1);
+        // On-time scheduling never counts.
+        engine.schedule(SimDuration::from_millis(1), 3);
+        assert_eq!(clamped(&engine), 1);
+    }
+
+    #[test]
+    fn deep_future_events_round_trip_through_overflow() {
+        // Exercises the calendar wheel's overflow tier end-to-end: a mix
+        // of near (in-wheel) and far (overflow) timers plus follow-ons
+        // scheduled from handlers must fire in exact time order.
+        let mut engine: Engine<u64> = Engine::new();
+        for (i, secs) in [0u64, 10, 1, 60, 3].iter().enumerate() {
+            engine.schedule(SimDuration::from_secs(*secs), i as u64);
+        }
+        let mut order = Vec::new();
+        engine.run(&mut order, |engine, order: &mut Vec<u64>, e| {
+            order.push(e);
+            if e == 2 {
+                engine.schedule(SimDuration::from_secs(30), 99);
+            }
+        });
+        assert_eq!(order, vec![0, 2, 4, 1, 99, 3]);
+        assert_eq!(engine.now().as_secs_f64(), 60.0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod resources;

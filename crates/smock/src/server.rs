@@ -15,7 +15,9 @@ use crate::lookup::{LookupService, ServiceRegistration};
 use crate::registry::ComponentRegistry;
 use crate::world::World;
 use ps_net::{shortest_route, NodeId, PropertyTranslator};
-use ps_planner::{Plan, PlanError, PlanStats, Planner, PlannerConfig, ServiceRequest};
+use ps_planner::{
+    Plan, PlanError, PlanStats, Planner, PlannerConfig, RepairContext, ServiceRequest,
+};
 use ps_sim::{SimDuration, SimTime};
 use ps_trace::Tracer;
 use std::collections::HashMap;
@@ -209,6 +211,33 @@ impl GenericServer {
         service: &str,
         request: &ServiceRequest,
     ) -> Result<Connection, ConnectError> {
+        self.connect_inner(world, service, request, None)
+    }
+
+    /// Like [`connect`](Self::connect), but warm-starts planning from a
+    /// surviving plan ([`Planner::plan_repair`]): the healer hands in the
+    /// batched dirty sets of one heal pass plus the incrementally
+    /// repaired route table, and planning re-solves only the touched
+    /// chain positions before the exact (seeded) sweep. The plan cache
+    /// still short-circuits when an identical request was already planned
+    /// at this epoch.
+    pub fn connect_repair(
+        &self,
+        world: &mut World,
+        service: &str,
+        request: &ServiceRequest,
+        repair: &RepairContext<'_>,
+    ) -> Result<Connection, ConnectError> {
+        self.connect_inner(world, service, request, Some(repair))
+    }
+
+    fn connect_inner(
+        &self,
+        world: &mut World,
+        service: &str,
+        request: &ServiceRequest,
+        repair: Option<&RepairContext<'_>>,
+    ) -> Result<Connection, ConnectError> {
         let registration = self
             .lookup
             .by_name(service)
@@ -287,7 +316,10 @@ impl GenericServer {
                 plan
             }
             None => {
-                let plan = if self.planner_config.threads > 1 {
+                let plan = if let Some(ctx) = repair {
+                    self.tracer.count("server.plan_repairs", 1);
+                    planner.plan_repair(world.network(), self.translator.as_ref(), &request, ctx)?
+                } else if self.planner_config.threads > 1 {
                     planner.plan_parallel(
                         world.network(),
                         self.translator.as_ref(),

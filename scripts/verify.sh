@@ -52,6 +52,13 @@ cargo run --release -q -p ps-bench --bin trace_report -- "$tmpdir/trace_smoke.js
 echo "==> chaos smoke: chaos_recovery (writes BENCH_chaos.json)"
 cargo run --release -q -p ps-bench --bin chaos_recovery -- 42 "$tmpdir/chaos_smoke.jsonl"
 
+# The scale bench self-asserts its acceptance gates when timing is real:
+# warm-start repair beating the cold replan at every world size and the
+# single-link route repair at least 10x faster than a rebuild at 1000
+# routers.
+echo "==> scale smoke: bench_scale (writes BENCH_scale.json)"
+cargo run --release -q -p ps-bench --bin bench_scale
+
 # Determinism gate: every artifact-writing bench bin runs twice under
 # PS_STABLE_ARTIFACTS=1 (wall-clock fields zeroed, planner pinned to one
 # thread) from separate scratch CWDs; every artifact must come back
@@ -76,5 +83,11 @@ mkdir -p "$tmpdir/ca" "$tmpdir/cb"
 (cd "$tmpdir/cb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/chaos_recovery" 42 chaos.jsonl > /dev/null)
 cmp "$tmpdir/ca/BENCH_chaos.json" "$tmpdir/cb/BENCH_chaos.json"
 cmp "$tmpdir/ca/chaos.jsonl" "$tmpdir/cb/chaos.jsonl"
+
+echo "==> determinism: bench_scale (stable mode, 2 runs, cmp JSON)"
+mkdir -p "$tmpdir/sa" "$tmpdir/sb"
+(cd "$tmpdir/sa" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/bench_scale" > /dev/null)
+(cd "$tmpdir/sb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/bench_scale" > /dev/null)
+cmp "$tmpdir/sa/BENCH_scale.json" "$tmpdir/sb/BENCH_scale.json"
 
 echo "==> verify OK"
