@@ -1,0 +1,545 @@
+//! Heal-timeline and time-series telemetry report: runs the chaos
+//! workload and the 1013-node crash-and-heal with the sampler and
+//! lease-renewal accounting enabled, reconstructs the heal timeline
+//! (detection → quarantine → redeploy) from the trace event stream,
+//! extracts per-connection critical paths, tabulates percentile
+//! latencies from the log-bucketed histograms, and summarizes the
+//! sampled utilization series. Writes `BENCH_timeline.json`.
+//!
+//! Also sweeps the lease detection interval (heartbeat / duration) to
+//! show the failure-detection-latency vs renewal-traffic tradeoff, and
+//! doubles as the sampler overhead guard: with the sampler and tracer
+//! left disabled (the default), the instrumented planning hot path must
+//! stay within 5% of the freshly-measured `BENCH_planner.json` baseline
+//! for the same scenario. Run `bench_planner` first.
+//!
+//! Every value in `BENCH_timeline.json` except the overhead guard is
+//! virtual-time derived, so two same-seed runs are byte-identical; in
+//! stable-artifact mode (`PS_STABLE_ARTIFACTS=1`) the wall-clock guard
+//! is skipped and the field written as `null`, which `verify.sh` checks
+//! with a double-run `cmp`.
+
+use ps_bench::chaos::{run_chaos, ChaosBenchConfig, ChaosOutcome};
+use ps_bench::scale::{run_heal_workload_with, scale_network, HealWorkloadOptions};
+use ps_mail::spec::names::*;
+use ps_mail::{mail_spec, mail_translator};
+use ps_net::casestudy::default_case_study;
+use ps_planner::{Algorithm, Planner, PlannerConfig, ServiceRequest};
+use ps_sim::SimDuration;
+use ps_smock::LeaseConfig;
+use ps_trace::{
+    scope_critical_path, Event, HealTimeline, Registry, Report, SamplerConfig, SeriesSummary,
+    Tracer, WallTimer,
+};
+use std::fmt::Write as _;
+
+/// Minimum timed repetitions for the overhead guard (fastest kept).
+const REPS: usize = 5;
+/// Repetition budget, milliseconds.
+const MIN_TOTAL_MS: f64 = 300.0;
+/// Hard repetition cap.
+const MAX_REPS: usize = 40;
+/// Allowed overhead of the instrumented (sampler- and tracer-disabled)
+/// planning path over the `bench_planner` baseline.
+const MAX_OVERHEAD: f64 = 0.05;
+/// Absolute slack (ms) so sub-millisecond baselines don't flake on
+/// scheduler noise.
+const ABS_SLACK_MS: f64 = 0.25;
+/// Wire bytes charged per lease renewal (spec id + instance id + MAC,
+/// roughly a UDP heartbeat).
+const RENEWAL_BYTES: u64 = 256;
+
+/// Histograms worth a percentile row: virtual-time latencies only
+/// (`_wall_` metrics make no determinism promise and stay out).
+const LATENCY_HISTOGRAMS: [&str; 3] = ["server.connect_ms", "world.invoke_ms", "heal.redeploy_ms"];
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+/// One percentile row rendered from a registry histogram.
+fn percentile_rows(registry: &Registry) -> Vec<(String, ps_trace::Histogram)> {
+    LATENCY_HISTOGRAMS
+        .iter()
+        .filter_map(|name| registry.histogram(name).map(|h| (name.to_string(), h)))
+        .filter(|(_, h)| h.count > 0)
+        .collect()
+}
+
+fn percentile_json(rows: &[(String, ps_trace::Histogram)]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "      {{\"name\": \"{name}\", \"count\": {}, \"mean\": {:.4}, \
+                 \"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}, \"p999\": {:.4}, \
+                 \"min\": {:.4}, \"max\": {:.4}}}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+                h.min,
+                h.max,
+            )
+        })
+        .collect();
+    format!("[\n{}\n    ]", entries.join(",\n"))
+}
+
+fn series_json(series: &[(String, SeriesSummary)]) -> String {
+    let entries: Vec<String> = series
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "      {{\"name\": \"{name}\", \"points\": {}, \"evicted\": {}, \
+                 \"suppressed\": {}, \"min\": {:.6}, \"max\": {:.6}, \"mean\": {:.6}, \
+                 \"last\": {:.6}}}",
+                s.points,
+                s.evicted,
+                s.suppressed,
+                s.min,
+                s.max,
+                s.mean(),
+                s.last,
+            )
+        })
+        .collect();
+    if entries.is_empty() {
+        "[]".to_owned()
+    } else {
+        format!("[\n{}\n    ]", entries.join(",\n"))
+    }
+}
+
+fn timeline_json(timeline: &HealTimeline) -> String {
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |ns| format!("{:.4}", ms(ns)));
+    let incidents: Vec<String> = timeline
+        .incidents
+        .iter()
+        .map(|i| {
+            format!(
+                "      {{\"node\": {}, \"instances\": {}, \"crash_ms\": {}, \
+                 \"detection_ms\": {}, \"quarantine_ms\": {}, \"redeploy_ms\": {}, \
+                 \"recovery_ms\": {}}}",
+                i.node,
+                i.instances,
+                opt(i.crash_ns),
+                opt(i.detection_ns()),
+                opt(i.quarantine_lag_ns()),
+                opt(i.redeploy_ns()),
+                opt(i.recovery_ns()),
+            )
+        })
+        .collect();
+    let phases: Vec<String> = timeline
+        .phase_totals()
+        .iter()
+        .map(|(phase, total_ns, n)| {
+            format!(
+                "      {{\"phase\": \"{phase}\", \"total_ms\": {:.4}, \"incidents\": {n}}}",
+                ms(*total_ns)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"passes\": {}, \"incidents\": [\n{}\n    ],\n    \"phase_totals\": [\n{}\n    ]}}",
+        timeline.passes.len(),
+        incidents.join(",\n"),
+        phases.join(",\n"),
+    )
+}
+
+/// Critical-path JSON for one connection scope; `null` when the scope
+/// produced no spans (e.g. an abandoned connection).
+fn critical_json(scope: &str, events: &[Event]) -> String {
+    let Some(path) = scope_critical_path(scope, events) else {
+        return format!("{{\"scope\": \"{scope}\", \"path\": null}}");
+    };
+    let (dom_name, dom_ns) = path.dominant().unwrap_or(("", 0));
+    let phases: Vec<String> = path
+        .phase_totals()
+        .iter()
+        .map(|(name, ns)| format!("{{\"phase\": \"{name}\", \"ms\": {:.4}}}", ms(*ns)))
+        .collect();
+    format!(
+        "{{\"scope\": \"{scope}\", \"total_ms\": {:.4}, \"dominant\": \"{dom_name}\", \
+         \"dominant_ms\": {:.4}, \"phases\": [{}]}}",
+        ms(path.total_ns),
+        ms(dom_ns),
+        phases.join(", "),
+    )
+}
+
+/// Renders the shared per-leg report sections (timeline, percentiles,
+/// series) into the human report.
+fn report_leg(
+    report: &mut Report,
+    timeline: &HealTimeline,
+    rows: &[(String, ps_trace::Histogram)],
+    series: &[(String, SeriesSummary)],
+) {
+    for incident in &timeline.incidents {
+        let phase_str = incident
+            .phases()
+            .iter()
+            .map(|(phase, ns)| format!("{phase} {:.1}ms", ms(*ns)))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        report.kv(
+            format!("incident node {}", incident.node),
+            if phase_str.is_empty() {
+                "no recovery observed".to_owned()
+            } else {
+                phase_str
+            },
+        );
+    }
+    report.line(format!(
+        "  {:<20} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "latency", "count", "mean", "p50", "p90", "p99", "max"
+    ));
+    for (name, h) in rows {
+        report.line(format!(
+            "  {:<20} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            name,
+            h.count,
+            h.mean(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max
+        ));
+    }
+    for (name, s) in series {
+        report.kv(
+            format!("series {name}"),
+            format!(
+                "{} pts (evicted {}, suppressed {}) min {:.3} max {:.3} mean {:.3}",
+                s.points,
+                s.evicted,
+                s.suppressed,
+                s.min,
+                s.max,
+                s.mean()
+            ),
+        );
+    }
+}
+
+/// Same thread count `bench_planner` uses for its optimized stack.
+fn planning_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// Extracts the optimized-stack `time_ms` for `scenario` from
+/// `BENCH_planner.json` by string search (no serde in the tree).
+fn baseline_ms(json: &str, scenario: &str) -> Option<f64> {
+    let at = json.find(&format!("\"scenario\": \"{scenario}\""))?;
+    let tail = &json[at..];
+    let new_at = tail.find("\"new\": {")?;
+    let tail = &tail[new_at..];
+    let t_at = tail.find("\"time_ms\": ")? + "\"time_ms\": ".len();
+    let tail = &tail[t_at..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// Min-of-N planning time on the instrumented code path with the tracer
+/// and sampler left disabled — the configuration `bench_planner` labels
+/// `case-study/SanDiego` / `new`.
+fn measure_disabled_planning() -> f64 {
+    let cs = default_case_study();
+    let request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(2.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let planner = Planner::with_config(
+        mail_spec(),
+        PlannerConfig {
+            algorithm: Algorithm::Exhaustive,
+            share_route_table: true,
+            ..Default::default()
+        },
+    );
+    let translator = mail_translator();
+    let threads = planning_threads();
+    let mut best = f64::INFINITY;
+    let mut total_ms = 0.0;
+    let mut reps = 0;
+    while reps < REPS || (total_ms < MIN_TOTAL_MS && reps < MAX_REPS) {
+        let start = WallTimer::start();
+        let plan = if threads > 1 {
+            planner
+                .plan_parallel(&cs.network, &translator, &request, threads)
+                .expect("plan")
+        } else {
+            planner
+                .plan(&cs.network, &translator, &request)
+                .expect("plan")
+        };
+        let time_ms = start.elapsed_ms();
+        std::hint::black_box(plan.objective_value);
+        total_ms += time_ms;
+        reps += 1;
+        best = best.min(time_ms);
+    }
+    best
+}
+
+/// One detection-interval sweep point: a chaos run under the given lease
+/// parameters, reduced workload so the sweep stays quick.
+fn sweep_point(heartbeat_ms: u64, duration_ms: u64) -> ChaosOutcome {
+    run_chaos(
+        &ChaosBenchConfig {
+            seattle_ops: (600, 30),
+            sd_ops: (600, 30),
+            lease: LeaseConfig {
+                duration: SimDuration::from_millis(duration_ms),
+                heartbeat: SimDuration::from_millis(heartbeat_ms),
+            },
+            lease_renewal_bytes: RENEWAL_BYTES,
+            ..ChaosBenchConfig::default()
+        },
+        &Tracer::disabled(),
+    )
+}
+
+fn main() {
+    let stable = ps_bench::stable_artifacts();
+    let mut report = Report::new("ps-trace timeline report: heal phases, percentiles, series");
+
+    // Measure the overhead-guard timing first, before the heavy legs
+    // heat the machine — the `bench_planner` baseline was taken at
+    // process start too, so this keeps the comparison apples-to-apples.
+    let disabled_ms = if stable {
+        None
+    } else {
+        eprintln!("[timeline_report] overhead guard timing...");
+        Some(measure_disabled_planning())
+    };
+
+    // ---- Leg 1: the 9-node chaos workload, fully instrumented. ----
+    eprintln!("[timeline_report] chaos workload...");
+    let (tracer, sink) = Tracer::memory();
+    let chaos = run_chaos(
+        &ChaosBenchConfig {
+            sampler: Some(SamplerConfig::default()),
+            lease_renewal_bytes: RENEWAL_BYTES,
+            ..ChaosBenchConfig::default()
+        },
+        &tracer,
+    );
+    let events = sink.events();
+    let timeline = HealTimeline::reconstruct(&events);
+    assert!(
+        !timeline.incidents.is_empty(),
+        "chaos run must produce at least one incident"
+    );
+    assert_eq!(
+        timeline.incidents[0].phases().len(),
+        3,
+        "the chaos crash must walk the full detection -> quarantine -> redeploy ladder, got {:?}",
+        timeline.incidents[0]
+    );
+    let registry = tracer.registry().expect("enabled tracer has a registry");
+    let chaos_rows = percentile_rows(registry);
+    assert!(
+        chaos_rows.iter().any(|(n, _)| n == "world.invoke_ms"),
+        "chaos run must record invoke latencies"
+    );
+    report.section(format!(
+        "chaos @9 nodes (seed {}, {} heal passes, {} renewal bytes)",
+        chaos.seed, chaos.heal_passes, chaos.lease_renewal_bytes
+    ));
+    report_leg(&mut report, &timeline, &chaos_rows, &chaos.series);
+    // conn-0 is the San Diego connect, conn-1 Seattle (connect order).
+    let chaos_critical: Vec<String> = ["conn-0", "conn-1"]
+        .iter()
+        .map(|scope| critical_json(scope, &events))
+        .collect();
+    for scope in ["conn-0", "conn-1"] {
+        if let Some(path) = scope_critical_path(scope, &events) {
+            let (name, ns) = path.dominant().unwrap_or(("", 0));
+            report.kv(
+                format!("critical path {scope}"),
+                format!(
+                    "total {:.2}ms, dominant {name} {:.2}ms",
+                    ms(path.total_ns),
+                    ms(ns)
+                ),
+            );
+        }
+    }
+
+    // ---- Leg 2: the 1013-node crash-and-heal from bench_scale. ----
+    eprintln!("[timeline_report] 1013-node heal workload...");
+    let (scale_tracer, scale_sink) = Tracer::memory();
+    // Same topology + workload seeds as bench_scale's heal leg.
+    let (net, server, client) = scale_network(1000, 8000);
+    let scale_out = run_heal_workload_with(
+        net,
+        server,
+        client,
+        7000,
+        &scale_tracer,
+        &HealWorkloadOptions {
+            lease: None,
+            sampler: Some(SamplerConfig::default()),
+            lease_renewal_bytes: RENEWAL_BYTES,
+            settle: Some(SimDuration::from_secs(30)),
+        },
+    );
+    let scale_events = scale_sink.events();
+    let scale_timeline = HealTimeline::reconstruct(&scale_events);
+    assert!(
+        scale_timeline
+            .incidents
+            .iter()
+            .any(|i| i.detection_ns().is_some() && i.quarantine_lag_ns().is_some()),
+        "the 1013-node crash must be detected and quarantined, got {:?}",
+        scale_timeline.incidents
+    );
+    let scale_registry = scale_tracer
+        .registry()
+        .expect("enabled tracer has a registry");
+    let scale_rows = percentile_rows(scale_registry);
+    report.section(format!(
+        "heal @{} nodes (crashed node {}, {} heal passes, {} renewal bytes)",
+        scale_out.nodes, scale_out.crashed.0, scale_out.heal_passes, scale_out.lease_renewal_bytes
+    ));
+    report_leg(&mut report, &scale_timeline, &scale_rows, &scale_out.series);
+    let scale_critical = critical_json("conn-0", &scale_events);
+
+    // ---- Satellite: the lease detection-interval sweep. ----
+    // Shorter heartbeats detect failures faster but renew more often;
+    // the sweep prints the latency/traffic tradeoff.
+    eprintln!("[timeline_report] detection-interval sweep...");
+    report.section("lease detection-interval sweep (heartbeat/duration vs latency/traffic)");
+    report.line(format!(
+        "  {:>7} {:>9} {:>13} {:>12} {:>14}",
+        "hb[ms]", "lease[ms]", "detect[ms]", "recover[ms]", "renewal bytes"
+    ));
+    let mut sweep_json = Vec::new();
+    let mut last_detect = 0.0f64;
+    for &(hb, dur) in &[
+        (250u64, 1_000u64),
+        (500, 2_000),
+        (1_000, 4_000),
+        (2_000, 8_000),
+    ] {
+        let out = sweep_point(hb, dur);
+        let detect_ms = out
+            .detection_latency()
+            .map(|d| d.as_nanos() as f64 / 1e6)
+            .expect("sweep point detects the crash");
+        let recover_ms = out.recovery_latency().map(|d| d.as_nanos() as f64 / 1e6);
+        assert!(
+            detect_ms > last_detect,
+            "detection latency must grow with the lease duration \
+             ({detect_ms:.1}ms at {dur}ms lease, previous {last_detect:.1}ms)"
+        );
+        last_detect = detect_ms;
+        report.line(format!(
+            "  {:>7} {:>9} {:>13.1} {:>12} {:>14}",
+            hb,
+            dur,
+            detect_ms,
+            recover_ms.map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            out.lease_renewal_bytes,
+        ));
+        sweep_json.push(format!(
+            "    {{\"heartbeat_ms\": {hb}, \"lease_ms\": {dur}, \"detect_ms\": {detect_ms:.4}, \
+             \"recover_ms\": {}, \"renewal_bytes\": {}}}",
+            recover_ms.map_or_else(|| "null".to_owned(), |v| format!("{v:.4}")),
+            out.lease_renewal_bytes,
+        ));
+    }
+
+    // ---- Overhead guard: sampler+tracer disabled vs bench_planner. ----
+    // In stable mode the guard (pure wall-clock) is skipped and written
+    // as null — the determinism check covers content, not timing.
+    report.section("overhead guard (sampler+tracer disabled vs bench_planner baseline)");
+    let overhead_json = if let Some(disabled_ms) = disabled_ms {
+        report.kv("disabled_ms", format!("{disabled_ms:.3}"));
+        let baseline = std::fs::read_to_string("BENCH_planner.json")
+            .ok()
+            .and_then(|json| baseline_ms(&json, "case-study/SanDiego"));
+        match baseline {
+            Some(base) => {
+                let ratio = disabled_ms / base;
+                report.kv("baseline_ms", format!("{base:.3}"));
+                report.kv("ratio", format!("{ratio:.3}"));
+                assert!(
+                    disabled_ms <= base * (1.0 + MAX_OVERHEAD) + ABS_SLACK_MS,
+                    "sampler overhead guard failed: disabled-sampler planning took \
+                     {disabled_ms:.3} ms vs baseline {base:.3} ms (>{:.0}% + {ABS_SLACK_MS} ms slack)",
+                    MAX_OVERHEAD * 100.0
+                );
+                report.kv(
+                    "verdict",
+                    format!(
+                        "PASS (within {:.0}% + {ABS_SLACK_MS} ms slack)",
+                        MAX_OVERHEAD * 100.0
+                    ),
+                );
+                format!(
+                    "{{\"baseline_ms\": {base:.3}, \"disabled_ms\": {disabled_ms:.3}, \
+                     \"ratio\": {ratio:.3}, \"max_overhead\": {MAX_OVERHEAD}}}"
+                )
+            }
+            None => {
+                report.kv(
+                    "verdict",
+                    "SKIPPED (no BENCH_planner.json baseline; run bench_planner first)",
+                );
+                format!("{{\"baseline_ms\": null, \"disabled_ms\": {disabled_ms:.3}}}")
+            }
+        }
+    } else {
+        report.kv("verdict", "SKIPPED (stable-artifact mode)");
+        "null".to_owned()
+    };
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\n  \"bench\": \"timeline_report\",\n  \
+         \"chaos\": {{\n    \"nodes\": 9, \"seed\": {}, \"heal_passes\": {}, \
+         \"lease_renewal_bytes\": {},\n    \"timeline\": {},\n    \
+         \"critical_paths\": [\n      {}\n    ],\n    \
+         \"percentiles\": {},\n    \"series\": {}\n  }},\n  \
+         \"scale\": {{\n    \"nodes\": {}, \"crashed\": {}, \"heal_passes\": {}, \
+         \"lease_renewal_bytes\": {},\n    \"timeline\": {},\n    \
+         \"critical_paths\": [\n      {}\n    ],\n    \
+         \"percentiles\": {},\n    \"series\": {}\n  }},\n  \
+         \"sweep\": [\n{}\n  ],\n  \"overhead\": {}\n}}\n",
+        chaos.seed,
+        chaos.heal_passes,
+        chaos.lease_renewal_bytes,
+        timeline_json(&timeline),
+        chaos_critical.join(",\n      "),
+        percentile_json(&chaos_rows),
+        series_json(&chaos.series),
+        scale_out.nodes,
+        scale_out.crashed.0,
+        scale_out.heal_passes,
+        scale_out.lease_renewal_bytes,
+        timeline_json(&scale_timeline),
+        scale_critical,
+        percentile_json(&scale_rows),
+        series_json(&scale_out.series),
+        sweep_json.join(",\n"),
+        overhead_json,
+    )
+    .expect("write to string");
+    std::fs::write("BENCH_timeline.json", &json).expect("write BENCH_timeline.json");
+
+    println!("{report}");
+    println!("\nwrote BENCH_timeline.json");
+}

@@ -28,7 +28,7 @@ use ps_smock::{
     CoherencePolicy, InstanceId, LeaseConfig, LivenessKind, RetryPolicy, ServiceRegistration, World,
 };
 use ps_spec::{Behavior, ResolvedBindings};
-use ps_trace::{Metric, Tracer};
+use ps_trace::{Metric, SamplerConfig, SeriesSummary, Tracer};
 use std::fmt::Write as _;
 
 /// Parameters of one chaos-recovery run.
@@ -50,6 +50,14 @@ pub struct ChaosBenchConfig {
     /// Also draw randomized WAN link flaps and a loss window from the
     /// seed (the crash alone is injected either way).
     pub extra_chaos: bool,
+    /// Lease parameters (the failure-detection interval): shorter
+    /// heartbeats detect faster but renew more often.
+    pub lease: LeaseConfig,
+    /// Enable the world's time-series sampler with this config.
+    pub sampler: Option<SamplerConfig>,
+    /// Wire bytes per lease renewal charged to link utilization;
+    /// `0` disables the renewal-traffic accounting.
+    pub lease_renewal_bytes: u64,
 }
 
 impl Default for ChaosBenchConfig {
@@ -62,6 +70,9 @@ impl Default for ChaosBenchConfig {
             seattle_ops: (3000, 150),
             sd_ops: (3000, 150),
             extra_chaos: true,
+            lease: LeaseConfig::default(),
+            sampler: None,
+            lease_renewal_bytes: 0,
         }
     }
 }
@@ -121,6 +132,12 @@ pub struct ChaosOutcome {
     pub messages: u64,
     /// Virtual completion time of the whole run.
     pub completed_at: SimTime,
+    /// Lease-renewal bytes charged to the network (0 when accounting
+    /// was off).
+    pub lease_renewal_bytes: u64,
+    /// Time-series summaries, sorted by name (empty when the sampler
+    /// was off).
+    pub series: Vec<(String, SeriesSummary)>,
 }
 
 impl ChaosOutcome {
@@ -285,8 +302,14 @@ pub fn run_chaos(config: &ChaosBenchConfig, tracer: &Tracer) -> ChaosOutcome {
         backoff_multiplier: 2.0,
         deadline: None,
     });
-    framework.world.enable_leases(LeaseConfig::default());
+    framework.world.enable_leases(config.lease);
     framework.world.set_fault_seed(config.seed);
+    if let Some(sampler) = config.sampler {
+        framework.enable_sampler(sampler);
+    }
+    if config.lease_renewal_bytes > 0 {
+        framework.account_lease_traffic(config.lease_renewal_bytes);
+    }
     let plan = build_fault_plan(config, &cs);
     framework.world.install_fault_plan(&plan);
 
@@ -405,6 +428,16 @@ pub fn run_chaos(config: &ChaosBenchConfig, tracer: &Tracer) -> ChaosOutcome {
     }
     // Drain whatever is still in flight (stray retries, fault events).
     framework.run();
+    framework.world.charge_lease_renewals();
+    if config.sampler.is_some() {
+        framework.world.sample_now();
+    }
+    let series = framework
+        .world
+        .sampler()
+        .map(|s| s.summaries())
+        .unwrap_or_default();
+    let lease_renewal_bytes = framework.world.lease_renewal_bytes();
 
     let sd_abandoned = framework.managed_connection(sd_handle).is_none();
     let seattle = driver_stats(&mut framework.world, sea_driver, sea_before_crash);
@@ -445,6 +478,8 @@ pub fn run_chaos(config: &ChaosBenchConfig, tracer: &Tracer) -> ChaosOutcome {
         counters,
         messages: framework.world.messages_sent(),
         completed_at: framework.world.now(),
+        lease_renewal_bytes,
+        series,
     }
 }
 

@@ -12,7 +12,8 @@ pub mod scenarios;
 pub use chaos::{outcome_json, run_chaos, ChaosBenchConfig, ChaosOutcome, DriverStats};
 pub use scale::{
     measure_engine_throughput, measure_replan, measure_route_repair, run_heal_workload,
-    scale_network, EngineMeasure, HealWorkloadOutcome, ReplanMeasure, RouteRepairMeasure,
+    run_heal_workload_with, scale_network, EngineMeasure, HealWorkloadOptions, HealWorkloadOutcome,
+    ReplanMeasure, RouteRepairMeasure,
 };
 
 /// Whether the bench bins should write *stable* artifacts: every

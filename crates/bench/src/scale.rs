@@ -32,7 +32,7 @@ use ps_planner::{
 };
 use ps_sim::{Engine, FaultPlan, Rng, SimDuration, SimTime};
 use ps_smock::{CoherencePolicy, LeaseConfig, LivenessKind, RetryPolicy, ServiceRegistration};
-use ps_trace::{Tracer, WallTimer};
+use ps_trace::{SamplerConfig, SeriesSummary, Tracer, WallTimer};
 use std::sync::Arc;
 
 /// Hosting-capable nodes per site — kept constant as the topology
@@ -456,6 +456,23 @@ pub fn measure_replan(
     }
 }
 
+/// Observability knobs for [`run_heal_workload_with`].
+#[derive(Debug, Clone, Default)]
+pub struct HealWorkloadOptions {
+    /// Lease parameters; `None` keeps [`LeaseConfig::default`].
+    pub lease: Option<LeaseConfig>,
+    /// Enable the world's time-series sampler with this config.
+    pub sampler: Option<SamplerConfig>,
+    /// Wire bytes per lease renewal charged to link utilization;
+    /// `0` disables the accounting.
+    pub lease_renewal_bytes: u64,
+    /// Extra virtual time to idle after recovery before the final
+    /// charge/sample, so steady-state lease renewals show up in the
+    /// series (the bare workload ends within ~50 ms of the redeployed
+    /// instances' lease grants).
+    pub settle: Option<SimDuration>,
+}
+
 /// Outcome of the chaos-style heal workload (virtual-time derived
 /// except `wall_ms`).
 #[derive(Debug, Clone)]
@@ -480,6 +497,12 @@ pub struct HealWorkloadOutcome {
     /// Wall time of the whole run, milliseconds (zeroed in stable
     /// mode by the caller).
     pub wall_ms: f64,
+    /// Lease-renewal bytes charged to the network (0 when accounting
+    /// was off).
+    pub lease_renewal_bytes: u64,
+    /// Time-series summaries, sorted by name (empty when the sampler
+    /// was off).
+    pub series: Vec<(String, SeriesSummary)>,
 }
 
 /// Runs the full self-healing stack on a scale topology: install the
@@ -493,6 +516,26 @@ pub fn run_heal_workload(
     client: NodeId,
     seed: u64,
     tracer: &Tracer,
+) -> HealWorkloadOutcome {
+    run_heal_workload_with(
+        net,
+        server,
+        client,
+        seed,
+        tracer,
+        &HealWorkloadOptions::default(),
+    )
+}
+
+/// [`run_heal_workload`] with observability knobs: lease override,
+/// time-series sampling, and lease-renewal traffic accounting.
+pub fn run_heal_workload_with(
+    net: Network,
+    server: NodeId,
+    client: NodeId,
+    seed: u64,
+    tracer: &Tracer,
+    options: &HealWorkloadOptions,
 ) -> HealWorkloadOutcome {
     let timer = WallTimer::start();
     let nodes = net.node_count();
@@ -527,8 +570,16 @@ pub fn run_heal_workload(
         backoff_multiplier: 2.0,
         deadline: None,
     });
-    framework.world.enable_leases(LeaseConfig::default());
+    framework
+        .world
+        .enable_leases(options.lease.unwrap_or_default());
     framework.world.set_fault_seed(seed);
+    if let Some(sampler) = options.sampler {
+        framework.enable_sampler(sampler);
+    }
+    if options.lease_renewal_bytes > 0 {
+        framework.account_lease_traffic(options.lease_renewal_bytes);
+    }
 
     let request = scale_request(server, client);
     let conn = framework.connect("mail", &request).expect("connect");
@@ -597,6 +648,20 @@ pub fn run_heal_workload(
         }
     }
     framework.run();
+    if let Some(settle) = options.settle {
+        let end = framework.world.now() + settle;
+        framework.world.run_until(end);
+    }
+    framework.world.charge_lease_renewals();
+    if options.sampler.is_some() {
+        framework.world.sample_now();
+    }
+    let series = framework
+        .world
+        .sampler()
+        .map(|s| s.summaries())
+        .unwrap_or_default();
+    let lease_renewal_bytes = framework.world.lease_renewal_bytes();
 
     let ms = |t: SimTime| t.as_nanos() as f64 / 1_000_000.0;
     HealWorkloadOutcome {
@@ -609,5 +674,7 @@ pub fn run_heal_workload(
         recovered_ms: recovered_at.map(ms),
         repair,
         wall_ms: timer.elapsed_ms(),
+        lease_renewal_bytes,
+        series,
     }
 }

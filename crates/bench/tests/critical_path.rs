@@ -1,0 +1,103 @@
+//! Critical-path extraction against the mail case study: the connect
+//! span tree for each Section 4.2 site must reproduce the known
+//! dominant phase (deploy for the LAN-local New York client; the WAN
+//! lookup round trip for San Diego), and the path segmentation must
+//! cover the whole connect interval.
+
+use ps_core::Framework;
+use ps_mail::spec::names::*;
+use ps_mail::{mail_spec, mail_translator, register_mail_components, Keyring};
+use ps_net::casestudy::default_case_study;
+use ps_planner::ServiceRequest;
+use ps_smock::{CoherencePolicy, ServiceRegistration};
+use ps_trace::{scope_critical_path, Tracer};
+
+/// Connects the three case-study sites under a memory tracer and
+/// returns the captured event stream.
+fn traced_connects() -> Vec<ps_trace::Event> {
+    let (tracer, sink) = Tracer::memory();
+    let cs = default_case_study();
+    let mut framework = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    framework.set_tracer(tracer);
+    register_mail_components(
+        &mut framework.server.registry,
+        Keyring::new(1),
+        CoherencePolicy::CountLimit(500),
+    );
+    framework.register_service(
+        ServiceRegistration::new(mail_spec())
+            .attribute("type", "mail")
+            .proxy_code_size(32 * 1024),
+    );
+    framework
+        .install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .expect("primary");
+    for (client, trust) in [
+        (cs.ny_client, 4i64),
+        (cs.sd_client, 4),
+        (cs.seattle_client, 1),
+    ] {
+        let request = ServiceRequest::new(CLIENT_INTERFACE, client)
+            .rate(5.0)
+            .pin(MAIL_SERVER, cs.mail_server)
+            .origin(cs.mail_server)
+            .require("TrustLevel", trust);
+        framework.connect("mail", &request).expect("connect");
+    }
+    framework.run();
+    sink.events()
+}
+
+#[test]
+fn connect_critical_paths_match_known_dominant_phases() {
+    let events = traced_connects();
+
+    // New York sits on the server's LAN: lookup and transfer are
+    // near-instant, the fixed component deploy time dominates.
+    let ny = scope_critical_path("conn-0", &events).expect("conn-0 path");
+    assert_eq!(ny.root, "connect");
+    let (phase, ns) = ny.dominant().expect("non-empty path");
+    assert_eq!(
+        phase,
+        "deploy",
+        "New York's connect must be dominated by deploy, got {phase} ({ns} ns): {:?}",
+        ny.phase_totals()
+    );
+    // Deploy is a fixed 500 ms; the path attributes the overlapped head
+    // of the interval to the earlier-entered transfer span.
+    assert!(
+        (490_000_000..=500_000_000).contains(&ns),
+        "deploy's critical-path share should be ~500 ms, got {ns} ns"
+    );
+
+    // San Diego is behind the WAN: the 801 ms lookup round trip leads
+    // the path, and the overlapping proxy transfer only contributes its
+    // un-shadowed tail (earliest-enter-first attribution).
+    let sd = scope_critical_path("conn-1", &events).expect("conn-1 path");
+    let (phase, ns) = sd.dominant().expect("non-empty path");
+    assert_eq!(
+        phase,
+        "lookup",
+        "San Diego's connect path must be led by the WAN lookup: {:?}",
+        sd.phase_totals()
+    );
+    assert_eq!(ns, 801_024_000);
+    assert!(
+        sd.phase_ns("transfer") < 801_024_000 && sd.phase_ns("transfer") > 0,
+        "the overlapped transfer contributes only its tail, got {} ns",
+        sd.phase_ns("transfer")
+    );
+
+    // The segmentation is gap-free: segments tile the root interval.
+    for path in [&ny, &sd] {
+        let covered: u64 = path.segments.iter().map(|s| s.duration_ns()).sum();
+        assert_eq!(
+            covered, path.total_ns,
+            "critical-path segments must tile the connect interval exactly"
+        );
+    }
+}

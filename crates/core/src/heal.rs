@@ -228,6 +228,18 @@ impl Framework {
                     if self.world.network().node(node).up {
                         self.world.quarantine_node(node);
                         report.quarantined.push(node);
+                        // Marks the quarantine phase boundary for the
+                        // heal-timeline auditor; `detected` carries the
+                        // lease-expiry time the verdict is based on.
+                        self.server.tracer().instant(
+                            "core",
+                            "quarantine",
+                            now.as_nanos(),
+                            vec![
+                                ("node", node.0.into()),
+                                ("detected", event.at.as_nanos().into()),
+                            ],
+                        );
                     }
                 }
                 LivenessKind::NodeUp { node } => report.restored.push(node),
@@ -352,6 +364,23 @@ impl Framework {
                 healer.route_table.clone(),
             ) {
                 Ok((connection, retired)) => {
+                    let ready_ns = connection.ready_at.as_nanos();
+                    let tracer = self.server.tracer();
+                    tracer.observe(
+                        "heal.redeploy_ms",
+                        ready_ns.saturating_sub(now.as_nanos()) as f64 / 1e6,
+                    );
+                    // The redeploy span runs from this pass's virtual
+                    // time to the recovered connection's readiness; the
+                    // timeline auditor joins it to the pass by its
+                    // enter time.
+                    tracer.span_closed(
+                        "core",
+                        "redeploy",
+                        now.as_nanos(),
+                        ready_ns,
+                        vec![("conn", (idx as u64).into())],
+                    );
                     if let Some(r) = connection.plan.repair {
                         report.repair += r;
                     }

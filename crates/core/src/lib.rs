@@ -91,6 +91,25 @@ impl Framework {
         self
     }
 
+    /// Enables aggregate time-series sampling on the world (see
+    /// [`World::enable_sampler`]): link/CPU utilization, queue depth,
+    /// live instances, and lease-renewal bytes are snapshotted every
+    /// `config.cadence_ns` of virtual time.
+    pub fn enable_sampler(&mut self, config: ps_trace::SamplerConfig) -> &mut Self {
+        self.world.enable_sampler(config);
+        self
+    }
+
+    /// Enables analytic lease-renewal traffic accounting, homing the
+    /// renewal stream on the generic server's lookup node (see
+    /// [`World::account_lease_traffic`]). Requires leases to be enabled
+    /// on the world for the renewal cadence.
+    pub fn account_lease_traffic(&mut self, bytes_per_renewal: u64) -> &mut Self {
+        let home = self.server.home;
+        self.world.account_lease_traffic(home, bytes_per_renewal);
+        self
+    }
+
     /// Registers a service: its specification is uploaded to the lookup
     /// service (Figure 1, step 1).
     pub fn register_service(&mut self, registration: ServiceRegistration) -> &mut Self {

@@ -66,6 +66,22 @@ impl LinkModel {
         start + self.serialization(bytes) + self.latency
     }
 
+    /// Charges `count` background transmissions of `bytes` each (e.g.
+    /// lease renewals) to the link's utilization accounting — bytes,
+    /// transmission count, and serialization busy time — without
+    /// occupying the shaping queue, so foreground traffic already in
+    /// flight is never delayed by bookkeeping traffic modelled in
+    /// aggregate.
+    pub fn charge_background(&mut self, count: u64, bytes: u64) {
+        if count == 0 {
+            return;
+        }
+        self.bytes_carried += count * bytes;
+        self.transmissions += count;
+        let ser = self.serialization(bytes);
+        self.busy += SimDuration::from_nanos(ser.as_nanos().saturating_mul(count));
+    }
+
     /// When the link next becomes idle.
     pub fn next_free(&self) -> SimTime {
         self.next_free
@@ -203,6 +219,21 @@ mod tests {
         let real = link.transmit(SimTime::ZERO, 1_000_000);
         assert_eq!(peeked, real);
         assert_eq!(link.transmissions(), 1);
+    }
+
+    #[test]
+    fn background_charge_never_delays_foreground() {
+        let mut charged = LinkModel::new(SimDuration::ZERO, 8e6);
+        let mut clean = charged.clone();
+        charged.charge_background(3, 1_000_000); // 3 x 1s serialization
+        assert_eq!(charged.bytes_carried(), 3_000_000);
+        assert_eq!(charged.transmissions(), 3);
+        assert_eq!(charged.busy_time(), SimDuration::from_secs(3));
+        // Foreground arrival times are identical with and without the
+        // background charge: the shaping queue is untouched.
+        let a = charged.transmit(SimTime::ZERO, 1_000_000);
+        let b = clean.transmit(SimTime::ZERO, 1_000_000);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -391,6 +391,10 @@ impl GenericServer {
             plan_stats: plan.stats,
         };
         let ready_at = deployment.ready_at + proxy_download;
+        self.tracer.observe(
+            "server.connect_ms",
+            ready_at.as_nanos().saturating_sub(t0) as f64 / 1e6,
+        );
         if self.tracer.enabled() {
             let startup_ns = if deployment.created > 0 {
                 STARTUP_DELAY.as_nanos()

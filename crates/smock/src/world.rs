@@ -19,7 +19,7 @@ use ps_sim::{
     Summary,
 };
 use ps_spec::{Behavior, ResolvedBindings};
-use ps_trace::Tracer;
+use ps_trace::{Sampler, SamplerConfig, Tracer};
 use std::collections::{BTreeMap, HashMap};
 
 /// Directed hop sequence memo per (from, to) node pair.
@@ -95,6 +95,29 @@ struct InstanceSlot {
     retired: bool,
 }
 
+/// The time-series [`Sampler`] plus the cumulative totals its per-tick
+/// delta series diff against.
+struct SamplerState {
+    sampler: Sampler,
+    prev_link_bytes: u64,
+    prev_events: u64,
+    prev_lease_bytes: u64,
+}
+
+/// Analytic lease-renewal traffic accounting: renewals are charged to
+/// link utilization in aggregate (never scheduled as events), so
+/// enabling the accounting cannot perturb virtual-time outcomes.
+struct LeaseTraffic {
+    /// The node renewals flow to (the service's lookup home).
+    home: NodeId,
+    /// Wire bytes per renewal message.
+    bytes_per_renewal: u64,
+    /// Renewals up to this virtual time have been charged.
+    watermark: SimTime,
+    /// Total renewal bytes put on the network so far.
+    total_bytes: u64,
+}
+
 /// Mutable world state (separated from the engine so event handlers can
 /// borrow both).
 struct State {
@@ -138,6 +161,11 @@ struct State {
     down_pending: BTreeMap<u32, usize>,
     /// Detected-but-undrained liveness events.
     pending_liveness: Vec<LivenessEvent>,
+    /// Aggregate time-series sampling (see [`World::enable_sampler`]).
+    sampler: Option<SamplerState>,
+    /// Lease-renewal traffic accounting (see
+    /// [`World::account_lease_traffic`]).
+    lease_traffic: Option<LeaseTraffic>,
 }
 
 /// The simulated runtime.
@@ -189,6 +217,8 @@ impl World {
                 lease_granted: Vec::new(),
                 down_pending: BTreeMap::new(),
                 pending_liveness: Vec::new(),
+                sampler: None,
+                lease_traffic: None,
             },
         }
     }
@@ -211,8 +241,11 @@ impl World {
 
     /// Publishes resource-occupancy gauges (per-direction link busy time,
     /// bytes carried, transmissions; per-node CPU busy time) into the
-    /// tracer's registry. Call after (or during) a run; a no-op when
-    /// tracing is disabled.
+    /// tracer's registry. Link directions that never carried a
+    /// transmission and CPUs that never ran a job are skipped entirely —
+    /// at thousand-node scale most of both are idle, and emitting their
+    /// all-zero keys would swamp the export. Call after (or during) a
+    /// run; a no-op when tracing is disabled.
     pub fn publish_resource_metrics(&self) {
         let tracer = self.engine.tracer();
         if !tracer.enabled() {
@@ -220,6 +253,9 @@ impl World {
         }
         for (i, directions) in self.state.links.iter().enumerate() {
             for (dir, link) in directions.iter().enumerate() {
+                if link.transmissions() == 0 {
+                    continue;
+                }
                 let prefix = format!("link.{i}.{dir}");
                 tracer.gauge(
                     &format!("{prefix}.busy_ms"),
@@ -233,9 +269,73 @@ impl World {
             }
         }
         for (i, cpu) in self.state.cpus.iter().enumerate() {
+            if cpu.jobs() == 0 {
+                continue;
+            }
             tracer.gauge(&format!("cpu.{i}.busy_ms"), cpu.busy_time().as_millis_f64());
             tracer.gauge(&format!("cpu.{i}.jobs"), cpu.jobs() as f64);
         }
+        if let Some(traffic) = &self.state.lease_traffic {
+            tracer.gauge("lease.renewal_bytes", traffic.total_bytes as f64);
+        }
+    }
+
+    /// Enables the time-series sampler: aggregate world metrics (link
+    /// utilization, CPU busy, event-queue depth, live instances,
+    /// lease-renewal bytes) are snapshotted on the first event dispatched
+    /// at or after each virtual-time cadence boundary. Sampling schedules
+    /// no events of its own, so it cannot alter the simulation's
+    /// timeline; the series count is fixed regardless of world size.
+    pub fn enable_sampler(&mut self, config: SamplerConfig) {
+        self.state.sampler = Some(SamplerState {
+            sampler: Sampler::new(config),
+            prev_link_bytes: 0,
+            prev_events: 0,
+            prev_lease_bytes: 0,
+        });
+    }
+
+    /// The collected time series, if sampling is enabled.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.state.sampler.as_ref().map(|s| &s.sampler)
+    }
+
+    /// Forces a sample at the current virtual time regardless of the
+    /// cadence (e.g. once after a run, to capture the final state).
+    pub fn sample_now(&mut self) {
+        take_sample(&self.engine, &mut self.state, true);
+    }
+
+    /// Enables analytic lease-renewal traffic accounting: each live
+    /// instance's periodic renewals to `home` are charged to the links of
+    /// its route as background utilization (bytes, transmissions, busy
+    /// time) without entering the shaping queues, so bookkeeping traffic
+    /// never delays foreground messages or perturbs virtual-time
+    /// outcomes. Requires leases ([`enable_leases`](Self::enable_leases))
+    /// to define the renewal cadence.
+    pub fn account_lease_traffic(&mut self, home: NodeId, bytes_per_renewal: u64) {
+        self.state.lease_traffic = Some(LeaseTraffic {
+            home,
+            bytes_per_renewal,
+            watermark: self.now(),
+            total_bytes: 0,
+        });
+    }
+
+    /// Charges lease renewals accrued since the last charge, up to the
+    /// current virtual time. Runs automatically on sampler ticks, node
+    /// crashes, and retirements; call once after a run to flush the tail.
+    pub fn charge_lease_renewals(&mut self) {
+        let now = self.now();
+        charge_lease_renewals_inner(&mut self.state, now);
+    }
+
+    /// Total lease-renewal bytes charged to the network so far.
+    pub fn lease_renewal_bytes(&self) -> u64 {
+        self.state
+            .lease_traffic
+            .as_ref()
+            .map_or(0, |t| t.total_bytes)
     }
 
     /// The network.
@@ -603,6 +703,9 @@ impl World {
         if self.state.instances[instance.0 as usize].retired {
             return;
         }
+        // Renewals the instance sent up to now still happened.
+        let now = self.now();
+        charge_lease_renewals_inner(&mut self.state, now);
         dispatch(&mut self.engine, &mut self.state, instance, |logic, out| {
             logic.on_retire(out)
         });
@@ -634,6 +737,9 @@ impl World {
 
 /// Event dispatch.
 fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
+    if state.sampler.is_some() {
+        maybe_sample(engine, state);
+    }
     match event {
         Event::Start { instance } => {
             // Crashed (or already-retired) instances never start.
@@ -796,6 +902,10 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
                     if let Some(pending) = state.pending.remove(&req) {
                         debug_assert_eq!(pending.caller, to);
                         let token = pending.token;
+                        engine.tracer().observe(
+                            "world.invoke_ms",
+                            engine.now().since(pending.first_issued).as_millis_f64(),
+                        );
                         engine.tracer().exit_span(
                             "smock.world",
                             "invoke",
@@ -825,6 +935,164 @@ fn handle(engine: &mut Engine<Event>, state: &mut State, event: Event) {
             apply_fault(engine, state, kind);
         }
     }
+}
+
+/// Takes a sampler tick if a cadence boundary has passed. Called at
+/// every event dispatch, so samples land at the first event on or after
+/// each boundary; no events are scheduled, so sampling can never alter
+/// the simulation's own timeline (and an idle queue simply stops the
+/// clock — and the sampling — together).
+fn maybe_sample(engine: &Engine<Event>, state: &mut State) {
+    let now_ns = engine.now().as_nanos();
+    let due = state
+        .sampler
+        .as_ref()
+        .is_some_and(|s| s.sampler.due(now_ns));
+    if due {
+        take_sample(engine, state, false);
+    }
+}
+
+/// Collects one sample: brings lease accounting up to now, then records
+/// the aggregate series. The series count is fixed (ten) regardless of
+/// world size; per-link detail stays in the registry gauges.
+fn take_sample(engine: &Engine<Event>, state: &mut State, force: bool) {
+    let now = engine.now();
+    let now_ns = now.as_nanos();
+    let Some(mut ss) = state.sampler.take() else {
+        return;
+    };
+    if !ss.sampler.begin_tick(now_ns) && !force {
+        state.sampler = Some(ss);
+        return;
+    }
+    charge_lease_renewals_inner(state, now);
+    let horizon = now.as_secs_f64();
+    let util = |busy: SimDuration| {
+        if horizon > 0.0 {
+            busy.as_secs_f64() / horizon
+        } else {
+            0.0
+        }
+    };
+    let mut link_util_sum = 0.0;
+    let mut link_util_max = 0.0f64;
+    let mut link_bytes = 0u64;
+    let mut links_active = 0u64;
+    for pair in &state.links {
+        for link in pair {
+            link_bytes += link.bytes_carried();
+            if link.transmissions() > 0 {
+                links_active += 1;
+            }
+            let u = util(link.busy_time());
+            link_util_sum += u;
+            link_util_max = link_util_max.max(u);
+        }
+    }
+    let link_dirs = (state.links.len() * 2).max(1) as f64;
+    let mut cpu_util_sum = 0.0;
+    let mut cpu_util_max = 0.0f64;
+    for cpu in &state.cpus {
+        let u = util(cpu.busy_time());
+        cpu_util_sum += u;
+        cpu_util_max = cpu_util_max.max(u);
+    }
+    let cpus = state.cpus.len().max(1) as f64;
+    let live = state.instances.iter().filter(|s| !s.retired).count();
+    let lease_bytes = state.lease_traffic.as_ref().map_or(0, |t| t.total_bytes);
+    let processed = engine.processed();
+    let d_bytes = link_bytes.saturating_sub(ss.prev_link_bytes);
+    let d_events = processed.saturating_sub(ss.prev_events);
+    let d_lease = lease_bytes.saturating_sub(ss.prev_lease_bytes);
+    ss.prev_link_bytes = link_bytes;
+    ss.prev_events = processed;
+    ss.prev_lease_bytes = lease_bytes;
+    ss.sampler.record("cpus.util_max", now_ns, cpu_util_max);
+    ss.sampler
+        .record("cpus.util_mean", now_ns, cpu_util_sum / cpus);
+    ss.sampler
+        .record("events.pending", now_ns, engine.pending() as f64);
+    ss.sampler
+        .record("events.processed", now_ns, d_events as f64);
+    ss.sampler.record("instances.live", now_ns, live as f64);
+    ss.sampler
+        .record("lease.renewal_bytes", now_ns, d_lease as f64);
+    ss.sampler
+        .record("links.active", now_ns, links_active as f64);
+    ss.sampler.record("links.bytes", now_ns, d_bytes as f64);
+    ss.sampler.record("links.util_max", now_ns, link_util_max);
+    ss.sampler
+        .record("links.util_mean", now_ns, link_util_sum / link_dirs);
+    state.sampler = Some(ss);
+}
+
+/// Charges each live instance's lease renewals in `(watermark, upto]` to
+/// the links of its cached route to the lease home, as background
+/// utilization (see [`LinkModel::charge_background`]). Instances hosted
+/// on the home node renew in-process and put nothing on the wire.
+fn charge_lease_renewals_inner(state: &mut State, upto: SimTime) {
+    let Some(lease) = state.lease else {
+        return;
+    };
+    let Some(mut traffic) = state.lease_traffic.take() else {
+        return;
+    };
+    if upto <= traffic.watermark {
+        state.lease_traffic = Some(traffic);
+        return;
+    }
+    let hb = lease.heartbeat.as_nanos().max(1);
+    let upto_ns = upto.as_nanos();
+    // Renewals fire at `granted + k * heartbeat` (k >= 1); count those
+    // in the uncharged window per source node.
+    let mut per_node: BTreeMap<u32, u64> = BTreeMap::new();
+    for (i, slot) in state.instances.iter().enumerate() {
+        if slot.retired || slot.info.node == traffic.home {
+            continue;
+        }
+        let Some(granted) = state.lease_granted.get(i) else {
+            continue;
+        };
+        let g = granted.as_nanos();
+        if upto_ns <= g {
+            continue;
+        }
+        let prior = traffic.watermark.as_nanos().max(g);
+        let count = (upto_ns - g) / hb - (prior - g) / hb;
+        if count > 0 {
+            *per_node.entry(slot.info.node.0).or_insert(0) += count;
+        }
+    }
+    for (node, count) in per_node {
+        let from = NodeId(node);
+        let cached = state
+            .route_cache
+            .entry((from.0, traffic.home.0))
+            .or_insert_with(|| {
+                shortest_route(&state.net, from, traffic.home).map(|route| {
+                    let mut hops = Vec::with_capacity(route.links.len());
+                    let mut at = from;
+                    for &l in &route.links {
+                        let link = state.net.link(l);
+                        let dir = if link.a == at { 0u8 } else { 1u8 };
+                        at = link.other(at).expect("route links are connected");
+                        hops.push((l, dir));
+                    }
+                    hops
+                })
+            });
+        let Some(hops) = cached.clone() else {
+            continue; // Home unreachable: renewals are lost, not carried.
+        };
+        for (l, dir) in hops {
+            state.links[l.0 as usize][dir as usize]
+                .charge_background(count, traffic.bytes_per_renewal);
+        }
+        traffic.total_bytes += count * traffic.bytes_per_renewal;
+    }
+    traffic.watermark = upto;
+    state.lease_traffic = Some(traffic);
 }
 
 /// A request's per-attempt timeout elapsed: retransmit with backoff, or
@@ -1000,6 +1268,9 @@ fn crash_node_inner(
     }
     state.node_up[node.0 as usize] = false;
     let now = engine.now();
+    // Renewals sent before the crash still happened: charge them while
+    // the node's instances are still live in the accounting.
+    charge_lease_renewals_inner(state, now);
     let mut failed = Vec::new();
     for slot in &mut state.instances {
         if slot.info.node == node && !slot.retired {
@@ -1404,6 +1675,60 @@ mod tests {
         let m = world.metric("rtt_ms");
         assert_eq!(m.count(), 1);
         assert!((m.mean() - 2800.0).abs() < 1.0, "rtt {}", m.mean());
+    }
+
+    #[test]
+    fn lease_renewals_charge_links_without_delaying_traffic() {
+        let lease = LeaseConfig {
+            duration: SimDuration::from_secs(2),
+            heartbeat: SimDuration::from_millis(500),
+        };
+        // Baseline: no lease accounting.
+        let (mut plain, _, _) = two_node_world(400, 8e6);
+        plain.enable_leases(lease);
+        plain.run();
+        let baseline_rtt = plain.metric("rtt_ms").mean();
+
+        let (mut world, _, server) = two_node_world(400, 8e6);
+        world.enable_leases(lease);
+        // Home is node a; the server (node b) renews over the link, the
+        // client (node a, home-local) puts nothing on the wire.
+        world.account_lease_traffic(NodeId(0), 64);
+        world.run();
+        world.charge_lease_renewals();
+        // Run spans 2.8 s; renewals at 0.5..2.5 s = 5 of 64 bytes.
+        assert_eq!(world.lease_renewal_bytes(), 5 * 64);
+        assert_eq!(
+            world.metric("rtt_ms").mean(),
+            baseline_rtt,
+            "background lease traffic must not delay foreground messages"
+        );
+        // Retired instances stop renewing.
+        world.retire(server);
+        world.run();
+        let frozen = world.lease_renewal_bytes();
+        world.charge_lease_renewals();
+        assert_eq!(world.lease_renewal_bytes(), frozen);
+    }
+
+    #[test]
+    fn sampler_collects_bounded_series() {
+        let (mut world, _, _) = two_node_world(400, 8e6);
+        world.enable_sampler(SamplerConfig {
+            cadence_ns: 500_000_000,
+            retention: 64,
+        });
+        world.run();
+        world.sample_now();
+        let sampler = world.sampler().expect("enabled");
+        assert!(sampler.ticks() >= 1);
+        // Fixed series set, independent of world size.
+        assert_eq!(sampler.names().len(), 10);
+        let live = sampler.series("instances.live").expect("series exists");
+        assert!(!live.is_empty());
+        assert_eq!(live.summary().last, 2.0);
+        let processed = sampler.series("events.processed").expect("series");
+        assert!(processed.summary().sum > 0.0);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Span-tree reconstruction and critical-path extraction.
+//!
+//! Spans in the event stream carry no explicit parent ids; within one
+//! `scope` the tree is recovered structurally — each span's parent is
+//! the *tightest* span strictly enclosing it in virtual time. The root
+//! (the span enclosing everything else, e.g. `connect` for a
+//! connection) is then swept from enter to exit and every nanosecond of
+//! its interval is attributed to the deepest span covering it; gaps no
+//! child covers are the covering span's own *self time*. The result is
+//! a gap-free segmentation of the root interval — the blocking path —
+//! from which the dominant phase falls out as the segment total with
+//! the largest share.
+//!
+//! Overlapping siblings (possible when parallel work shares a scope)
+//! are resolved earliest-enter-first: a later sibling is credited only
+//! with the part of its interval the earlier one did not already cover,
+//! which keeps the segmentation a partition.
+
+use crate::breakdown::{closed_spans, ClosedSpan};
+use crate::event::Event;
+use std::collections::BTreeMap;
+
+/// One segment of a critical path: `[start_ns, end_ns)` attributed to
+/// the span named `name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Name of the span this segment is attributed to (the root's own
+    /// name for self time).
+    pub name: &'static str,
+    /// Segment start, virtual ns.
+    pub start_ns: u64,
+    /// Segment end, virtual ns.
+    pub end_ns: u64,
+}
+
+impl Segment {
+    /// Segment length in virtual ns.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// The critical path of one scope's span tree.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Scope label shared by the grouped spans.
+    pub scope: String,
+    /// Root span name (e.g. `connect`).
+    pub root: &'static str,
+    /// Root interval length in virtual ns.
+    pub total_ns: u64,
+    /// Gap-free segmentation of the root interval, in time order.
+    /// Zero-width child spans appear as zero-length segments so
+    /// instantaneous phases (e.g. a cached `plan`) remain visible.
+    pub segments: Vec<Segment>,
+}
+
+impl CriticalPath {
+    /// Total nanoseconds attributed to segments named `name`.
+    pub fn phase_ns(&self, name: &str) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.name == name)
+            .map(Segment::duration_ns)
+            .sum()
+    }
+
+    /// Per-name totals, sorted by name.
+    pub fn phase_totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut totals = BTreeMap::new();
+        for seg in &self.segments {
+            *totals.entry(seg.name).or_insert(0) += seg.duration_ns();
+        }
+        totals
+    }
+
+    /// The phase carrying the most time on the path, with its total
+    /// (ties broken by name order; `None` for an empty path).
+    pub fn dominant(&self) -> Option<(&'static str, u64)> {
+        self.phase_totals()
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+    }
+}
+
+/// Extracts the critical path of every scope in `events`, sorted by
+/// scope. Scopes whose spans nest under a single root produce one path;
+/// a scope with no spans produces none.
+pub fn critical_paths(events: &[Event]) -> Vec<CriticalPath> {
+    let spans = closed_spans(events);
+    let mut by_scope: BTreeMap<String, Vec<&ClosedSpan>> = BTreeMap::new();
+    for span in &spans {
+        if let Some(scope) = &span.scope {
+            by_scope.entry(scope.clone()).or_default().push(span);
+        }
+    }
+    by_scope
+        .into_iter()
+        .filter_map(|(scope, spans)| scope_path(scope, spans))
+        .collect()
+}
+
+/// Critical path for a single scope's spans (see [`critical_paths`]).
+pub fn scope_critical_path(scope: &str, events: &[Event]) -> Option<CriticalPath> {
+    let spans = closed_spans(events);
+    let selected: Vec<&ClosedSpan> = spans
+        .iter()
+        .filter(|s| s.scope.as_deref() == Some(scope))
+        .collect();
+    scope_path(scope.to_owned(), selected)
+}
+
+fn scope_path(scope: String, mut spans: Vec<&ClosedSpan>) -> Option<CriticalPath> {
+    if spans.is_empty() {
+        return None;
+    }
+    // Stable order: by enter time, longer (enclosing) spans first, then
+    // emission order — so parents precede children and ties resolve
+    // deterministically.
+    spans.sort_by(|a, b| {
+        a.enter_ns
+            .cmp(&b.enter_ns)
+            .then(b.exit_ns.cmp(&a.exit_ns))
+            .then(a.span.cmp(&b.span))
+    });
+    // Root: the span that encloses the whole scope interval. With the
+    // sort above the first span enters earliest and, among those, exits
+    // latest; anything it does not contain is treated as its sibling
+    // and ignored for pathing (no single tree exists).
+    let root = spans[0];
+    // children[i] = indices of spans whose tightest enclosure is span i.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    for (i, span) in spans.iter().enumerate() {
+        let mut parent: Option<usize> = None;
+        for (j, cand) in spans.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let encloses = cand.enter_ns <= span.enter_ns
+                && cand.exit_ns >= span.exit_ns
+                // A zero-width span cannot parent an identical interval
+                // (avoids cycles between coincident instants).
+                && (cand.duration_ns() > span.duration_ns()
+                    || (cand.duration_ns() == span.duration_ns() && j < i));
+            if encloses {
+                parent = Some(match parent {
+                    Some(p) if spans[p].duration_ns() <= cand.duration_ns() => p,
+                    _ => j,
+                });
+            }
+        }
+        if let Some(p) = parent {
+            children[p].push(i);
+        }
+    }
+    let mut segments = Vec::new();
+    attribute(
+        &spans,
+        &children,
+        0,
+        root.enter_ns,
+        root.exit_ns,
+        &mut segments,
+    );
+    Some(CriticalPath {
+        scope,
+        root: root.name,
+        total_ns: root.duration_ns(),
+        segments,
+    })
+}
+
+/// Attributes `[from, to)` of span `idx`'s interval: child-covered
+/// stretches recurse, uncovered gaps become `idx` self time.
+fn attribute(
+    spans: &[&ClosedSpan],
+    children: &[Vec<usize>],
+    idx: usize,
+    from: u64,
+    to: u64,
+    out: &mut Vec<Segment>,
+) {
+    let mut cursor = from;
+    for &c in &children[idx] {
+        let child = spans[c];
+        let start = child.enter_ns.max(cursor).min(to);
+        let end = child.exit_ns.min(to);
+        if start > cursor {
+            out.push(Segment {
+                name: spans[idx].name,
+                start_ns: cursor,
+                end_ns: start,
+            });
+            cursor = start;
+        }
+        if end > cursor || child.duration_ns() == 0 {
+            attribute(spans, children, c, cursor.max(start), end.max(cursor), out);
+            cursor = cursor.max(end);
+        }
+    }
+    if cursor < to {
+        out.push(Segment {
+            name: spans[idx].name,
+            start_ns: cursor,
+            end_ns: to,
+        });
+    } else if from == to && children[idx].is_empty() {
+        // Zero-width leaf: keep the phase visible.
+        out.push(Segment {
+            name: spans[idx].name,
+            start_ns: from,
+            end_ns: to,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn conn_events() -> Vec<Event> {
+        // The connect shape the smock server emits: connect encloses
+        // lookup, a zero-width plan, transfer, deploy; deploy overlaps
+        // the tail of transfer.
+        let (t, sink) = Tracer::memory();
+        let scope = || ("scope", "conn-0".into());
+        t.span_closed("s", "connect", 0, 1000, vec![scope()]);
+        t.span_closed("s", "lookup", 0, 100, vec![scope()]);
+        t.span_closed("s", "plan", 100, 100, vec![scope()]);
+        t.span_closed("s", "transfer", 100, 600, vec![scope()]);
+        t.span_closed("s", "deploy", 500, 1000, vec![scope()]);
+        sink.events()
+    }
+
+    #[test]
+    fn segments_partition_the_root_interval() {
+        let paths = critical_paths(&conn_events());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.root, "connect");
+        assert_eq!(p.total_ns, 1000);
+        // Gap-free partition: segments abut and cover [0, 1000).
+        let mut cursor = 0;
+        for seg in &p.segments {
+            assert_eq!(seg.start_ns, cursor);
+            cursor = seg.end_ns;
+        }
+        assert_eq!(cursor, 1000);
+        assert_eq!(p.phase_ns("lookup"), 100);
+        assert_eq!(p.phase_ns("plan"), 0);
+        // Earliest-enter-first: transfer keeps its whole interval,
+        // deploy is credited only past transfer's exit.
+        assert_eq!(p.phase_ns("transfer"), 500);
+        assert_eq!(p.phase_ns("deploy"), 400);
+        assert_eq!(p.phase_ns("connect"), 0);
+        assert_eq!(p.dominant(), Some(("transfer", 500)));
+    }
+
+    #[test]
+    fn self_time_fills_uncovered_gaps() {
+        let (t, sink) = Tracer::memory();
+        t.span_closed("s", "root", 0, 100, vec![("scope", "x".into())]);
+        t.span_closed("s", "child", 20, 40, vec![("scope", "x".into())]);
+        let paths = critical_paths(&sink.events());
+        let p = &paths[0];
+        assert_eq!(p.phase_ns("child"), 20);
+        assert_eq!(p.phase_ns("root"), 80);
+        assert_eq!(p.dominant(), Some(("root", 80)));
+    }
+
+    #[test]
+    fn nested_grandchildren_attribute_to_the_deepest_span() {
+        let (t, sink) = Tracer::memory();
+        t.span_closed("s", "root", 0, 100, vec![("scope", "x".into())]);
+        t.span_closed("s", "mid", 10, 90, vec![("scope", "x".into())]);
+        t.span_closed("s", "leaf", 30, 50, vec![("scope", "x".into())]);
+        let p = &critical_paths(&sink.events())[0];
+        assert_eq!(p.phase_ns("root"), 20);
+        assert_eq!(p.phase_ns("mid"), 60);
+        assert_eq!(p.phase_ns("leaf"), 20);
+        assert_eq!(p.total_ns, 100);
+    }
+
+    #[test]
+    fn scopes_produce_independent_paths() {
+        let (t, sink) = Tracer::memory();
+        t.span_closed("s", "a", 0, 10, vec![("scope", "s1".into())]);
+        t.span_closed("s", "b", 0, 20, vec![("scope", "s2".into())]);
+        let paths = critical_paths(&sink.events());
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].scope, "s1");
+        assert_eq!(paths[1].scope, "s2");
+    }
+}

@@ -12,14 +12,20 @@
 //!   monotone sequence number. Under a fixed seed, two identical runs
 //!   serialize to byte-identical JSONL streams — wall-clock values are
 //!   banned from event fields by convention.
-//! - **Metrics** ([`Registry`]): named counters, gauges, and fixed-bucket
-//!   histograms behind one handle. This is where *host*-time measurements
-//!   (planning wall-clock, route-table build time) belong, since the
-//!   registry is reported separately and makes no determinism promise.
-//! - **Analysis** ([`breakdown`], [`Report`]): reconstruct per-request
-//!   latency breakdowns (the paper's Figure 7 decomposition: lookup /
-//!   plan / transfer / deploy / invoke) from an event stream, and render
-//!   human-readable reports.
+//! - **Metrics** ([`Registry`]): named counters, gauges, and log-bucketed
+//!   percentile histograms behind one handle. This is where *host*-time
+//!   measurements (planning wall-clock, route-table build time) belong,
+//!   since the registry is reported separately and makes no determinism
+//!   promise.
+//! - **Time series** ([`Sampler`]): ring-buffered, zero-suppressed
+//!   virtual-time series sampled on a fixed cadence by the simulation
+//!   host (link utilization, CPU busy, queue depth, live instances).
+//! - **Analysis** ([`breakdown`], [`critical`], [`timeline`],
+//!   [`Report`]): reconstruct per-request latency breakdowns (the
+//!   paper's Figure 7 decomposition: lookup / plan / transfer / deploy /
+//!   invoke), extract span-tree critical paths, audit heal timelines
+//!   (detection → quarantine → redeploy), and render human-readable
+//!   reports.
 //!
 //! The default [`Tracer`] is disabled — a `None` handle whose every call
 //! is a single branch — so instrumented hot paths cost nothing when
@@ -42,18 +48,24 @@
 #![warn(missing_docs)]
 
 pub mod breakdown;
+pub mod critical;
 pub mod event;
 pub mod registry;
 pub mod report;
+pub mod sampler;
 pub mod sink;
+pub mod timeline;
 pub mod tracer;
 pub mod wallclock;
 
 pub use breakdown::{breakdowns, closed_spans, Breakdown, ClosedSpan, PhaseAgg};
+pub use critical::{critical_paths, scope_critical_path, CriticalPath, Segment};
 pub use event::{Event, EventKind, FieldValue, Fields};
-pub use registry::{Histogram, Metric, Registry, HISTOGRAM_BOUNDS};
+pub use registry::{Histogram, Metric, Registry};
 pub use report::Report;
+pub use sampler::{Sampler, SamplerConfig, Series, SeriesSummary};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use timeline::{HealPass, HealTimeline, Incident};
 pub use tracer::{SpanGuard, Tracer};
 pub use wallclock::WallTimer;
 

@@ -1,71 +1,120 @@
-//! The metrics registry: named counters, gauges, and fixed-bucket
-//! histograms.
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! percentile histograms.
 //!
 //! All metrics live behind one mutex in a `BTreeMap`, so snapshots and
-//! renderings are deterministic in iteration order. Histograms use a
-//! fixed exponential bucket ladder (decades from 1 µs-scale up), never
-//! adapting to the data — equal inputs always produce equal bucket
-//! counts, regardless of arrival order.
+//! renderings are deterministic in iteration order. Histograms use
+//! log-linear integer bucketing (HDR-style): deterministic, mergeable,
+//! order-independent, and queryable for p50/p90/p99/p999 with bounded
+//! relative error — equal inputs always produce equal bucket counts and
+//! equal quantile answers, regardless of arrival order.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Fixed histogram bucket upper bounds. Unitless; callers conventionally
-/// record milliseconds. Values above the last bound land in an overflow
-/// bucket.
-pub const HISTOGRAM_BOUNDS: [f64; 10] = [
-    0.001,
-    0.01,
-    0.1,
-    1.0,
-    10.0,
-    100.0,
-    1_000.0,
-    10_000.0,
-    100_000.0,
-    1_000_000.0,
-];
+/// Sub-bucket precision: each power-of-two block is split into
+/// `2^PRECISION_BITS` linear sub-buckets, bounding quantile relative
+/// error at `2^-(PRECISION_BITS+1)` (≈0.4%).
+const PRECISION_BITS: u32 = 7;
+const SUB_BUCKETS: u64 = 1 << PRECISION_BITS;
 
-/// A deterministic fixed-bucket histogram.
-#[derive(Debug, Clone, PartialEq)]
+/// Values are scaled by `10^6` to integers before bucketing, so callers
+/// recording milliseconds get nanosecond resolution and sub-microsecond
+/// inputs keep bounded error down to `1e-6` units.
+const VALUE_SCALE: f64 = 1e6;
+
+/// A deterministic, mergeable log-bucketed percentile histogram.
+///
+/// Recording scales the (non-negative) value to an integer in `1e-6`
+/// units and drops it into a log-linear bucket: values below
+/// [`SUB_BUCKETS`] map to themselves; larger values map into one of 128
+/// linear sub-buckets of their power-of-two block. Bucket membership is
+/// a pure function of the value, so bucket counts are independent of
+/// arrival order and two histograms can be [`merge`](Histogram::merge)d
+/// by summing counts. Quantiles are answered from bucket midpoints with
+/// relative error bounded by half a sub-bucket width (< 0.8%).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Histogram {
-    /// Per-bucket counts; `counts[i]` counts values `<= HISTOGRAM_BOUNDS[i]`
-    /// (and greater than the previous bound). The final slot is overflow.
-    pub counts: [u64; HISTOGRAM_BOUNDS.len() + 1],
+    /// Sparse per-bucket counts keyed by bucket index (see
+    /// [`Histogram::bucket_index`]). Sparse storage keeps thousand-node
+    /// registries small: only touched buckets occupy memory.
+    pub buckets: BTreeMap<u16, u64>,
     /// Number of recorded values.
     pub count: u64,
     /// Sum of recorded values.
     pub sum: f64,
-    /// Smallest recorded value (`f64::INFINITY` when empty).
+    /// Smallest recorded value (`0.0` when empty).
     pub min: f64,
-    /// Largest recorded value (`f64::NEG_INFINITY` when empty).
+    /// Largest recorded value (`0.0` when empty).
     pub max: f64,
 }
 
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: [0; HISTOGRAM_BOUNDS.len() + 1],
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-}
-
 impl Histogram {
+    /// Maps a value to its bucket index. Total function: negatives and
+    /// NaN clamp to bucket 0, `+inf` saturates into the top bucket.
+    pub fn bucket_index(value: f64) -> u16 {
+        let scaled = value * VALUE_SCALE;
+        let v = if scaled.is_finite() && scaled > 0.0 {
+            if scaled >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                scaled as u64
+            }
+        } else {
+            0
+        };
+        if v < SUB_BUCKETS {
+            return v as u16;
+        }
+        let exp = 63 - v.leading_zeros(); // >= PRECISION_BITS
+        let sub = (v >> (exp - PRECISION_BITS)) - SUB_BUCKETS;
+        ((exp - PRECISION_BITS + 1) as u64 * SUB_BUCKETS + sub) as u16
+    }
+
+    /// The representative (midpoint) value of bucket `index`, in the
+    /// caller's original units.
+    pub fn bucket_value(index: u16) -> f64 {
+        let block = (index as u64) >> PRECISION_BITS;
+        let pos = (index as u64) & (SUB_BUCKETS - 1);
+        if block == 0 {
+            return pos as f64 / VALUE_SCALE;
+        }
+        let lo = (SUB_BUCKETS + pos) << (block - 1);
+        let width = 1u64 << (block - 1);
+        (lo as f64 + (width as f64 - 1.0) / 2.0) / VALUE_SCALE
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: f64) {
-        let bucket = HISTOGRAM_BOUNDS
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(HISTOGRAM_BOUNDS.len());
-        self.counts[bucket] += 1;
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
         self.count += 1;
         self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (bucket-wise sum; min/max/sum/count
+    /// combine exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
     }
 
     /// Mean of recorded values (0 when empty).
@@ -76,6 +125,49 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank over bucket
+    /// midpoints, clamped into `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 /// One metric in the registry.
@@ -85,7 +177,7 @@ pub enum Metric {
     Counter(u64),
     /// Last-write-wins gauge.
     Gauge(f64),
-    /// Fixed-bucket histogram.
+    /// Log-bucketed percentile histogram.
     Histogram(Histogram),
 }
 
@@ -211,14 +303,24 @@ impl Registry {
                         h.mean()
                     );
                     if h.count > 0 {
-                        let _ = write!(out, ",\"min\":{},\"max\":{}", h.min, h.max);
+                        let _ = write!(
+                            out,
+                            ",\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}",
+                            h.min,
+                            h.max,
+                            h.p50(),
+                            h.p90(),
+                            h.p99(),
+                            h.p999()
+                        );
                     }
+                    // Sparse buckets: only touched indices are emitted.
                     out.push_str(",\"buckets\":[");
-                    for (j, c) in h.counts.iter().enumerate() {
+                    for (j, (idx, c)) in h.buckets.iter().enumerate() {
                         if j > 0 {
                             out.push(',');
                         }
-                        let _ = write!(out, "{c}");
+                        let _ = write!(out, "[{idx},{c}]");
                     }
                     out.push_str("]}");
                 }
@@ -248,9 +350,9 @@ mod tests {
         assert_eq!(h.mean(), 25.25);
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 50.0);
-        // 0.5 lands in the (0.1, 1.0] bucket, 50.0 in (10, 100].
-        assert_eq!(h.counts[3], 1);
-        assert_eq!(h.counts[5], 1);
+        // Two distinct values occupy two distinct buckets.
+        assert_eq!(h.buckets.len(), 2);
+        assert_eq!(h.buckets.values().sum::<u64>(), 2);
     }
 
     #[test]
@@ -264,9 +366,56 @@ mod tests {
         for v in values.iter().rev() {
             b.record(*v);
         }
-        assert_eq!(a.counts, b.counts);
-        // The huge value overflows into the final bucket.
-        assert_eq!(a.counts[HISTOGRAM_BOUNDS.len()], 1);
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn bucket_round_trip_has_bounded_relative_error() {
+        // The representative value of a bucket must sit within one
+        // sub-bucket width of every value mapping into it.
+        for &v in &[1e-6, 1e-3, 0.127, 0.1281, 1.0, 37.5, 1e4, 9.9e6] {
+            let idx = Histogram::bucket_index(v);
+            let rep = Histogram::bucket_value(idx);
+            let rel = (rep - v).abs() / v;
+            assert!(rel <= 1.0 / 128.0 + 1e-9, "v={v} rep={rep} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_ranks_for_small_sets() {
+        let mut h = Histogram::default();
+        for v in 1..=100u32 {
+            h.record(v as f64);
+        }
+        // Nearest-rank p50 of 1..=100 is 50, p90 is 90, p99 is 99.
+        assert!((h.p50() - 50.0).abs() / 50.0 < 0.01);
+        assert!((h.p90() - 90.0).abs() / 90.0 < 0.01);
+        assert!((h.p99() - 99.0).abs() / 99.0 < 0.01);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_bulk_record() {
+        let values: Vec<f64> = (0..200).map(|i| 0.01 * (i * i) as f64 + 0.001).collect();
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, v) in values.iter().enumerate() {
+            whole.record(*v);
+            if i % 2 == 0 {
+                left.record(*v);
+            } else {
+                right.record(*v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.buckets, whole.buckets);
+        assert_eq!(left.count, whole.count);
+        assert_eq!(left.min, whole.min);
+        assert_eq!(left.max, whole.max);
+        assert_eq!(left.quantile(0.99), whole.quantile(0.99));
     }
 
     #[test]

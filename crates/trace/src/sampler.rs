@@ -1,0 +1,319 @@
+//! Virtual-time metric sampling into ring-buffered time series.
+//!
+//! A [`Sampler`] owns a set of named [`Series`] and a fixed virtual-time
+//! cadence. The simulation host (the smock `World`) checks
+//! [`Sampler::begin_tick`] as events dispatch and, when a cadence
+//! boundary has passed, records one point per series. Storage is bounded
+//! two ways so a thousand-node world cannot produce unbounded artifacts:
+//!
+//! - **Ring retention**: each series keeps at most `retention` points;
+//!   older points are evicted (and counted) once the ring is full.
+//! - **Zero suppression**: a point whose value is `0.0` is not stored
+//!   when the previously stored point was also zero — long idle
+//!   stretches collapse to a single leading zero, and the suppressed
+//!   count preserves how many points the run actually produced.
+//!
+//! Cadence boundaries that pass while no event fires (event gaps larger
+//! than the cadence) are *collapsed*: the next dispatched event triggers
+//! exactly one sample and the due time realigns to the cadence grid, so
+//! tick count is bounded by both elapsed virtual time and event count.
+//!
+//! Everything here is keyed and iterated through `BTreeMap`s, so series
+//! snapshots and summaries are deterministic.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Sampler cadence and retention limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Virtual time between samples, in nanoseconds.
+    pub cadence_ns: u64,
+    /// Maximum stored points per series (ring buffer capacity).
+    pub retention: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            // 100 ms of virtual time: fine enough to see a 2 s lease
+            // expire, coarse enough that a 300 s chaos run stays small.
+            cadence_ns: 100_000_000,
+            retention: 4096,
+        }
+    }
+}
+
+/// One ring-buffered, zero-suppressed time series.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: VecDeque<(u64, f64)>,
+    capacity: usize,
+    evicted: u64,
+    suppressed: u64,
+    last_value: Option<f64>,
+}
+
+impl Series {
+    fn new(capacity: usize) -> Self {
+        Series {
+            points: VecDeque::new(),
+            capacity,
+            evicted: 0,
+            suppressed: 0,
+            last_value: None,
+        }
+    }
+
+    fn push(&mut self, sim_ns: u64, value: f64) {
+        if value == 0.0 && self.last_value == Some(0.0) {
+            self.suppressed += 1;
+            return;
+        }
+        self.last_value = Some(value);
+        if self.points.len() == self.capacity && self.capacity > 0 {
+            self.points.pop_front();
+            self.evicted += 1;
+        }
+        self.points.push_back((sim_ns, value));
+    }
+
+    /// Stored points as `(sim_ns, value)` in time order.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted from the ring after it filled.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Zero points elided by suppression.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Summary statistics over the *stored* points.
+    pub fn summary(&self) -> SeriesSummary {
+        let mut s = SeriesSummary {
+            points: self.points.len() as u64,
+            evicted: self.evicted,
+            suppressed: self.suppressed,
+            ..SeriesSummary::default()
+        };
+        for (i, &(t, v)) in self.points.iter().enumerate() {
+            if i == 0 {
+                s.first_ns = t;
+                s.min = v;
+                s.max = v;
+            } else {
+                s.min = s.min.min(v);
+                s.max = s.max.max(v);
+            }
+            s.last_ns = t;
+            s.last = v;
+            s.sum += v;
+        }
+        s
+    }
+}
+
+/// Aggregate statistics for one series (over stored points).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SeriesSummary {
+    /// Stored point count.
+    pub points: u64,
+    /// Points evicted by the ring.
+    pub evicted: u64,
+    /// Zero points elided by suppression.
+    pub suppressed: u64,
+    /// Timestamp of the first stored point.
+    pub first_ns: u64,
+    /// Timestamp of the last stored point.
+    pub last_ns: u64,
+    /// Smallest stored value.
+    pub min: f64,
+    /// Largest stored value.
+    pub max: f64,
+    /// Sum of stored values.
+    pub sum: f64,
+    /// Value of the last stored point.
+    pub last: f64,
+}
+
+impl SeriesSummary {
+    /// Mean of stored values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.sum / self.points as f64
+        }
+    }
+}
+
+/// A virtual-time cadence sampler over named series.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    config: SamplerConfig,
+    next_due_ns: u64,
+    ticks: u64,
+    series: BTreeMap<String, Series>,
+}
+
+impl Sampler {
+    /// Creates a sampler; the first tick is due at one cadence.
+    pub fn new(config: SamplerConfig) -> Self {
+        Sampler {
+            config,
+            next_due_ns: config.cadence_ns,
+            ticks: 0,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The configured cadence and retention.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// Whether a cadence boundary has been reached at `now_ns`.
+    pub fn due(&self, now_ns: u64) -> bool {
+        now_ns >= self.next_due_ns
+    }
+
+    /// If a boundary has passed, consumes it (collapsing any boundaries
+    /// skipped during event gaps, realigned to the cadence grid) and
+    /// returns `true`: the caller should record one point per series at
+    /// `now_ns`. Otherwise returns `false` and records nothing.
+    pub fn begin_tick(&mut self, now_ns: u64) -> bool {
+        if now_ns < self.next_due_ns {
+            return false;
+        }
+        let cadence = self.config.cadence_ns.max(1);
+        let missed = (now_ns - self.next_due_ns) / cadence;
+        self.next_due_ns += (missed + 1) * cadence;
+        self.ticks += 1;
+        true
+    }
+
+    /// Number of ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Records one point into series `name` (created on first use).
+    pub fn record(&mut self, name: &str, sim_ns: u64, value: f64) {
+        let retention = self.config.retention;
+        self.series
+            .entry(name.to_owned())
+            .or_insert_with(|| Series::new(retention))
+            .push(sim_ns, value);
+    }
+
+    /// The series named `name`, if any points were ever recorded.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Sorted series names.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Sorted `(name, summary)` pairs for every series.
+    pub fn summaries(&self) -> Vec<(String, SeriesSummary)> {
+        self.series
+            .iter()
+            .map(|(name, series)| (name.clone(), series.summary()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(cadence_ns: u64, retention: usize) -> Sampler {
+        Sampler::new(SamplerConfig {
+            cadence_ns,
+            retention,
+        })
+    }
+
+    #[test]
+    fn ticks_fire_on_cadence_boundaries() {
+        let mut s = sampler(100, 16);
+        assert!(!s.begin_tick(50));
+        assert!(s.begin_tick(100));
+        assert!(!s.begin_tick(150));
+        assert!(s.begin_tick(230));
+        assert_eq!(s.ticks(), 2);
+    }
+
+    #[test]
+    fn skipped_boundaries_collapse_to_one_tick() {
+        let mut s = sampler(100, 16);
+        // A long event gap passes 9 boundaries; only one tick fires and
+        // the grid realigns so the next boundary is in the future.
+        assert!(s.begin_tick(950));
+        assert!(!s.begin_tick(990));
+        assert!(s.begin_tick(1000));
+        assert_eq!(s.ticks(), 2);
+    }
+
+    #[test]
+    fn zero_runs_are_suppressed() {
+        let mut s = sampler(100, 16);
+        for (t, v) in [(100, 0.0), (200, 0.0), (300, 2.0), (400, 0.0), (500, 0.0)] {
+            s.record("x", t, v);
+        }
+        let series = s.series("x").unwrap();
+        let stored: Vec<_> = series.points().collect();
+        // Leading zero kept, repeats dropped; zero after activity kept
+        // once to mark the edge.
+        assert_eq!(stored, vec![(100, 0.0), (300, 2.0), (400, 0.0)]);
+        assert_eq!(series.suppressed(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_points() {
+        let mut s = sampler(1, 3);
+        for t in 0..5u64 {
+            s.record("x", t, (t + 1) as f64);
+        }
+        let series = s.series("x").unwrap();
+        let stored: Vec<_> = series.points().collect();
+        assert_eq!(stored, vec![(2, 3.0), (3, 4.0), (4, 5.0)]);
+        assert_eq!(series.evicted(), 2);
+    }
+
+    #[test]
+    fn summaries_are_sorted_and_aggregated() {
+        let mut s = sampler(1, 8);
+        s.record("b", 10, 4.0);
+        s.record("a", 10, 1.0);
+        s.record("a", 20, 3.0);
+        let summaries = s.summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].0, "a");
+        let a = summaries[0].1;
+        assert_eq!(a.points, 2);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.last, 3.0);
+        assert_eq!(a.first_ns, 10);
+        assert_eq!(a.last_ns, 20);
+    }
+}

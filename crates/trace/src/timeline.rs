@@ -1,0 +1,347 @@
+//! Heal-timeline reconstruction: detection → quarantine → repair →
+//! redeploy phases recovered from the trace event stream.
+//!
+//! The fault pipeline leaves a deterministic trail of events:
+//!
+//! - `smock.world/crash` — a host halted (ground truth; fields `node`,
+//!   `instances`),
+//! - `smock.world/lease_expire` — a dead instance's lease ran out, the
+//!   failure is *detected* (fields `instance`, `node`),
+//! - `core/quarantine` — a heal pass acknowledged the detection and
+//!   marked the node down (fields `node`, `detected`),
+//! - `core/heal` — one heal pass's summary counts,
+//! - `core/redeploy` — a span from a heal pass's virtual time to the
+//!   recovered connection's `ready_at`.
+//!
+//! [`HealTimeline::reconstruct`] folds a run's events into per-node
+//! [`Incident`]s and per-pass [`HealPass`] records, attributing virtual
+//! time to each recovery phase. Wall-clock attribution (route repair,
+//! re-planning) lives in the registry's `_wall_` histograms and is
+//! reported separately — it never appears in the event stream.
+
+use crate::breakdown::closed_spans;
+use crate::event::{Event, EventKind};
+
+/// One node failure and its recovery phases, in virtual nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Incident {
+    /// The crashed node.
+    pub node: u64,
+    /// When the host halted (the `crash` instant).
+    pub crash_ns: Option<u64>,
+    /// Instances killed by the crash.
+    pub instances: u64,
+    /// First lease expiry implicating the node — detection.
+    pub detect_ns: Option<u64>,
+    /// Heal pass that quarantined the node.
+    pub quarantine_ns: Option<u64>,
+    /// Redeployed connections usable again (last `redeploy` exit of the
+    /// first recovering pass at/after quarantine).
+    pub recovered_ns: Option<u64>,
+}
+
+impl Incident {
+    /// Crash → detection (lease expiry latency).
+    pub fn detection_ns(&self) -> Option<u64> {
+        Some(self.detect_ns?.saturating_sub(self.crash_ns?))
+    }
+
+    /// Detection → quarantine (heal-pass scheduling latency).
+    pub fn quarantine_lag_ns(&self) -> Option<u64> {
+        Some(self.quarantine_ns?.saturating_sub(self.detect_ns?))
+    }
+
+    /// Quarantine → redeployed connections ready.
+    pub fn redeploy_ns(&self) -> Option<u64> {
+        Some(self.recovered_ns?.saturating_sub(self.quarantine_ns?))
+    }
+
+    /// Crash → fully recovered.
+    pub fn recovery_ns(&self) -> Option<u64> {
+        Some(self.recovered_ns?.saturating_sub(self.crash_ns?))
+    }
+
+    /// The phase ladder as `(phase, duration_ns)` pairs; phases whose
+    /// boundary events are missing are omitted.
+    pub fn phases(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        if let Some(d) = self.detection_ns() {
+            out.push(("detection", d));
+        }
+        if let Some(d) = self.quarantine_lag_ns() {
+            out.push(("quarantine", d));
+        }
+        if let Some(d) = self.redeploy_ns() {
+            out.push(("redeploy", d));
+        }
+        out
+    }
+}
+
+/// One heal pass's summary, parsed from its `core/heal` instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealPass {
+    /// Virtual time of the pass.
+    pub at_ns: u64,
+    /// Liveness events drained.
+    pub liveness: u64,
+    /// Monitor changes observed.
+    pub changes: u64,
+    /// Nodes quarantined.
+    pub quarantined: u64,
+    /// Connections recovered.
+    pub recovered: u64,
+    /// Connections abandoned.
+    pub abandoned: u64,
+    /// Connections with no feasible plan.
+    pub infeasible: u64,
+    /// `(enter, exit)` of this pass's redeploy spans.
+    pub redeploys: Vec<(u64, u64)>,
+}
+
+/// A run's reconstructed heal timeline.
+#[derive(Debug, Clone, Default)]
+pub struct HealTimeline {
+    /// Per-node incidents, in crash order.
+    pub incidents: Vec<Incident>,
+    /// Heal passes, in time order (passes that did nothing are included
+    /// only if the healer emitted their instant — it does not for
+    /// no-op passes when tracing is disabled).
+    pub passes: Vec<HealPass>,
+}
+
+impl HealTimeline {
+    /// Folds an event stream into its heal timeline.
+    pub fn reconstruct(events: &[Event]) -> Self {
+        let mut timeline = HealTimeline::default();
+        for event in events {
+            if event.kind != EventKind::Instant {
+                continue;
+            }
+            match (event.target, event.name) {
+                ("smock.world", "crash") => {
+                    timeline.incidents.push(Incident {
+                        node: event.field_u64("node").unwrap_or(0),
+                        crash_ns: Some(event.sim_ns),
+                        instances: event.field_u64("instances").unwrap_or(0),
+                        ..Incident::default()
+                    });
+                }
+                ("smock.world", "lease_expire") => {
+                    let node = event.field_u64("node").unwrap_or(0);
+                    if let Some(incident) = timeline.open_incident(node) {
+                        incident.detect_ns.get_or_insert(event.sim_ns);
+                    }
+                }
+                ("core", "quarantine") => {
+                    let node = event.field_u64("node").unwrap_or(0);
+                    let detected = event.field_u64("detected");
+                    match timeline.open_incident(node) {
+                        Some(incident) => {
+                            incident.detect_ns = incident.detect_ns.or(detected);
+                            incident.quarantine_ns = Some(event.sim_ns);
+                        }
+                        None => {
+                            // Quarantine without an observed crash (e.g.
+                            // the crash predates the captured stream):
+                            // synthesize the incident from what we know.
+                            timeline.incidents.push(Incident {
+                                node,
+                                detect_ns: detected,
+                                quarantine_ns: Some(event.sim_ns),
+                                ..Incident::default()
+                            });
+                        }
+                    }
+                }
+                ("core", "heal") => {
+                    timeline.passes.push(HealPass {
+                        at_ns: event.sim_ns,
+                        liveness: event.field_u64("liveness").unwrap_or(0),
+                        changes: event.field_u64("changes").unwrap_or(0),
+                        quarantined: event.field_u64("quarantined").unwrap_or(0),
+                        recovered: event.field_u64("recovered").unwrap_or(0),
+                        abandoned: event.field_u64("abandoned").unwrap_or(0),
+                        infeasible: event.field_u64("infeasible").unwrap_or(0),
+                        redeploys: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Redeploy spans attach to the pass they were emitted from
+        // (their enter time is the pass's virtual time).
+        for span in closed_spans(events) {
+            if span.target != "core" || span.name != "redeploy" {
+                continue;
+            }
+            if let Some(pass) = timeline
+                .passes
+                .iter_mut()
+                .rev()
+                .find(|p| p.at_ns == span.enter_ns)
+            {
+                pass.redeploys.push((span.enter_ns, span.exit_ns));
+            }
+        }
+        // Recovery: the first pass at/after quarantine that redeployed
+        // something marks the incident recovered when its last redeploy
+        // is ready.
+        for incident in &mut timeline.incidents {
+            let Some(q) = incident.quarantine_ns else {
+                continue;
+            };
+            if let Some(pass) = timeline
+                .passes
+                .iter()
+                .find(|p| p.at_ns >= q && p.recovered > 0)
+            {
+                incident.recovered_ns = pass
+                    .redeploys
+                    .iter()
+                    .map(|&(_, exit)| exit)
+                    .max()
+                    .or(Some(pass.at_ns));
+            }
+        }
+        timeline
+    }
+
+    /// The most recent incident for `node` still awaiting quarantine.
+    fn open_incident(&mut self, node: u64) -> Option<&mut Incident> {
+        self.incidents
+            .iter_mut()
+            .rev()
+            .find(|i| i.node == node && i.quarantine_ns.is_none())
+    }
+
+    /// Sums each phase across incidents: `(phase, total_ns, incidents)`.
+    pub fn phase_totals(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut totals: [(&'static str, u64, u64); 3] = [
+            ("detection", 0, 0),
+            ("quarantine", 0, 0),
+            ("redeploy", 0, 0),
+        ];
+        for incident in &self.incidents {
+            for (phase, ns) in incident.phases() {
+                for slot in &mut totals {
+                    if slot.0 == phase {
+                        slot.1 += ns;
+                        slot.2 += 1;
+                    }
+                }
+            }
+        }
+        totals.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    /// A crash at 1 s, detected at 3 s, quarantined at 3.5 s, redeployed
+    /// and ready at 4.2 s.
+    fn run() -> Vec<Event> {
+        let (t, sink) = Tracer::memory();
+        let s = 1_000_000_000u64;
+        t.instant(
+            "smock.world",
+            "crash",
+            s,
+            vec![("node", 4u64.into()), ("instances", 2u64.into())],
+        );
+        t.instant(
+            "smock.world",
+            "lease_expire",
+            3 * s,
+            vec![("instance", 7u64.into()), ("node", 4u64.into())],
+        );
+        t.instant(
+            "core",
+            "quarantine",
+            3 * s + s / 2,
+            vec![("node", 4u64.into()), ("detected", (3 * s).into())],
+        );
+        t.span_closed(
+            "core",
+            "redeploy",
+            3 * s + s / 2,
+            4 * s + s / 5,
+            vec![("conn", 0u64.into())],
+        );
+        t.instant(
+            "core",
+            "heal",
+            3 * s + s / 2,
+            vec![
+                ("liveness", 3u64.into()),
+                ("changes", 1u64.into()),
+                ("quarantined", 1u64.into()),
+                ("recovered", 1u64.into()),
+                ("abandoned", 0u64.into()),
+                ("infeasible", 0u64.into()),
+            ],
+        );
+        sink.events()
+    }
+
+    #[test]
+    fn phases_are_attributed() {
+        let timeline = HealTimeline::reconstruct(&run());
+        assert_eq!(timeline.incidents.len(), 1);
+        let i = &timeline.incidents[0];
+        assert_eq!(i.node, 4);
+        assert_eq!(i.instances, 2);
+        assert_eq!(i.detection_ns(), Some(2_000_000_000));
+        assert_eq!(i.quarantine_lag_ns(), Some(500_000_000));
+        assert_eq!(i.redeploy_ns(), Some(700_000_000));
+        assert_eq!(i.recovery_ns(), Some(3_200_000_000));
+        assert_eq!(
+            i.phases(),
+            vec![
+                ("detection", 2_000_000_000),
+                ("quarantine", 500_000_000),
+                ("redeploy", 700_000_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn passes_carry_their_redeploys() {
+        let timeline = HealTimeline::reconstruct(&run());
+        assert_eq!(timeline.passes.len(), 1);
+        let p = &timeline.passes[0];
+        assert_eq!(p.recovered, 1);
+        assert_eq!(p.redeploys, vec![(3_500_000_000, 4_200_000_000)]);
+    }
+
+    #[test]
+    fn quarantine_without_crash_synthesizes_an_incident() {
+        let (t, sink) = Tracer::memory();
+        t.instant(
+            "core",
+            "quarantine",
+            10,
+            vec![("node", 2u64.into()), ("detected", 5u64.into())],
+        );
+        let timeline = HealTimeline::reconstruct(&sink.events());
+        assert_eq!(timeline.incidents.len(), 1);
+        let i = &timeline.incidents[0];
+        assert_eq!(i.node, 2);
+        assert_eq!(i.crash_ns, None);
+        assert_eq!(i.detect_ns, Some(5));
+        assert_eq!(i.quarantine_ns, Some(10));
+        assert_eq!(i.detection_ns(), None, "no crash time, no detection phase");
+    }
+
+    #[test]
+    fn phase_totals_aggregate_incidents() {
+        let timeline = HealTimeline::reconstruct(&run());
+        let totals = timeline.phase_totals();
+        assert_eq!(totals[0], ("detection", 2_000_000_000, 1));
+        assert_eq!(totals[1], ("quarantine", 500_000_000, 1));
+        assert_eq!(totals[2], ("redeploy", 700_000_000, 1));
+    }
+}

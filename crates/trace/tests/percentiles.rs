@@ -1,0 +1,160 @@
+//! Property tests for the log-bucketed percentile histogram: across
+//! seeds and distributions, every reported quantile must sit within the
+//! documented relative-error bound of the exact sorted-sample
+//! nearest-rank quantile, merging must be lossless, and bucket counts
+//! must be independent of arrival order.
+
+use ps_trace::Histogram;
+
+/// xorshift64* — deterministic, dependency-free sample source.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Exact nearest-rank quantile over a sorted sample, matching
+/// [`Histogram::quantile`]'s rank definition.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if q <= 0.0 {
+        return sorted[0];
+    }
+    if q >= 1.0 {
+        return sorted[sorted.len() - 1];
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Half a sub-bucket of relative error (2^-8 ≈ 0.4%) with headroom,
+/// plus an absolute epsilon for the sub-microsecond exact buckets.
+fn assert_close(approx: f64, exact: f64, context: &str) {
+    let tolerance = 1e-6 + exact.abs() * 0.01;
+    assert!(
+        (approx - exact).abs() <= tolerance,
+        "{context}: histogram said {approx}, exact sorted-sample quantile is {exact} \
+         (tolerance {tolerance})"
+    );
+}
+
+/// One distribution's samples for a given seed.
+fn draw(seed: u64, dist: usize, n: usize) -> Vec<f64> {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ dist as u64);
+    (0..n)
+        .map(|_| {
+            let u = rng.f64();
+            match dist {
+                // Uniform latencies, 0..1000 ms.
+                0 => u * 1000.0,
+                // Exponential, mean 5 ms — a long-ish tail.
+                1 => -(1.0 - u).ln() * 5.0,
+                // Pareto-ish heavy tail, 1 ms floor.
+                2 => 1.0 / (1.0 - u * 0.999).powf(1.5),
+                // Sub-microsecond values exercising the exact buckets.
+                3 => u * 1e-4,
+                // Bimodal: fast path vs timeout spike.
+                _ => {
+                    if u < 0.9 {
+                        1.0 + u
+                    } else {
+                        2000.0 + u * 100.0
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn quantiles_track_exact_sorted_sample_quantiles() {
+    for seed in 1..=8u64 {
+        for dist in 0..5usize {
+            let samples = draw(seed, dist, 4000);
+            let mut h = Histogram::default();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            for &q in &[0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0] {
+                assert_close(
+                    h.quantile(q),
+                    exact_quantile(&sorted, q),
+                    &format!("seed {seed} dist {dist} q {q}"),
+                );
+            }
+            assert_eq!(h.count, sorted.len() as u64);
+            assert_eq!(h.quantile(0.0), sorted[0], "p0 is the exact minimum");
+            assert_eq!(
+                h.quantile(1.0),
+                sorted[sorted.len() - 1],
+                "p100 is the exact maximum"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_shards_answer_like_one_histogram() {
+    for seed in 1..=4u64 {
+        let samples = draw(seed, 1, 3000);
+        let mut whole = Histogram::default();
+        let mut shards = vec![
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        ];
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            shards[i % 3].record(v);
+        }
+        let mut merged = Histogram::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        // Bucket counts, count, and extrema combine exactly; `sum` is
+        // only equal up to float addition order across shards.
+        assert_eq!(merged.buckets, whole.buckets, "seed {seed}: bucket counts");
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+        assert!((merged.sum - whole.sum).abs() <= whole.sum.abs() * 1e-12);
+        for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                whole.quantile(q),
+                "seed {seed}: quantile {q} after merge"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_counts_ignore_arrival_order() {
+    let samples = draw(9, 2, 2000);
+    let mut forward = Histogram::default();
+    for &v in &samples {
+        forward.record(v);
+    }
+    let mut backward = Histogram::default();
+    for &v in samples.iter().rev() {
+        backward.record(v);
+    }
+    assert_eq!(forward, backward);
+}

@@ -25,6 +25,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> ps-lint (determinism & protocol-invariant static analysis)"
 cargo run --release -q -p ps-lint
 
+echo "==> ps-lint --list-allows (suppression inventory audit)"
+cargo run --release -q -p ps-lint -- --list-allows
+
 if [[ "$lint_only" == "1" ]]; then
     echo "==> verify OK (lint only)"
     exit 0
@@ -59,6 +62,12 @@ cargo run --release -q -p ps-bench --bin chaos_recovery -- 42 "$tmpdir/chaos_smo
 echo "==> scale smoke: bench_scale (writes BENCH_scale.json)"
 cargo run --release -q -p ps-bench --bin bench_scale
 
+# timeline_report runs after bench_planner for the same reason as
+# trace_report: its <5% disabled-sampler overhead guard compares
+# against a same-machine, same-session baseline.
+echo "==> timeline smoke: timeline_report (writes BENCH_timeline.json + overhead guard)"
+cargo run --release -q -p ps-bench --bin timeline_report
+
 # Determinism gate: every artifact-writing bench bin runs twice under
 # PS_STABLE_ARTIFACTS=1 (wall-clock fields zeroed, planner pinned to one
 # thread) from separate scratch CWDs; every artifact must come back
@@ -89,5 +98,11 @@ mkdir -p "$tmpdir/sa" "$tmpdir/sb"
 (cd "$tmpdir/sa" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/bench_scale" > /dev/null)
 (cd "$tmpdir/sb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/bench_scale" > /dev/null)
 cmp "$tmpdir/sa/BENCH_scale.json" "$tmpdir/sb/BENCH_scale.json"
+
+echo "==> determinism: timeline_report (stable mode, 2 runs, cmp JSON)"
+mkdir -p "$tmpdir/la" "$tmpdir/lb"
+(cd "$tmpdir/la" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/timeline_report" > /dev/null)
+(cd "$tmpdir/lb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/timeline_report" > /dev/null)
+cmp "$tmpdir/la/BENCH_timeline.json" "$tmpdir/lb/BENCH_timeline.json"
 
 echo "==> verify OK"
