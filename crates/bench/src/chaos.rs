@@ -152,7 +152,7 @@ impl ChaosOutcome {
     }
 }
 
-fn driver_stats(world: &mut World, id: InstanceId, before_crash: usize) -> DriverStats {
+pub(crate) fn driver_stats(world: &mut World, id: InstanceId, before_crash: usize) -> DriverStats {
     let driver = world
         .logic_mut(id)
         .as_any()
@@ -167,7 +167,7 @@ fn driver_stats(world: &mut World, id: InstanceId, before_crash: usize) -> Drive
     }
 }
 
-fn completed_now(world: &mut World, id: InstanceId) -> usize {
+pub(crate) fn completed_now(world: &mut World, id: InstanceId) -> usize {
     world
         .logic_mut(id)
         .as_any()
@@ -177,7 +177,7 @@ fn completed_now(world: &mut World, id: InstanceId) -> usize {
         .len()
 }
 
-fn spawn_driver(
+pub(crate) fn spawn_driver(
     world: &mut World,
     site: &str,
     node: NodeId,
@@ -245,6 +245,7 @@ fn build_fault_plan(config: &ChaosBenchConfig, cs: &CaseStudy) -> FaultPlan {
         min_outage: SimDuration::from_millis(500),
         max_outage: SimDuration::from_secs(3),
         restart_nodes: false,
+        ..ChaosConfig::default()
     };
     for ev in FaultPlan::randomized(config.seed, &window).events() {
         plan.push(ev.at, ev.kind);

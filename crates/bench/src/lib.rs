@@ -6,10 +6,12 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod partition;
 pub mod scale;
 pub mod scenarios;
 
 pub use chaos::{outcome_json, run_chaos, ChaosBenchConfig, ChaosOutcome, DriverStats};
+pub use partition::{partition_json, run_partition, PartitionBenchConfig, PartitionOutcome};
 pub use scale::{
     measure_engine_throughput, measure_replan, measure_route_repair, run_heal_workload,
     run_heal_workload_with, scale_network, EngineMeasure, HealWorkloadOptions, HealWorkloadOutcome,

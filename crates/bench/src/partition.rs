@@ -1,0 +1,492 @@
+//! The partition scenario: the case-study WAN splits mid-workload and
+//! the healer serves **both sides** of the cut.
+//!
+//! A correlated fault domain severs every WAN leg of the Seattle
+//! gateway at `split_at`: the partner site keeps running but is cut off
+//! from New York and San Diego. The majority side (NY + SD) never loses
+//! its route to the pinned `MailServer` and keeps operating untouched.
+//! The minority side's connection is re-deployed by [`Framework::heal`]
+//! onto a **degraded-mode** chain — a detached `ViewMailServer` inside
+//! the Seattle component that absorbs writes locally and serves reads
+//! from cache. At `restore_at` the legs come back; the next healing
+//! pass *reconciles*: it re-plans cold on the merged network, re-wires
+//! the detached view at the full chain so its buffered writes drain
+//! upstream, then retires the duplicate instances.
+//!
+//! Everything in [`PartitionOutcome`] is virtual-time or event-count
+//! derived; two runs with the same [`PartitionBenchConfig`] produce
+//! byte-identical [`partition_json`] and byte-identical trace JSONL.
+
+use crate::chaos::{completed_now, driver_stats, spawn_driver, DriverStats};
+use ps_core::Framework;
+use ps_mail::spec::names::*;
+use ps_mail::workload::ClusterDriver;
+use ps_mail::{mail_spec, mail_translator, register_mail_components, Keyring};
+use ps_net::casestudy::SEATTLE;
+use ps_net::default_case_study;
+use ps_planner::ServiceRequest;
+use ps_sim::{FaultPlan, SimDuration, SimTime};
+use ps_smock::{CoherencePolicy, LeaseConfig, RetryPolicy, ServiceRegistration};
+use ps_trace::{Metric, Tracer};
+use std::fmt::Write as _;
+
+/// Parameters of one partition/reconcile run.
+#[derive(Debug, Clone)]
+pub struct PartitionBenchConfig {
+    /// Seed for the workload and message-size draws.
+    pub seed: u64,
+    /// When the Seattle WAN legs are severed.
+    pub split_at: SimTime,
+    /// When the legs are restored.
+    pub restore_at: SimTime,
+    /// Give up waiting for reconciliation / drivers after this much
+    /// virtual time.
+    pub horizon: SimTime,
+    /// Healing-pass cadence from the split onward.
+    pub heal_period: SimDuration,
+    /// Seattle workload size (sends / receives).
+    pub seattle_ops: (u32, u32),
+    /// San Diego workload size (sends / receives).
+    pub sd_ops: (u32, u32),
+    /// Lease parameters (failure detection).
+    pub lease: LeaseConfig,
+}
+
+impl Default for PartitionBenchConfig {
+    fn default() -> Self {
+        PartitionBenchConfig {
+            seed: 42,
+            split_at: SimTime::from_nanos(2_000_000_000),
+            restore_at: SimTime::from_nanos(32_000_000_000),
+            horizon: SimTime::from_nanos(300_000_000_000),
+            heal_period: SimDuration::from_millis(500),
+            seattle_ops: (3000, 150),
+            sd_ops: (3000, 150),
+            lease: LeaseConfig::default(),
+        }
+    }
+}
+
+/// Everything a partition run measures (virtual-time derived only).
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// The seed the run used.
+    pub seed: u64,
+    /// When the WAN legs went down.
+    pub split_at: SimTime,
+    /// When the WAN legs came back.
+    pub restore_at: SimTime,
+    /// The healing pass that deployed Seattle's degraded chain.
+    pub degraded_at: Option<SimTime>,
+    /// The partition epoch stamped on the degraded deployment.
+    pub degraded_epoch: Option<u64>,
+    /// The healing pass that reconciled Seattle back onto a full chain.
+    pub reconciled_at: Option<SimTime>,
+    /// Healing passes executed.
+    pub heal_passes: usize,
+    /// Successful redeployments across all passes.
+    pub replans: usize,
+    /// Infeasible re-plan outcomes across all passes.
+    pub infeasible: usize,
+    /// Instances retired across all passes (reconcile retires the
+    /// degraded duplicates).
+    pub retired: usize,
+    /// Seattle driver statistics (minority side).
+    pub seattle: DriverStats,
+    /// San Diego driver statistics (majority side).
+    pub sd: DriverStats,
+    /// Seattle operations completed inside `[split_at, restore_at)` —
+    /// the degraded chain serving the minority locally.
+    pub seattle_during_split: usize,
+    /// San Diego operations completed inside the same window — the
+    /// majority side untouched by the cut.
+    pub sd_during_split: usize,
+    /// Expected latency of Seattle's initial (pre-split) plan, ms.
+    pub initial_latency_ms: f64,
+    /// Expected latency of the degraded plan, ms.
+    pub degraded_latency_ms: Option<f64>,
+    /// Expected latency of the reconciled plan, ms — equal to the
+    /// initial plan's latency when reconciliation converged back to the
+    /// cold-plan optimum.
+    pub reconciled_latency_ms: Option<f64>,
+    /// Selected deterministic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Messages the run-time carried.
+    pub messages: u64,
+    /// Virtual completion time of the whole run.
+    pub completed_at: SimTime,
+}
+
+impl PartitionOutcome {
+    /// Restore-to-reconciled latency, when reconciliation happened.
+    pub fn reconcile_latency(&self) -> Option<SimDuration> {
+        Some(self.reconciled_at?.since(self.restore_at))
+    }
+
+    /// Split-to-degraded-serving latency, when the degraded deploy
+    /// happened.
+    pub fn degraded_latency(&self) -> Option<SimDuration> {
+        Some(self.degraded_at?.since(self.split_at))
+    }
+}
+
+/// Runs the partition scenario.
+pub fn run_partition(config: &PartitionBenchConfig, tracer: &Tracer) -> PartitionOutcome {
+    let cs = default_case_study();
+    let mut framework = Framework::new(
+        cs.network.clone(),
+        cs.mail_server,
+        Box::new(mail_translator()),
+    );
+    framework.enable_self_healing();
+    framework.set_tracer(tracer.clone());
+    register_mail_components(
+        &mut framework.server.registry,
+        Keyring::new(1),
+        CoherencePolicy::CountLimit(500),
+    );
+    framework.register_service(
+        ServiceRegistration::new(mail_spec())
+            .attribute("type", "mail")
+            .proxy_code_size(32 * 1024)
+            .home_node(cs.mail_server),
+    );
+    framework
+        .install_primary("mail", MAIL_SERVER, cs.mail_server)
+        .expect("primary");
+
+    framework.world.enable_retry(RetryPolicy {
+        max_attempts: 3,
+        timeout: SimDuration::from_secs(2),
+        backoff_multiplier: 2.0,
+        deadline: None,
+    });
+    framework.world.enable_leases(config.lease);
+    framework.world.set_fault_seed(config.seed);
+
+    // The correlated fault domain: every WAN leg of the Seattle gateway,
+    // down at the split and back at the restore.
+    let legs = cs.wan_leg_domain(SEATTLE);
+    let mut plan = FaultPlan::new();
+    plan.domain_down(config.split_at, &legs);
+    plan.domain_up(config.restore_at, &legs);
+    framework.world.install_fault_plan(&plan);
+
+    // San Diego connects first, deploying the shared view chain...
+    let sd_request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(5.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let sd_conn = framework.connect("mail", &sd_request).expect("SD connect");
+    let sd_root = sd_conn.root;
+    let sd_handle = framework.manage("mail", sd_request, sd_conn);
+
+    // ...then Seattle chains onto it.
+    let sea_request = ServiceRequest::new(CLIENT_INTERFACE, cs.seattle_client)
+        .rate(5.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 1i64);
+    let sea_conn = framework
+        .connect("mail", &sea_request)
+        .expect("Seattle connect");
+    let sea_root = sea_conn.root;
+    let initial_latency_ms = sea_conn.plan.expected_latency_ms;
+    let sea_handle = framework.manage("mail", sea_request, sea_conn);
+
+    let sd_driver = spawn_driver(
+        &mut framework.world,
+        "SanDiego",
+        cs.sd_client,
+        sd_root,
+        config.sd_ops,
+        1 << 40,
+        config.seed ^ 0x5D,
+    );
+    let sea_driver = spawn_driver(
+        &mut framework.world,
+        "Seattle",
+        cs.seattle_client,
+        sea_root,
+        config.seattle_ops,
+        2 << 40,
+        config.seed ^ 0x5EA,
+    );
+
+    // Phase 1: the healthy workload up to the split.
+    framework.run_until(config.split_at);
+    let sea_at_split = completed_now(&mut framework.world, sea_driver);
+    let sd_at_split = completed_now(&mut framework.world, sd_driver);
+
+    let mut degraded_at = None;
+    let mut degraded_epoch = None;
+    let mut degraded_latency_ms = None;
+    let mut reconciled_at = None;
+    let mut reconciled_latency_ms = None;
+    let mut heal_passes = 0;
+    let mut replans = 0;
+    let mut infeasible = 0;
+    let mut retired = 0;
+
+    // Phase 2: the split window. Healing passes recognize the cut and
+    // deploy the degraded per-component chain for Seattle; San Diego
+    // keeps its full chain (its routes never crossed the severed legs).
+    let mut now = config.split_at;
+    while now < config.restore_at {
+        now = (now + config.heal_period).min(config.restore_at);
+        framework.run_until(now);
+        if now >= config.restore_at {
+            // The restore events fire *at* `restore_at`; the pass that
+            // observes the merge belongs to phase 3.
+            break;
+        }
+        let report = framework.heal();
+        heal_passes += 1;
+        replans += report.recovered.len();
+        infeasible += report.infeasible.len();
+        retired += report.retired.len();
+        if report.degraded.contains(&sea_handle) && degraded_at.is_none() {
+            degraded_at = Some(report.at);
+            degraded_epoch = framework.managed_partition_epoch(sea_handle);
+            degraded_latency_ms = framework
+                .managed_connection(sea_handle)
+                .map(|c| c.plan.expected_latency_ms);
+        }
+    }
+    let sea_at_restore = completed_now(&mut framework.world, sea_driver);
+    let sd_at_restore = completed_now(&mut framework.world, sd_driver);
+
+    // Phase 3: the merge. The next healing pass sees the closed
+    // partition and reconciles Seattle back onto the cold-plan chain,
+    // draining the detached view's buffered writes before retiring it.
+    while now < config.horizon {
+        now += config.heal_period;
+        framework.run_until(now);
+        let report = framework.heal();
+        heal_passes += 1;
+        replans += report.recovered.len();
+        infeasible += report.infeasible.len();
+        retired += report.retired.len();
+        if report.reconciled.contains(&sea_handle) && reconciled_at.is_none() {
+            reconciled_at = Some(report.at);
+            reconciled_latency_ms = framework
+                .managed_connection(sea_handle)
+                .map(|c| c.plan.expected_latency_ms);
+        }
+        let both_done = [sea_driver, sd_driver].iter().all(|&id| {
+            framework
+                .world
+                .logic_mut(id)
+                .as_any()
+                .and_then(|a| a.downcast_ref::<ClusterDriver>())
+                .is_some_and(|d| d.is_done())
+        });
+        if reconciled_at.is_some() && both_done {
+            break;
+        }
+    }
+    // Drain whatever is still in flight.
+    framework.run();
+
+    let seattle = driver_stats(&mut framework.world, sea_driver, sea_at_split);
+    let sd = driver_stats(&mut framework.world, sd_driver, sd_at_split);
+
+    let mut counters = Vec::new();
+    if let Some(registry) = tracer.registry() {
+        for (name, metric) in registry.snapshot() {
+            let keep = name.starts_with("world.")
+                || name.starts_with("heal.")
+                || name.starts_with("replan.")
+                || name.starts_with("monitor.")
+                || name == "server.connects";
+            if !keep {
+                continue;
+            }
+            if let Metric::Counter(c) = metric {
+                counters.push((name, c));
+            }
+        }
+        counters.sort();
+    }
+
+    let _ = sd_handle;
+    PartitionOutcome {
+        seed: config.seed,
+        split_at: config.split_at,
+        restore_at: config.restore_at,
+        degraded_at,
+        degraded_epoch,
+        reconciled_at,
+        heal_passes,
+        replans,
+        infeasible,
+        retired,
+        seattle,
+        sd,
+        seattle_during_split: sea_at_restore - sea_at_split,
+        sd_during_split: sd_at_restore - sd_at_split,
+        initial_latency_ms,
+        degraded_latency_ms,
+        reconciled_latency_ms,
+        counters,
+        messages: framework.world.messages_sent(),
+        completed_at: framework.world.now(),
+    }
+}
+
+fn ms(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1_000_000.0
+}
+
+fn opt_ms(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => format!("{:.3}", ms(t)),
+        None => "null".to_owned(),
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.6}"),
+        None => "null".to_owned(),
+    }
+}
+
+fn driver_json(d: &DriverStats, during_split: usize) -> String {
+    format!(
+        "{{\"completed\": {}, \"completed_before_split\": {}, \
+         \"completed_during_split\": {}, \"lost\": {}, \"denied\": {}, \
+         \"done\": {}}}",
+        d.completed, d.completed_before_crash, during_split, d.lost, d.denied, d.done
+    )
+}
+
+/// Serializes an outcome as deterministic JSON (hand-rolled; no serde in
+/// the tree). Same-seed runs produce byte-identical strings.
+pub fn partition_json(o: &PartitionOutcome) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"chaos_partition\",");
+    let _ = writeln!(json, "  \"seed\": {},", o.seed);
+    let _ = writeln!(json, "  \"split_at_ms\": {:.3},", ms(o.split_at));
+    let _ = writeln!(json, "  \"restore_at_ms\": {:.3},", ms(o.restore_at));
+    let _ = writeln!(json, "  \"degraded\": {{");
+    let _ = writeln!(json, "    \"at_ms\": {},", opt_ms(o.degraded_at));
+    let _ = writeln!(
+        json,
+        "    \"latency_after_split_ms\": {},",
+        o.degraded_latency()
+            .map_or("null".to_owned(), |d| format!("{:.3}", d.as_millis_f64()))
+    );
+    let _ = writeln!(
+        json,
+        "    \"epoch\": {},",
+        o.degraded_epoch
+            .map_or("null".to_owned(), |e| e.to_string())
+    );
+    let _ = writeln!(
+        json,
+        "    \"plan_latency_ms\": {}",
+        opt_f64(o.degraded_latency_ms)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"reconcile\": {{");
+    let _ = writeln!(json, "    \"at_ms\": {},", opt_ms(o.reconciled_at));
+    let _ = writeln!(
+        json,
+        "    \"latency_after_restore_ms\": {},",
+        o.reconcile_latency()
+            .map_or("null".to_owned(), |d| format!("{:.3}", d.as_millis_f64()))
+    );
+    let _ = writeln!(
+        json,
+        "    \"plan_latency_ms\": {},",
+        opt_f64(o.reconciled_latency_ms)
+    );
+    let _ = writeln!(
+        json,
+        "    \"initial_plan_latency_ms\": {:.6},",
+        o.initial_latency_ms
+    );
+    let _ = writeln!(json, "    \"retired\": {}", o.retired);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"heal_passes\": {},", o.heal_passes);
+    let _ = writeln!(json, "  \"replans\": {},", o.replans);
+    let _ = writeln!(json, "  \"infeasible\": {},", o.infeasible);
+    let _ = writeln!(
+        json,
+        "  \"seattle\": {},",
+        driver_json(&o.seattle, o.seattle_during_split)
+    );
+    let _ = writeln!(json, "  \"sd\": {},", driver_json(&o.sd, o.sd_during_split));
+    let _ = writeln!(json, "  \"counters\": {{");
+    let counter_lines: Vec<String> = o
+        .counters
+        .iter()
+        .map(|(name, value)| format!("    \"{name}\": {value}"))
+        .collect();
+    let _ = writeln!(json, "{}", counter_lines.join(",\n"));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"messages\": {},", o.messages);
+    let _ = writeln!(json, "  \"completed_at_ms\": {:.3}", ms(o.completed_at));
+    let _ = writeln!(json, "}}");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small config so the scenario stays test-sized.
+    pub(crate) fn quick_config(seed: u64) -> PartitionBenchConfig {
+        PartitionBenchConfig {
+            seed,
+            split_at: SimTime::from_nanos(50_000_000),
+            restore_at: SimTime::from_nanos(5_000_000_000),
+            seattle_ops: (60, 5),
+            sd_ops: (60, 5),
+            ..PartitionBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn both_sides_are_served_and_the_merge_reconciles() {
+        let o = run_partition(&quick_config(7), &Tracer::disabled());
+        // Majority side: the cut never touches the NY-SD leg.
+        assert_eq!(o.sd.lost, 0, "majority side must lose nothing");
+        assert!(o.sd_during_split > 0, "majority side keeps operating");
+        // Minority side: the degraded chain serves Seattle locally.
+        assert!(o.degraded_at.is_some(), "Seattle gets a degraded chain");
+        assert!(
+            o.degraded_epoch.is_some(),
+            "degraded deploys carry the epoch"
+        );
+        assert!(
+            o.seattle_during_split > 0,
+            "minority side is served during the split"
+        );
+        // The merge reconciles back to the cold-plan optimum.
+        assert!(o.reconciled_at.is_some(), "merge must reconcile");
+        assert!(o.retired > 0, "reconcile retires degraded duplicates");
+        let reconciled = o.reconciled_latency_ms.expect("reconciled plan latency");
+        assert!(
+            (reconciled - o.initial_latency_ms).abs() < 1e-9,
+            "reconciled plan must converge to the cold-plan optimum \
+             ({reconciled} vs {})",
+            o.initial_latency_ms
+        );
+        assert!(o.seattle.done, "Seattle finishes its workload");
+        assert!(o.sd.done, "San Diego finishes its workload");
+    }
+
+    #[test]
+    fn same_seed_runs_serialize_identically() {
+        let (tracer_a, sink_a) = Tracer::memory();
+        let (tracer_b, sink_b) = Tracer::memory();
+        let a = run_partition(&quick_config(11), &tracer_a);
+        let b = run_partition(&quick_config(11), &tracer_b);
+        assert_eq!(partition_json(&a), partition_json(&b));
+        assert_eq!(sink_a.to_jsonl(), sink_b.to_jsonl());
+    }
+}

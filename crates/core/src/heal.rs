@@ -12,11 +12,12 @@
 
 use crate::Framework;
 use ps_monitor::{affected_edges, NetworkChange, NetworkMonitor, ReplanDecision, Replanner};
-use ps_net::{LinkId, NodeId, RouteTable};
+use ps_net::{LinkId, NodeId, PartitionView, RouteTable};
 use ps_planner::{PlanRepairStats, Planner, RepairContext, ServiceRequest};
-use ps_sim::SimTime;
+use ps_sim::{SimDuration, SimTime};
 use ps_smock::{ConnectError, Connection, FailReport, InstanceId, LivenessEvent, LivenessKind};
-use std::collections::BTreeSet;
+use ps_spec::ServiceSpec;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,6 +36,50 @@ pub(crate) struct Managed {
     /// redeploy attempt failed); redeployment is owed until one
     /// succeeds.
     pub(crate) degraded: bool,
+    /// Set while the connection serves a degraded per-component chain
+    /// behind a network partition; cleared by reconciliation.
+    pub(crate) partition: Option<PartitionTag>,
+}
+
+/// Which partition a degraded-mode chain was planned for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PartitionTag {
+    /// The reachable component (sorted node set) the chain serves.
+    pub(crate) component: Vec<NodeId>,
+    /// Network epoch of the partition view that produced the chain.
+    pub(crate) epoch: u64,
+}
+
+/// How a managed redeploy treats the old deployment's instances.
+enum RedeployMode {
+    /// Plain healing: retire every old instance the new plan stopped
+    /// using (subject to the shared-instance and pin guards).
+    Normal,
+    /// Partition-side degraded chain: the request turns on degraded-mode
+    /// planning, and only old instances *inside* the reachable component
+    /// are retired — instances beyond the cut are unreachable and stay
+    /// in place for reconciliation.
+    Degraded {
+        /// Nodes reachable from the client.
+        component: Vec<NodeId>,
+        /// Partition-view epoch the chain is tagged with.
+        epoch: u64,
+    },
+    /// The partition closed: re-plan the original request cold (the
+    /// merged world's optimum, not a repair of the degraded chain), and
+    /// resync-then-retire duplicate degraded data views.
+    Reconcile,
+}
+
+/// One heal pass's batched damage, shared by every redeploy it issues:
+/// the dirty sets feed warm-start plan repair, `prior_routes` the
+/// incremental route-table repair, and `suspects` the placement
+/// down-weighting of half-expired hosts.
+struct PassDamage<'a> {
+    dirty_nodes: &'a [NodeId],
+    dirty_links: &'a [LinkId],
+    prior_routes: Option<Arc<RouteTable>>,
+    suspects: &'a [NodeId],
 }
 
 /// The healing state: a snapshot-diffing monitor plus the managed
@@ -49,6 +94,12 @@ pub(crate) struct Healer {
     /// everything the route metric reads (link liveness / latency /
     /// credentials, node liveness), so unaffected rows stay exact.
     pub(crate) route_table: Option<Arc<RouteTable>>,
+    /// Hosts whose instance leases expired recently, mapped to the
+    /// virtual time their suspicion ends (one full detection window
+    /// after the expiry). Redeploys down-weight these hosts so the
+    /// healer stops placing onto a machine whose expiries are only
+    /// partially observed.
+    pub(crate) suspects: BTreeMap<NodeId, SimTime>,
 }
 
 /// What one [`Framework::heal`] pass observed and did.
@@ -73,11 +124,20 @@ pub struct HealReport {
     /// Managed connections abandoned because the client node itself is
     /// down.
     pub abandoned: Vec<ManagedId>,
+    /// Managed connections redeployed onto degraded per-component chains
+    /// behind a partition this pass (subset of `recovered`).
+    pub degraded: Vec<ManagedId>,
+    /// Managed connections reconciled back onto full chains after their
+    /// partition closed (subset of `recovered`).
+    pub reconciled: Vec<ManagedId>,
     /// Managed connections whose re-plan found no feasible deployment
     /// (they stay managed and are retried next pass).
     pub infeasible: Vec<ManagedId>,
     /// Instances retired by this pass's redeployments.
     pub retired: Vec<InstanceId>,
+    /// Primary instances re-installed on restarted home hosts this pass
+    /// (pinned plans need a live `preexisting` primary to deploy).
+    pub primaries_restored: Vec<InstanceId>,
     /// Re-deployments that failed outright (deploy errors and the like).
     pub failed: Vec<(ManagedId, ConnectError)>,
     /// Warm-start repair statistics aggregated over this pass's
@@ -97,8 +157,11 @@ impl HealReport {
             recovered: Vec::new(),
             kept: Vec::new(),
             abandoned: Vec::new(),
+            degraded: Vec::new(),
+            reconciled: Vec::new(),
             infeasible: Vec::new(),
             retired: Vec::new(),
+            primaries_restored: Vec::new(),
             failed: Vec::new(),
             repair: PlanRepairStats::default(),
         }
@@ -146,6 +209,7 @@ impl Framework {
                 monitor,
                 managed: Vec::new(),
                 route_table: None,
+                suspects: BTreeMap::new(),
             });
         }
         self
@@ -168,8 +232,27 @@ impl Framework {
             connection,
             abandoned: false,
             degraded: false,
+            partition: None,
         });
         healer.managed.len() - 1
+    }
+
+    /// The partition epoch a managed connection's current chain was
+    /// planned for — `Some` while it serves a degraded per-component
+    /// chain behind a partition, `None` once reconciled (or never cut).
+    pub fn managed_partition_epoch(&self, id: ManagedId) -> Option<u64> {
+        let m = self.healer.as_ref()?.managed.get(id)?;
+        m.partition.as_ref().map(|t| t.epoch)
+    }
+
+    /// Hosts currently down-weighted by the healer because their
+    /// instance-lease expiries are only partially observed, with the
+    /// virtual time each suspicion lapses.
+    pub fn suspected_hosts(&self) -> Vec<(NodeId, SimTime)> {
+        self.healer
+            .as_ref()
+            .map(|h| h.suspects.iter().map(|(&n, &t)| (n, t)).collect())
+            .unwrap_or_default()
     }
 
     /// The current connection behind a managed handle (`None` for an
@@ -247,9 +330,69 @@ impl Framework {
             }
         }
 
+        // A restarted home host rejoins with its primary re-installed:
+        // pinned plans mark the primary `preexisting`, so without a live
+        // instance every reconcile/repair deploy of a pinned chain would
+        // fail forever. Killed instances stay dead — this is a fresh
+        // instance on the restarted capacity, not resurrection of state.
+        for i in 0..self.primaries.len() {
+            let node = self.primaries[i].node;
+            if !self.world.node_is_up(node) || !self.world.network().node(node).up {
+                continue;
+            }
+            if !self.world.is_retired(self.primaries[i].instance) {
+                continue;
+            }
+            let service = self.primaries[i].service.clone();
+            let component = self.primaries[i].component.clone();
+            if let Ok(instance) = self.install_primary(&service, &component, node) {
+                report.primaries_restored.push(instance);
+                self.server.tracer().instant(
+                    "core",
+                    "primary_reinstall",
+                    now.as_nanos(),
+                    vec![("node", node.0.into())],
+                );
+            }
+        }
+
         let Some(mut healer) = self.healer.take() else {
             return report;
         };
+
+        // Freshly lease-expired hosts are suspects for one detection
+        // window: an `InstanceDown` verdict means the host's other
+        // expiries may still be in flight, so redeploying onto it now
+        // risks an immediate second failure. Suspicion lapses on its own
+        // or is cleared by an observed restart; a full `NodeDown`
+        // verdict supersedes it (quarantine already excludes the host).
+        healer.suspects.retain(|_, until| *until > now);
+        let window = self
+            .world
+            .lease_config()
+            .map(|c| c.max_detection_latency())
+            .unwrap_or(SimDuration::ZERO);
+        for event in &report.liveness {
+            match event.kind {
+                LivenessKind::InstanceDown { node, .. } if self.world.network().node(node).up => {
+                    let until = event.at + window;
+                    let entry = healer.suspects.entry(node).or_insert(until);
+                    if until > *entry {
+                        *entry = until;
+                    }
+                }
+                LivenessKind::NodeDown { node } | LivenessKind::NodeUp { node } => {
+                    healer.suspects.remove(&node);
+                }
+                _ => {}
+            }
+        }
+        let suspects: Vec<NodeId> = healer
+            .suspects
+            .keys()
+            .copied()
+            .filter(|&n| self.world.network().node(n).up)
+            .collect();
 
         // Step 2: the monitor's view of what changed.
         report.changes = healer.monitor.observe_at(now, self.world.network());
@@ -310,6 +453,16 @@ impl Framework {
             healer.route_table = Some(table);
         }
 
+        // The pass's partition view: connected components over the live
+        // link set, read off the just-repaired route table when one is
+        // maintained (free), or by direct BFS otherwise.
+        let pview = match healer.route_table.as_deref() {
+            Some(table) if table.is_current(self.world.network()) => {
+                table.partition_view(self.world.network())
+            }
+            _ => PartitionView::of(self.world.network()),
+        };
+
         // Step 3: triage every managed connection. The managed list is
         // taken out of the healer so redeployments can borrow the
         // framework mutably.
@@ -332,37 +485,77 @@ impl Framework {
             {
                 managed[idx].degraded = true;
             }
-            let must_redeploy = if managed[idx].degraded {
-                // Part of the deployment was declared dead: recovery is
-                // mandatory, no need to ask whether the plan holds.
-                true
-            } else if !report.changes.is_empty()
-                && !affected_edges(&managed[idx].connection.plan, &report.changes).is_empty()
-            {
-                match self.consult_replanner(now, &managed[idx]) {
-                    Some(ReplanDecision::Redeploy { .. }) => true,
-                    Some(ReplanDecision::Infeasible(_)) => {
-                        report.infeasible.push(idx);
-                        false
-                    }
-                    Some(ReplanDecision::Keep) | None => {
-                        report.kept.push(idx);
-                        false
+            // Partition triage: the connection is *cut* when its client
+            // is alive but some pinned component host is unreachable
+            // (down, or in another component). A cut chain gets a
+            // degraded per-component deployment; once the cut closes, a
+            // previously-tagged chain reconciles back onto the full
+            // request.
+            let client_comp = pview.component_of(managed[idx].request.client_node);
+            let cut = client_comp.is_some()
+                && managed[idx].request.pinned.values().any(|&n| {
+                    !self.world.network().node(n).up || pview.component_of(n) != client_comp
+                });
+            let mode = if cut {
+                let comp_nodes = pview
+                    .component_nodes(client_comp.expect("cut implies a live client"))
+                    .to_vec();
+                let already = managed[idx]
+                    .partition
+                    .as_ref()
+                    .is_some_and(|t| t.component == comp_nodes);
+                if already && !managed[idx].degraded {
+                    // The current degraded chain already serves exactly
+                    // this component; nothing to re-plan.
+                    report.kept.push(idx);
+                    continue;
+                }
+                RedeployMode::Degraded {
+                    component: comp_nodes,
+                    epoch: pview.epoch(),
+                }
+            } else if managed[idx].partition.is_some() {
+                RedeployMode::Reconcile
+            } else {
+                RedeployMode::Normal
+            };
+            let must_redeploy = match mode {
+                RedeployMode::Degraded { .. } | RedeployMode::Reconcile => true,
+                RedeployMode::Normal if managed[idx].degraded => {
+                    // Part of the deployment was declared dead: recovery
+                    // is mandatory, no need to ask whether the plan
+                    // holds.
+                    true
+                }
+                RedeployMode::Normal
+                    if !report.changes.is_empty()
+                        && !affected_edges(&managed[idx].connection.plan, &report.changes)
+                            .is_empty() =>
+                {
+                    match self.consult_replanner(now, &managed[idx]) {
+                        Some(ReplanDecision::Redeploy { .. }) => true,
+                        Some(ReplanDecision::Infeasible(_)) => {
+                            report.infeasible.push(idx);
+                            false
+                        }
+                        Some(ReplanDecision::Keep) | None => {
+                            report.kept.push(idx);
+                            false
+                        }
                     }
                 }
-            } else {
-                false
+                RedeployMode::Normal => false,
             };
             if !must_redeploy {
                 continue;
             }
-            match self.redeploy_managed(
-                &managed,
-                idx,
-                &dirty_nodes,
-                &dirty_links,
-                healer.route_table.clone(),
-            ) {
+            let damage = PassDamage {
+                dirty_nodes: &dirty_nodes,
+                dirty_links: &dirty_links,
+                prior_routes: healer.route_table.clone(),
+                suspects: &suspects,
+            };
+            match self.redeploy_managed(&managed, idx, &damage, &mode) {
                 Ok((connection, retired)) => {
                     let ready_ns = connection.ready_at.as_nanos();
                     let tracer = self.server.tracer();
@@ -386,6 +579,36 @@ impl Framework {
                     }
                     managed[idx].connection = connection;
                     managed[idx].degraded = false;
+                    match mode {
+                        RedeployMode::Degraded { component, epoch } => {
+                            // Marks the partition-side failover for the
+                            // timeline auditor; `epoch` ties the chain
+                            // to the partition view that produced it.
+                            tracer.instant(
+                                "core",
+                                "degraded",
+                                now.as_nanos(),
+                                vec![("conn", (idx as u64).into()), ("epoch", epoch.into())],
+                            );
+                            managed[idx].partition = Some(PartitionTag { component, epoch });
+                            report.degraded.push(idx);
+                        }
+                        RedeployMode::Reconcile => {
+                            let epoch = managed[idx]
+                                .partition
+                                .take()
+                                .map(|t| t.epoch)
+                                .unwrap_or_default();
+                            tracer.instant(
+                                "core",
+                                "reconcile",
+                                now.as_nanos(),
+                                vec![("conn", (idx as u64).into()), ("epoch", epoch.into())],
+                            );
+                            report.reconciled.push(idx);
+                        }
+                        RedeployMode::Normal => {}
+                    }
                     report.recovered.push(idx);
                     report.retired.extend(retired);
                 }
@@ -408,6 +631,12 @@ impl Framework {
             tracer.count("heal.recovered", report.recovered.len() as u64);
             tracer.count("heal.abandoned", report.abandoned.len() as u64);
             tracer.count("heal.infeasible", report.infeasible.len() as u64);
+            tracer.count("heal.degraded", report.degraded.len() as u64);
+            tracer.count("heal.reconciled", report.reconciled.len() as u64);
+            tracer.count(
+                "heal.primaries_restored",
+                report.primaries_restored.len() as u64,
+            );
             // Mirror of `planner.*` PlanStats publication: the repair
             // aggregates ride the trace stream so churn numbers are
             // reconstructible from the JSONL alone.
@@ -460,42 +689,109 @@ impl Framework {
         &mut self,
         managed: &[Managed],
         idx: usize,
-        dirty_nodes: &[NodeId],
-        dirty_links: &[LinkId],
-        prior_routes: Option<Arc<RouteTable>>,
+        damage: &PassDamage<'_>,
+        mode: &RedeployMode,
     ) -> Result<(Connection, Vec<InstanceId>), ConnectError> {
         let service = managed[idx].service.clone();
-        let request = managed[idx].request.clone();
-        // Warm-start: repair the surviving plan (re-solving only the
-        // chain positions the pass's batched damage touched) instead of
-        // planning from scratch; exact same objective, found faster.
-        let ctx = RepairContext {
-            old_plan: &managed[idx].connection.plan,
-            dirty_nodes: dirty_nodes.to_vec(),
-            dirty_links: dirty_links.to_vec(),
-            prior_routes,
+        let original = managed[idx].request.clone();
+        // The effective request never mutates the stored one: suspect
+        // avoidance and degraded-mode flags apply to this redeploy only.
+        let mut request = original.clone();
+        for &n in damage.suspects {
+            request = request.avoid(n);
+        }
+        if let RedeployMode::Degraded { .. } = mode {
+            // Degraded-mode planning may detach data views from their
+            // unreachable upstream, and code transfers must source from
+            // the client's own side of the cut.
+            request = request.degraded_mode().origin(original.client_node);
+        }
+        let new = match mode {
+            RedeployMode::Reconcile => {
+                // Merged components re-plan once, cold: the degraded
+                // chain is the wrong seed (its detached graph is not in
+                // the full request's graph space), and the acceptance
+                // bar is convergence to the cold-plan optimum.
+                self.server.connect(&mut self.world, &service, &request)?
+            }
+            _ => {
+                // Warm-start: repair the surviving plan (re-solving only
+                // the chain positions the pass's batched damage touched)
+                // instead of planning from scratch; exact same
+                // objective, found faster.
+                let ctx = RepairContext {
+                    old_plan: &managed[idx].connection.plan,
+                    dirty_nodes: damage.dirty_nodes.to_vec(),
+                    dirty_links: damage.dirty_links.to_vec(),
+                    prior_routes: damage.prior_routes.clone(),
+                };
+                self.server
+                    .connect_repair(&mut self.world, &service, &request, &ctx)?
+            }
         };
-        let new = self
-            .server
-            .connect_repair(&mut self.world, &service, &request, &ctx)?;
         let mut in_use: BTreeSet<InstanceId> = new.deployment.instances.iter().copied().collect();
         for (other, m) in managed.iter().enumerate() {
             if other != idx && !m.abandoned {
                 in_use.extend(m.connection.deployment.instances.iter().copied());
             }
         }
+        let spec = matches!(mode, RedeployMode::Reconcile)
+            .then(|| self.server.lookup.by_name(&service).map(|r| r.spec.clone()))
+            .flatten();
         let mut retired = Vec::new();
         for &instance in &managed[idx].connection.deployment.instances {
             if in_use.contains(&instance) || self.world.is_retired(instance) {
                 continue;
             }
-            let component = self.world.instance(instance).component.clone();
-            if request.pinned.contains_key(&component) {
+            let info = self.world.instance(instance);
+            let component = info.component.clone();
+            let node = info.node;
+            if original.pinned.contains_key(&component) {
                 continue;
+            }
+            if let RedeployMode::Degraded {
+                component: comp_nodes,
+                ..
+            } = mode
+            {
+                // Instances beyond the cut are alive but unreachable:
+                // retiring them blind would drop their state, so they
+                // stay in place until reconciliation can reach them.
+                if !comp_nodes.contains(&node) {
+                    continue;
+                }
+            }
+            if let Some(spec) = &spec {
+                self.resync_before_retire(spec, instance, &new);
             }
             self.world.retire(instance);
             retired.push(instance);
         }
         Ok((new, retired))
+    }
+
+    /// Reconciliation drain: before retiring a duplicate degraded data
+    /// view, rewire its first linkage at the deepest new-chain instance
+    /// implementing its required interface, so the retirement flush
+    /// (`on_retire`) carries its partition-side writes into the merged
+    /// chain's coherence directory instead of dropping them.
+    fn resync_before_retire(&mut self, spec: &ServiceSpec, instance: InstanceId, new: &Connection) {
+        let info = self.world.instance(instance);
+        let Some(decl) = spec.get_component(&info.component) else {
+            return;
+        };
+        if !decl.is_data_view() {
+            return;
+        }
+        let Some(iface) = decl.requires.first().map(|r| r.interface.clone()) else {
+            return;
+        };
+        let target = new.plan.placements.iter().enumerate().rev().find(|(_, p)| {
+            spec.get_component(&p.component)
+                .is_some_and(|c| c.implements_interface(&iface))
+        });
+        if let Some((i, _)) = target {
+            self.world.wire(instance, vec![new.deployment.instances[i]]);
+        }
     }
 }

@@ -43,6 +43,17 @@ use ps_smock::{
 };
 use ps_spec::{Behavior, ResolvedBindings, ServiceSpec};
 
+/// A primary instance installed with [`Framework::install_primary`]:
+/// remembered so a heal pass can re-install it after its host restarts
+/// (pinned plans mark the primary `preexisting` and cannot deploy
+/// without a live instance).
+struct PrimaryRecord {
+    service: String,
+    component: String,
+    node: NodeId,
+    instance: InstanceId,
+}
+
 /// The assembled framework: a simulated world plus the generic server
 /// (lookup service, planner, deployment engine).
 pub struct Framework {
@@ -54,6 +65,8 @@ pub struct Framework {
     /// `None` until [`Framework::enable_self_healing`] or
     /// [`Framework::manage`].
     healer: Option<heal::Healer>,
+    /// Installed primaries, for post-restart re-establishment.
+    primaries: Vec<PrimaryRecord>,
 }
 
 impl Framework {
@@ -68,6 +81,7 @@ impl Framework {
             world: World::new(network),
             server: GenericServer::new(home, translator),
             healer: None,
+            primaries: Vec::new(),
         }
     }
 
@@ -157,14 +171,31 @@ impl Framework {
                 component.to_owned(),
             ))
         })?;
-        Ok(self.world.instantiate(
+        let born = self.world.now();
+        let instance = self.world.instantiate(
             component,
             node,
             ResolvedBindings::new(),
             behavior,
             logic,
-            SimTime::ZERO,
-        ))
+            born,
+        );
+        // Remember (or refresh) the record so healing can re-establish
+        // the primary after its host restarts.
+        let record = self
+            .primaries
+            .iter_mut()
+            .find(|p| p.service == service && p.component == component && p.node == node);
+        match record {
+            Some(p) => p.instance = instance,
+            None => self.primaries.push(PrimaryRecord {
+                service: service.to_owned(),
+                component: component.to_owned(),
+                node,
+                instance,
+            }),
+        }
+        Ok(instance)
     }
 
     /// Serves a client connection end to end (Figure 1, steps 2–5).

@@ -23,8 +23,8 @@ use crate::payload::{
     decode_op, decode_reply, encode_op, encode_reply, MailOp, MailPush, MailReply,
 };
 use ps_smock::{
-    CoherencePolicy, ComponentLogic, Directory, FlushDecision, InstanceId, Outbox, Payload,
-    ReplicaCoherence, RequestHandle, ViewScope,
+    CoherencePolicy, ComponentLogic, Directory, FlushDecision, InstanceId, InvokeError, Outbox,
+    Payload, ReplicaCoherence, RequestHandle, ViewScope,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -196,8 +196,9 @@ const FLUSH_TIMER_TAG: u64 = 1;
 enum Pending {
     /// Forwarded client operation: relay the reply.
     Client(RequestHandle),
-    /// A coherence flush awaiting its SyncAck.
-    Flush,
+    /// A coherence flush awaiting its SyncAck; carries the flushed batch
+    /// so a failed flush (upstream cut mid-transfer) can restore it.
+    Flush(Vec<MailMessage>),
     /// A receive pull: cache the result, then relay it.
     ReceivePull { req: RequestHandle, user: String },
 }
@@ -259,11 +260,23 @@ impl ViewMailServerLogic {
         t
     }
 
+    /// Whether this replica is running *detached*: a degraded-mode
+    /// deployment wired it with no upstream linkage, so it serves from
+    /// local state until reconciliation re-attaches it.
+    fn detached(out: &Outbox) -> bool {
+        out.linkage_count() == 0
+    }
+
     fn ensure_scope(&mut self, out: &mut Outbox, user: &str) {
         if self.scope.contains(user) {
             return;
         }
         self.scope.insert(user);
+        if Self::detached(out) {
+            // No upstream to register with; `registered_keys` stays
+            // behind so the full scope re-registers once re-attached.
+            return;
+        }
         if self.scope.len() != self.registered_keys {
             self.registered_keys = self.scope.len();
             let op = MailOp::RegisterReplica {
@@ -289,9 +302,9 @@ impl ViewMailServerLogic {
         );
         let op = MailOp::SyncBatch {
             origin: out.self_id(),
-            messages: batch,
+            messages: batch.clone(),
         };
-        let token = self.token(Pending::Flush);
+        let token = self.token(Pending::Flush(batch));
         out.call(0, op_payload(op), token);
     }
 
@@ -311,6 +324,16 @@ impl ViewMailServerLogic {
     /// may acknowledge immediately (false = blocked behind a flush).
     fn absorb(&mut self, out: &mut Outbox, req: RequestHandle, m: MailMessage) -> bool {
         out.tracer().count("coherence.updates", 1);
+        if Self::detached(out) {
+            // Detached operation: there is nowhere to flush, so the
+            // coherence window does not apply — absorb unconditionally
+            // and let `pending_batch` grow; reconciliation drains it
+            // into the merged chain when the partition closes.
+            self.cached.deliver(m.clone());
+            self.pending_batch.push(m);
+            out.reply(req, reply_payload(MailReply::Ack));
+            return true;
+        }
         match self.coherence.record_update(m.wire_bytes()) {
             FlushDecision::Accumulate => {
                 self.cached.deliver(m.clone());
@@ -371,8 +394,14 @@ impl ComponentLogic for ViewMailServerLogic {
 
     fn on_retire(&mut self, out: &mut Outbox) {
         // Redeployment must preserve state compatibility: whatever this
-        // replica absorbed but never propagated goes upstream now.
-        if !self.pending_batch.is_empty() && !self.coherence.flush_in_flight() {
+        // replica absorbed but never propagated goes upstream now. A
+        // detached replica has no upstream — reconciliation rewires the
+        // linkage at the merged chain *before* retiring, so this flush
+        // drains partition-side writes into the authoritative store.
+        if !self.pending_batch.is_empty()
+            && !self.coherence.flush_in_flight()
+            && !Self::detached(out)
+        {
             self.start_flush(out);
         }
     }
@@ -382,6 +411,11 @@ impl ComponentLogic for ViewMailServerLogic {
             return;
         }
         self.timer_armed = false;
+        if Self::detached(out) {
+            // Degraded mode: stay quiescent; writes wait in
+            // `pending_batch` for reconciliation.
+            return;
+        }
         if !self.pending_batch.is_empty() {
             if self.coherence.timer_due(out.now()) && !self.coherence.flush_in_flight() {
                 self.start_flush(out);
@@ -401,6 +435,15 @@ impl ComponentLogic for ViewMailServerLogic {
                 self.ensure_scope(out, &m.from);
                 if m.sensitivity.storable_at(self.trust_level) {
                     self.absorb(out, req, m);
+                } else if Self::detached(out) {
+                    // Degraded mode cannot bypass upstream, and storing
+                    // here would violate the sensitivity constraint.
+                    out.reply(
+                        req,
+                        reply_payload(MailReply::Denied {
+                            reason: "message too sensitive for disconnected operation".into(),
+                        }),
+                    );
                 } else {
                     // Too sensitive for this node: synchronous bypass.
                     let token = self.token(Pending::Client(req));
@@ -409,7 +452,20 @@ impl ComponentLogic for ViewMailServerLogic {
             }
             MailOp::Receive { user } => {
                 self.ensure_scope(out, &user);
-                if !self.stale.contains(&user) && self.cached.has_account(&user) {
+                if Self::detached(out) {
+                    // The local cache is the only reachable truth;
+                    // staleness cannot be resolved across the cut.
+                    let messages = if self.cached.has_account(&user) {
+                        self.cached
+                            .account_mut(&user)
+                            .expect("checked")
+                            .fetch_new()
+                            .to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    out.reply(req, reply_payload(MailReply::NewMail { messages }));
+                } else if !self.stale.contains(&user) && self.cached.has_account(&user) {
                     let messages = self
                         .cached
                         .account_mut(&user)
@@ -432,10 +488,27 @@ impl ComponentLogic for ViewMailServerLogic {
                         self.cached.deliver(m.clone());
                     }
                 }
+                if Self::detached(out) {
+                    // Absorb the downstream batch into local state and
+                    // acknowledge; it rides this replica's own
+                    // `pending_batch` upstream at reconciliation.
+                    self.pending_batch.extend(messages);
+                    out.reply(req, reply_payload(MailReply::SyncAck));
+                    return;
+                }
                 let token = self.token(Pending::Client(req));
                 out.call(0, op_payload(MailOp::SyncBatch { origin, messages }), token);
             }
             other @ (MailOp::AddressBook { .. } | MailOp::RegisterReplica { .. }) => {
+                if Self::detached(out) {
+                    out.reply(
+                        req,
+                        reply_payload(MailReply::Denied {
+                            reason: "not available in disconnected operation".into(),
+                        }),
+                    );
+                    return;
+                }
                 let token = self.token(Pending::Client(req));
                 out.call(0, op_payload(other), token);
             }
@@ -455,7 +528,7 @@ impl ComponentLogic for ViewMailServerLogic {
             Some(Pending::Client(req)) => {
                 out.reply(req, payload.clone());
             }
-            Some(Pending::Flush) => {
+            Some(Pending::Flush(_)) => {
                 self.coherence.end_flush();
                 self.drain_blocked(out);
             }
@@ -470,14 +543,60 @@ impl ComponentLogic for ViewMailServerLogic {
         }
     }
 
+    fn on_error(&mut self, out: &mut Outbox, token: u64, _error: InvokeError) {
+        match self.pending.remove(&token) {
+            Some(Pending::Client(req)) => {
+                out.reply(
+                    req,
+                    reply_payload(MailReply::Denied {
+                        reason: "upstream unreachable".into(),
+                    }),
+                );
+            }
+            Some(Pending::Flush(batch)) => {
+                // The flush was lost to a cut: put the batch back at the
+                // front of the pending window so reconciliation (or a later
+                // retry) still drains every write in order.
+                self.coherence.end_flush();
+                let mut restored = batch;
+                restored.extend(std::mem::take(&mut self.pending_batch));
+                self.pending_batch = restored;
+                self.arm_timer(out);
+                self.drain_blocked(out);
+            }
+            Some(Pending::ReceivePull { req, user }) => {
+                if self.cached.has_account(&user) {
+                    let messages = self
+                        .cached
+                        .account_mut(&user)
+                        .expect("checked")
+                        .fetch_new()
+                        .to_vec();
+                    out.reply(req, reply_payload(MailReply::NewMail { messages }));
+                } else {
+                    out.reply(
+                        req,
+                        reply_payload(MailReply::Denied {
+                            reason: "upstream unreachable".into(),
+                        }),
+                    );
+                }
+            }
+            None => {}
+        }
+    }
+
     fn on_notify(&mut self, out: &mut Outbox, payload: &Payload) {
         if let Some(MailPush::Invalidate { user }) = payload.get::<MailPush>() {
             self.stale.insert(user.clone());
             return;
         }
-        // Downstream registrations cascade upstream unchanged.
+        // Downstream registrations cascade upstream unchanged (unless
+        // detached — there is no upstream to cascade to).
         if let Some(op @ MailOp::RegisterReplica { .. }) = payload.get::<MailOp>() {
-            out.notify(0, op_payload(op.clone()));
+            if !Self::detached(out) {
+                out.notify(0, op_payload(op.clone()));
+            }
         }
     }
 }

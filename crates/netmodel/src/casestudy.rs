@@ -15,7 +15,7 @@
 //! administrative domain; Seattle belongs to the partner's.
 
 use crate::graph::{Credentials, Network, NodeId};
-use ps_sim::SimDuration;
+use ps_sim::{FaultDomain, SimDuration};
 
 /// Site name constants used throughout the case study.
 pub const NEW_YORK: &str = "NewYork";
@@ -50,6 +50,42 @@ pub struct CaseStudy {
     pub sd_gateway: NodeId,
     /// Seattle gateway.
     pub seattle_gateway: NodeId,
+}
+
+impl CaseStudy {
+    /// The gateway node of a named site.
+    pub fn gateway(&self, site: &str) -> NodeId {
+        match site {
+            NEW_YORK => self.ny_gateway,
+            SAN_DIEGO => self.sd_gateway,
+            SEATTLE => self.seattle_gateway,
+            other => panic!("unknown case-study site {other:?}"),
+        }
+    }
+
+    /// A correlated fault domain crashing every node of a site at once
+    /// (the site loses power).
+    pub fn site_fault_domain(&self, site: &str) -> FaultDomain {
+        FaultDomain::nodes(site, self.network.site_nodes(site).into_iter().map(|n| n.0))
+    }
+
+    /// A correlated fault domain severing every WAN leg of a site's
+    /// gateway at once: the site keeps running but is cut off from the
+    /// rest of the world — the canonical partition event.
+    pub fn wan_leg_domain(&self, site: &str) -> FaultDomain {
+        let gateway = self.gateway(site);
+        let gateways = [self.ny_gateway, self.sd_gateway, self.seattle_gateway];
+        let legs = self
+            .network
+            .links()
+            .iter()
+            .filter(|l| {
+                let pair = [l.a, l.b];
+                pair.contains(&gateway) && pair.iter().filter(|n| gateways.contains(n)).count() == 2
+            })
+            .map(|l| l.id.0);
+        FaultDomain::links(format!("{site}-wan-legs"), legs)
+    }
 }
 
 fn node_credentials(trust: i64, domain: &str) -> Credentials {

@@ -213,6 +213,15 @@ impl Network {
         &mut self.links[id.0 as usize]
     }
 
+    /// Bumps the epoch without changing any state. For callers whose
+    /// *external* view of the network changed — a host rejoined the
+    /// candidate set after a restart, say — even though no graph flag
+    /// flipped: derived route tables and plan caches keyed on the epoch
+    /// must still be invalidated.
+    pub fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Marks a node up or down, bumping the epoch when the flag actually
     /// changes. Down nodes disappear from routes and candidate sets but
     /// keep their topology entry, so restoring them is symmetric.

@@ -24,12 +24,14 @@
 pub mod brite;
 pub mod casestudy;
 pub mod graph;
+pub mod partition;
 pub mod path;
 pub mod route_table;
 pub mod translate;
 
 pub use casestudy::{default_case_study, CaseStudy};
 pub use graph::{Credentials, Link, LinkId, Network, Node, NodeId};
+pub use partition::PartitionView;
 pub use path::{routes_from, shortest_route, Route};
 pub use route_table::{RepairOutcome, RouteTable};
 pub use translate::{Mapping, MappingTranslator, PropertyTranslator};
@@ -39,6 +41,7 @@ pub mod prelude {
     pub use crate::brite::{barabasi_albert, hierarchical, waxman, FlatParams, HierParams};
     pub use crate::casestudy::{build as build_case_study, default_case_study, CaseStudy};
     pub use crate::graph::{Credentials, Link, LinkId, Network, Node, NodeId};
+    pub use crate::partition::PartitionView;
     pub use crate::path::{routes_from, shortest_route, Route};
     pub use crate::route_table::{RepairOutcome, RouteTable};
     pub use crate::translate::{Mapping, MappingTranslator, PropertyTranslator};

@@ -1,0 +1,238 @@
+//! Connected-components view over the live network — partition
+//! detection for the healer.
+//!
+//! A network split is more than a pile of unreachable routes: the
+//! healer needs to know *which* nodes can still talk so it can deploy a
+//! degraded chain per reachable component and reconcile when the
+//! components merge back. [`PartitionView`] captures exactly that: the
+//! connected components of the up-node / up-link subgraph, stamped with
+//! the [`Network`] epoch it was computed at (the *partition epoch* that
+//! degraded-mode linkages are tagged with).
+//!
+//! Two construction paths produce identical views:
+//!
+//! * [`PartitionView::of`] — a breadth-first sweep over the live
+//!   adjacency, independent of any route table;
+//! * [`RouteTable::partition_view`](crate::RouteTable::partition_view)
+//!   — derived from the incrementally-repaired reachability matrix the
+//!   healer already maintains, so a heal pass gets the component view
+//!   for free after [`RouteTable::repair`](crate::RouteTable::repair)
+//!   has re-run only the affected sources.
+//!
+//! Components are ordered by their smallest member id and each
+//! component's nodes are sorted ascending, so the view is deterministic
+//! for a given network state.
+
+use crate::graph::{Network, NodeId};
+
+/// The connected components of the live (up nodes, up links) subgraph
+/// at one network epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionView {
+    /// Each component's member nodes, sorted ascending; components are
+    /// ordered by smallest member. Down nodes belong to no component.
+    components: Vec<Vec<NodeId>>,
+    /// Per-node component index (`None` for down nodes).
+    membership: Vec<Option<usize>>,
+    /// The [`Network::epoch`] the view was computed at — the partition
+    /// epoch degraded-mode deployments are tagged with.
+    epoch: u64,
+}
+
+impl PartitionView {
+    /// Computes the view with a breadth-first sweep over `net`'s live
+    /// adjacency.
+    pub fn of(net: &Network) -> Self {
+        let n = net.node_count();
+        let mut membership: Vec<Option<usize>> = vec![None; n];
+        let mut components: Vec<Vec<NodeId>> = Vec::new();
+        for start in 0..n as u32 {
+            let start = NodeId(start);
+            if membership[start.0 as usize].is_some() || !net.node(start).up {
+                continue;
+            }
+            let index = components.len();
+            let mut members = vec![start];
+            membership[start.0 as usize] = Some(index);
+            let mut queue = vec![start];
+            while let Some(at) = queue.pop() {
+                for &(next, link) in net.neighbours(at) {
+                    if !net.link(link).up
+                        || !net.node(next).up
+                        || membership[next.0 as usize].is_some()
+                    {
+                        continue;
+                    }
+                    membership[next.0 as usize] = Some(index);
+                    members.push(next);
+                    queue.push(next);
+                }
+            }
+            members.sort();
+            components.push(members);
+        }
+        PartitionView {
+            components,
+            membership,
+            epoch: net.epoch(),
+        }
+    }
+
+    /// Builds a view directly from component membership data (used by
+    /// [`RouteTable::partition_view`](crate::RouteTable::partition_view)).
+    pub(crate) fn from_membership(membership: Vec<Option<usize>>, epoch: u64) -> Self {
+        let count = membership.iter().flatten().max().map_or(0, |m| m + 1);
+        let mut components = vec![Vec::new(); count];
+        for (node, slot) in membership.iter().enumerate() {
+            if let Some(index) = slot {
+                components[*index].push(NodeId(node as u32));
+            }
+        }
+        PartitionView {
+            components,
+            membership,
+            epoch,
+        }
+    }
+
+    /// The partition epoch (the network epoch the view was computed at).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The components, each sorted ascending, ordered by smallest member.
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// Number of live components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the live nodes no longer form a single component.
+    pub fn is_partitioned(&self) -> bool {
+        self.components.len() > 1
+    }
+
+    /// The component index `node` belongs to, or `None` when it is down.
+    pub fn component_of(&self, node: NodeId) -> Option<usize> {
+        self.membership.get(node.0 as usize).copied().flatten()
+    }
+
+    /// The member nodes of component `index`.
+    pub fn component_nodes(&self, index: usize) -> &[NodeId] {
+        &self.components[index]
+    }
+
+    /// True when both nodes are up and mutually reachable.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.component_of(a), self.component_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// Index of the largest component (ties break toward the smallest
+    /// member id — the earlier component). `None` when no node is up.
+    pub fn majority(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (index, members) in self.components.iter().enumerate() {
+            if best.is_none_or(|b| members.len() > self.components[b].len()) {
+                best = Some(index);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::default_case_study;
+    use crate::graph::LinkId;
+    use crate::route_table::RouteTable;
+
+    #[test]
+    fn whole_case_study_is_one_component() {
+        let cs = default_case_study();
+        let view = PartitionView::of(&cs.network);
+        assert_eq!(view.component_count(), 1);
+        assert!(!view.is_partitioned());
+        assert_eq!(view.component_nodes(0).len(), cs.network.node_count());
+        assert_eq!(view.epoch(), cs.network.epoch());
+    }
+
+    #[test]
+    fn severing_both_wan_legs_isolates_the_site() {
+        let cs = default_case_study();
+        let mut net = cs.network.clone();
+        // Seattle's two WAN legs: NY–SEA and SEA–SD.
+        let legs: Vec<LinkId> = net
+            .links()
+            .iter()
+            .filter(|l| {
+                let pair = [l.a, l.b];
+                pair.contains(&cs.seattle_gateway)
+                    && (pair.contains(&cs.ny_gateway) || pair.contains(&cs.sd_gateway))
+            })
+            .map(|l| l.id)
+            .collect();
+        assert_eq!(legs.len(), 2);
+        for leg in &legs {
+            net.set_link_up(*leg, false);
+        }
+        let view = PartitionView::of(&net);
+        assert!(view.is_partitioned());
+        assert_eq!(view.component_count(), 2);
+        assert!(!view.same_component(cs.seattle_client, cs.ny_gateway));
+        assert!(view.same_component(cs.seattle_client, cs.seattle_gateway));
+        assert!(view.same_component(cs.sd_client, cs.mail_server));
+        // Majority side is NY + SD (6 of 9 nodes).
+        let majority = view.majority().unwrap();
+        assert_eq!(view.component_nodes(majority).len(), 6);
+        assert_ne!(view.component_of(cs.seattle_client), Some(majority));
+    }
+
+    #[test]
+    fn down_nodes_belong_to_no_component() {
+        let cs = default_case_study();
+        let mut net = cs.network.clone();
+        net.set_node_up(cs.seattle_gateway, false);
+        let view = PartitionView::of(&net);
+        assert_eq!(view.component_of(cs.seattle_gateway), None);
+        // The Seattle LAN hosts are cut off from the WAN by their
+        // gateway's death.
+        assert!(!view.same_component(cs.seattle_client, cs.ny_gateway));
+    }
+
+    #[test]
+    fn bfs_and_route_table_views_agree() {
+        let cs = default_case_study();
+        let mut net = cs.network.clone();
+        let mut table = RouteTable::build(&net);
+        // Progressive damage: sever one WAN leg, then the other, then a
+        // whole site's gateway; after each step the repaired table's
+        // view must equal the from-scratch BFS view.
+        let legs: Vec<LinkId> = net
+            .links()
+            .iter()
+            .filter(|l| {
+                let pair = [l.a, l.b];
+                pair.contains(&cs.seattle_gateway)
+                    && (pair.contains(&cs.ny_gateway) || pair.contains(&cs.sd_gateway))
+            })
+            .map(|l| l.id)
+            .collect();
+        for leg in &legs {
+            net.set_link_up(*leg, false);
+            table.repair(&net, &[*leg], &[]);
+            assert_eq!(table.partition_view(&net), PartitionView::of(&net));
+        }
+        net.set_node_up(cs.sd_gateway, false);
+        table.repair(&net, &[], &[cs.sd_gateway]);
+        let view = table.partition_view(&net);
+        assert_eq!(view, PartitionView::of(&net));
+        assert_eq!(view.component_count(), 3, "NY | SD hosts | SEA");
+    }
+}

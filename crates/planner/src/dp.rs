@@ -65,7 +65,7 @@ fn node_cost(mapper: &Mapper<'_>, component: &str, frac: f64, node: NodeId) -> f
         };
         transfer + STARTUP_COST_MS
     };
-    combine(mapper.objective, latency, cost)
+    combine(mapper.objective, latency, cost) + mapper.avoidance_penalty(node)
 }
 
 /// Additive cost of the edge from stage `i` on `from` to stage `i+1` on

@@ -33,7 +33,7 @@ pub use linkage::{
     enumerate_linkages, enumerate_linkages_multi, LinkageGraph, LinkageLimits, LinkageNode,
 };
 pub use load::{propagate_rates, LoadModel, RatePlan};
-pub use mapping::{Evaluation, Mapper};
+pub use mapping::{Evaluation, Mapper, AVOID_PENALTY};
 pub use plan::{
     Objective, Placement, Plan, PlanEdge, PlanError, PlanRepairStats, PlanStats, ServiceRequest,
 };

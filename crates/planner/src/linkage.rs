@@ -26,6 +26,12 @@ pub struct LinkageLimits {
     pub max_depth: usize,
     /// Maximum number of graphs to produce (guards combinatorial specs).
     pub max_graphs: usize,
+    /// Also emit variants in which a data view with requirements appears
+    /// *without* its upstream subtree — the degraded-mode chains of
+    /// Section 5.2, where a partition-side view serves from its local
+    /// state while the represented component is unreachable. Off by
+    /// default; the planner turns it on for degraded-mode requests.
+    pub allow_detached_data_views: bool,
 }
 
 impl Default for LinkageLimits {
@@ -34,6 +40,7 @@ impl Default for LinkageLimits {
             max_repeats: 2,
             max_depth: 8,
             max_graphs: 4096,
+            allow_detached_data_views: false,
         }
     }
 }
@@ -245,6 +252,13 @@ impl Ctx<'_> {
 
         let requires: Vec<String> = decl.requires.iter().map(|r| r.interface.clone()).collect();
         self.expand_requirements(&requires, 0, my_index, depth, done);
+        if self.limits.allow_detached_data_views && decl.is_data_view() && !requires.is_empty() {
+            // Degraded-mode variant: the data view terminates the chain,
+            // serving detached from whatever state it holds. Emitted
+            // after the fully-linked expansions so graph order (and the
+            // planner's order-based tie-breaks) prefer complete chains.
+            done(self);
+        }
 
         self.path.pop();
         self.nodes.truncate(my_index);
@@ -335,6 +349,7 @@ mod tests {
             max_repeats: 1,
             max_depth: 6,
             max_graphs: 1000,
+            ..LinkageLimits::default()
         };
         let graphs = enumerate_linkages(&spec, "ClientInterface", &limits);
         let rendered: Vec<String> = graphs.iter().map(|g| g.to_string()).collect();
@@ -365,6 +380,7 @@ mod tests {
                 max_repeats: 1,
                 max_depth: 8,
                 max_graphs: 10_000,
+                ..LinkageLimits::default()
             },
         );
         let two = enumerate_linkages(
@@ -374,6 +390,7 @@ mod tests {
                 max_repeats: 2,
                 max_depth: 10,
                 max_graphs: 10_000,
+                ..LinkageLimits::default()
             },
         );
         assert!(two.len() > one.len());
@@ -418,6 +435,7 @@ mod tests {
                 max_repeats: 3,
                 max_depth: 12,
                 max_graphs: 5,
+                ..LinkageLimits::default()
             },
         );
         assert_eq!(graphs.len(), 5);
@@ -462,5 +480,45 @@ mod tests {
         }
         assert!(graphs.iter().any(|g| g.to_string() == "Root -> (B1, C1)"));
         assert!(graphs.iter().any(|g| g.to_string() == "Root -> (B2, C1)"));
+    }
+
+    #[test]
+    fn detached_data_views_are_gated_by_the_limit() {
+        let spec = mail_shape();
+        let default = enumerate_linkages(&spec, "ClientInterface", &LinkageLimits::default());
+        let rendered: Vec<String> = default.iter().map(|g| g.to_string()).collect();
+        // Without the flag, a data view never terminates a chain.
+        assert!(!rendered.contains(&"ViewMailClient -> ViewMailServer".to_owned()));
+
+        let degraded = enumerate_linkages(
+            &spec,
+            "ClientInterface",
+            &LinkageLimits {
+                allow_detached_data_views: true,
+                ..LinkageLimits::default()
+            },
+        );
+        let rendered: Vec<String> = degraded.iter().map(|g| g.to_string()).collect();
+        // With it, the degraded-mode chain appears: the data view serves
+        // detached, with no upstream MailServer.
+        assert!(rendered.contains(&"ViewMailClient -> ViewMailServer".to_owned()));
+        assert!(rendered.contains(&"MailClient -> ViewMailServer".to_owned()));
+        // Object views are not detachable — only data views hold state.
+        assert!(!rendered.contains(&"ViewMailClient".to_owned()));
+        // Every default graph is still present (flag only adds variants).
+        let set: std::collections::BTreeSet<&str> = rendered.iter().map(String::as_str).collect();
+        for g in &default {
+            assert!(set.contains(g.to_string().as_str()));
+        }
+        // The detached variant sorts after its fully-linked siblings.
+        let full = rendered
+            .iter()
+            .position(|s| s == "MailClient -> ViewMailServer -> MailServer")
+            .unwrap();
+        let detached = rendered
+            .iter()
+            .position(|s| s == "MailClient -> ViewMailServer")
+            .unwrap();
+        assert!(full < detached);
     }
 }

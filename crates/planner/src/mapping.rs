@@ -33,6 +33,13 @@ use std::sync::Arc;
 /// startup share is on the order of a second per component.
 pub const STARTUP_COST_MS: f64 = 500.0;
 
+/// Objective penalty per placement on an avoided host
+/// ([`ServiceRequest::avoided`](crate::ServiceRequest)). Large enough to
+/// dominate any realistic latency/cost term, so an avoided host is
+/// chosen only when no mapping without it is feasible — down-weighting,
+/// not exclusion (pinned components on avoided hosts still plan).
+pub const AVOID_PENALTY: f64 = 1e6;
+
 /// Cache of materialized routes (with environments), keyed by
 /// (from, to) node indices.
 type RouteCache = RefCell<HashMap<(u32, u32), Option<Rc<RouteInfo>>>>;
@@ -172,6 +179,19 @@ impl<'a> Mapper<'a> {
     /// request context merged).
     pub fn node_env(&self, node: NodeId) -> &Environment {
         &self.node_envs[node.0 as usize]
+    }
+
+    /// The objective penalty for placing on `node`: [`AVOID_PENALTY`]
+    /// when the request down-weights it, zero otherwise. Added per
+    /// placement by every search algorithm's cost model, and omitted
+    /// from branch-and-bound *bounds* (which therefore undershoot —
+    /// still admissible).
+    pub fn avoidance_penalty(&self, node: NodeId) -> f64 {
+        if self.request.avoided.contains(&node) {
+            AVOID_PENALTY
+        } else {
+            0.0
+        }
     }
 
     /// Route (with environments) between two nodes; the materialized
@@ -644,7 +664,10 @@ impl<'a> Mapper<'a> {
                 latency_weight,
                 cost_weight,
             } => latency_weight * latency_ms + cost_weight * cost_ms,
-        };
+        } + assignment
+            .iter()
+            .map(|node| self.avoidance_penalty(*node))
+            .sum::<f64>();
 
         Some(Evaluation {
             objective_value,

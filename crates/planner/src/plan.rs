@@ -3,7 +3,7 @@
 use crate::linkage::LinkageGraph;
 use ps_net::{NodeId, Route};
 use ps_spec::{Environment, ResolvedBindings};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A component instance already running in the network (from earlier
@@ -51,6 +51,17 @@ pub struct ServiceRequest {
     /// the root may land anywhere its conditions allow, and the
     /// client ↔ root round trip is charged in the latency objective.
     pub colocate_root: bool,
+    /// Nodes to *down-weight* (not exclude): placements on these hosts
+    /// carry a large objective penalty, so the planner uses them only
+    /// when nothing else is feasible. The healer lists freshly
+    /// lease-expired hosts here for one detection window, keeping
+    /// replans off a host whose expiries are only partially observed.
+    pub avoided: BTreeSet<NodeId>,
+    /// Degraded-mode planning: permit chains that terminate at a
+    /// data-view component with its upstream requirement left unwired
+    /// (disconnected operation during a network partition; the deferred
+    /// linkage is re-established at reconciliation).
+    pub degraded: bool,
 }
 
 impl ServiceRequest {
@@ -66,6 +77,8 @@ impl ServiceRequest {
             required: ResolvedBindings::new(),
             existing: Vec::new(),
             colocate_root: true,
+            avoided: BTreeSet::new(),
+            degraded: false,
         }
     }
 
@@ -109,6 +122,20 @@ impl ServiceRequest {
     /// allow, charging the client ↔ root round trip in the objective.
     pub fn free_root(mut self) -> Self {
         self.colocate_root = false;
+        self
+    }
+
+    /// Down-weights a host: placements there carry a large objective
+    /// penalty, so the planner picks it only when nothing else works.
+    pub fn avoid(mut self, node: NodeId) -> Self {
+        self.avoided.insert(node);
+        self
+    }
+
+    /// Enables degraded-mode planning (chains may terminate at a
+    /// data-view component with the upstream linkage deferred).
+    pub fn degraded_mode(mut self) -> Self {
+        self.degraded = true;
         self
     }
 

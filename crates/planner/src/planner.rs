@@ -103,6 +103,15 @@ impl Planner {
         Planner { spec, config }
     }
 
+    /// Enumeration limits effective for one request: a degraded-mode
+    /// request (partition-side healing) may detach data views from
+    /// their unreachable upstream subtree.
+    fn effective_limits(&self, request: &ServiceRequest) -> LinkageLimits {
+        let mut limits = self.config.limits.clone();
+        limits.allow_detached_data_views |= request.degraded;
+        limits
+    }
+
     /// Plans a deployment satisfying `request` on `net` (Section 3.3's
     /// two logical steps: enumerate valid linkages, then map them onto
     /// the network discarding mappings that violate any constraint,
@@ -118,7 +127,11 @@ impl Planner {
                 return Err(PlanError::UnknownPinned(pinned.clone()));
             }
         }
-        let graphs = enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        let graphs = enumerate_linkages_multi(
+            &self.spec,
+            &request.interfaces,
+            &self.effective_limits(request),
+        );
         if graphs.is_empty() {
             return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
         }
@@ -277,7 +290,11 @@ impl Planner {
                 return Err(PlanError::UnknownPinned(pinned.clone()));
             }
         }
-        let graphs = enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        let graphs = enumerate_linkages_multi(
+            &self.spec,
+            &request.interfaces,
+            &self.effective_limits(request),
+        );
         if graphs.is_empty() {
             return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
         }
@@ -352,13 +369,24 @@ impl Planner {
             .zip(&old.placements)
             .map(|(&aff, p)| (!aff).then_some(p.node))
             .collect();
-        let seed = exhaustive::search_restricted(
-            &configured_mapper,
-            &old.graph,
-            &mut stats,
-            &fixed,
-            &incumbent,
-        );
+        // The seed must live in the current request's graph space: a
+        // plan carried over from a differently-shaped request (e.g. a
+        // degraded-mode detached chain being re-planned on the full
+        // request) would otherwise seed — and on objective could win —
+        // with a graph this request cannot legally produce.
+        let seed = graphs
+            .iter()
+            .any(|g| g == &old.graph)
+            .then(|| {
+                exhaustive::search_restricted(
+                    &configured_mapper,
+                    &old.graph,
+                    &mut stats,
+                    &fixed,
+                    &incumbent,
+                )
+            })
+            .flatten();
         let seeded = seed.is_some();
         let cuts_before_full = stats.bound_prunes;
         let mut best: Option<Plan> =
@@ -431,7 +459,11 @@ impl Planner {
                 return Err(PlanError::UnknownPinned(pinned.clone()));
             }
         }
-        let graphs = enumerate_linkages_multi(&self.spec, &request.interfaces, &self.config.limits);
+        let graphs = enumerate_linkages_multi(
+            &self.spec,
+            &request.interfaces,
+            &self.effective_limits(request),
+        );
         if graphs.is_empty() {
             return Err(PlanError::NoImplementers(request.interfaces.join(" + ")));
         }

@@ -489,6 +489,71 @@ fn user_acl_conditions_gate_on_request_context() {
 }
 
 #[test]
+fn avoided_hosts_are_down_weighted_not_excluded() {
+    let (net, c, s) = network(true);
+    // A free root normally lands at the origin (the server node, per the
+    // deployment-cost tie-break pinned by `free_root_charges_the_client_edge`);
+    // avoiding that host pushes the root off it without making planning
+    // infeasible.
+    let plan = planner(PlannerConfig::default())
+        .plan(&net, &translator(), &request(c, s).free_root().avoid(s))
+        .unwrap();
+    assert_ne!(
+        plan.placements[0].node, s,
+        "root moved off the avoided host"
+    );
+    // The pinned Server still sits on the avoided node — this is a
+    // penalty, not an exclusion — and the objective carries it, so any
+    // penalty-free mapping would have won instead.
+    assert_eq!(plan.placement_of("Server").unwrap().node, s);
+    assert!(plan.objective_value >= ps_planner::AVOID_PENALTY);
+}
+
+#[test]
+fn avoidance_is_respected_by_every_algorithm() {
+    // On the insecure WAN the Tunnel normally colocates with the client
+    // (zero-latency edge beats the 0.1 ms hop to the spare edge node);
+    // avoiding the client host pays the penalty once for the colocated
+    // root but must move every *movable* placement — the Tunnel — to the
+    // spare node, identically under every search algorithm.
+    let (net, c, s) = network(false);
+    let spare = NodeId(1);
+    let baseline = planner(PlannerConfig::default())
+        .plan(&net, &translator(), &request(c, s))
+        .unwrap();
+    assert_eq!(baseline.placement_of("Tunnel").unwrap().node, c);
+    let mut seen = Vec::new();
+    for algorithm in [
+        Algorithm::Oracle,
+        Algorithm::Exhaustive,
+        Algorithm::DpChain,
+        Algorithm::PartialOrder,
+        Algorithm::Auto,
+    ] {
+        let plan = planner(PlannerConfig {
+            algorithm,
+            ..Default::default()
+        })
+        .plan(&net, &translator(), &request(c, s).avoid(c))
+        .unwrap();
+        assert_eq!(
+            plan.placement_of("Tunnel").unwrap().node,
+            spare,
+            "{algorithm:?} moves the tunnel off the avoided host"
+        );
+        assert_eq!(plan.placements[0].node, c, "colocated root stays put");
+        seen.push((
+            plan.graph.to_string(),
+            plan.placements.iter().map(|p| p.node).collect::<Vec<_>>(),
+            plan.objective_value,
+        ));
+    }
+    for other in &seen[1..] {
+        assert_eq!(&seen[0], other, "all algorithms agree under avoidance");
+    }
+}
+
+#[test]
 fn parallel_planning_matches_serial() {
     let (net, c, s) = network(false);
     let p = planner(PlannerConfig::default());

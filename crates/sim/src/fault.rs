@@ -60,6 +60,70 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// A named fault domain: a set of nodes and links that fail *together*
+/// (a site losing power, both WAN legs of a gateway being severed, a
+/// rack-level event). Domains are pure data; scheduling one through
+/// [`FaultPlan::domain_down`] / [`FaultPlan::domain_outage`] expands it
+/// into per-element [`FaultEvent`]s that all carry the **same** virtual
+/// timestamp, so the whole group is applied before any timer or message
+/// interleaves — correlated failure without changing the event model or
+/// the replay contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultDomain {
+    /// Human-readable name ("SanDiego", "rack-3", "SEA-wan-legs").
+    pub name: String,
+    /// Raw node ids that crash/restart together.
+    pub nodes: Vec<u32>,
+    /// Raw link ids that go down/up together.
+    pub links: Vec<u32>,
+}
+
+impl FaultDomain {
+    /// An empty named domain; extend with [`node`](Self::node) /
+    /// [`link`](Self::link).
+    pub fn new(name: impl Into<String>) -> Self {
+        FaultDomain {
+            name: name.into(),
+            ..FaultDomain::default()
+        }
+    }
+
+    /// A domain covering a set of nodes (site crash, rack power event).
+    pub fn nodes(name: impl Into<String>, nodes: impl IntoIterator<Item = u32>) -> Self {
+        FaultDomain {
+            name: name.into(),
+            nodes: nodes.into_iter().collect(),
+            links: Vec::new(),
+        }
+    }
+
+    /// A domain covering a set of links (severing a gateway's WAN legs).
+    pub fn links(name: impl Into<String>, links: impl IntoIterator<Item = u32>) -> Self {
+        FaultDomain {
+            name: name.into(),
+            nodes: Vec::new(),
+            links: links.into_iter().collect(),
+        }
+    }
+
+    /// Adds a node to the domain.
+    pub fn node(mut self, node: u32) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Adds a link to the domain.
+    pub fn link(mut self, link: u32) -> Self {
+        self.links.push(link);
+        self
+    }
+
+    /// True when the domain names no elements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.links.is_empty()
+    }
+}
+
 /// Shape parameters for [`FaultPlan::randomized`].
 #[derive(Debug, Clone)]
 pub struct ChaosConfig {
@@ -85,6 +149,17 @@ pub struct ChaosConfig {
     pub max_outage: SimDuration,
     /// If false, crashed nodes stay down (no `NodeRestart` is emitted).
     pub restart_nodes: bool,
+    /// Named fault domains eligible for correlated outages (whole site,
+    /// gateway WAN legs, rack). Empty means no domain events are drawn.
+    pub domains: Vec<FaultDomain>,
+    /// Number of correlated domain outages to draw: each picks one
+    /// domain, takes every member down at one instant, and restores the
+    /// whole group after an outage drawn from
+    /// [`min_outage`](Self::min_outage)..[`max_outage`](Self::max_outage)
+    /// (nodes are restored only when
+    /// [`restart_nodes`](Self::restart_nodes) is set; links always come
+    /// back).
+    pub domain_outages: usize,
 }
 
 impl Default for ChaosConfig {
@@ -101,6 +176,8 @@ impl Default for ChaosConfig {
             min_outage: SimDuration::from_millis(500),
             max_outage: SimDuration::from_secs(5),
             restart_nodes: true,
+            domains: Vec::new(),
+            domain_outages: 1,
         }
     }
 }
@@ -153,6 +230,58 @@ impl FaultPlan {
         self.link_down(at, link).link_up(at + outage, link)
     }
 
+    /// Takes every member of `domain` down at `at`: member nodes crash
+    /// and member links go down, all at the **same** timestamp (nodes
+    /// first, then links, each in the domain's listed order — the
+    /// engine's FIFO tie-break preserves that order, so replay is
+    /// byte-identical).
+    pub fn domain_down(&mut self, at: SimTime, domain: &FaultDomain) -> &mut Self {
+        for &node in &domain.nodes {
+            self.crash(at, node);
+        }
+        for &link in &domain.links {
+            self.link_down(at, link);
+        }
+        self
+    }
+
+    /// Restores every member of `domain` at `at` (member nodes restart,
+    /// member links come back up, same ordering as
+    /// [`domain_down`](Self::domain_down)).
+    pub fn domain_up(&mut self, at: SimTime, domain: &FaultDomain) -> &mut Self {
+        for &node in &domain.nodes {
+            self.restart(at, node);
+        }
+        for &link in &domain.links {
+            self.link_up(at, link);
+        }
+        self
+    }
+
+    /// A correlated outage: the whole domain goes down at `at` and is
+    /// restored at `at + outage`. Set `restart_nodes` to false to leave
+    /// member nodes dead (links still come back — a severed site whose
+    /// hosts never rejoin).
+    pub fn domain_outage(
+        &mut self,
+        at: SimTime,
+        domain: &FaultDomain,
+        outage: SimDuration,
+        restart_nodes: bool,
+    ) -> &mut Self {
+        self.domain_down(at, domain);
+        let up = at + outage;
+        if restart_nodes {
+            for &node in &domain.nodes {
+                self.restart(up, node);
+            }
+        }
+        for &link in &domain.links {
+            self.link_up(up, link);
+        }
+        self
+    }
+
     /// Drops messages on `link` with probability `loss` during
     /// `[at, at + window)`.
     pub fn loss_window(
@@ -202,6 +331,16 @@ impl FaultPlan {
                 let link = *rng.choose(&config.flappable_links);
                 let loss = rng.range_f64(config.loss_range.0, config.loss_range.1);
                 plan.loss_window(draw_at(&mut rng), link, loss, draw_outage(&mut rng));
+            }
+        }
+        // Correlated draws come last so schedules generated by earlier
+        // configs (no domains) keep their exact byte-identical replay.
+        if !config.domains.is_empty() {
+            for _ in 0..config.domain_outages {
+                let domain = rng.choose(&config.domains);
+                let at = draw_at(&mut rng);
+                let outage = draw_outage(&mut rng);
+                plan.domain_outage(at, domain, outage, config.restart_nodes);
             }
         }
         plan
@@ -280,11 +419,146 @@ mod tests {
             min_outage: SimDuration::from_nanos(1),
             max_outage: SimDuration::from_nanos(10),
             restart_nodes: true,
+            ..ChaosConfig::default()
         };
         for ev in FaultPlan::randomized(7, &config).events() {
             assert!(ev.at.as_nanos() >= 1_000);
             assert!(ev.at.as_nanos() < 2_020, "restorations stay near window");
         }
+    }
+
+    #[test]
+    fn domain_down_expands_members_at_one_instant_in_order() {
+        let site = FaultDomain::nodes("SanDiego", [3, 4, 5]).link(9);
+        let mut plan = FaultPlan::new();
+        plan.domain_down(SimTime::from_nanos(100), &site);
+        let evs = plan.events();
+        assert_eq!(evs.len(), 4);
+        assert!(evs.iter().all(|e| e.at.as_nanos() == 100));
+        assert_eq!(evs[0].kind, FaultKind::NodeCrash { node: 3 });
+        assert_eq!(evs[1].kind, FaultKind::NodeCrash { node: 4 });
+        assert_eq!(evs[2].kind, FaultKind::NodeCrash { node: 5 });
+        assert_eq!(evs[3].kind, FaultKind::LinkDown { link: 9 });
+    }
+
+    #[test]
+    fn domain_outage_restores_the_whole_group() {
+        let legs = FaultDomain::links("SEA-wan-legs", [1, 2]);
+        let mut plan = FaultPlan::new();
+        plan.domain_outage(
+            SimTime::from_nanos(50),
+            &legs,
+            SimDuration::from_nanos(30),
+            true,
+        );
+        let evs = plan.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].kind, FaultKind::LinkDown { link: 1 });
+        assert_eq!(evs[1].kind, FaultKind::LinkDown { link: 2 });
+        assert_eq!(evs[2].kind, FaultKind::LinkUp { link: 1 });
+        assert_eq!(evs[3].kind, FaultKind::LinkUp { link: 2 });
+        assert!(evs[2].at.as_nanos() == 80 && evs[3].at.as_nanos() == 80);
+    }
+
+    #[test]
+    fn domain_outage_can_leave_nodes_dead() {
+        let site = FaultDomain::nodes("rack", [7]).link(4);
+        let mut plan = FaultPlan::new();
+        plan.domain_outage(
+            SimTime::from_nanos(10),
+            &site,
+            SimDuration::from_nanos(10),
+            false,
+        );
+        let kinds: Vec<FaultKind> = plan.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                FaultKind::NodeCrash { node: 7 },
+                FaultKind::LinkDown { link: 4 },
+                FaultKind::LinkUp { link: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn randomized_correlated_schedules_are_deterministic() {
+        let config = ChaosConfig {
+            crashable_nodes: vec![1],
+            flappable_links: vec![10],
+            domains: vec![
+                FaultDomain::nodes("site-a", [2, 3]).link(11),
+                FaultDomain::links("legs-b", [12, 13]),
+            ],
+            domain_outages: 3,
+            horizon: SimTime::from_nanos(10_000_000_000),
+            ..ChaosConfig::default()
+        };
+        let a = FaultPlan::randomized(5, &config);
+        let b = FaultPlan::randomized(5, &config);
+        assert_eq!(a, b, "same seed replays byte-identically");
+        assert_ne!(a, FaultPlan::randomized(6, &config));
+
+        // Every drawn outage takes a whole domain down at one instant:
+        // group the events by timestamp and check each down-burst matches
+        // one domain's full member set.
+        let mut crash_bursts: std::collections::BTreeMap<u64, Vec<FaultKind>> = Default::default();
+        for ev in a.events() {
+            if matches!(
+                ev.kind,
+                FaultKind::NodeCrash { .. } | FaultKind::LinkDown { .. }
+            ) {
+                crash_bursts
+                    .entry(ev.at.as_nanos())
+                    .or_default()
+                    .push(ev.kind);
+            }
+        }
+        let matches_domain = |burst: &[FaultKind], d: &FaultDomain| {
+            let nodes: Vec<u32> = burst
+                .iter()
+                .filter_map(|k| match k {
+                    FaultKind::NodeCrash { node } => Some(*node),
+                    _ => None,
+                })
+                .collect();
+            let links: Vec<u32> = burst
+                .iter()
+                .filter_map(|k| match k {
+                    FaultKind::LinkDown { link } => Some(*link),
+                    _ => None,
+                })
+                .collect();
+            nodes == d.nodes && links == d.links
+        };
+        let correlated = crash_bursts
+            .values()
+            .filter(|burst| config.domains.iter().any(|d| matches_domain(burst, d)))
+            .count();
+        assert!(
+            correlated >= config.domain_outages.min(crash_bursts.len()),
+            "each domain outage lands as one correlated burst"
+        );
+    }
+
+    #[test]
+    fn empty_domains_consume_no_draws() {
+        // Adding the (empty) domain fields must not perturb schedules
+        // drawn by pre-domain configs: same seed, same events.
+        let base = ChaosConfig {
+            crashable_nodes: vec![1, 2],
+            flappable_links: vec![10, 11],
+            horizon: SimTime::from_nanos(10_000_000_000),
+            ..ChaosConfig::default()
+        };
+        let with_count = ChaosConfig {
+            domain_outages: 50,
+            ..base.clone()
+        };
+        assert_eq!(
+            FaultPlan::randomized(42, &base),
+            FaultPlan::randomized(42, &with_count)
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
-pub use fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+pub use fault::{ChaosConfig, FaultDomain, FaultEvent, FaultKind, FaultPlan};
 pub use ps_trace::Tracer;
 pub use resources::{CpuModel, LinkModel};
 pub use rng::Rng;
@@ -43,7 +43,7 @@ pub use time::{SimDuration, SimTime};
 /// Convenience prelude for simulation users.
 pub mod prelude {
     pub use crate::engine::Engine;
-    pub use crate::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+    pub use crate::fault::{ChaosConfig, FaultDomain, FaultEvent, FaultKind, FaultPlan};
     pub use crate::resources::{CpuModel, LinkModel};
     pub use crate::rng::Rng;
     pub use crate::stats::{LogHistogram, Percentiles, Summary, TimeSeries};

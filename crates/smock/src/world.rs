@@ -1349,7 +1349,14 @@ fn restart_node_inner(engine: &mut Engine<Event>, state: &mut State, node: NodeI
         return;
     }
     state.node_up[node.0 as usize] = true;
+    // `set_node_up` bumps the network epoch only when the graph flag
+    // actually flips; a crashed-but-never-quarantined host restarts
+    // with the flag already up, and without an explicit bump the plan
+    // cache keeps serving entries computed while the host was dead —
+    // masking the rejoin from every later replan. `touch` makes restart
+    // an unconditional epoch event.
     state.net.set_node_up(node, true);
+    state.net.touch();
     state.route_cache.clear();
     state.down_pending.remove(&node.0);
     let now = engine.now();
@@ -1665,6 +1672,34 @@ mod tests {
         );
         world.wire(client, vec![server]);
         (world, client, server)
+    }
+
+    #[test]
+    fn restart_always_bumps_the_network_epoch() {
+        let (mut world, _client, _server) = two_node_world(1, 8e6);
+        let node = NodeId(1);
+        let before = world.network().epoch();
+        // A silent crash leaves the graph flag untouched (detection is
+        // lease-driven), so the epoch does not move...
+        world.crash_node(node);
+        assert_eq!(world.network().epoch(), before);
+        // ...but the restart must still be an epoch event: plans cached
+        // while the host was dead would otherwise mask the rejoin from
+        // every later replan.
+        world.restart_node(node);
+        let after_silent = world.network().epoch();
+        assert!(after_silent > before, "restart after silent crash");
+        // The quarantined path (graph flag flipped by the healer) bumps
+        // as well.
+        world.crash_node(node);
+        world.quarantine_node(node);
+        let quarantined = world.network().epoch();
+        assert!(quarantined > after_silent);
+        world.restart_node(node);
+        assert!(
+            world.network().epoch() > quarantined,
+            "restart after quarantine"
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ cargo run --release -q -p ps-bench --bin trace_report -- "$tmpdir/trace_smoke.js
 echo "==> chaos smoke: chaos_recovery (writes BENCH_chaos.json)"
 cargo run --release -q -p ps-bench --bin chaos_recovery -- 42 "$tmpdir/chaos_smoke.jsonl"
 
+echo "==> partition smoke: chaos_partition (writes BENCH_partition.json)"
+cargo run --release -q -p ps-bench --bin chaos_partition -- 42 "$tmpdir/partition_smoke.jsonl"
+
 # The scale bench self-asserts its acceptance gates when timing is real:
 # warm-start repair beating the cold replan at every world size and the
 # single-link route repair at least 10x faster than a rebuild at 1000
@@ -92,6 +95,13 @@ mkdir -p "$tmpdir/ca" "$tmpdir/cb"
 (cd "$tmpdir/cb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/chaos_recovery" 42 chaos.jsonl > /dev/null)
 cmp "$tmpdir/ca/BENCH_chaos.json" "$tmpdir/cb/BENCH_chaos.json"
 cmp "$tmpdir/ca/chaos.jsonl" "$tmpdir/cb/chaos.jsonl"
+
+echo "==> determinism: chaos_partition (stable mode, 2 runs, cmp JSON + JSONL)"
+mkdir -p "$tmpdir/na" "$tmpdir/nb"
+(cd "$tmpdir/na" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/chaos_partition" 42 partition.jsonl > /dev/null)
+(cd "$tmpdir/nb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/chaos_partition" 42 partition.jsonl > /dev/null)
+cmp "$tmpdir/na/BENCH_partition.json" "$tmpdir/nb/BENCH_partition.json"
+cmp "$tmpdir/na/partition.jsonl" "$tmpdir/nb/partition.jsonl"
 
 echo "==> determinism: bench_scale (stable mode, 2 runs, cmp JSON)"
 mkdir -p "$tmpdir/sa" "$tmpdir/sb"

@@ -220,3 +220,116 @@ fn manual_fail_node_reports_and_replans_around_the_host() {
     assert!(d.is_done());
     assert_eq!(d.denied, 0);
 }
+
+/// Suspect pinning: when a host's leases expire *staggered* (instances
+/// granted at different times), the first `InstanceDown` verdict lands
+/// while the node still looks up — its remaining expiries are in
+/// flight. Redeploying a replacement chain onto that host would court
+/// an immediate second failure, so the healer holds it suspect for one
+/// detection window and down-weights it in the repair solve. The
+/// eventual `NodeDown` verdict supersedes the suspicion (quarantine
+/// already excludes the host).
+#[test]
+fn half_expired_hosts_are_suspect_and_avoided_for_one_lease_window() {
+    let (cs, mut fw) = mail_framework();
+    let lease = LeaseConfig::default();
+    fw.world.enable_retry(RetryPolicy::default());
+    fw.world.enable_leases(lease);
+    fw.world.set_fault_seed(7);
+
+    // San Diego's chain deploys at t=0: its instances renew on the
+    // epoch grid, so a crash at 3.0s leaves their last renewal at 3.0s
+    // and their leases run until 5.0s.
+    let sd_request = ServiceRequest::new(CLIENT_INTERFACE, cs.sd_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 4i64);
+    let sd_conn = fw.connect("mail", &sd_request).unwrap();
+    let sd_handle = fw.manage("mail", sd_request, sd_conn);
+
+    // Seattle chains onto it 300ms later: its *new* instance on the
+    // San Diego host (the chained decryptor) renews on a grid offset
+    // by 300ms, so after the same crash its lease expires at 4.8s —
+    // 200ms before the host's other leases.
+    fw.run_until(SimTime::from_nanos(300_000_000));
+    let sea_request = ServiceRequest::new(CLIENT_INTERFACE, cs.seattle_client)
+        .rate(10.0)
+        .pin(MAIL_SERVER, cs.mail_server)
+        .origin(cs.mail_server)
+        .require("TrustLevel", 1i64);
+    let sea_conn = fw.connect("mail", &sea_request).unwrap();
+    assert!(
+        sea_conn
+            .plan
+            .placements
+            .iter()
+            .any(|p| p.node == cs.sd_client),
+        "Seattle chains through the San Diego host"
+    );
+    let sea_handle = fw.manage("mail", sea_request, sea_conn);
+
+    let crash_at = SimTime::from_nanos(3_000_000_000);
+    let mut plan = FaultPlan::new();
+    plan.crash(crash_at, cs.sd_client.0);
+    fw.world.install_fault_plan(&plan);
+
+    // Heal between the first expiry (~4.8s — grant times sit at each
+    // deploy's ready time, so the exact grid offset is the code
+    // transfer's) and the rest (5.0s): the detector has declared only
+    // Seattle's decryptor dead, and the host still looks up.
+    fw.run_until(SimTime::from_nanos(4_900_000_000));
+    let report = fw.heal();
+    assert!(
+        report.quarantined.is_empty(),
+        "no NodeDown verdict yet: {report:?}"
+    );
+    assert!(
+        report.recovered.contains(&sea_handle),
+        "the implicated connection redeploys immediately: {report:?}"
+    );
+
+    // The half-expired host is suspect until its *latest* reported
+    // expiry plus one full detection window (each verdict refreshes
+    // the clock — the host keeps failing leases)...
+    let expiry = report
+        .liveness
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                partitionable_services::smock::LivenessKind::InstanceDown { .. }
+            )
+        })
+        .map(|e| e.at)
+        .max()
+        .expect("an InstanceDown verdict landed");
+    assert!(expiry > crash_at && expiry < SimTime::from_nanos(5_000_000_000));
+    assert_eq!(
+        fw.suspected_hosts(),
+        vec![(cs.sd_client, expiry + lease.max_detection_latency())]
+    );
+    // ...and the replacement chain was steered off it even though the
+    // planner's network model still shows the node up.
+    assert!(fw.world.network().node(cs.sd_client).up);
+    let healed = fw.managed_connection(sea_handle).expect("still managed");
+    assert!(
+        healed
+            .plan
+            .placements
+            .iter()
+            .all(|p| p.node != cs.sd_client),
+        "replacement avoids the suspect host: {:?}",
+        healed.plan.placements
+    );
+
+    // The remaining leases expire at 5.0s: the NodeDown verdict
+    // quarantines the host and supersedes the suspicion, and the
+    // crashed client's own connection is abandoned.
+    fw.run_until(SimTime::from_nanos(5_500_000_000));
+    let report = fw.heal();
+    assert_eq!(report.quarantined, vec![cs.sd_client]);
+    assert!(report.abandoned.contains(&sd_handle), "{report:?}");
+    assert!(fw.suspected_hosts().is_empty(), "NodeDown clears suspicion");
+    assert!(!fw.world.network().node(cs.sd_client).up);
+}
