@@ -139,11 +139,42 @@ pub struct HealReport {
     /// (pinned plans need a live `preexisting` primary to deploy).
     pub primaries_restored: Vec<InstanceId>,
     /// Re-deployments that failed outright (deploy errors and the like).
-    pub failed: Vec<(ManagedId, ConnectError)>,
+    pub failed: Vec<(ManagedId, HealError)>,
     /// Warm-start repair statistics aggregated over this pass's
     /// successful redeployments (zeros when no repair-planned redeploy
     /// happened — e.g. all replans were plan-cache hits).
     pub repair: PlanRepairStats,
+}
+
+/// Why a managed connection could not be healed this pass. Typed so the
+/// heal loop never panics mid-pass: every failure lands in
+/// [`HealReport::failed`] and the connection is retried next pass.
+#[derive(Debug)]
+pub enum HealError {
+    /// The re-plan/re-deploy path failed in the connect machinery.
+    Deploy(ConnectError),
+    /// A partition cut was detected but the client's host resolved to no
+    /// live partition component, so there is no component to degrade
+    /// onto.
+    ClientUnreachable {
+        /// The client host that fell out of the partition view.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for HealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealError::Deploy(e) => write!(f, "redeploy failed: {e}"),
+            HealError::ClientUnreachable { node } => {
+                write!(
+                    f,
+                    "client host n{} is in no live partition component",
+                    node.0
+                )
+            }
+        }
+    }
 }
 
 impl HealReport {
@@ -202,17 +233,21 @@ impl Framework {
     /// the monitoring baseline. Call after topology setup, before
     /// faults. [`Framework::manage`] enables this implicitly.
     pub fn enable_self_healing(&mut self) -> &mut Self {
-        if self.healer.is_none() {
-            let mut monitor = NetworkMonitor::new(self.world.network().clone());
-            monitor.set_tracer(self.server.tracer().clone());
-            self.healer = Some(Healer {
-                monitor,
-                managed: Vec::new(),
-                route_table: None,
-                suspects: BTreeMap::new(),
-            });
-        }
+        let healer = self.healer.take().unwrap_or_else(|| self.new_healer());
+        self.healer = Some(healer);
         self
+    }
+
+    /// A fresh healer baselined on the current network.
+    fn new_healer(&self) -> Healer {
+        let mut monitor = NetworkMonitor::new(self.world.network().clone());
+        monitor.set_tracer(self.server.tracer().clone());
+        Healer {
+            monitor,
+            managed: Vec::new(),
+            route_table: None,
+            suspects: BTreeMap::new(),
+        }
     }
 
     /// Places a connection under management: every [`Framework::heal`]
@@ -224,8 +259,9 @@ impl Framework {
         request: ServiceRequest,
         connection: Connection,
     ) -> ManagedId {
-        self.enable_self_healing();
-        let healer = self.healer.as_mut().expect("just enabled");
+        // Take-or-create keeps this panic-free: no `expect` between
+        // enabling the healer and using it.
+        let mut healer = self.healer.take().unwrap_or_else(|| self.new_healer());
         healer.managed.push(Managed {
             service: service.into(),
             request,
@@ -234,7 +270,9 @@ impl Framework {
             degraded: false,
             partition: None,
         });
-        healer.managed.len() - 1
+        let id = healer.managed.len() - 1;
+        self.healer = Some(healer);
+        id
     }
 
     /// The partition epoch a managed connection's current chain was
@@ -492,14 +530,16 @@ impl Framework {
             // previously-tagged chain reconciles back onto the full
             // request.
             let client_comp = pview.component_of(managed[idx].request.client_node);
-            let cut = client_comp.is_some()
-                && managed[idx].request.pinned.values().any(|&n| {
+            let pinned_cut =
+                managed[idx].request.pinned.values().any(|&n| {
                     !self.world.network().node(n).up || pview.component_of(n) != client_comp
                 });
-            let mode = if cut {
-                let comp_nodes = pview
-                    .component_nodes(client_comp.expect("cut implies a live client"))
-                    .to_vec();
+            // `filter` keeps "cut implies a live client component" a
+            // typed fact: a cut only exists together with the component
+            // it degrades onto, so no `expect` is needed to use it.
+            let cut_comp = client_comp.filter(|_| pinned_cut);
+            let mode = if let Some(comp) = cut_comp {
+                let comp_nodes = pview.component_nodes(comp).to_vec();
                 let already = managed[idx]
                     .partition
                     .as_ref()
@@ -514,6 +554,18 @@ impl Framework {
                     component: comp_nodes,
                     epoch: pview.epoch(),
                 }
+            } else if client_comp.is_none() && pinned_cut && !managed[idx].degraded {
+                // Pinned hosts are unreachable but the client resolves to
+                // no live component either: there is nothing to degrade
+                // onto. Report a typed failure and retry next pass
+                // (previously an `.expect` adjacent to this path).
+                report.failed.push((
+                    idx,
+                    HealError::ClientUnreachable {
+                        node: managed[idx].request.client_node,
+                    },
+                ));
+                continue;
             } else if managed[idx].partition.is_some() {
                 RedeployMode::Reconcile
             } else {
@@ -618,7 +670,7 @@ impl Framework {
                 }
                 Err(e) => {
                     managed[idx].degraded = true;
-                    report.failed.push((idx, e));
+                    report.failed.push((idx, HealError::Deploy(e)));
                 }
             }
         }

@@ -303,8 +303,11 @@ fn parse_allow_comment(comment: &str, line: u32, out: &mut Lexed) {
     let mut rules = Vec::new();
     for raw in rest[..close].split(',') {
         let id = raw.trim();
-        let well_formed =
-            id.len() == 4 && id.starts_with('D') && id[1..].chars().all(|c| c.is_ascii_digit());
+        // Rule families: D (token determinism), N (nondeterminism
+        // taint), P (panic path), R (dropped fallibility).
+        let well_formed = id.len() == 4
+            && id.starts_with(['D', 'N', 'P', 'R'])
+            && id[1..].chars().all(|c| c.is_ascii_digit());
         if !well_formed {
             out.malformed
                 .push((line, format!("bad rule id `{id}` in allow(...)")));

@@ -6,20 +6,34 @@
 //! easy to break silently: one `HashMap` iteration feeding a trace, one
 //! `Instant::now()` feeding a decision, one unseeded RNG — and replays
 //! diverge in ways tests only catch probabilistically. `ps-lint` makes
-//! those hazards a compile-gate instead: a hand-rolled lexer
-//! ([`lexer`]) plus a rule engine ([`rules`]) walk every `.rs` file and
-//! fail `scripts/verify.sh` on any unsuppressed finding.
+//! those hazards a compile-gate instead.
+//!
+//! v2 is a two-layer analyzer:
+//!
+//! 1. **Token rules** (D001–D005, [`rules`]): per-file lexical hazards
+//!    over the hand-rolled lexer ([`lexer`]).
+//! 2. **Semantic rules** (N001/P001/R001, [`semantic`]): a lightweight
+//!    item parser ([`parser`]) feeds a workspace call graph
+//!    ([`callgraph`]); inter-procedural passes then prove flow
+//!    properties — nondeterminism taint from source to sink, panic
+//!    reachability from the heal/invoke hot path, silently dropped
+//!    fallible results — and print the full witness call chain.
 //!
 //! There are **no built-in path whitelists**. Every legitimate exception
-//! carries an inline `// ps-lint: allow(D00x): <reason>` comment on the
+//! carries an inline `// ps-lint: allow(<RULE>): <reason>` comment on the
 //! line above (or the same line), and `ps-lint --list-allows` prints the
 //! complete exception inventory for review.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
 pub use rules::{scan_source, AllowRecord, FileReport, Finding};
 
+use callgraph::{FileUnit, Graph};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Directories scanned under the workspace root.
@@ -57,10 +71,126 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scans the whole workspace rooted at `root`. Reports come back in
-/// sorted path order; unreadable files are skipped.
-pub fn scan_workspace(root: &Path) -> Vec<FileReport> {
-    let mut reports = Vec::new();
+/// Wall-clock microseconds spent in each analyzer stage, for the human
+/// report and the verify-time budget check. Zeroed in stable-artifact
+/// mode by the JSON writer, never by the analyzer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageTimings {
+    /// Files analyzed.
+    pub files: usize,
+    /// Functions in the call graph.
+    pub fns: usize,
+    /// Read + lex + item-parse.
+    pub read_parse_us: u64,
+    /// Token rules D001–D005.
+    pub token_rules_us: u64,
+    /// Call-graph construction (symbol index + fact extraction +
+    /// resolution).
+    pub graph_us: u64,
+    /// Semantic passes N001/P001/R001.
+    pub passes_us: u64,
+    /// End-to-end, including the merge/suppression step.
+    pub total_us: u64,
+}
+
+/// The full two-layer analysis result.
+pub struct WorkspaceAnalysis {
+    /// Per-file reports in sorted path order, token and semantic
+    /// findings merged, suppressions applied.
+    pub reports: Vec<FileReport>,
+    /// Per-stage wall times.
+    pub timings: StageTimings,
+}
+
+/// The lint's own stopwatch. ps-lint analyzes its own source, so this
+/// site carries the same discipline it enforces: the readings feed the
+/// report's timing footer only, and the JSON writer zeroes them under
+/// `PS_STABLE_ARTIFACTS=1`.
+#[allow(clippy::disallowed_methods)]
+fn stage_clock() -> std::time::Instant {
+    // ps-lint: allow(D002, N001): lint-stage timing for the report footer and
+    // verify wall-time budget; zeroed in stable mode, never in artifacts
+    std::time::Instant::now()
+}
+
+/// Analyzes a set of already-loaded files (label, source). Exposed so
+/// fixture tests can drive the full pipeline — including the semantic
+/// passes with a custom P001 entry set — without touching the
+/// filesystem.
+pub fn analyze_sources(files: &[(String, String)], entries: &[&str]) -> WorkspaceAnalysis {
+    let t_total = stage_clock();
+
+    let t = stage_clock();
+    let units: Vec<FileUnit> = files
+        .iter()
+        .map(|(label, source)| {
+            let lexed = lexer::lex(source);
+            let parsed = parser::parse_file(label, &lexed);
+            FileUnit {
+                label: label.clone(),
+                lexed,
+                parsed,
+            }
+        })
+        .collect();
+    let read_parse_us = t.elapsed().as_micros() as u64;
+
+    let t = stage_clock();
+    let mut per_file: Vec<Vec<Finding>> = units
+        .iter()
+        .map(|u| rules::token_findings(&u.lexed))
+        .collect();
+    let token_rules_us = t.elapsed().as_micros() as u64;
+
+    let t = stage_clock();
+    let graph = Graph::build(&units);
+    let graph_us = t.elapsed().as_micros() as u64;
+
+    let t = stage_clock();
+    for sf in semantic::run_passes(&graph, &units, entries) {
+        per_file[sf.file].push(sf.finding);
+    }
+    let passes_us = t.elapsed().as_micros() as u64;
+
+    let reports: Vec<FileReport> = units
+        .iter()
+        .zip(per_file)
+        .map(|(unit, mut findings)| {
+            findings.sort_by_key(|f| (f.line, f.rule));
+            let token_lines: BTreeSet<u32> = unit.lexed.tokens.iter().map(|t| t.line).collect();
+            let mut allows: Vec<AllowRecord> = unit
+                .lexed
+                .allows
+                .iter()
+                .cloned()
+                .map(|allow| AllowRecord { allow, used: 0 })
+                .collect();
+            rules::apply_allows(&mut findings, &mut allows, &token_lines);
+            FileReport {
+                path: unit.label.clone(),
+                findings,
+                allows,
+            }
+        })
+        .collect();
+
+    let timings = StageTimings {
+        files: units.len(),
+        fns: graph.nodes.len(),
+        read_parse_us,
+        token_rules_us,
+        graph_us,
+        passes_us,
+        total_us: t_total.elapsed().as_micros() as u64,
+    };
+    WorkspaceAnalysis { reports, timings }
+}
+
+/// Runs the full two-layer analysis over the workspace rooted at
+/// `root`. Reports come back in sorted path order; unreadable files are
+/// skipped.
+pub fn analyze_workspace(root: &Path) -> WorkspaceAnalysis {
+    let mut files: Vec<(String, String)> = Vec::new();
     for path in workspace_rs_files(root) {
         let Ok(source) = std::fs::read_to_string(&path) else {
             continue;
@@ -70,9 +200,16 @@ pub fn scan_workspace(root: &Path) -> Vec<FileReport> {
             .unwrap_or(&path)
             .to_string_lossy()
             .into_owned();
-        reports.push(scan_source(&label, &source));
+        files.push((label, source));
     }
-    reports
+    analyze_sources(&files, &[])
+}
+
+/// Scans the whole workspace: [`analyze_workspace`] without the
+/// timings. Kept as the stable entry point for tests and callers that
+/// only need the reports.
+pub fn scan_workspace(root: &Path) -> Vec<FileReport> {
+    analyze_workspace(root).reports
 }
 
 #[cfg(test)]
@@ -106,5 +243,24 @@ mod tests {
         assert_eq!(report.unsuppressed().count(), 0);
         assert_eq!(report.allows.len(), 1);
         assert_eq!(report.allows[0].used, 1);
+    }
+
+    #[test]
+    fn analyze_sources_merges_semantic_findings() {
+        let files = vec![(
+            "crates/x/src/a.rs".to_owned(),
+            r#"
+            fn fallible() -> Result<u32, String> { Ok(1) }
+            fn go() {
+                let _ = fallible();
+            }
+            "#
+            .to_owned(),
+        )];
+        let analysis = analyze_sources(&files, &["go"]);
+        let rules: Vec<&str> = analysis.reports[0].unsuppressed().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["R001"]);
+        assert_eq!(analysis.timings.files, 1);
+        assert_eq!(analysis.timings.fns, 2);
     }
 }

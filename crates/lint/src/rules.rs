@@ -72,6 +72,9 @@ pub struct Finding {
     pub message: String,
     /// Whether an `allow` comment covers it.
     pub suppressed: bool,
+    /// For semantic rules (N001/P001/R001): the witness call chain,
+    /// source/entry first. Empty for token rules.
+    pub chain: Vec<String>,
 }
 
 /// A suppression found in a file, with usage accounting.
@@ -101,56 +104,20 @@ impl FileReport {
     }
 }
 
-/// Runs every rule over one file's source text.
+/// Runs the token rules over one file's source text. (The semantic
+/// rules need the whole workspace; see [`crate::analyze_workspace`].)
 pub fn scan_source(path: &str, source: &str) -> FileReport {
     let lexed = lex(source);
-    let toks = &lexed.tokens;
-    let hash_idents = hash_typed_idents(toks);
-    let float_idents = float_typed_idents(toks);
-
-    let mut findings: Vec<Finding> = Vec::new();
-    for (line, what) in &lexed.malformed {
-        findings.push(Finding {
-            rule: "D000",
-            line: *line,
-            message: format!("malformed ps-lint suppression: {what}"),
-            suppressed: false,
-        });
-    }
-
-    scan_iteration(toks, &hash_idents, &float_idents, &mut findings);
-    scan_wallclock(toks, &mut findings);
-    scan_entropy(toks, &mut findings);
-    scan_parallel(toks, &mut findings);
-
+    let mut findings = token_findings(&lexed);
     findings.sort_by_key(|f| (f.line, f.rule));
 
-    // Apply suppressions: an allow covers its own line and the next
-    // token-bearing line after it.
-    let token_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
     let mut allows: Vec<AllowRecord> = lexed
         .allows
         .into_iter()
         .map(|allow| AllowRecord { allow, used: 0 })
         .collect();
-    for finding in &mut findings {
-        if finding.rule == "D000" {
-            continue; // malformed suppressions cannot be suppressed
-        }
-        for rec in &mut allows {
-            let next_code_line = token_lines
-                .range(rec.allow.line + 1..)
-                .next()
-                .copied()
-                .unwrap_or(u32::MAX);
-            let covers = finding.line == rec.allow.line || finding.line == next_code_line;
-            if covers && rec.allow.rules.iter().any(|r| r == finding.rule) {
-                finding.suppressed = true;
-                rec.used += 1;
-                break;
-            }
-        }
-    }
+    apply_allows(&mut findings, &mut allows, &token_lines);
 
     FileReport {
         path: path.to_owned(),
@@ -159,14 +126,82 @@ pub fn scan_source(path: &str, source: &str) -> FileReport {
     }
 }
 
+/// Runs only the token rules over a pre-lexed file, without applying
+/// suppressions — the workspace analyzer merges these with the semantic
+/// findings and applies allows once over the union.
+pub(crate) fn token_findings(lexed: &crate::lexer::Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let hash_idents = hash_typed_idents(toks);
+    let float_idents = float_typed_idents(toks);
+    let mut findings: Vec<Finding> = Vec::new();
+    for (line, what) in &lexed.malformed {
+        findings.push(Finding {
+            rule: "D000",
+            line: *line,
+            message: format!("malformed ps-lint suppression: {what}"),
+            suppressed: false,
+            chain: Vec::new(),
+        });
+    }
+    scan_iteration(toks, &hash_idents, &float_idents, &mut findings);
+    scan_wallclock(toks, &mut findings);
+    scan_entropy(toks, &mut findings);
+    scan_parallel(toks, &mut findings);
+    findings
+}
+
+/// Whether an allow comment on `allow_line` covers a finding on
+/// `finding_line`: its own line, or the next token-bearing line after
+/// it.
+pub(crate) fn allow_covers(
+    token_lines: &BTreeSet<u32>,
+    allow_line: u32,
+    finding_line: u32,
+) -> bool {
+    let next_code_line = token_lines
+        .range(allow_line + 1..)
+        .next()
+        .copied()
+        .unwrap_or(u32::MAX);
+    finding_line == allow_line || finding_line == next_code_line
+}
+
+/// Applies suppressions over a finding set, accounting usage on each
+/// allow. D000 (malformed suppression) cannot itself be suppressed.
+pub(crate) fn apply_allows(
+    findings: &mut [Finding],
+    allows: &mut [AllowRecord],
+    token_lines: &BTreeSet<u32>,
+) {
+    for finding in findings.iter_mut() {
+        if finding.rule == "D000" {
+            continue;
+        }
+        for rec in allows.iter_mut() {
+            if allow_covers(token_lines, rec.allow.line, finding.line)
+                && rec.allow.rules.iter().any(|r| r == finding.rule)
+            {
+                finding.suppressed = true;
+                rec.used += 1;
+                break;
+            }
+        }
+    }
+}
+
 /// Collects identifiers whose declared type (or initializer) is a
 /// `HashMap`/`HashSet`, including through `type` aliases defined in the
 /// same file.
 fn hash_typed_idents(toks: &[Token]) -> BTreeSet<String> {
-    let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    typed_idents(toks, &["HashMap", "HashSet"])
+}
+
+/// Collects identifiers whose declared type (or initializer) names one
+/// of `type_names`, including through `type` aliases defined in the same
+/// file. Shared by D001 (hash containers) and the semantic passes (map
+/// indexing in P001).
+pub(crate) fn typed_idents(toks: &[Token], type_names: &[&str]) -> BTreeSet<String> {
+    let mut hash_types: BTreeSet<String> = type_names.iter().map(|s| s.to_string()).collect();
 
     // Alias pass: `type Alias = ... HashMap<...>;`
     for i in 0..toks.len() {
@@ -312,6 +347,7 @@ fn scan_iteration(
                          or switch `{recv}` to a BTreeMap/BTreeSet"
                     ),
                     suppressed: false,
+                    chain: Vec::new(),
                 });
             }
             continue;
@@ -325,6 +361,7 @@ fn scan_iteration(
                 t.text
             ),
             suppressed: false,
+            chain: Vec::new(),
         });
     }
 
@@ -366,6 +403,7 @@ fn scan_iteration(
                             recv.text
                         ),
                         suppressed: false,
+                        chain: Vec::new(),
                     });
                 }
                 // D005: float accumulation inside the unordered loop body.
@@ -383,6 +421,7 @@ fn scan_iteration(
                                         recv.text
                                     ),
                                     suppressed: false,
+                                    chain: Vec::new(),
                                 });
                             }
                         }
@@ -410,6 +449,7 @@ fn scan_wallclock(toks: &[Token], findings: &mut Vec<Finding>) {
                           use `ps_trace::wallclock::WallTimer` (recording-only) or virtual time"
                     .to_owned(),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
         if t.is_ident("SystemTime") || t.is_ident("UNIX_EPOCH") {
@@ -422,6 +462,7 @@ fn scan_wallclock(toks: &[Token], findings: &mut Vec<Finding>) {
                     t.text
                 ),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
     }
@@ -441,6 +482,7 @@ fn scan_entropy(toks: &[Token], findings: &mut Vec<Finding>) {
                     t.text
                 ),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
         if t.is_ident("random")
@@ -456,6 +498,7 @@ fn scan_entropy(toks: &[Token], findings: &mut Vec<Finding>) {
                 line: t.line,
                 message: "`rand::random` is unseeded — use `ps_sim::Rng`".to_owned(),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
     }
@@ -480,6 +523,7 @@ fn scan_parallel(toks: &[Token], findings: &mut Vec<Finding>) {
                           slot-indexed or sorted (annotate with the proof if it is)"
                     .to_owned(),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
         if t.is_ident("channel") || t.is_ident("sync_channel") {
@@ -490,6 +534,7 @@ fn scan_parallel(toks: &[Token], findings: &mut Vec<Finding>) {
                           timing; collected results must be re-sorted deterministically"
                     .to_owned(),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
         if t.is_ident("par_iter") || t.is_ident("into_par_iter") || t.is_ident("par_bridge") {
@@ -498,6 +543,7 @@ fn scan_parallel(toks: &[Token], findings: &mut Vec<Finding>) {
                 line: t.line,
                 message: "parallel iterator — reduction order is nondeterministic".to_owned(),
                 suppressed: false,
+                chain: Vec::new(),
             });
         }
     }
@@ -506,7 +552,7 @@ fn scan_parallel(toks: &[Token], findings: &mut Vec<Finding>) {
 /// Walks the dotted receiver chain left of token index `dot` (which must
 /// be a `.` or the first token after the chain), returning every plain
 /// identifier in it (`self.state.pending` → `[pending, state, self]`).
-fn receiver_chain(toks: &[Token], dot: usize) -> Vec<String> {
+pub(crate) fn receiver_chain(toks: &[Token], dot: usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut j = dot; // points at the `.` (or one past the chain end)
     loop {

@@ -1,0 +1,15 @@
+//! N001 fixture: an `allow(N001)` at the source declares a sanctioned
+//! boundary — taint stops there and the sink below stays silent.
+pub struct Tracer;
+impl Tracer {
+    pub fn observe(&self, v: u64) {
+        drop(v);
+    }
+}
+fn read_clock() -> u64 {
+    // ps-lint: allow(D002, N001): sanctioned recording-only boundary
+    std::time::Instant::now().elapsed().as_micros() as u64
+}
+pub fn emit(t: &Tracer) {
+    t.observe(read_clock());
+}

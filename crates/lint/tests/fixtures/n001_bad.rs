@@ -1,0 +1,19 @@
+//! N001 fixture: a wall-clock read laundered through a helper reaches a
+//! trace sink. The token rules see only the leaf read (D002, allowed
+//! here); the sink contact below is invisible without the call graph.
+pub struct Tracer;
+impl Tracer {
+    pub fn observe(&self, v: u64) {
+        drop(v);
+    }
+}
+fn read_clock() -> u64 {
+    // ps-lint: allow(D002): leaf excused — the flow is still audited
+    std::time::Instant::now().elapsed().as_micros() as u64
+}
+fn launder() -> u64 {
+    read_clock()
+}
+pub fn emit(t: &Tracer) {
+    t.observe(launder());
+}

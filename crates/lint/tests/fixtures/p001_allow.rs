@@ -1,0 +1,13 @@
+//! P001 fixture: a reasoned allow on the panic site silences it even
+//! though the site is reachable from the entry.
+pub struct Framework;
+impl Framework {
+    pub fn heal(&mut self) {
+        helper();
+    }
+}
+fn helper() {
+    let v: Option<u32> = Some(1);
+    // ps-lint: allow(P001): invariant — seeded one line above
+    v.unwrap();
+}

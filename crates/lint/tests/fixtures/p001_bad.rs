@@ -1,0 +1,19 @@
+//! P001 fixture: panic-capable sites reachable from the entry fire with
+//! an entry → … → site chain; unreachable ones stay silent.
+pub struct Framework;
+impl Framework {
+    pub fn heal(&mut self) {
+        helper();
+    }
+}
+fn helper() {
+    deep();
+}
+fn deep() {
+    let v: Option<u32> = None;
+    v.unwrap();
+}
+pub fn off_path() {
+    let v: Option<u32> = None;
+    v.unwrap();
+}

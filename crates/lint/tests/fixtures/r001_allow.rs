@@ -1,0 +1,8 @@
+//! R001 fixture: a reasoned allow on the discard silences it.
+fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+pub fn go() {
+    // ps-lint: allow(R001): best-effort call, failure handled upstream
+    let _ = fallible();
+}

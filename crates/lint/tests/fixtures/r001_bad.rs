@@ -1,0 +1,11 @@
+//! R001 fixture: `let _ =` on a fallible call fires; fmt-macro writes
+//! are exempt by design.
+use std::fmt::Write as _;
+fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+pub fn go() {
+    let _ = fallible();
+    let mut s = String::new();
+    let _ = writeln!(s, "ok");
+}

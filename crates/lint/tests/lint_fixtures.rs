@@ -99,6 +99,112 @@ fn d005_allow_silences_chain_and_loop_accumulator() {
     assert!(report.allows.iter().all(|a| a.used == 1));
 }
 
+/// Runs the full two-layer pipeline on one fixture. The label is placed
+/// under a fake `crates/fx/src/` path so the semantic passes do not
+/// treat the fixture as test code.
+fn analyze_fixture(name: &str, entries: &[&str]) -> FileReport {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {path}: {e}"));
+    let label = format!("crates/fx/src/{name}");
+    let mut analysis = ps_lint::analyze_sources(&[(label, source)], entries);
+    analysis.reports.remove(0)
+}
+
+#[test]
+fn n001_laundered_taint_fires_where_token_rules_cannot() {
+    let report = analyze_fixture("n001_bad.rs", &[]);
+    // Token layer: only the (allowed) leaf D002. Semantic layer: the
+    // sink contact in `emit`, three calls away from the clock read.
+    let n001: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "N001")
+        .collect();
+    assert_eq!(n001.len(), 1);
+    assert_eq!(n001[0].line, 18);
+    assert!(!n001[0].suppressed);
+    assert_eq!(
+        n001[0].chain,
+        vec![
+            "Instant::now (crates/fx/src/n001_bad.rs:12)",
+            "read_clock",
+            "launder",
+            "emit",
+            "Tracer::observe (crates/fx/src/n001_bad.rs:18)",
+        ]
+    );
+    // The token-only scanner provably misses the sink contact: its only
+    // finding is the D002 at the clock read itself.
+    let path = format!("{}/tests/fixtures/n001_bad.rs", env!("CARGO_MANIFEST_DIR"));
+    let token_only = scan_source("n001_bad.rs", &std::fs::read_to_string(path).unwrap());
+    assert!(token_only.findings.iter().all(|f| f.rule == "D002"));
+    assert!(token_only.findings.iter().all(|f| f.line != 18));
+}
+
+#[test]
+fn n001_allow_at_source_is_a_sanctioned_boundary() {
+    let report = analyze_fixture("n001_allow.rs", &[]);
+    // D002 and the N001 boundary finding, both suppressed by the one
+    // combined allow; no sink contact downstream.
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "N001" && f.line == 11));
+    assert!(report.findings.iter().all(|f| f.line <= 11));
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].used, 2);
+}
+
+#[test]
+fn p001_fires_reachable_panic_with_entry_chain() {
+    let report = analyze_fixture("p001_bad.rs", &["Framework::heal"]);
+    let p001: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "P001")
+        .collect();
+    assert_eq!(p001.len(), 1, "only the reachable unwrap fires");
+    assert_eq!(p001[0].line, 14);
+    assert_eq!(p001[0].chain, vec!["Framework::heal", "helper", "deep"]);
+    assert!(p001[0].message.contains("Framework::heal → helper → deep"));
+}
+
+#[test]
+fn p001_allow_silences_reachable_panic() {
+    let report = analyze_fixture("p001_allow.rs", &["Framework::heal"]);
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "P001" && f.suppressed));
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].used, 1);
+}
+
+#[test]
+fn r001_fires_on_result_drop_but_not_fmt_macro() {
+    let report = analyze_fixture("r001_bad.rs", &[]);
+    let r001: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "R001")
+        .collect();
+    assert_eq!(r001.len(), 1);
+    assert_eq!(r001[0].line, 8);
+    assert_eq!(r001[0].chain, vec!["go"]);
+    assert!(r001[0].message.contains("fallible()"));
+}
+
+#[test]
+fn r001_allow_silences_discard() {
+    let report = analyze_fixture("r001_allow.rs", &[]);
+    assert_eq!(report.unsuppressed().count(), 0);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].used, 1);
+}
+
 #[test]
 fn malformed_allow_is_an_unsuppressable_finding() {
     let src = "// ps-lint: allow(D001)\nfn f() {}\n";

@@ -105,13 +105,16 @@ impl MailServerLogic {
             }
             MailOp::Receive { user } => {
                 self.store.create_account(user.clone());
-                let messages = self
-                    .store
-                    .account_mut(user)
-                    .expect("just created")
-                    .fetch_new()
-                    .to_vec();
-                MailReply::NewMail { messages }
+                // Typed fallback instead of `.expect("just created")`:
+                // this sits on the heal/invoke hot path (ps-lint P001).
+                match self.store.account_mut(user) {
+                    Some(account) => MailReply::NewMail {
+                        messages: account.fetch_new().to_vec(),
+                    },
+                    None => MailReply::Denied {
+                        reason: "account creation failed".into(),
+                    },
+                }
             }
             MailOp::AddressBook { user } => {
                 let entries = self
@@ -168,7 +171,12 @@ impl ComponentLogic for MailServerLogic {
     fn on_notify(&mut self, out: &mut Outbox, payload: &Payload) {
         if let Some(op) = payload.get::<MailOp>() {
             let op = op.clone();
-            let _ = self.apply(out, &op);
+            // Notifies have no reply channel, but a denial here means a
+            // replicated op was rejected on this copy — surface it as a
+            // counter rather than dropping the reply on the floor.
+            if let MailReply::Denied { .. } = self.apply(out, &op) {
+                out.tracer().count("mail.notify_denied", 1);
+            }
         }
     }
 
@@ -288,6 +296,9 @@ impl ViewMailServerLogic {
     }
 
     fn start_flush(&mut self, out: &mut Outbox) {
+        // ps-lint: allow(R001): the returned batch counters are tracked
+        // separately here via `pending_batch` (the view keeps the actual
+        // messages, not just counts); the call is for its state reset.
         let _ = self.coherence.begin_flush(out.now());
         let batch = std::mem::take(&mut self.pending_batch);
         out.tracer().count("coherence.flushes", 1);

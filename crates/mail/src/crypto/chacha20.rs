@@ -18,6 +18,19 @@ pub struct Key(pub [u8; KEY_LEN]);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Nonce(pub [u8; NONCE_LEN]);
 
+/// Little-endian word `i` of `bytes`. Built from individual byte reads
+/// rather than `try_into().expect(...)`: the block function sits on the
+/// connect/heal hot path, where ps-lint P001 requires panic-free code.
+#[inline(always)]
+fn le_word(bytes: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([
+        bytes[4 * i],
+        bytes[4 * i + 1],
+        bytes[4 * i + 2],
+        bytes[4 * i + 3],
+    ])
+}
+
 #[inline(always)]
 fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
     state[a] = state[a].wrapping_add(state[b]);
@@ -39,11 +52,11 @@ pub fn block(key: &Key, counter: u32, nonce: &Nonce) -> [u8; 64] {
     state[2] = 0x7962_2d32;
     state[3] = 0x6b20_6574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes(key.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        state[4 + i] = le_word(&key.0, i);
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] = u32::from_le_bytes(nonce.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        state[13 + i] = le_word(&nonce.0, i);
     }
 
     let mut working = state;

@@ -235,4 +235,74 @@ mod tests {
         assert_eq!(view, PartitionView::of(&net));
         assert_eq!(view.component_count(), 3, "NY | SD hosts | SEA");
     }
+
+    /// Deterministic LCG (splitmix-style constants) so the random-graph
+    /// sweep below needs no RNG dependency and replays identically.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// Property check on random topologies: after arbitrary damage, the
+    /// BFS-fallback view, the freshly-rebuilt route table's view, and
+    /// the incrementally-repaired route table's view are all identical —
+    /// components, membership, and epoch stamp alike.
+    #[test]
+    fn bfs_fallback_matches_route_table_on_random_graphs() {
+        use crate::graph::Credentials;
+        use ps_sim::SimDuration;
+
+        for seed in 0..12u64 {
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 1;
+            let n = 6 + (lcg(&mut s) % 20) as usize;
+            let mut net = Network::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| net.add_node(format!("n{i}"), "s", 1.0, Credentials::new()))
+                .collect();
+            // Sparse random edges (P ≈ 1/4 per pair) so damage below
+            // produces genuine multi-component splits.
+            let mut links = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if lcg(&mut s).is_multiple_of(4) {
+                        let lat = SimDuration::from_millis(1 + lcg(&mut s) % 10);
+                        links.push(net.add_link(ids[i], ids[j], lat, 1e8, Credentials::new()));
+                    }
+                }
+            }
+            let mut table = RouteTable::build(&net);
+
+            // Random damage: ~1/4 of links, ~1/5 of nodes.
+            let mut dead_links = Vec::new();
+            let mut dead_nodes = Vec::new();
+            for &l in &links {
+                if lcg(&mut s).is_multiple_of(4) {
+                    net.set_link_up(l, false);
+                    dead_links.push(l);
+                }
+            }
+            for &node in &ids {
+                if lcg(&mut s).is_multiple_of(5) {
+                    net.set_node_up(node, false);
+                    dead_nodes.push(node);
+                }
+            }
+
+            let bfs = PartitionView::of(&net);
+            let rebuilt = RouteTable::build(&net);
+            assert_eq!(
+                rebuilt.partition_view(&net),
+                bfs,
+                "seed {seed}: rebuilt table view diverged from BFS"
+            );
+            table.repair(&net, &dead_links, &dead_nodes);
+            assert_eq!(
+                table.partition_view(&net),
+                bfs,
+                "seed {seed}: repaired table view diverged from BFS"
+            );
+        }
+    }
 }

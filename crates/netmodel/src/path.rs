@@ -128,7 +128,10 @@ pub(crate) fn reconstruct(
     let mut via = Vec::new();
     let mut cursor = to;
     while cursor != from {
-        let (parent, link) = prev[cursor.0 as usize].expect("reached node must have parent");
+        // A reached node always has a parent entry; if the invariant
+        // were ever violated, degrade to "no route" rather than panic
+        // mid-heal (ps-lint P001).
+        let (parent, link) = prev[cursor.0 as usize]?;
         links.push(link);
         if parent != from {
             via.push(parent);

@@ -246,10 +246,10 @@ pub fn search(
         assignment[chain[stage]] = node;
         match labels[stage][c_idx][l_idx].next {
             Some((m, next_label)) => {
-                c_idx = candidates[stage + 1]
-                    .iter()
-                    .position(|&cand| cand == m)
-                    .expect("back-pointer target is a candidate");
+                // Back-pointers always target a candidate of the next
+                // stage; `?` degrades a violated invariant to "no plan"
+                // instead of panicking on the hot path (ps-lint P001).
+                c_idx = candidates[stage + 1].iter().position(|&cand| cand == m)?;
                 l_idx = next_label;
             }
             None => break,

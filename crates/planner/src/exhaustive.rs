@@ -660,10 +660,17 @@ impl State<'_, '_> {
         let mut ctx = [u64::MAX; 2];
         let mut spill = Vec::new();
         for (i, &(_, child)) in self.graph.nodes[idx].children.iter().enumerate() {
-            let child_node = self.assignment[child]
-                .expect("child placed before parent")
-                .0;
-            let provided_id = self.provided_id[child].expect("child flow interned");
+            // Bottom-up order places and interns children before their
+            // parent; a violation degrades to "infeasible here" instead
+            // of panicking on the hot path (ps-lint P001).
+            let Some(child_node) = self.assignment[child].map(|n| n.0) else {
+                debug_assert!(false, "child placed before parent");
+                return None;
+            };
+            let Some(provided_id) = self.provided_id[child] else {
+                debug_assert!(false, "child flow interned");
+                return None;
+            };
             let packed = (u64::from(child_node) << 32) | u64::from(provided_id);
             match ctx.get_mut(i) {
                 Some(slot) => *slot = packed,
@@ -728,11 +735,18 @@ impl State<'_, '_> {
             }
         }
         if pos == self.order.len() {
-            let assignment: Vec<NodeId> = self
+            // Every tree index is placed once the order is exhausted; if
+            // that invariant were ever violated, treat the branch as
+            // infeasible rather than panic on the hot path (ps-lint P001).
+            let Some(assignment) = self
                 .assignment
                 .iter()
-                .map(|a| a.expect("complete"))
-                .collect();
+                .copied()
+                .collect::<Option<Vec<NodeId>>>()
+            else {
+                debug_assert!(false, "search completed with unplaced component");
+                return;
+            };
             self.stats.mappings_evaluated += 1;
             // The bounded search hands its descent's property flow,
             // resolved factors, and per-graph rate plan to the evaluator

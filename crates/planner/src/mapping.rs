@@ -394,10 +394,14 @@ impl<'a> Mapper<'a> {
                     let decl = self.spec.get_component(&graph.nodes[idx].component);
                     decl.is_some_and(|d| self.component_fits(d, assignment[idx]))
                 }));
+                // The search stashes factors for every placement before
+                // evaluating; `?` degrades a violated invariant to
+                // "infeasible" instead of panicking mid-plan (ps-lint
+                // P001).
                 stash
                     .iter()
-                    .map(|f| (**f.as_ref().expect("complete factors")).clone())
-                    .collect()
+                    .map(|f| f.as_ref().map(|r| (**r).clone()))
+                    .collect::<Option<Vec<_>>>()?
             }
             None => {
                 let mut computed = Vec::with_capacity(n);
@@ -468,8 +472,8 @@ impl<'a> Mapper<'a> {
             Some(flow) => {
                 debug_assert_eq!(flow.len(), n);
                 flow.iter()
-                    .map(|p| (**p.as_ref().expect("complete flow")).clone())
-                    .collect()
+                    .map(|p| p.as_ref().map(|r| (**r).clone()))
+                    .collect::<Option<Vec<_>>>()?
             }
             None => {
                 let opt_assignment: Vec<Option<NodeId>> =
@@ -482,8 +486,8 @@ impl<'a> Mapper<'a> {
                 }
                 provided
                     .into_iter()
-                    .map(|p| (*p.expect("complete flow")).clone())
-                    .collect()
+                    .map(|p| p.map(|r| (*r).clone()))
+                    .collect::<Option<Vec<_>>>()?
             }
         };
 

@@ -572,6 +572,9 @@ impl Planner {
                 }));
             }
             for handle in handles {
+                // ps-lint: allow(P001): a panicked worker thread must be
+                // re-raised here — swallowing it would return a silently
+                // truncated plan set as if it were the full search result.
                 for (slot, r) in handle.join().expect("planner worker") {
                     per_graph[slot] = r;
                 }

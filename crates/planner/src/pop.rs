@@ -223,11 +223,18 @@ impl State<'_, '_> {
             }
         }
         if pos == self.order.len() {
-            let assignment: Vec<NodeId> = self
+            // Every tree index is placed once the order is exhausted; if
+            // that invariant were ever violated, treat the branch as
+            // infeasible rather than panic on the hot path (ps-lint P001).
+            let Some(assignment) = self
                 .assignment
                 .iter()
-                .map(|a| a.expect("complete"))
-                .collect();
+                .copied()
+                .collect::<Option<Vec<NodeId>>>()
+            else {
+                debug_assert!(false, "search completed with unplaced component");
+                return;
+            };
             self.stats.mappings_evaluated += 1;
             if let Some(eval) = self.mapper.evaluate(self.graph, &assignment) {
                 let better = self
@@ -252,7 +259,7 @@ impl State<'_, '_> {
                 None => self.stats.prunes += 1,
             }
         }
-        options.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        options.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (inc, node, flow) in options {
             self.assignment[idx] = Some(node);
             self.provided[idx] = Some(Rc::new(flow));

@@ -113,6 +113,7 @@ impl ReplicaCoherence {
 
     /// Marks the start of a flush; returns `(messages, bytes)` of the
     /// batch being propagated and resets the accumulation counters.
+    #[must_use = "the batch size is the only record of what this flush propagates"]
     pub fn begin_flush(&mut self, now: SimTime) -> (u32, u64) {
         debug_assert!(!self.flush_in_flight);
         let batch = (self.unpropagated, self.unpropagated_bytes);
@@ -286,7 +287,7 @@ mod tests {
     fn write_through_flushes_every_update() {
         let mut rc = ReplicaCoherence::new(CoherencePolicy::WriteThrough);
         assert_eq!(rc.record_update(10), FlushDecision::Flush);
-        rc.begin_flush(SimTime::ZERO);
+        assert_eq!(rc.begin_flush(SimTime::ZERO), (1, 10));
         assert_eq!(rc.record_update(10), FlushDecision::Block);
         rc.end_flush();
         assert_eq!(rc.record_update(10), FlushDecision::Flush);
@@ -308,7 +309,7 @@ mod tests {
         assert_eq!(rc.record_update(1), FlushDecision::Accumulate);
         assert!(!rc.timer_due(SimTime::from_nanos(100_000_000)));
         assert!(rc.timer_due(SimTime::from_nanos(500_000_000)));
-        rc.begin_flush(SimTime::from_nanos(500_000_000));
+        assert_eq!(rc.begin_flush(SimTime::from_nanos(500_000_000)), (1, 1));
         assert!(!rc.timer_due(SimTime::from_nanos(999_000_000)));
         rc.end_flush();
         // Nothing unpropagated -> not due.

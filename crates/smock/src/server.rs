@@ -23,7 +23,7 @@ use ps_trace::Tracer;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One-time connection costs (Section 4.2's "costs not reflected in
 /// Figure 7": proxy download, planning, component deployment, startup).
@@ -190,12 +190,18 @@ impl GenericServer {
     /// explicit hammer for callers that mutate state the planner cannot
     /// see, e.g. swapping component factories in the registry.
     pub fn invalidate_plans(&self) {
-        self.plan_cache.lock().expect("plan cache").clear();
+        self.plan_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Number of cached plans (test/diagnostic aid).
     pub fn cached_plan_count(&self) -> usize {
-        self.plan_cache.lock().expect("plan cache").len()
+        self.plan_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Registers a service (Figure 1, step 1).
@@ -303,7 +309,7 @@ impl GenericServer {
         let cached = self
             .plan_cache
             .lock()
-            .expect("plan cache")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&cache_key)
             .cloned();
         let cache_hit = cached.is_some();
@@ -329,7 +335,10 @@ impl GenericServer {
                 } else {
                     planner.plan(world.network(), self.translator.as_ref(), &request)?
                 };
-                let mut cache = self.plan_cache.lock().expect("plan cache");
+                let mut cache = self
+                    .plan_cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 // Entries from older epochs can never be hit again
                 // (the epoch counter is monotonic); sweep them so the
                 // cache tracks the live topology only.

@@ -1076,6 +1076,10 @@ fn charge_lease_renewals_inner(state: &mut State, upto: SimTime) {
                     for &l in &route.links {
                         let link = state.net.link(l);
                         let dir = if link.a == at { 0u8 } else { 1u8 };
+                        // ps-lint: allow(P001): Dijkstra emits connected
+                        // link sequences; silently mis-walking a broken
+                        // route would deliver traffic to the wrong node,
+                        // which is worse than crashing.
                         at = link.other(at).expect("route links are connected");
                         hops.push((l, dir));
                     }
@@ -1422,6 +1426,9 @@ fn dispatch(
     let mut logic = state.instances[instance.0 as usize]
         .logic
         .take()
+        // ps-lint: allow(P001): reentrancy guard — a second dispatch into
+        // the same instance while its logic is checked out is a scheduler
+        // bug; proceeding would drop the inner handler's actions silently.
         .expect("no reentrant dispatch");
     let linkage_count = state.instances[instance.0 as usize].info.linkages.len();
     let mut out = Outbox::new(
@@ -1554,6 +1561,10 @@ fn send(
                     for &l in &route.links {
                         let link = state.net.link(l);
                         let dir = if link.a == at { 0u8 } else { 1u8 };
+                        // ps-lint: allow(P001): Dijkstra emits connected
+                        // link sequences; silently mis-walking a broken
+                        // route would deliver traffic to the wrong node,
+                        // which is worse than crashing.
                         at = link.other(at).expect("route links are connected");
                         hops.push((l, dir));
                     }

@@ -193,9 +193,19 @@ impl Registry {
         Self::default()
     }
 
+    /// The metric table, recovering from mutex poisoning: telemetry must
+    /// never escalate another thread's panic into a crashed heal pass,
+    /// and the data under the lock stays internally consistent (single
+    /// map writes).
+    fn locked(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Increments counter `name` by `by` (creating it at zero).
     pub fn inc(&self, name: &str, by: u64) {
-        let mut inner = self.inner.lock().expect("registry");
+        let mut inner = self.locked();
         match inner.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
             Metric::Counter(c) => *c += by,
             other => *other = Metric::Counter(by),
@@ -204,15 +214,12 @@ impl Registry {
 
     /// Sets gauge `name` to `value`.
     pub fn set_gauge(&self, name: &str, value: f64) {
-        self.inner
-            .lock()
-            .expect("registry")
-            .insert(name.to_owned(), Metric::Gauge(value));
+        self.locked().insert(name.to_owned(), Metric::Gauge(value));
     }
 
     /// Records `value` into histogram `name` (creating it empty).
     pub fn observe(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("registry");
+        let mut inner = self.locked();
         match inner
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Histogram(Histogram::default()))
@@ -228,7 +235,7 @@ impl Registry {
 
     /// Current value of counter `name` (0 when absent or not a counter).
     pub fn counter(&self, name: &str) -> u64 {
-        match self.inner.lock().expect("registry").get(name) {
+        match self.locked().get(name) {
             Some(Metric::Counter(c)) => *c,
             _ => 0,
         }
@@ -236,7 +243,7 @@ impl Registry {
 
     /// Current value of gauge `name`.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        match self.inner.lock().expect("registry").get(name) {
+        match self.locked().get(name) {
             Some(Metric::Gauge(g)) => Some(*g),
             _ => None,
         }
@@ -244,7 +251,7 @@ impl Registry {
 
     /// Snapshot of histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        match self.inner.lock().expect("registry").get(name) {
+        match self.locked().get(name) {
             Some(Metric::Histogram(h)) => Some(h.clone()),
             _ => None,
         }
@@ -252,9 +259,7 @@ impl Registry {
 
     /// Sorted snapshot of every metric.
     pub fn snapshot(&self) -> Vec<(String, Metric)> {
-        self.inner
-            .lock()
-            .expect("registry")
+        self.locked()
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()

@@ -8,7 +8,7 @@
 
 use crate::event::Event;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Receives emitted events. Implementations synchronize internally —
 /// `record` takes `&self` so one sink can serve concurrent emitters.
@@ -31,12 +31,18 @@ impl MemorySink {
 
     /// Clones out the recorded events.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink").len()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether nothing was recorded.
@@ -47,7 +53,7 @@ impl MemorySink {
     /// Renders every event as JSON lines (one event per line, trailing
     /// newline included). Byte-identical across identical runs.
     pub fn to_jsonl(&self) -> String {
-        let events = self.events.lock().expect("memory sink");
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::with_capacity(events.len() * 96);
         for e in events.iter() {
             out.push_str(&e.to_json());
@@ -59,7 +65,10 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: &Event) {
-        self.events.lock().expect("memory sink").push(event.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
     }
 }
 
@@ -76,15 +85,22 @@ impl<W: Write + Send> JsonlSink<W> {
         }
     }
 
-    /// Flushes the underlying writer.
-    pub fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink").flush();
+    /// Flushes the underlying writer, surfacing the IO error to the
+    /// caller instead of silently dropping it.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, event: &Event) {
-        let mut w = self.writer.lock().expect("jsonl sink");
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Best-effort by contract: a full disk must not panic or abort the
+        // simulation, so the stream is simply truncated. (`writeln!` drops
+        // fall under ps-lint R001's fmt-macro exemption.)
         let _ = writeln!(w, "{}", event.to_json());
     }
 }

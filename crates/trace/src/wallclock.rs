@@ -39,8 +39,10 @@ impl WallTimer {
     #[allow(clippy::disallowed_methods)]
     pub fn start() -> Self {
         WallTimer {
-            // ps-lint: allow(D002): the sanctioned wall-clock source; readings are
-            // recording-only and never feed virtual time (see module docs)
+            // ps-lint: allow(D002, N001): the sanctioned wall-clock boundary;
+            // readings are recording-only, flow into _wall_-marked metrics and
+            // bench wall columns only, and are stripped from deterministic
+            // artifacts (see module docs) — taint stops here by declaration
             started: std::time::Instant::now(),
         }
     }

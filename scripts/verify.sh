@@ -22,11 +22,31 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> ps-lint (determinism & protocol-invariant static analysis)"
+echo "==> ps-lint (token rules + call-graph semantic passes)"
 cargo run --release -q -p ps-lint
 
 echo "==> ps-lint --list-allows (suppression inventory audit)"
 cargo run --release -q -p ps-lint -- --list-allows
+
+# The semantic analysis (parse -> call graph -> N001/P001/R001) must
+# stay cheap enough for a pre-commit loop: budget 5 s end-to-end as
+# reported by the lint's own stage timer.
+echo "==> ps-lint wall-time budget (< 5000 ms total)"
+lint_total_us="$(cargo run --release -q -p ps-lint -- --format json \
+    | grep -o '"total": [0-9]*' | grep -o '[0-9]*')"
+if [[ "$lint_total_us" -ge 5000000 ]]; then
+    echo "ps-lint total stage time ${lint_total_us}us exceeds the 5s budget" >&2
+    exit 1
+fi
+
+# Like the bench artifacts, the lint's JSON report must be
+# byte-identical across runs in stable mode (timings zeroed).
+echo "==> determinism: ps-lint --format json (stable mode, 2 runs, cmp)"
+lint_tmp="$(mktemp -d)"
+PS_STABLE_ARTIFACTS=1 cargo run --release -q -p ps-lint -- --format json > "$lint_tmp/a.json"
+PS_STABLE_ARTIFACTS=1 cargo run --release -q -p ps-lint -- --format json > "$lint_tmp/b.json"
+cmp "$lint_tmp/a.json" "$lint_tmp/b.json"
+rm -rf "$lint_tmp"
 
 if [[ "$lint_only" == "1" ]]; then
     echo "==> verify OK (lint only)"
