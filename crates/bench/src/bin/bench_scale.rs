@@ -20,8 +20,8 @@
 //! zeroed so same-seed double runs are byte-identical.
 
 use ps_bench::scale::{
-    measure_engine_throughput, measure_replan, measure_route_repair, run_heal_workload,
-    scale_network,
+    measure_engine_throughput, measure_hier_plan, measure_replan, measure_route_repair,
+    run_heal_workload, run_open_loop, scale_network, OpenLoopConfig,
 };
 use ps_trace::{Report, Tracer};
 use std::fmt::Write as _;
@@ -78,11 +78,14 @@ fn main() {
         "churn"
     ));
 
+    let mut hier_lines = Vec::new();
     for &routers in &WORLDS {
         let (mut net, server, client) = scale_network(routers, SEED + routers as u64);
 
         eprintln!("[bench_scale] {routers} routers: replan...");
         let mut replan = measure_replan(&mut net.clone(), server, client, reps);
+        eprintln!("[bench_scale] {routers} routers: hierarchical plan...");
+        let mut hier = measure_hier_plan(&net, server, client, reps);
         eprintln!("[bench_scale] {routers} routers: route repair...");
         let mut route = measure_route_repair(&mut net, reps, SEED);
         assert!(
@@ -102,18 +105,41 @@ fn main() {
                     "single-link route repair speedup {:.1}x below 10x at {routers} routers",
                     route.speedup()
                 );
+                assert!(
+                    hier.wall_speedup() >= 5.0,
+                    "hierarchical cold plan speedup {:.1}x below 5x at {} nodes \
+                     (flat {}us vs hier {}us)",
+                    hier.wall_speedup(),
+                    hier.nodes,
+                    hier.flat_us,
+                    hier.hier_cold_us
+                );
             }
         }
+        // The composed plan must either reach the flat optimum or carry
+        // a non-zero admissible gap bound covering the shortfall.
+        assert!(
+            (hier.hier_objective - hier.flat_objective).abs()
+                <= 1e-6 * hier.flat_objective.abs().max(1.0)
+                || hier.gap_micro > 0,
+            "{routers} routers: hier objective {} diverged from flat optimum {} \
+             with no gap bound",
+            hier.hier_objective,
+            hier.flat_objective
+        );
 
-        let (route_speedup, replan_speedup) = if stable {
+        let (route_speedup, replan_speedup, hier_wall_speedup) = if stable {
             route.build_us = 0;
             route.repair_us = 0;
             route.rebuild_us = 0;
             replan.cold_us = 0;
             replan.warm_us = 0;
-            (0.0, 0.0)
+            hier.flat_us = 0;
+            hier.hier_cold_us = 0;
+            hier.hier_warm_us = 0;
+            (0.0, 0.0, 0.0)
         } else {
-            (route.speedup(), replan.speedup())
+            (route.speedup(), replan.speedup(), hier.wall_speedup())
         };
 
         report.line(format!(
@@ -129,6 +155,19 @@ fn main() {
             replan.churn_moved,
             replan.placements,
         ));
+        hier_lines.push(format!(
+            "{:<8} {:>8} {:>10}u {:>10}u {:>10}u {:>7.1}x {:>8.1}x {:>5} {:>5} {:>8}",
+            hier.nodes,
+            hier.regions,
+            hier.flat_us,
+            hier.hier_cold_us,
+            hier.hier_warm_us,
+            hier_wall_speedup,
+            hier.work_speedup(),
+            hier.segments,
+            hier.warm_memo_hits,
+            hier.universe,
+        ));
 
         let mut entry = String::new();
         write!(
@@ -139,7 +178,11 @@ fn main() {
              \"replan\": {{\"cold_us\": {}, \"warm_us\": {}, \"speedup\": {:.3}, \
              \"objective\": {:.6}, \"churn_moved\": {}, \"placements\": {}, \
              \"chains_resolved\": {}, \"chains_reused\": {}, \"seeded_bound_cuts\": {}, \
-             \"seeded\": {}}}}}",
+             \"seeded\": {}}},\n      \
+             \"hier\": {{\"regions\": {}, \"flat_us\": {}, \"cold_us\": {}, \"warm_us\": {}, \
+             \"wall_speedup\": {:.3}, \"work_flat\": {}, \"work_hier\": {}, \
+             \"work_speedup\": {:.3}, \"flat_objective\": {:.6}, \"hier_objective\": {:.6}, \
+             \"gap_micro\": {}, \"segments\": {}, \"warm_memo_hits\": {}, \"universe\": {}}}}}",
             route.nodes,
             route.links,
             route.build_us,
@@ -158,9 +201,41 @@ fn main() {
             replan.repair.chains_reused,
             replan.repair.seeded_bound_cuts,
             replan.repair.seeded,
+            hier.regions,
+            hier.flat_us,
+            hier.hier_cold_us,
+            hier.hier_warm_us,
+            hier_wall_speedup,
+            hier.work_flat,
+            hier.work_hier,
+            hier.work_speedup(),
+            hier.flat_objective,
+            hier.hier_objective,
+            hier.gap_micro,
+            hier.segments,
+            hier.warm_memo_hits,
+            hier.universe,
         )
         .expect("write to string");
         entries.push(entry);
+    }
+
+    report.line("");
+    report.line(format!(
+        "{:<8} {:>8} {:>11} {:>11} {:>11} {:>8} {:>9} {:>5} {:>5} {:>8}",
+        "nodes",
+        "regions",
+        "flat plan",
+        "hier cold",
+        "hier warm",
+        "spdup",
+        "work",
+        "segs",
+        "hits",
+        "universe"
+    ));
+    for line in &hier_lines {
+        report.line(line.clone());
     }
 
     // The full self-healing stack on the largest world: crash a
@@ -194,6 +269,63 @@ fn main() {
         ),
     );
 
+    // Open-loop client population against the hierarchical planner on
+    // the largest world: Poisson arrivals thinned to a diurnal profile,
+    // heavy-tailed session popularity over 100k+ logical clients.
+    eprintln!("[bench_scale] {routers} routers: open-loop population...");
+    let (mut ol_net, ol_server, _ol_client) = scale_network(routers, SEED + routers as u64);
+    let ol_cfg = OpenLoopConfig::from_env(SEED, stable);
+    let (ol_tracer, _ol_sink) = Tracer::memory();
+    let mut open_loop = run_open_loop(&mut ol_net, ol_server, &ol_cfg, &ol_tracer);
+    assert!(
+        open_loop.plans > 0 && open_loop.cache_hits > 0,
+        "open-loop run must both plan and hit its plan cache \
+         ({} plans, {} cache hits)",
+        open_loop.plans,
+        open_loop.cache_hits
+    );
+    if stable {
+        open_loop.wall_ms = 0.0;
+        open_loop.connects_per_sec = 0.0;
+        open_loop.plan_p50_ms = 0.0;
+        open_loop.plan_p99_ms = 0.0;
+        open_loop.plan_max_ms = 0.0;
+    }
+    report.line("");
+    report.kv(
+        "open loop",
+        format!(
+            "{} arrivals over {} logical clients ({} seen) on {} attach routers, \
+             {:.1} virtual hours",
+            open_loop.arrivals,
+            open_loop.clients,
+            open_loop.distinct_clients,
+            open_loop.attach_routers,
+            open_loop.virtual_hours,
+        ),
+    );
+    report.kv(
+        "open loop served",
+        format!(
+            "{} plans + {} cache hits, region memo {} hits / {} segments, \
+             {:.0} connects/sec, plan p50 {:.2}ms p99 {:.2}ms",
+            open_loop.plans,
+            open_loop.cache_hits,
+            open_loop.memo_hits,
+            open_loop.memo_misses,
+            open_loop.connects_per_sec,
+            open_loop.plan_p50_ms,
+            open_loop.plan_p99_ms,
+        ),
+    );
+    report.kv(
+        "open loop diurnal",
+        format!(
+            "peak hour {} arrivals, trough hour {}",
+            open_loop.peak_hour_arrivals, open_loop.trough_hour_arrivals,
+        ),
+    );
+
     let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |v| format!("{v:.3}"));
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"engine\": {{\"events\": {}, \"wall_ms\": {:.3}, \
@@ -201,7 +333,12 @@ fn main() {
          \"heal_1000\": {{\"nodes\": {}, \"crashed\": {}, \"heal_passes\": {}, \
          \"replans\": {}, \"infeasible\": {}, \"detected_ms\": {}, \"recovered_ms\": {}, \
          \"chains_resolved\": {}, \"chains_reused\": {}, \"seeded_bound_cuts\": {}, \
-         \"seeded\": {}, \"wall_ms\": {:.3}}}\n}}\n",
+         \"seeded\": {}, \"wall_ms\": {:.3}}},\n  \
+         \"open_loop\": {{\"clients\": {}, \"arrivals\": {}, \"distinct_clients\": {}, \
+         \"attach_routers\": {}, \"plans\": {}, \"cache_hits\": {}, \"memo_hits\": {}, \
+         \"memo_misses\": {}, \"virtual_hours\": {:.3}, \"peak_hour_arrivals\": {}, \
+         \"trough_hour_arrivals\": {}, \"wall_ms\": {:.3}, \"connects_per_sec\": {:.0}, \
+         \"plan_p50_ms\": {:.4}, \"plan_p99_ms\": {:.4}, \"plan_max_ms\": {:.4}}}\n}}\n",
         engine.events,
         engine.wall_ms,
         engine.events_per_sec,
@@ -218,6 +355,22 @@ fn main() {
         heal.repair.seeded_bound_cuts,
         heal.repair.seeded,
         heal.wall_ms,
+        open_loop.clients,
+        open_loop.arrivals,
+        open_loop.distinct_clients,
+        open_loop.attach_routers,
+        open_loop.plans,
+        open_loop.cache_hits,
+        open_loop.memo_hits,
+        open_loop.memo_misses,
+        open_loop.virtual_hours,
+        open_loop.peak_hour_arrivals,
+        open_loop.trough_hour_arrivals,
+        open_loop.wall_ms,
+        open_loop.connects_per_sec,
+        open_loop.plan_p50_ms,
+        open_loop.plan_p99_ms,
+        open_loop.plan_max_ms,
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     report.kv("wrote", "BENCH_scale.json");

@@ -228,6 +228,42 @@ fn report_leg(
     }
 }
 
+/// One region's share of the hierarchical planner's work, read back
+/// from the `planner.region.<site>.*` registry metrics.
+struct RegionRow {
+    region: String,
+    segments: u64,
+    memo_hits: u64,
+    plan_wall_us: f64,
+}
+
+/// Collects per-region planning metrics from a registry snapshot.
+fn region_planning_rows(registry: &Registry) -> Vec<RegionRow> {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<String, RegionRow> = BTreeMap::new();
+    for (name, metric) in registry.snapshot() {
+        let Some(rest) = name.strip_prefix("planner.region.") else {
+            continue;
+        };
+        let Some((region, kind)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let row = rows.entry(region.to_owned()).or_insert_with(|| RegionRow {
+            region: region.to_owned(),
+            segments: 0,
+            memo_hits: 0,
+            plan_wall_us: 0.0,
+        });
+        match (kind, metric) {
+            ("segments", ps_trace::Metric::Counter(v)) => row.segments = v,
+            ("memo_hits", ps_trace::Metric::Counter(v)) => row.memo_hits = v,
+            ("plan_wall_us", ps_trace::Metric::Counter(v)) => row.plan_wall_us = v as f64,
+            _ => {}
+        }
+    }
+    rows.into_values().collect()
+}
+
 /// Same thread count `bench_planner` uses for its optimized stack.
 fn planning_threads() -> usize {
     std::thread::available_parallelism()
@@ -393,6 +429,10 @@ fn main() {
             sampler: Some(SamplerConfig::default()),
             lease_renewal_bytes: RENEWAL_BYTES,
             settle: Some(SimDuration::from_secs(30)),
+            // Plan hierarchically so the run exercises the shared
+            // region memo and populates the per-region planner metrics
+            // attributed below.
+            hier: true,
         },
     );
     let scale_events = scale_sink.events();
@@ -415,6 +455,52 @@ fn main() {
     ));
     report_leg(&mut report, &scale_timeline, &scale_rows, &scale_out.series);
     let scale_critical = critical_json("conn-0", &scale_events);
+
+    // Per-region planning attribution: the hierarchical planner counts
+    // segment solves and memo hits per region and gauges the wall time
+    // each region's segment solves cost. Counters are seed-stable;
+    // the wall gauge is written as `null` in stable mode.
+    let region_rows = region_planning_rows(scale_registry);
+    assert!(
+        !region_rows.is_empty(),
+        "hierarchical heal workload must populate planner.region.* metrics"
+    );
+    report.section("per-region planning (1013-node heal workload)");
+    report.line(format!(
+        "  {:<10} {:>9} {:>10} {:>13}",
+        "region", "segments", "memo hits", "plan wall us"
+    ));
+    for row in &region_rows {
+        report.line(format!(
+            "  {:<10} {:>9} {:>10} {:>13}",
+            row.region,
+            row.segments,
+            row.memo_hits,
+            if stable {
+                "-".to_owned()
+            } else {
+                format!("{:.0}", row.plan_wall_us)
+            },
+        ));
+    }
+    let regions_json: Vec<String> = region_rows
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"region\": \"{}\", \"segments\": {}, \"memo_hits\": {}, \
+                 \"plan_wall_us\": {}}}",
+                row.region,
+                row.segments,
+                row.memo_hits,
+                if stable {
+                    "null".to_owned()
+                } else {
+                    format!("{:.1}", row.plan_wall_us)
+                },
+            )
+        })
+        .collect();
+    let regions_json = format!("[\n{}\n    ]", regions_json.join(",\n"));
 
     // ---- Satellite: the lease detection-interval sweep. ----
     // Shorter heartbeats detect failures faster but renew more often;
@@ -517,7 +603,7 @@ fn main() {
          \"scale\": {{\n    \"nodes\": {}, \"crashed\": {}, \"heal_passes\": {}, \
          \"lease_renewal_bytes\": {},\n    \"timeline\": {},\n    \
          \"critical_paths\": [\n      {}\n    ],\n    \
-         \"percentiles\": {},\n    \"series\": {}\n  }},\n  \
+         \"percentiles\": {},\n    \"series\": {},\n    \"regions\": {}\n  }},\n  \
          \"sweep\": [\n{}\n  ],\n  \"overhead\": {}\n}}\n",
         chaos.seed,
         chaos.heal_passes,
@@ -534,6 +620,7 @@ fn main() {
         scale_critical,
         percentile_json(&scale_rows),
         series_json(&scale_out.series),
+        regions_json,
         sweep_json.join(",\n"),
         overhead_json,
     )

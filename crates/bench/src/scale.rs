@@ -28,7 +28,8 @@ use ps_mail::{mail_spec, mail_translator, register_mail_components, Keyring};
 use ps_net::brite::{hierarchical, FlatParams, HierParams};
 use ps_net::{Credentials, LinkId, Network, NodeId, RouteTable};
 use ps_planner::{
-    Algorithm, Plan, PlanRepairStats, Planner, PlannerConfig, RepairContext, ServiceRequest,
+    Algorithm, HierConfig, HierMemo, Plan, PlanRepairStats, Planner, PlannerConfig, RepairContext,
+    ServiceRequest,
 };
 use ps_sim::{Engine, FaultPlan, Rng, SimDuration, SimTime};
 use ps_smock::{CoherencePolicy, LeaseConfig, LivenessKind, RetryPolicy, ServiceRegistration};
@@ -456,6 +457,397 @@ pub fn measure_replan(
     }
 }
 
+/// Flat vs hierarchical cold planning on one world.
+#[derive(Debug, Clone, Copy)]
+pub struct HierPlanMeasure {
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Regions (BRITE autonomous systems) in the fabric.
+    pub regions: usize,
+    /// Flat from-scratch plan, microseconds (wall; zeroed in stable
+    /// mode).
+    pub flat_us: u64,
+    /// Hierarchical plan with a fresh memo every rep — the true cold
+    /// path — microseconds (wall; zeroed in stable mode).
+    pub hier_cold_us: u64,
+    /// Hierarchical plan against a pre-populated memo, microseconds
+    /// (wall; zeroed in stable mode).
+    pub hier_warm_us: u64,
+    /// Optimal objective from the flat exhaustive search.
+    pub flat_objective: f64,
+    /// Objective of the gateway-composed plan (equal to flat, or worse
+    /// by at most the reported gap).
+    pub hier_objective: f64,
+    /// Admissible optimality-gap bound carried by the composed plan,
+    /// micro-units of the objective (0 when the plans agree exactly or
+    /// the refinement sweep proved optimality).
+    pub gap_micro: u64,
+    /// Deterministic search effort of the flat path
+    /// ([`ps_planner::PlanStats::work_units`]).
+    pub work_flat: u64,
+    /// Deterministic search effort of the hierarchical cold path.
+    pub work_hier: u64,
+    /// Region segments solved by the cold hierarchical plan.
+    pub segments: u32,
+    /// Memo hits observed by the warm hierarchical plan.
+    pub warm_memo_hits: u32,
+    /// Candidate-universe size of the composed solve.
+    pub universe: u32,
+}
+
+impl HierPlanMeasure {
+    /// Flat-to-hierarchical cold wall speedup (0 when zeroed).
+    pub fn wall_speedup(&self) -> f64 {
+        if self.hier_cold_us == 0 {
+            0.0
+        } else {
+            self.flat_us as f64 / self.hier_cold_us as f64
+        }
+    }
+
+    /// Flat-to-hierarchical deterministic work ratio — seed-stable, so
+    /// `verify.sh` can guard it in stable mode where wall clocks are
+    /// zeroed.
+    pub fn work_speedup(&self) -> f64 {
+        if self.work_hier == 0 {
+            0.0
+        } else {
+            self.work_flat as f64 / self.work_hier as f64
+        }
+    }
+}
+
+/// Times a flat exhaustive cold plan against the hierarchical
+/// gateway-composed path on the same request: cold (fresh
+/// [`HierMemo`] every rep, so region segments are re-solved) and warm
+/// (shared memo, so segment shortlists are hits). The flat objective
+/// is the provable optimum; the composed objective must match it or
+/// carry a non-zero gap bound.
+pub fn measure_hier_plan(
+    net: &Network,
+    server: NodeId,
+    client: NodeId,
+    reps: usize,
+) -> HierPlanMeasure {
+    let translator = mail_translator();
+    let request = scale_request(server, client);
+
+    let flat_planner = scale_planner();
+    let mut flat_us = u64::MAX;
+    let mut flat = None;
+    for _ in 0..reps {
+        let timer = WallTimer::start();
+        let plan = flat_planner
+            .plan(net, &translator, &request)
+            .expect("flat plan");
+        flat_us = flat_us.min(timer.elapsed_micros());
+        flat = Some(plan);
+    }
+    let flat = flat.expect("at least one flat rep");
+
+    let hier_planner = Planner::with_config(
+        mail_spec(),
+        PlannerConfig {
+            algorithm: Algorithm::Exhaustive,
+            share_route_table: true,
+            hier: Some(HierConfig::default()),
+            ..PlannerConfig::default()
+        },
+    );
+    let mut hier_cold_us = u64::MAX;
+    let mut hier = None;
+    for _ in 0..reps {
+        let memo = HierMemo::new();
+        let timer = WallTimer::start();
+        let plan = hier_planner
+            .plan_hierarchical(net, &translator, &request, &memo)
+            .expect("hier cold plan");
+        hier_cold_us = hier_cold_us.min(timer.elapsed_micros());
+        hier = Some(plan);
+    }
+    let hier = hier.expect("at least one hier rep");
+
+    let memo = HierMemo::new();
+    let warm_seed = hier_planner
+        .plan_hierarchical(net, &translator, &request, &memo)
+        .expect("memo-populating plan");
+    let mut hier_warm_us = u64::MAX;
+    let mut warm_memo_hits = warm_seed.stats.hier_memo_hits;
+    for _ in 0..reps {
+        let timer = WallTimer::start();
+        let plan = hier_planner
+            .plan_hierarchical(net, &translator, &request, &memo)
+            .expect("hier warm plan");
+        hier_warm_us = hier_warm_us.min(timer.elapsed_micros());
+        warm_memo_hits = plan.stats.hier_memo_hits;
+    }
+
+    // The flat exhaustive search is the optimum; composition can never
+    // beat it, and any shortfall must be covered by the reported bound.
+    assert!(
+        hier.objective_value + 1e-9 >= flat.objective_value,
+        "hierarchical plan beat the exhaustive optimum: {} vs {}",
+        hier.objective_value,
+        flat.objective_value
+    );
+
+    let regions = ps_net::RegionMap::build(net).len();
+    HierPlanMeasure {
+        nodes: net.node_count(),
+        regions,
+        flat_us,
+        hier_cold_us,
+        hier_warm_us,
+        flat_objective: flat.objective_value,
+        hier_objective: hier.objective_value,
+        gap_micro: hier.stats.hier_gap_micro,
+        work_flat: flat.stats.work_units(),
+        work_hier: hier.stats.work_units(),
+        segments: hier.stats.hier_segments,
+        warm_memo_hits,
+        universe: hier.stats.hier_universe,
+    }
+}
+
+/// Knobs for the open-loop client-population run, overridable from the
+/// environment (`PS_OPENLOOP_CLIENTS`, `PS_OPENLOOP_ARRIVALS`,
+/// `PS_OPENLOOP_ATTACH`).
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Logical leaf-client population size.
+    pub clients: u64,
+    /// Connect arrivals to drive through the gateway.
+    pub arrivals: u64,
+    /// Distinct attachment routers the population hangs off.
+    pub attach_routers: usize,
+    /// Seed for the arrival process and popularity draw.
+    pub seed: u64,
+    /// Diurnal period, virtual hours.
+    pub day_hours: f64,
+    /// Peak arrival rate, connects per virtual second.
+    pub peak_rps: f64,
+    /// Popularity skew: client rank drawn as `u^tail_alpha`, so larger
+    /// values concentrate arrivals on fewer logical clients
+    /// (heavy-tailed sessions).
+    pub tail_alpha: f64,
+}
+
+impl OpenLoopConfig {
+    /// Defaults (120k clients, 150k arrivals, 256 attachment routers),
+    /// with env overrides applied and the arrival count reduced in
+    /// stable mode where wall-derived outputs are zeroed anyway.
+    pub fn from_env(seed: u64, stable: bool) -> Self {
+        let env_u64 = |name: &str, default: u64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        OpenLoopConfig {
+            clients: env_u64("PS_OPENLOOP_CLIENTS", 120_000),
+            arrivals: env_u64(
+                "PS_OPENLOOP_ARRIVALS",
+                if stable { 20_000 } else { 150_000 },
+            ),
+            attach_routers: env_u64("PS_OPENLOOP_ATTACH", 256) as usize,
+            seed,
+            day_hours: 24.0,
+            peak_rps: 4.0,
+            tail_alpha: 1.6,
+        }
+    }
+}
+
+/// Outcome of the open-loop population run. Everything except the
+/// `wall_ms`-derived fields is deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct OpenLoopOutcome {
+    /// Logical client population.
+    pub clients: u64,
+    /// Arrivals driven.
+    pub arrivals: u64,
+    /// Distinct logical clients that actually connected.
+    pub distinct_clients: u64,
+    /// Attachment routers carrying the population.
+    pub attach_routers: usize,
+    /// Full hierarchical plans executed (per-attachment cache misses).
+    pub plans: u64,
+    /// Arrivals served from the per-attachment plan cache.
+    pub cache_hits: u64,
+    /// Region-shortlist memo hits across all plans (shared memo).
+    pub memo_hits: u64,
+    /// Region segments solved (memo misses).
+    pub memo_misses: u64,
+    /// Virtual span of the arrival process, hours.
+    pub virtual_hours: f64,
+    /// Arrivals in the busiest virtual hour.
+    pub peak_hour_arrivals: u64,
+    /// Arrivals in the quietest complete virtual hour.
+    pub trough_hour_arrivals: u64,
+    /// Wall time of the whole drive, ms (zeroed in stable mode by the
+    /// caller).
+    pub wall_ms: f64,
+    /// Sustained connect throughput, arrivals per wall second (zeroed
+    /// in stable mode by the caller).
+    pub connects_per_sec: f64,
+    /// Plan-latency percentiles over the cache-miss plans, wall ms
+    /// (zeroed in stable mode by the caller).
+    pub plan_p50_ms: f64,
+    /// 99th percentile plan latency, wall ms.
+    pub plan_p99_ms: f64,
+    /// Worst plan latency, wall ms.
+    pub plan_max_ms: f64,
+}
+
+/// Drives an open-loop client population against the hierarchical
+/// planner: a seeded inhomogeneous-Poisson arrival process (thinned
+/// against a diurnal sine profile) draws heavy-tailed logical client
+/// ranks, maps each onto one of `attach_routers` leaf attachment
+/// points spread across the fabric, and serves every arrival the way a
+/// gateway would — a per-attachment plan-cache lookup, falling through
+/// to a full gateway-composed solve sharing one [`HierMemo`]. Arrivals
+/// are open-loop: the process never waits for a previous connect, so
+/// the measured rate is offered load, not closed-loop feedback.
+///
+/// Mutates `net` by attaching the leaf client nodes.
+pub fn run_open_loop(
+    net: &mut Network,
+    server: NodeId,
+    cfg: &OpenLoopConfig,
+    tracer: &Tracer,
+) -> OpenLoopOutcome {
+    // Attachment points: leaf workstations hung off routers sampled
+    // round-robin across the whole fabric (every site, not just the
+    // datacenters), partner-grade like the standard scale client so
+    // the chain spreads into the datacenters.
+    let lan = SimDuration::from_nanos(100_000);
+    let routers: Vec<NodeId> = net.node_ids().filter(|&n| net.node(n).up).collect();
+    let stride = (routers.len() / cfg.attach_routers).max(1);
+    let mut attach_nodes = Vec::with_capacity(cfg.attach_routers);
+    for i in 0..cfg.attach_routers {
+        let uplink = routers[(i * stride) % routers.len()];
+        let site = net.node(uplink).site.clone();
+        let leaf = net.add_node(
+            format!("ol-client-{i}"),
+            site,
+            1.0,
+            Credentials::new()
+                .with("TrustRating", 4i64)
+                .with("Domain", "partner"),
+        );
+        net.add_link(
+            uplink,
+            leaf,
+            lan,
+            1e9,
+            Credentials::new().with("Secure", true),
+        );
+        attach_nodes.push(leaf);
+    }
+
+    let translator = mail_translator();
+    let planner = Planner::with_config(
+        mail_spec(),
+        PlannerConfig {
+            algorithm: Algorithm::Exhaustive,
+            share_route_table: true,
+            hier: Some(HierConfig::default()),
+            ..PlannerConfig::default()
+        },
+    );
+    let memo = HierMemo::new();
+    let mut plan_cache: Vec<Option<Plan>> = vec![None; cfg.attach_routers];
+    let mut seen = vec![0u64; (cfg.clients as usize).div_ceil(64)];
+    let mut hour_counts: Vec<u64> = Vec::new();
+
+    let mut rng = Rng::seed_from_u64(cfg.seed).derive("open-loop");
+    let mut t_sec = 0.0f64;
+    let mut arrivals = 0u64;
+    let mut distinct = 0u64;
+    let mut plans = 0u64;
+    let mut cache_hits = 0u64;
+    let timer = WallTimer::start();
+    while arrivals < cfg.arrivals {
+        // Inhomogeneous Poisson by thinning: candidate arrivals at the
+        // peak rate, accepted with probability lambda(t)/peak where
+        // lambda follows a day-night sine (trough = 20% of peak).
+        t_sec += rng.exponential(cfg.peak_rps);
+        let phase = 2.0 * std::f64::consts::PI * (t_sec / 3_600.0) / cfg.day_hours;
+        let lambda_frac = 0.6 + 0.4 * phase.sin();
+        if !rng.chance(lambda_frac) {
+            continue;
+        }
+        arrivals += 1;
+        let hour = (t_sec / 3_600.0) as usize;
+        if hour_counts.len() <= hour {
+            hour_counts.resize(hour + 1, 0);
+        }
+        hour_counts[hour] += 1;
+
+        // Heavy-tailed popularity: rank u^alpha concentrates repeat
+        // sessions on low client ids while the tail still touches the
+        // whole population.
+        let u = rng.next_f64();
+        let client_id = ((u.powf(cfg.tail_alpha)) * cfg.clients as f64) as u64 % cfg.clients;
+        let (word, bit) = ((client_id / 64) as usize, client_id % 64);
+        if seen[word] & (1 << bit) == 0 {
+            seen[word] |= 1 << bit;
+            distinct += 1;
+        }
+        let attach = (client_id % cfg.attach_routers as u64) as usize;
+
+        if plan_cache[attach].is_some() {
+            cache_hits += 1;
+            tracer.count("openloop.cache_hits", 1);
+            continue;
+        }
+        let request = scale_request(server, attach_nodes[attach]);
+        let plan_timer = WallTimer::start();
+        let plan = planner
+            .plan_hierarchical(net, &translator, &request, &memo)
+            .expect("open-loop plan");
+        tracer.observe("openloop.plan_wall_ms", plan_timer.elapsed_ms());
+        tracer.count("openloop.plans", 1);
+        plans += 1;
+        plan_cache[attach] = Some(plan);
+    }
+    let wall_ms = timer.elapsed_ms();
+
+    let hist = tracer
+        .registry()
+        .and_then(|r| r.histogram("openloop.plan_wall_ms"));
+    let (p50, p99, max) = hist
+        .map(|h| (h.p50(), h.p99(), h.max))
+        .unwrap_or((0.0, 0.0, 0.0));
+    let complete_hours = hour_counts.len().saturating_sub(1);
+    OpenLoopOutcome {
+        clients: cfg.clients,
+        arrivals,
+        distinct_clients: distinct,
+        attach_routers: cfg.attach_routers,
+        plans,
+        cache_hits,
+        memo_hits: memo.hits(),
+        memo_misses: memo.misses(),
+        virtual_hours: t_sec / 3_600.0,
+        peak_hour_arrivals: hour_counts.iter().copied().max().unwrap_or(0),
+        trough_hour_arrivals: hour_counts[..complete_hours.max(1)]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0),
+        wall_ms,
+        connects_per_sec: if wall_ms > 0.0 {
+            arrivals as f64 / (wall_ms / 1_000.0)
+        } else {
+            0.0
+        },
+        plan_p50_ms: p50,
+        plan_p99_ms: p99,
+        plan_max_ms: max,
+    }
+}
+
 /// Observability knobs for [`run_heal_workload_with`].
 #[derive(Debug, Clone, Default)]
 pub struct HealWorkloadOptions {
@@ -471,6 +863,11 @@ pub struct HealWorkloadOptions {
     /// series (the bare workload ends within ~50 ms of the redeployed
     /// instances' lease grants).
     pub settle: Option<SimDuration>,
+    /// Plan hierarchically (gateway composition + shared region memo)
+    /// instead of the flat exhaustive path, populating the
+    /// `planner.region.*` registry metrics the timeline report
+    /// attributes plan time with.
+    pub hier: bool,
 }
 
 /// Outcome of the chaos-style heal workload (virtual-time derived
@@ -546,6 +943,7 @@ pub fn run_heal_workload_with(
     framework.planner_config(PlannerConfig {
         algorithm: Algorithm::Exhaustive,
         share_route_table: true,
+        hier: options.hier.then(HierConfig::default),
         ..PlannerConfig::default()
     });
     framework.enable_self_healing();

@@ -144,6 +144,13 @@ pub struct HealReport {
     /// successful redeployments (zeros when no repair-planned redeploy
     /// happened — e.g. all replans were plan-cache hits).
     pub repair: PlanRepairStats,
+    /// Per-region shortlist memo hits across this pass's redeploys
+    /// (non-zero only when the server plans hierarchically). Because
+    /// every redeploy goes through the server's shared [`ps_planner::HierMemo`],
+    /// one connection's segment solve is the next connection's hit.
+    pub hier_memo_hits: u64,
+    /// Region segments actually solved (memo misses) this pass.
+    pub hier_segments: u64,
 }
 
 /// Why a managed connection could not be healed this pass. Typed so the
@@ -195,6 +202,8 @@ impl HealReport {
             primaries_restored: Vec::new(),
             failed: Vec::new(),
             repair: PlanRepairStats::default(),
+            hier_memo_hits: 0,
+            hier_segments: 0,
         }
     }
 
@@ -629,6 +638,8 @@ impl Framework {
                     if let Some(r) = connection.plan.repair {
                         report.repair += r;
                     }
+                    report.hier_memo_hits += connection.plan.stats.hier_memo_hits as u64;
+                    report.hier_segments += connection.plan.stats.hier_segments as u64;
                     managed[idx].connection = connection;
                     managed[idx].degraded = false;
                     match mode {
@@ -695,6 +706,8 @@ impl Framework {
             tracer.count("heal.chains_resolved", report.repair.chains_resolved as u64);
             tracer.count("heal.chains_reused", report.repair.chains_reused as u64);
             tracer.count("heal.seeded_bound_cuts", report.repair.seeded_bound_cuts);
+            tracer.count("heal.region_memo_hits", report.hier_memo_hits);
+            tracer.count("heal.region_segments", report.hier_segments);
             tracer.instant(
                 "core",
                 "heal",

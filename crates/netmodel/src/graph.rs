@@ -9,6 +9,7 @@
 
 use ps_sim::SimDuration;
 use ps_spec::{Environment, PropertyValue};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Index of a node in a [`Network`].
@@ -105,6 +106,12 @@ pub struct Network {
     links: Vec<Link>,
     adjacency: Vec<Vec<(NodeId, LinkId)>>,
     epoch: u64,
+    /// Per-site mutation epochs: a site's counter is bumped whenever a
+    /// node in the site, or a link with an endpoint in the site, changes.
+    /// Region-scoped caches (hierarchical subplan memos) key on these so
+    /// a fault in one AS does not invalidate every other region's
+    /// memoised segments.
+    site_epochs: BTreeMap<String, u64>,
 }
 
 impl PartialEq for Network {
@@ -141,6 +148,7 @@ impl Network {
         });
         self.adjacency.push(Vec::new());
         self.epoch += 1;
+        self.bump_node_site(id);
         id
     }
 
@@ -169,6 +177,7 @@ impl Network {
         self.adjacency[a.0 as usize].push((b, id));
         self.adjacency[b.0 as usize].push((a, id));
         self.epoch += 1;
+        self.bump_link_sites(id);
         id
     }
 
@@ -176,6 +185,26 @@ impl Network {
     /// artifacts (route tables, plan caches) can detect staleness.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The per-site region epoch (see the `site_epochs` field). Sites
+    /// that never existed report 0; every real site is seeded by its
+    /// first `add_node`, so an existing site's epoch is always ≥ 1.
+    pub fn region_epoch(&self, site: &str) -> u64 {
+        self.site_epochs.get(site).copied().unwrap_or(0)
+    }
+
+    fn bump_node_site(&mut self, id: NodeId) {
+        let site = self.nodes[id.0 as usize].site.clone();
+        *self.site_epochs.entry(site).or_insert(0) += 1;
+    }
+
+    fn bump_link_sites(&mut self, id: LinkId) {
+        let (a, b) = (self.links[id.0 as usize].a, self.links[id.0 as usize].b);
+        self.bump_node_site(a);
+        if self.nodes[a.0 as usize].site != self.nodes[b.0 as usize].site {
+            self.bump_node_site(b);
+        }
     }
 
     /// Number of nodes.
@@ -198,6 +227,7 @@ impl Network {
     /// derived route tables and plan caches.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
         self.epoch += 1;
+        self.bump_node_site(id);
         &mut self.nodes[id.0 as usize]
     }
 
@@ -210,6 +240,7 @@ impl Network {
     /// [`Network::node_mut`]).
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
         self.epoch += 1;
+        self.bump_link_sites(id);
         &mut self.links[id.0 as usize]
     }
 
@@ -220,6 +251,11 @@ impl Network {
     /// must still be invalidated.
     pub fn touch(&mut self) {
         self.epoch += 1;
+        // The external change could concern any site: bump them all so
+        // region-scoped caches are invalidated alongside global ones.
+        for counter in self.site_epochs.values_mut() {
+            *counter += 1;
+        }
     }
 
     /// Marks a node up or down, bumping the epoch when the flag actually
@@ -229,6 +265,7 @@ impl Network {
         if self.nodes[id.0 as usize].up != up {
             self.nodes[id.0 as usize].up = up;
             self.epoch += 1;
+            self.bump_node_site(id);
         }
     }
 
@@ -238,6 +275,7 @@ impl Network {
         if self.links[id.0 as usize].up != up {
             self.links[id.0 as usize].up = up;
             self.epoch += 1;
+            self.bump_link_sites(id);
         }
     }
 
@@ -380,6 +418,33 @@ mod tests {
         let net = simple();
         assert_eq!(net.site_nodes("s1").len(), 2);
         assert_eq!(net.site_nodes("s2").len(), 1);
+    }
+
+    #[test]
+    fn region_epochs_scope_to_touched_sites() {
+        let mut net = simple();
+        let (e1, e2) = (net.region_epoch("s1"), net.region_epoch("s2"));
+        assert!(e1 >= 1 && e2 >= 1, "sites are seeded by add_node");
+        assert_eq!(net.region_epoch("nowhere"), 0);
+
+        // Intra-s1 change: s2 untouched.
+        net.set_node_up(NodeId(0), false);
+        assert_eq!(net.region_epoch("s1"), e1 + 1);
+        assert_eq!(net.region_epoch("s2"), e2);
+
+        // Cross-site link b(s1)—c(s2): both sides bumped.
+        net.set_link_up(LinkId(1), false);
+        assert_eq!(net.region_epoch("s1"), e1 + 2);
+        assert_eq!(net.region_epoch("s2"), e2 + 1);
+
+        // No-op flips bump nothing.
+        net.set_link_up(LinkId(1), false);
+        assert_eq!(net.region_epoch("s2"), e2 + 1);
+
+        // touch() invalidates every region.
+        net.touch();
+        assert_eq!(net.region_epoch("s1"), e1 + 3);
+        assert_eq!(net.region_epoch("s2"), e2 + 2);
     }
 
     #[test]

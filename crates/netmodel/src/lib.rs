@@ -26,6 +26,7 @@ pub mod casestudy;
 pub mod graph;
 pub mod partition;
 pub mod path;
+pub mod regions;
 pub mod route_table;
 pub mod translate;
 
@@ -33,7 +34,8 @@ pub use casestudy::{default_case_study, CaseStudy};
 pub use graph::{Credentials, Link, LinkId, Network, Node, NodeId};
 pub use partition::PartitionView;
 pub use path::{routes_from, shortest_route, Route};
-pub use route_table::{RepairOutcome, RouteTable};
+pub use regions::{Region, RegionMap};
+pub use route_table::{RepairOutcome, RouteTable, ScopedRoutes};
 pub use translate::{Mapping, MappingTranslator, PropertyTranslator};
 
 /// Convenience prelude for network-model users.
@@ -43,6 +45,7 @@ pub mod prelude {
     pub use crate::graph::{Credentials, Link, LinkId, Network, Node, NodeId};
     pub use crate::partition::PartitionView;
     pub use crate::path::{routes_from, shortest_route, Route};
-    pub use crate::route_table::{RepairOutcome, RouteTable};
+    pub use crate::regions::{Region, RegionMap};
+    pub use crate::route_table::{RepairOutcome, RouteTable, ScopedRoutes};
     pub use crate::translate::{Mapping, MappingTranslator, PropertyTranslator};
 }

@@ -46,6 +46,8 @@ use crate::graph::{LinkId, Network, NodeId};
 use crate::partition::PartitionView;
 use crate::path::{dijkstra_tree, reconstruct, Route, RouteCost, UNREACHED};
 use ps_sim::SimDuration;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Fraction of sources above which [`RouteTable::repair`] rebuilds the
 /// whole table instead of repairing per-source (numerator/denominator).
@@ -383,6 +385,121 @@ impl RouteTable {
     }
 }
 
+/// Lazily built per-source routing rows over the full graph.
+///
+/// A full [`RouteTable`] runs one Dijkstra per source — `n` heap passes
+/// up front, ~135 ms at a thousand routers. The hierarchical planner
+/// only ever asks for routes *from* a handful of sources (the client,
+/// pinned hosts, gateways of the regions a chain transits), so
+/// `ScopedRoutes` builds exactly those rows, on first use, behind a
+/// mutex. Each row is produced by the very same
+/// [`dijkstra_tree`] / [`reconstruct`] pair the full table uses, so
+/// every answered query is bit-identical to [`RouteTable::route`] —
+/// including deterministic tie-breaks — just restricted to the sources
+/// actually touched.
+///
+/// Staleness mirrors [`RouteTable::is_current`]: the structure records
+/// the build epoch and callers must discard it when the network moves
+/// on (there is no incremental repair — rebuilding a handful of lazy
+/// rows is cheaper than classifying damage).
+#[derive(Debug)]
+pub struct ScopedRoutes {
+    epoch: u64,
+    n: usize,
+    rows: Mutex<BTreeMap<u32, ScopedRow>>,
+}
+
+#[derive(Debug)]
+struct ScopedRow {
+    dist: Vec<RouteCost>,
+    prev: Vec<Option<(NodeId, LinkId)>>,
+}
+
+impl ScopedRoutes {
+    /// Creates an empty scoped table bound to the network's current
+    /// epoch. No Dijkstra runs until the first query.
+    pub fn new(net: &Network) -> Self {
+        ScopedRoutes {
+            epoch: net.epoch(),
+            n: net.node_count(),
+            rows: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The network epoch this table reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the table still reflects `net` (same epoch).
+    pub fn is_current(&self, net: &Network) -> bool {
+        self.epoch == net.epoch() && self.n == net.node_count()
+    }
+
+    /// Number of source rows materialized so far. Deterministic for a
+    /// deterministic query sequence, so it doubles as the planner's
+    /// routing-work metric in stable-mode artifacts.
+    pub fn rows_built(&self) -> usize {
+        self.rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// The route from `from` to `to`, building `from`'s row on first
+    /// use. Identical to [`RouteTable::route`] for every pair.
+    pub fn route(&self, net: &Network, from: NodeId, to: NodeId) -> Option<Route> {
+        debug_assert!(
+            self.is_current(net),
+            "scoped routes are stale: built at epoch {}, network at {}",
+            self.epoch,
+            net.epoch()
+        );
+        let mut rows = self
+            .rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let row = Self::row(&mut rows, net, self.n, from);
+        reconstruct(net, from, to, &row.dist, &row.prev)
+    }
+
+    /// One-way propagation latency from `from` to `to` (`None` when
+    /// unreachable), building `from`'s row on first use.
+    pub fn latency(&self, net: &Network, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        if from == to {
+            return Some(SimDuration::ZERO);
+        }
+        let mut rows = self
+            .rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let row = Self::row(&mut rows, net, self.n, from);
+        let ns = row.dist[to.0 as usize].1;
+        (ns != u64::MAX).then(|| SimDuration::from_nanos(ns))
+    }
+
+    /// Intermediate nodes (excluding endpoints) on the shortest path
+    /// from `from` to `to`, or `None` when unreachable. Cheaper than
+    /// materializing a full [`Route`] when only the corridor matters.
+    pub fn via_nodes(&self, net: &Network, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        self.route(net, from, to).map(|r| r.via)
+    }
+
+    fn row<'a>(
+        rows: &'a mut BTreeMap<u32, ScopedRow>,
+        net: &Network,
+        n: usize,
+        from: NodeId,
+    ) -> &'a ScopedRow {
+        rows.entry(from.0).or_insert_with(|| {
+            let mut dist = vec![UNREACHED; n];
+            let mut prev = vec![None; n];
+            dijkstra_tree(net, from, None, &mut dist, &mut prev);
+            ScopedRow { dist, prev }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +697,36 @@ mod tests {
                 assert_matches_full_build(&table, &net, &format!("seed {seed} event {i}"));
             }
         }
+    }
+
+    #[test]
+    fn scoped_routes_match_full_table_and_build_lazily() {
+        let net = diamond();
+        let table = RouteTable::build(&net);
+        let scoped = ScopedRoutes::new(&net);
+        assert!(scoped.is_current(&net));
+        assert_eq!(scoped.rows_built(), 0, "no rows before the first query");
+        for from in [NodeId(0), NodeId(2)] {
+            for to in net.node_ids() {
+                assert_eq!(scoped.route(&net, from, to), table.route(&net, from, to));
+                assert_eq!(scoped.latency(&net, from, to), table.latency(from, to));
+            }
+        }
+        assert_eq!(scoped.rows_built(), 2, "only the queried sources");
+        // Local latency never materializes a row.
+        assert_eq!(
+            scoped.latency(&net, NodeId(3), NodeId(3)),
+            Some(SimDuration::ZERO)
+        );
+        assert_eq!(scoped.rows_built(), 2);
+    }
+
+    #[test]
+    fn scoped_routes_detect_staleness() {
+        let mut net = diamond();
+        let scoped = ScopedRoutes::new(&net);
+        net.set_link_up(LinkId(0), false);
+        assert!(!scoped.is_current(&net));
     }
 
     #[test]

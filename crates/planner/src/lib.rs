@@ -22,6 +22,7 @@
 pub mod compat;
 pub mod dp;
 pub mod exhaustive;
+pub mod hierarchy;
 pub mod linkage;
 pub mod load;
 pub mod mapping;
@@ -29,6 +30,7 @@ pub mod plan;
 pub mod planner;
 pub mod pop;
 
+pub use hierarchy::{request_signature, HierConfig, HierMemo};
 pub use linkage::{
     enumerate_linkages, enumerate_linkages_multi, LinkageGraph, LinkageLimits, LinkageNode,
 };
@@ -41,6 +43,7 @@ pub use planner::{Algorithm, Planner, PlannerConfig, RepairContext};
 
 /// Convenience prelude for planner users.
 pub mod prelude {
+    pub use crate::hierarchy::{HierConfig, HierMemo};
     pub use crate::linkage::{enumerate_linkages, LinkageGraph, LinkageLimits};
     pub use crate::load::LoadModel;
     pub use crate::plan::{Objective, Plan, PlanError, ServiceRequest};

@@ -19,7 +19,9 @@ use crate::compat::{effective_provided, satisfies, transform_along};
 use crate::linkage::LinkageGraph;
 use crate::load::{propagate_rates, LoadModel, RatePlan};
 use crate::plan::{Objective, PlanEdge, ServiceRequest};
-use ps_net::{shortest_route, Network, NodeId, PropertyTranslator, Route, RouteTable};
+use ps_net::{
+    shortest_route, Network, NodeId, PropertyTranslator, Route, RouteTable, ScopedRoutes,
+};
 use ps_spec::condition::all_hold;
 use ps_spec::{Component, Environment, ResolvedBindings, ServiceSpec};
 use std::cell::RefCell;
@@ -111,6 +113,14 @@ pub struct Mapper<'a> {
     /// on-demand Dijkstra (the pre-table behavior, kept reachable so the
     /// bench harness can measure the baseline).
     route_table: Option<Arc<RouteTable>>,
+    /// Lazily built per-source routing rows (the hierarchical planner's
+    /// substitute for a full table); consulted before `route_table`.
+    scoped_routes: Option<Arc<ScopedRoutes>>,
+    /// When set, condition-1 candidate enumeration is restricted to
+    /// these nodes instead of the whole network (the hierarchical
+    /// planner's composition universe). Must stay fixed for the
+    /// mapper's lifetime — the candidate cache keys assume it.
+    universe: Option<Vec<NodeId>>,
 }
 
 impl<'a> Mapper<'a> {
@@ -160,6 +170,8 @@ impl<'a> Mapper<'a> {
             route_cache: RefCell::new(HashMap::new()),
             candidate_cache: RefCell::new(HashMap::new()),
             route_table: None,
+            scoped_routes: None,
+            universe: None,
         }
     }
 
@@ -172,6 +184,34 @@ impl<'a> Mapper<'a> {
     pub fn with_route_table(mut self, table: Arc<RouteTable>) -> Self {
         debug_assert!(table.is_current(self.net), "route table is stale");
         self.route_table = Some(table);
+        self
+    }
+
+    /// Switches route lookups onto lazily built per-source rows
+    /// ([`ScopedRoutes`]) — bit-identical answers to a full table, but
+    /// only the sources actually queried pay for a Dijkstra run. Takes
+    /// precedence over an attached [`RouteTable`].
+    pub fn with_scoped_routes(mut self, routes: Arc<ScopedRoutes>) -> Self {
+        debug_assert!(routes.is_current(self.net), "scoped routes are stale");
+        self.scoped_routes = Some(routes);
+        self
+    }
+
+    /// Restricts condition-1 candidate enumeration to `nodes` (the
+    /// hierarchical planner's composition universe: anchors, corridor,
+    /// gateways, and memoized per-region shortlists). Pinned and
+    /// root-colocated placements are unaffected — they are forced to a
+    /// specific node regardless of the universe. Must be set before the
+    /// first candidate query and never changed: the per-component
+    /// candidate cache assumes a fixed universe.
+    pub fn with_universe(mut self, mut nodes: Vec<NodeId>) -> Self {
+        debug_assert!(
+            self.candidate_cache.borrow().is_empty(),
+            "universe must be fixed before candidates are first queried"
+        );
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.universe = Some(nodes);
         self
     }
 
@@ -203,9 +243,10 @@ impl<'a> Mapper<'a> {
         if let Some(hit) = self.route_cache.borrow().get(&(from.0, to.0)) {
             return hit.clone();
         }
-        let raw = match &self.route_table {
-            Some(table) => table.route(self.net, from, to),
-            None => shortest_route(self.net, from, to),
+        let raw = match (&self.scoped_routes, &self.route_table) {
+            (Some(scoped), _) => scoped.route(self.net, from, to),
+            (None, Some(table)) => table.route(self.net, from, to),
+            (None, None) => shortest_route(self.net, from, to),
         };
         let computed = raw.map(|route| {
             Rc::new(RouteInfo {
@@ -272,7 +313,10 @@ impl<'a> Mapper<'a> {
                     Vec::new()
                 }
             }
-            None => self.net.node_ids().filter(|&n| check(n)).collect(),
+            None => match &self.universe {
+                Some(universe) => universe.iter().copied().filter(|&n| check(n)).collect(),
+                None => self.net.node_ids().filter(|&n| check(n)).collect(),
+            },
         }
     }
 

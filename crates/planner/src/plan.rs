@@ -314,6 +314,29 @@ pub struct PlanStats {
     /// Plan-cache hits recorded by the serving layer (zero inside the
     /// planner itself; `GenericServer` fills it in on a cache hit).
     pub plan_cache_hits: u64,
+    /// Region segment solves run by the hierarchical planner (zero on
+    /// the flat path).
+    pub hier_segments: u32,
+    /// Segment shortlists answered from the per-region memo instead of
+    /// being re-solved.
+    pub hier_memo_hits: u32,
+    /// Candidate-universe size the hierarchical composition searched
+    /// over (the flat path searches every node; zero there).
+    pub hier_universe: u32,
+    /// Subtrees the exact refinement sweep cut against the composed
+    /// incumbent (only set when refinement ran).
+    pub hier_refine_cuts: u64,
+    /// Whether the exact refinement sweep ran — when true the reported
+    /// optimum is provably identical to the flat search's.
+    pub hier_refined: bool,
+    /// When refinement was skipped: an upper bound on the composed
+    /// plan's optimality gap, in micro-units of the objective
+    /// (`(composed − lower_bound) · 1e6`, saturating). Zero when
+    /// refinement ran.
+    pub hier_gap_micro: u64,
+    /// Lazy per-source routing rows materialized by the hierarchical
+    /// path (its substitute for the full route-table build).
+    pub route_rows_built: u64,
 }
 
 impl PlanStats {
@@ -326,6 +349,23 @@ impl PlanStats {
         self.bound_prunes += other.bound_prunes;
         self.route_table_build_us = self.route_table_build_us.max(other.route_table_build_us);
         self.plan_cache_hits += other.plan_cache_hits;
+        self.hier_segments += other.hier_segments;
+        self.hier_memo_hits += other.hier_memo_hits;
+        self.hier_universe = self.hier_universe.max(other.hier_universe);
+        self.hier_refine_cuts += other.hier_refine_cuts;
+        self.hier_refined |= other.hier_refined;
+        self.hier_gap_micro = self.hier_gap_micro.max(other.hier_gap_micro);
+        self.route_rows_built = self.route_rows_built.max(other.route_rows_built);
+    }
+
+    /// Deterministic proxy for planning work: mapping evaluations and
+    /// prunes weigh 1 each, every lazy routing row weighs as much as
+    /// one evaluation batch (a full Dijkstra ≈ 64 evaluations at scale).
+    /// Stable-mode bench artifacts compare flat vs hierarchical work
+    /// through this single number, so the perf-regression guard does not
+    /// depend on wall clocks.
+    pub fn work_units(&self) -> u64 {
+        self.mappings_evaluated + self.prunes + self.bound_prunes + 64 * self.route_rows_built
     }
 }
 

@@ -64,6 +64,12 @@ pub struct PlannerConfig {
     /// *events* because it runs in host wall-clock time, which is banned
     /// from the deterministic event stream.
     pub tracer: Tracer,
+    /// Hierarchical gateway-composed planning
+    /// ([`Planner::plan_hierarchical`]): `Some` switches the serving
+    /// layer's connect and repair paths onto region decomposition with
+    /// the per-region subplan memo. `None` (the default) keeps every
+    /// path flat.
+    pub hier: Option<crate::hierarchy::HierConfig>,
 }
 
 impl Default for PlannerConfig {
@@ -76,6 +82,7 @@ impl Default for PlannerConfig {
             threads: 0,
             share_route_table: true,
             tracer: Tracer::disabled(),
+            hier: None,
         }
     }
 }
@@ -106,7 +113,7 @@ impl Planner {
     /// Enumeration limits effective for one request: a degraded-mode
     /// request (partition-side healing) may detach data views from
     /// their unreachable upstream subtree.
-    fn effective_limits(&self, request: &ServiceRequest) -> LinkageLimits {
+    pub(crate) fn effective_limits(&self, request: &ServiceRequest) -> LinkageLimits {
         let mut limits = self.config.limits.clone();
         limits.allow_detached_data_views |= request.degraded;
         limits
@@ -150,6 +157,10 @@ impl Planner {
             .then(|| Arc::new(RouteTable::build(net)));
         if let Some(table) = &route_table {
             stats.route_table_build_us = table.build_micros();
+            // A full build runs one Dijkstra per source; recorded so the
+            // deterministic work proxy (`PlanStats::work_units`) charges
+            // flat and hierarchical planning on the same scale.
+            stats.route_rows_built = net.node_count() as u64;
         }
         let with_table = |mapper| attach_table(mapper, &route_table);
 
@@ -238,7 +249,7 @@ impl Planner {
 
     /// Folds a completed search's statistics into the configured tracer's
     /// registry (a no-op with the default disabled tracer).
-    fn publish_stats(&self, stats: &PlanStats) {
+    pub(crate) fn publish_stats(&self, stats: &PlanStats) {
         let tracer = &self.config.tracer;
         tracer.count("planner.plans", 1);
         tracer.count("planner.graphs_enumerated", stats.graphs_enumerated as u64);
@@ -313,11 +324,13 @@ impl Planner {
                     let mut table = (**prior).clone();
                     let outcome = table.repair(net, &ctx.dirty_links, &ctx.dirty_nodes);
                     stats.route_table_build_us = outcome.repair_micros;
+                    stats.route_rows_built = outcome.sources_rebuilt as u64;
                     Arc::new(table)
                 }
                 None => {
                     let table = Arc::new(RouteTable::build(net));
                     stats.route_table_build_us = table.build_micros();
+                    stats.route_rows_built = net.node_count() as u64;
                     table
                 }
             }
@@ -588,6 +601,7 @@ impl Planner {
         };
         if let Some(table) = &route_table {
             stats.route_table_build_us = table.build_micros();
+            stats.route_rows_built = net.node_count() as u64;
         }
         let mut best: Option<GraphResult> = None;
         for (result, graph_stats) in per_graph {
@@ -623,7 +637,7 @@ impl Planner {
     /// the instance-identity rules forbid creating two new instances of
     /// one configuration. Graphs that fail are infeasible for every
     /// mapping, so no search algorithm needs to touch them.
-    fn graph_possibly_feasible(
+    pub(crate) fn graph_possibly_feasible(
         &self,
         graph: &crate::linkage::LinkageGraph,
         request: &ServiceRequest,
@@ -682,7 +696,7 @@ pub struct RepairContext<'p> {
 
 /// Materializes a search result as a [`Plan`] (stats and repair info are
 /// attached by the caller).
-fn assemble_plan(graph: &LinkageGraph, assignment: &[NodeId], eval: Evaluation) -> Plan {
+pub(crate) fn assemble_plan(graph: &LinkageGraph, assignment: &[NodeId], eval: Evaluation) -> Plan {
     let placements = graph
         .nodes
         .iter()

@@ -1,0 +1,315 @@
+//! Hierarchical gateway-composed planning must be *exact* once the
+//! refinement sweep runs: for any BRITE fabric, `plan_hierarchical`
+//! with [`HierConfig::refine`] lands on the same objective value as the
+//! flat branch-and-bound `plan`. Composition only changes how fast the
+//! optimum is found — the composed objective seeds the incumbent and
+//! the sweep keeps only strict improvements — never the optimum itself.
+//!
+//! The second test pins the memo-invalidation contract: a region-local
+//! link change kills exactly that region's shortlist entries, leaving
+//! every other region's memo live.
+
+use ps_net::brite::{hierarchical, FlatParams, HierParams};
+use ps_net::{LinkId, Mapping, MappingTranslator, Network, NodeId, RegionMap};
+use ps_planner::{Algorithm, HierConfig, HierMemo, Planner, PlannerConfig, ServiceRequest};
+use ps_sim::{Rng, SimDuration};
+use ps_spec::prelude::*;
+use ps_spec::PropertyValue;
+
+/// Client -> (Tunnel -> Untunnel ->) Server, as in
+/// `repair_equivalence.rs`: the tunnel pair lets the planner route
+/// around insecure inter-AS links, so the optimal shape genuinely
+/// depends on the fabric drawn.
+fn spec() -> ServiceSpec {
+    ServiceSpec::new("hier")
+        .property(Property::boolean("Secure"))
+        .property(Property::boolean("Hosting"))
+        .interface(Interface::new("Api", ["Secure"]))
+        .interface(Interface::new("Backend", ["Secure"]))
+        .interface(Interface::new("Proxied", ["Secure"]))
+        .component(
+            Component::new("Client")
+                .implements(InterfaceRef::plain("Api"))
+                .requires(InterfaceRef::with_bindings(
+                    "Backend",
+                    Bindings::new().bind_lit("Secure", true),
+                ))
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(1.0)
+                        .message_bytes(1000, 1000),
+                ),
+        )
+        .component(
+            Component::new("Server")
+                .implements(InterfaceRef::with_bindings(
+                    "Backend",
+                    Bindings::new().bind_lit("Secure", true),
+                ))
+                .condition(Condition::equals("Hosting", true))
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(10.0)
+                        .capacity(50.0)
+                        .message_bytes(1000, 1000),
+                ),
+        )
+        .component(
+            Component::new("Tunnel")
+                .implements(InterfaceRef::with_bindings(
+                    "Backend",
+                    Bindings::new().bind_lit("Secure", true),
+                ))
+                .requires(InterfaceRef::plain("Proxied"))
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(0.5)
+                        .message_bytes(1100, 1100),
+                ),
+        )
+        .component(
+            Component::new("Untunnel")
+                .implements(InterfaceRef::plain("Proxied"))
+                .requires(InterfaceRef::with_bindings(
+                    "Backend",
+                    Bindings::new().bind_lit("Secure", true),
+                ))
+                .behavior(
+                    Behavior::new()
+                        .cpu_per_request_ms(0.5)
+                        .message_bytes(1000, 1000),
+                ),
+        )
+        .rule(ModificationRule::boolean_and("Secure"))
+}
+
+fn translator() -> MappingTranslator {
+    MappingTranslator::new()
+        .link_mapping(Mapping::Copy {
+            credential: "Secure".into(),
+            property: "Secure".into(),
+            default: PropertyValue::Bool(false),
+        })
+        .node_mapping(Mapping::Copy {
+            credential: "Hosting".into(),
+            property: "Hosting".into(),
+            default: PropertyValue::Bool(false),
+        })
+        .node_mapping(Mapping::Constant {
+            property: "Secure".into(),
+            value: PropertyValue::Bool(true),
+        })
+}
+
+/// Random BRITE fabric: 4 autonomous systems of 6 routers, every
+/// `as0` node hosting-capable, client drawn from the far side so the
+/// chain crosses region borders.
+fn world(seed: u64) -> (Network, NodeId, NodeId) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let params = HierParams {
+        as_count: 4,
+        router: FlatParams {
+            nodes: 6,
+            ..FlatParams::default()
+        },
+        ..HierParams::default()
+    };
+    let mut net = hierarchical(&mut rng, &params);
+    for id in 0..net.node_count() as u32 {
+        let node = net.node_mut(NodeId(id));
+        if node.site == "as0" {
+            node.credentials = node.credentials.clone().with("Hosting", true);
+        }
+    }
+    let server = net
+        .node_ids()
+        .find(|&id| net.node(id).site == "as0")
+        .unwrap();
+    let client = net
+        .node_ids()
+        .find(|&id| net.node(id).site == "as3")
+        .unwrap();
+    (net, client, server)
+}
+
+fn flat_planner() -> Planner {
+    Planner::with_config(
+        spec(),
+        PlannerConfig {
+            algorithm: Algorithm::Exhaustive,
+            ..PlannerConfig::default()
+        },
+    )
+}
+
+fn hier_planner(refine: bool) -> Planner {
+    Planner::with_config(
+        spec(),
+        PlannerConfig {
+            algorithm: Algorithm::Exhaustive,
+            hier: Some(HierConfig {
+                refine,
+                ..HierConfig::default()
+            }),
+            ..PlannerConfig::default()
+        },
+    )
+}
+
+fn request(client: NodeId, server: NodeId) -> ServiceRequest {
+    ServiceRequest::new("Api", client)
+        .rate(2.0)
+        .pin("Server", server)
+        .origin(server)
+}
+
+#[test]
+fn refined_hier_matches_flat_optimum_across_fabrics() {
+    let flat = flat_planner();
+    let hier = hier_planner(true);
+    let translator = translator();
+    let mut planned = 0u32;
+    let mut composed = 0u32;
+    for seed in 0..14u64 {
+        let (net, client, server) = world(4200 + seed);
+        let request = request(client, server);
+        let memo = HierMemo::new();
+        let flat_plan = flat.plan(&net, &translator, &request);
+        let hier_plan = hier.plan_hierarchical(&net, &translator, &request, &memo);
+        match (flat_plan, hier_plan) {
+            (Ok(flat_plan), Ok(hier_plan)) => {
+                assert!(
+                    (flat_plan.objective_value - hier_plan.objective_value).abs() < 1e-9,
+                    "seed {seed}: refined hierarchical objective {} != flat optimum {}",
+                    hier_plan.objective_value,
+                    flat_plan.objective_value
+                );
+                assert_eq!(
+                    hier_plan.stats.hier_gap_micro, 0,
+                    "seed {seed}: a refined plan must not carry a gap bound"
+                );
+                planned += 1;
+                if hier_plan.stats.hier_segments > 0 {
+                    composed += 1;
+                    assert!(
+                        hier_plan.stats.hier_refined,
+                        "seed {seed}: composed plan skipped the refinement sweep"
+                    );
+                }
+            }
+            (Err(_), Err(_)) => continue, // both agree: nothing feasible
+            (flat_plan, hier_plan) => panic!(
+                "seed {seed}: flat and hierarchical disagree on feasibility: \
+                 flat={:?} hier={:?}",
+                flat_plan.map(|p| p.objective_value),
+                hier_plan.map(|p| p.objective_value)
+            ),
+        }
+    }
+    assert!(
+        planned >= 12,
+        "only {planned} of 14 fabrics produced a feasible plan"
+    );
+    assert!(
+        composed >= 6,
+        "only {composed} runs actually composed regions — the property is vacuous"
+    );
+}
+
+/// The unrefined path may stop at the composed plan, but its objective
+/// must never beat the flat optimum, and any shortfall must be covered
+/// by the published admissible gap bound.
+#[test]
+fn unrefined_hier_is_bounded_by_flat_optimum() {
+    let flat = flat_planner();
+    let hier = hier_planner(false);
+    let translator = translator();
+    for seed in 0..14u64 {
+        let (net, client, server) = world(4200 + seed);
+        let request = request(client, server);
+        let memo = HierMemo::new();
+        let (Ok(flat_plan), Ok(hier_plan)) = (
+            flat.plan(&net, &translator, &request),
+            hier.plan_hierarchical(&net, &translator, &request, &memo),
+        ) else {
+            continue;
+        };
+        assert!(
+            hier_plan.objective_value + 1e-9 >= flat_plan.objective_value,
+            "seed {seed}: composed objective {} beat the exhaustive optimum {}",
+            hier_plan.objective_value,
+            flat_plan.objective_value
+        );
+        let shortfall_micro =
+            ((hier_plan.objective_value - flat_plan.objective_value) * 1e6).round() as u64;
+        assert!(
+            shortfall_micro == 0 || hier_plan.stats.hier_gap_micro >= shortfall_micro,
+            "seed {seed}: shortfall {shortfall_micro}µ exceeds the published bound {}µ",
+            hier_plan.stats.hier_gap_micro
+        );
+    }
+}
+
+#[test]
+fn region_local_change_invalidates_only_that_regions_memo() {
+    let hier = hier_planner(false);
+    let translator = translator();
+    // Find a fabric whose plan actually composes, so the memo holds
+    // shortlists from more than one region.
+    for seed in 0..14u64 {
+        let (mut net, client, server) = world(4200 + seed);
+        let request = request(client, server);
+        let memo = HierMemo::new();
+        let Ok(plan) = hier.plan_hierarchical(&net, &translator, &request, &memo) else {
+            continue;
+        };
+        if plan.stats.hier_segments == 0 {
+            continue;
+        }
+        let map = RegionMap::build(&net);
+        let total = memo.total_entries();
+        assert_eq!(
+            memo.live_entries(&net, &map),
+            total,
+            "seed {seed}: fresh memo must be fully live"
+        );
+
+        // A link strictly inside as0 (the hosting region, always a
+        // transit region of this request) bumps only as0's epoch.
+        let intra = (0..net.link_count() as u32)
+            .map(LinkId)
+            .find(|&l| {
+                let link = net.link(l);
+                net.node(link.a).site == "as0" && net.node(link.b).site == "as0"
+            })
+            .expect("an intra-as0 link");
+        net.link_mut(intra).latency = SimDuration::from_micros(12_345);
+
+        let live = memo.live_entries(&net, &map);
+        let dead = total - live;
+        assert!(
+            dead > 0,
+            "seed {seed}: an intra-as0 link change must kill as0's shortlists"
+        );
+        assert!(
+            live > 0,
+            "seed {seed}: an intra-as0 link change must not touch other regions' shortlists"
+        );
+
+        // Replanning re-solves exactly the dead region's segments and
+        // still hits the surviving ones.
+        let replan = hier
+            .plan_hierarchical(&net, &translator, &request, &memo)
+            .expect("replan after intra-region change");
+        assert_eq!(
+            replan.stats.hier_segments as usize, dead,
+            "seed {seed}: replan must re-solve exactly the invalidated segments"
+        );
+        assert!(
+            replan.stats.hier_memo_hits > 0,
+            "seed {seed}: replan must hit the surviving regions' shortlists"
+        );
+        return;
+    }
+    panic!("no fabric seed produced a composed plan with a multi-region memo");
+}

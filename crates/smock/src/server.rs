@@ -16,7 +16,7 @@ use crate::registry::ComponentRegistry;
 use crate::world::World;
 use ps_net::{shortest_route, NodeId, PropertyTranslator};
 use ps_planner::{
-    Plan, PlanError, PlanStats, Planner, PlannerConfig, RepairContext, ServiceRequest,
+    HierMemo, Plan, PlanError, PlanStats, Planner, PlannerConfig, RepairContext, ServiceRequest,
 };
 use ps_sim::{SimDuration, SimTime};
 use ps_trace::Tracer;
@@ -149,6 +149,11 @@ pub struct GenericServer {
     /// are also swept eagerly on insert and by
     /// [`GenericServer::invalidate_plans`].
     plan_cache: Mutex<HashMap<PlanCacheKey, Plan>>,
+    /// Shared hierarchical-planning memo: the region map, lazy route
+    /// rows, and per-region segment shortlists, shared by every connect
+    /// and heal-pass repair this server runs (used only when
+    /// `planner_config.hier` is set).
+    hier_memo: HierMemo,
     /// Tracer for the request lifecycle (disabled by default). Each
     /// connection gets a `conn-<n>` scope tying its `lookup` / `plan` /
     /// `transfer` / `deploy` spans together for breakdown analysis.
@@ -167,6 +172,7 @@ impl GenericServer {
             planner_config: PlannerConfig::default(),
             home,
             plan_cache: Mutex::new(HashMap::new()),
+            hier_memo: HierMemo::new(),
             tracer: Tracer::disabled(),
             next_conn: AtomicU64::new(0),
         }
@@ -324,7 +330,29 @@ impl GenericServer {
             None => {
                 let plan = if let Some(ctx) = repair {
                     self.tracer.count("server.plan_repairs", 1);
-                    planner.plan_repair(world.network(), self.translator.as_ref(), &request, ctx)?
+                    if self.planner_config.hier.is_some() {
+                        planner.plan_repair_with_memo(
+                            world.network(),
+                            self.translator.as_ref(),
+                            &request,
+                            ctx,
+                            &self.hier_memo,
+                        )?
+                    } else {
+                        planner.plan_repair(
+                            world.network(),
+                            self.translator.as_ref(),
+                            &request,
+                            ctx,
+                        )?
+                    }
+                } else if self.planner_config.hier.is_some() {
+                    planner.plan_hierarchical(
+                        world.network(),
+                        self.translator.as_ref(),
+                        &request,
+                        &self.hier_memo,
+                    )?
                 } else if self.planner_config.threads > 1 {
                     planner.plan_parallel(
                         world.network(),

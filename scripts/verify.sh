@@ -129,6 +129,25 @@ mkdir -p "$tmpdir/sa" "$tmpdir/sb"
 (cd "$tmpdir/sb" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/bench_scale" > /dev/null)
 cmp "$tmpdir/sa/BENCH_scale.json" "$tmpdir/sb/BENCH_scale.json"
 
+# Hierarchical-planning perf-regression guard. Wall clocks are zeroed
+# in stable mode, so the gate rides the deterministic work ratio
+# (mappings + prunes + weighted Dijkstra rows, flat / hierarchical)
+# for the 1013-node world: seed-stable, machine-independent, and far
+# above the floor today (~18x), so a real regression — a blown-up
+# candidate universe or a dead memo — trips it while noise cannot.
+echo "==> perf guard: hierarchical work speedup at 1013 nodes (>= 5x)"
+hier_speedup="$(grep -o '"routers": 1013.*' -z "$tmpdir/sa/BENCH_scale.json" \
+    | tr -d '\0' | grep -o '"work_speedup": [0-9.]*' | head -n1 | grep -o '[0-9.]*$')"
+if [[ -z "$hier_speedup" ]]; then
+    echo "BENCH_scale.json has no work_speedup entry for the 1013-node world" >&2
+    exit 1
+fi
+if ! awk -v s="$hier_speedup" 'BEGIN { exit !(s >= 5.0) }'; then
+    echo "hierarchical work speedup ${hier_speedup}x at 1013 nodes fell below the 5x floor" >&2
+    exit 1
+fi
+echo "    work speedup at 1013 nodes: ${hier_speedup}x"
+
 echo "==> determinism: timeline_report (stable mode, 2 runs, cmp JSON)"
 mkdir -p "$tmpdir/la" "$tmpdir/lb"
 (cd "$tmpdir/la" && PS_STABLE_ARTIFACTS=1 "$repo/target/release/timeline_report" > /dev/null)
